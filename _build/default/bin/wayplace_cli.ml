@@ -1,0 +1,264 @@
+(* Command-line front end: run one benchmark under one configuration,
+   inspect a benchmark's layout, dump profiles and block orders, or
+   list the suite.
+
+     dune exec bin/wayplace_cli.exe -- run -b crc -s wayplace -a 16
+     dune exec bin/wayplace_cli.exe -- layout -b ispell
+     dune exec bin/wayplace_cli.exe -- profile -b crc -o crc.profile
+     dune exec bin/wayplace_cli.exe -- layout -b crc --profile crc.profile
+     dune exec bin/wayplace_cli.exe -- list *)
+
+open Cmdliner
+
+let benchmark_arg =
+  let doc = "Benchmark name (see the list subcommand)." in
+  Arg.(value & opt string "crc" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let scheme_arg =
+  let doc = "Scheme: baseline, wayplace, waymemo, waypred or filter." in
+  Arg.(value & opt string "wayplace" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let area_arg =
+  let doc = "Way-placement area size in KB." in
+  Arg.(value & opt int 16 & info [ "a"; "area" ] ~docv:"KB" ~doc)
+
+let size_arg =
+  let doc = "Instruction cache size in KB." in
+  Arg.(value & opt int 32 & info [ "size" ] ~docv:"KB" ~doc)
+
+let ways_arg =
+  let doc = "Instruction cache associativity." in
+  Arg.(value & opt int 32 & info [ "ways" ] ~docv:"N" ~doc)
+
+let line_arg =
+  let doc = "Cache line size in bytes." in
+  Arg.(value & opt int 32 & info [ "line" ] ~docv:"B" ~doc)
+
+let find_spec name =
+  match Wayplace.Workloads.Mibench.find name with
+  | spec -> Ok spec
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; try the list subcommand" name)
+
+let parse_scheme scheme area_kb =
+  match scheme with
+  | "baseline" -> Ok Wayplace.Sim.Config.Baseline
+  | "wayplace" | "way-placement" ->
+      Ok (Wayplace.Sim.Config.Way_placement { area_bytes = area_kb * 1024 })
+  | "waymemo" | "way-memoization" -> Ok Wayplace.Sim.Config.Way_memoization
+  | "waypred" | "way-prediction" -> Ok Wayplace.Sim.Config.Way_prediction
+  | "filter" | "filter-cache" ->
+      Ok (Wayplace.Sim.Config.Filter_cache { l0_bytes = 512 })
+  | other -> Error (Printf.sprintf "unknown scheme %S" other)
+
+let config_of ~scheme ~size_kb ~ways ~line =
+  match
+    Wayplace.Cache.Geometry.make ~size_bytes:(size_kb * 1024) ~assoc:ways
+      ~line_bytes:line
+  with
+  | geometry ->
+      Ok (Wayplace.Sim.Config.with_icache (Wayplace.Sim.Config.xscale scheme) geometry)
+  | exception Invalid_argument msg -> Error msg
+
+let run_cmd benchmark scheme area size ways line =
+  let ( let* ) = Result.bind in
+  let result =
+    let* spec = find_spec benchmark in
+    let* scheme = parse_scheme scheme area in
+    let* config = config_of ~scheme ~size_kb:size ~ways ~line in
+    let prep = Wayplace.Sim.Runner.prepare spec in
+    let comparison = Wayplace.Sim.Runner.compare_to_baseline prep config in
+    Format.printf "benchmark: %s@." spec.Wayplace.Workloads.Spec.name;
+    Format.printf "%a@.@." Wayplace.Sim.Config.pp config;
+    Format.printf "--- scheme run ---@.%a@.@." Wayplace.Sim.Stats.pp
+      comparison.Wayplace.Sim.Runner.scheme;
+    Format.printf "--- baseline run ---@.%a@.@." Wayplace.Sim.Stats.pp
+      comparison.Wayplace.Sim.Runner.baseline;
+    Format.printf
+      "normalised i-cache energy: %.3f@.normalised ED product: %.3f@.normalised cycles: %.4f@."
+      comparison.Wayplace.Sim.Runner.norm_icache_energy
+      comparison.Wayplace.Sim.Runner.norm_ed
+      comparison.Wayplace.Sim.Runner.norm_cycles;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+let profile_arg =
+  let doc = "Load the training profile from this file instead of rerunning." in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let output_arg =
+  let doc = "Write the artifact to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let input_arg =
+  let doc = "Training input: small or large." in
+  Arg.(value & opt string "small" & info [ "input" ] ~docv:"INPUT" ~doc)
+
+let parse_input = function
+  | "small" -> Ok Wayplace.Workloads.Tracer.Small
+  | "large" -> Ok Wayplace.Workloads.Tracer.Large
+  | s -> Error (Printf.sprintf "unknown input %S (small|large)" s)
+
+let profile_cmd benchmark input output =
+  let ( let* ) = Result.bind in
+  let result =
+    let* spec = find_spec benchmark in
+    let* input = parse_input input in
+    let program = Wayplace.Workloads.Codegen.generate spec in
+    let profile = Wayplace.Workloads.Tracer.profile program input in
+    let serialised = Wayplace.Serial.profile_to_string profile in
+    (match output with
+    | Some path ->
+        Wayplace.Serial.save ~path serialised;
+        Format.printf "wrote %s (%d blocks profiled)@." path
+          (Wayplace.Cfg.Profile.num_blocks profile)
+    | None -> print_string serialised);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+let load_profile path ~num_blocks =
+  let ( let* ) = Result.bind in
+  let* contents = Wayplace.Serial.load ~path in
+  let* profile = Wayplace.Serial.profile_of_string contents in
+  if Wayplace.Cfg.Profile.num_blocks profile <> num_blocks then
+    Error
+      (Printf.sprintf "profile has %d blocks, the program has %d"
+         (Wayplace.Cfg.Profile.num_blocks profile)
+         num_blocks)
+  else Ok profile
+
+let layout_report program profile order_output =
+      let compiled = Wayplace.compile program.Wayplace.Workloads.Codegen.graph profile in
+      let graph = program.Wayplace.Workloads.Codegen.graph in
+      (match order_output with
+      | Some path ->
+          Wayplace.Serial.save ~path
+            (Wayplace.Serial.order_to_string
+               (Wayplace.Layout.Binary_layout.order compiled.Wayplace.layout));
+          Format.printf "wrote block order to %s@." path
+      | None -> ());
+      Format.printf "%a@." Wayplace.Cfg.Icfg.pp_summary graph;
+      Format.printf "%a@." Wayplace.Layout.Binary_layout.pp
+        compiled.Wayplace.layout;
+      Format.printf "chains: %d (longest %d blocks)@."
+        (List.length compiled.Wayplace.chains)
+        (List.fold_left
+           (fun acc c -> max acc (Wayplace.Layout.Chain.length c))
+           0 compiled.Wayplace.chains);
+      let page_bytes = 1024 in
+      List.iter
+        (fun kb ->
+          let area = Wayplace.Area.of_kilobytes ~page_bytes kb in
+          Format.printf "  %a covers %.1f%% of profiled instructions@."
+            Wayplace.Area.pp area
+            (100.0
+            *. Wayplace.Area.coverage area ~graph ~profile
+                 ~layout:compiled.Wayplace.layout))
+        [ 1; 2; 4; 8; 16 ];
+      (* Loop structure of the three hottest functions. *)
+      let hottest = Wayplace.Cfg.Profile.hottest_first profile in
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun id ->
+          if Hashtbl.length seen < 3 then begin
+            let f = (Wayplace.Cfg.Icfg.block graph id).Wayplace.Cfg.Basic_block.func in
+            if not (Hashtbl.mem seen f) then begin
+              Hashtbl.add seen f ();
+              Format.printf "  hot %s@."
+                (Wayplace.Cfg.Analysis.function_summary graph
+                   (Wayplace.Cfg.Icfg.func graph f))
+            end
+          end)
+        hottest;
+      0
+
+let layout_cmd benchmark profile_path order_output =
+  match find_spec benchmark with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok spec -> begin
+      let program = Wayplace.Workloads.Codegen.generate spec in
+      let profile_result =
+        match profile_path with
+        | None ->
+            Ok
+              (Wayplace.Workloads.Tracer.profile program
+                 Wayplace.Workloads.Tracer.Small)
+        | Some path ->
+            load_profile path
+              ~num_blocks:
+                (Wayplace.Cfg.Icfg.num_blocks
+                   program.Wayplace.Workloads.Codegen.graph)
+      in
+      match profile_result with
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+      | Ok profile -> layout_report program profile order_output
+    end
+
+let limit_arg =
+  let doc = "Maximum number of blocks to print." in
+  Arg.(value & opt int 24 & info [ "limit" ] ~docv:"N" ~doc)
+
+let disasm_cmd benchmark limit =
+  match find_spec benchmark with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok spec ->
+      let program = Wayplace.Workloads.Codegen.generate spec in
+      let graph = program.Wayplace.Workloads.Codegen.graph in
+      let profile =
+        Wayplace.Workloads.Tracer.profile program Wayplace.Workloads.Tracer.Small
+      in
+      let compiled = Wayplace.compile graph profile in
+      Wayplace.Layout.Listing.pp ~limit_blocks:limit Format.std_formatter
+        ~graph ~layout:compiled.Wayplace.layout;
+      0
+
+let list_cmd () =
+  List.iter print_endline Wayplace.Workloads.Mibench.names;
+  0
+
+let run_term =
+  Term.(
+    const run_cmd $ benchmark_arg $ scheme_arg $ area_arg $ size_arg $ ways_arg
+    $ line_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark under one configuration")
+      run_term;
+    Cmd.v
+      (Cmd.info "layout" ~doc:"Show the way-placement layout of a benchmark")
+      Term.(const layout_cmd $ benchmark_arg $ profile_arg $ output_arg);
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:"Profile a benchmark and dump the result (stdout or -o FILE)")
+      Term.(const profile_cmd $ benchmark_arg $ input_arg $ output_arg);
+    Cmd.v
+      (Cmd.info "disasm" ~doc:"Print the laid-out binary as a listing")
+      Term.(const disasm_cmd $ benchmark_arg $ limit_arg);
+    Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
+      Term.(const list_cmd $ const ());
+  ]
+
+let () =
+  let info =
+    Cmd.info "wayplace_cli" ~version:Wayplace.version
+      ~doc:"Compiler way-placement for instruction-cache energy (DATE 2008)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

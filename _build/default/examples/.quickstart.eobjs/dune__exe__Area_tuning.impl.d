@@ -1,0 +1,1 @@
+examples/area_tuning.ml: Array Format List Sys Wayplace

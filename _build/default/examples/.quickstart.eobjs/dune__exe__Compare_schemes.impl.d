@@ -1,0 +1,1 @@
+examples/compare_schemes.ml: Array Format String Sys Wayplace

@@ -1,0 +1,1 @@
+examples/runtime_resize.ml: Array Format Sys Wayplace

@@ -1,0 +1,61 @@
+(* The operating system's view: pick the way-placement area size.
+
+   One compiled layout serves every area size (paper Section 4.1): the
+   hottest code sits at the front of the binary, so the OS can trade
+   area pages for energy without recompiling.  This example sweeps the
+   coverage curve for one benchmark, asks the Area policy for the
+   smallest area reaching 95% coverage, and verifies the energy of that
+   choice against the largest area.
+
+   Run with:  dune exec examples/area_tuning.exe [-- benchmark]        *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ispell" in
+  let spec =
+    try Wayplace.Workloads.Mibench.find name
+    with Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      exit 1
+  in
+  let program = Wayplace.Workloads.Codegen.generate spec in
+  let graph = program.Wayplace.Workloads.Codegen.graph in
+  let profile =
+    Wayplace.Workloads.Tracer.profile program Wayplace.Workloads.Tracer.Small
+  in
+  let compiled = Wayplace.compile graph profile in
+  let layout = compiled.Wayplace.layout in
+  let page_bytes = 1024 in
+
+  Format.printf "coverage of the profiled instruction stream by area size:@.";
+  List.iter
+    (fun kb ->
+      let area = Wayplace.Area.of_kilobytes ~page_bytes kb in
+      Format.printf "  %2d KB -> %5.1f%%@." kb
+        (100.0 *. Wayplace.Area.coverage area ~graph ~profile ~layout))
+    [ 1; 2; 4; 8; 16; 32 ];
+
+  let chosen =
+    Wayplace.Area.choose ~page_bytes ~max_bytes:(32 * 1024)
+      ~target_coverage:0.95 ~graph ~profile ~layout
+  in
+  Format.printf "@.OS policy (95%% target) picks: %a@.@." Wayplace.Area.pp
+    chosen;
+
+  let evaluate area_bytes =
+    let config =
+      Wayplace.paper_machine (Wayplace.Sim.Config.Way_placement { area_bytes })
+    in
+    Wayplace.evaluate ~config ~program ~compiled
+  in
+  let full = evaluate (16 * 1024) in
+  let tuned = evaluate (Wayplace.Area.bytes chosen) in
+  Format.printf "16KB area:  %a@." Wayplace.Sim.Stats.pp_brief full;
+  Format.printf "chosen:     %a@." Wayplace.Sim.Stats.pp_brief tuned;
+  Format.printf
+    "@.The chosen area uses %d page(s) of I-TLB way-placement bits while@.\
+     giving up %.1f%% of the 16KB area's i-cache savings.@."
+    (Wayplace.Area.pages chosen ~page_bytes)
+    (100.0
+    *. ((Wayplace.Sim.Stats.icache_energy_pj tuned
+        -. Wayplace.Sim.Stats.icache_energy_pj full)
+       /. Wayplace.Sim.Stats.icache_energy_pj full))

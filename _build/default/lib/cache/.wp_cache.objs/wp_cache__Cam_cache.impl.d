@@ -1,0 +1,1 @@
+lib/cache/cam_cache.ml: Array Format Geometry Printf Replacement

@@ -1,0 +1,1 @@
+lib/cache/cam_cache.mli: Format Geometry Replacement Wp_isa

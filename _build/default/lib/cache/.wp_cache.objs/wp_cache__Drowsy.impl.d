@@ -1,0 +1,1 @@
+lib/cache/drowsy.ml: Array Geometry

@@ -1,0 +1,1 @@
+lib/cache/drowsy.mli: Geometry

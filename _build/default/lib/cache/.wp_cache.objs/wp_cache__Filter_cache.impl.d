@@ -1,0 +1,1 @@
+lib/cache/filter_cache.ml: Cam_cache Geometry Replacement

@@ -1,0 +1,1 @@
+lib/cache/filter_cache.mli: Geometry Wp_isa

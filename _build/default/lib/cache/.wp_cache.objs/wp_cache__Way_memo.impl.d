@@ -1,0 +1,1 @@
+lib/cache/way_memo.ml: Array Cam_cache Geometry List Wp_isa

@@ -1,0 +1,1 @@
+lib/cache/way_memo.mli: Geometry Replacement Wp_isa

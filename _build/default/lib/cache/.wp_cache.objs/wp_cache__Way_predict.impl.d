@@ -1,0 +1,1 @@
+lib/cache/way_predict.ml: Array Cam_cache Geometry

@@ -1,0 +1,1 @@
+lib/cache/way_predict.mli: Geometry Replacement Wp_isa

@@ -1,0 +1,157 @@
+type t = {
+  geometry : Geometry.t;
+  replacement : Replacement.t;
+  tags : int array;  (** [set * assoc + way] -> tag *)
+  valid : bool array;
+  rr_next : int array;  (** round-robin cursor per set *)
+  last_use : int array;  (** LRU timestamps, [set * assoc + way] *)
+  mutable clock : int;
+}
+
+type outcome = {
+  hit : bool;
+  way : int;
+  tag_comparisons : int;
+  ways_precharged : int;
+}
+
+type fill_policy = Victim_by_policy | Forced_way of int
+type eviction = { set : int; way : int; tag : int }
+
+let create geometry ~replacement =
+  let n = Geometry.sets geometry * geometry.Geometry.assoc in
+  {
+    geometry;
+    replacement;
+    tags = Array.make n 0;
+    valid = Array.make n false;
+    rr_next = Array.make (Geometry.sets geometry) 0;
+    last_use = Array.make n 0;
+    clock = 0;
+  }
+
+let geometry t = t.geometry
+let index t ~set ~way = (set * t.geometry.Geometry.assoc) + way
+
+let touch t ~set ~way =
+  t.clock <- t.clock + 1;
+  t.last_use.(index t ~set ~way) <- t.clock
+
+let find t ~set ~tag =
+  let assoc = t.geometry.Geometry.assoc in
+  let rec go way =
+    if way >= assoc then None
+    else begin
+      let i = index t ~set ~way in
+      if t.valid.(i) && t.tags.(i) = tag then Some way else go (way + 1)
+    end
+  in
+  go 0
+
+let lookup_full t addr =
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  let assoc = t.geometry.Geometry.assoc in
+  match find t ~set ~tag with
+  | Some way ->
+      touch t ~set ~way;
+      { hit = true; way; tag_comparisons = assoc; ways_precharged = assoc }
+  | None -> { hit = false; way = -1; tag_comparisons = assoc; ways_precharged = assoc }
+
+let lookup_way t addr ~way =
+  let assoc = t.geometry.Geometry.assoc in
+  if way < 0 || way >= assoc then
+    invalid_arg (Printf.sprintf "Cam_cache.lookup_way: way %d of %d" way assoc);
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  let i = index t ~set ~way in
+  if t.valid.(i) && t.tags.(i) = tag then begin
+    touch t ~set ~way;
+    { hit = true; way; tag_comparisons = 1; ways_precharged = 1 }
+  end
+  else { hit = false; way = -1; tag_comparisons = 1; ways_precharged = 1 }
+
+let choose_victim t ~set =
+  let assoc = t.geometry.Geometry.assoc in
+  (* Prefer an invalid way before evicting. *)
+  let rec invalid_way way =
+    if way >= assoc then None
+    else if not t.valid.(index t ~set ~way) then Some way
+    else invalid_way (way + 1)
+  in
+  match invalid_way 0 with
+  | Some way -> way
+  | None -> begin
+      match t.replacement with
+      | Replacement.Round_robin ->
+          let way = t.rr_next.(set) in
+          t.rr_next.(set) <- (way + 1) mod assoc;
+          way
+      | Replacement.Lru ->
+          let best = ref 0 in
+          for way = 1 to assoc - 1 do
+            if t.last_use.(index t ~set ~way) < t.last_use.(index t ~set ~way:!best)
+            then best := way
+          done;
+          !best
+    end
+
+let fill t addr policy =
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  match find t ~set ~tag with
+  | Some way ->
+      touch t ~set ~way;
+      (way, None)
+  | None ->
+      let way =
+        match policy with
+        | Victim_by_policy -> choose_victim t ~set
+        | Forced_way way ->
+            if way < 0 || way >= t.geometry.Geometry.assoc then
+              invalid_arg
+                (Printf.sprintf "Cam_cache.fill: forced way %d out of range" way);
+            way
+      in
+      let i = index t ~set ~way in
+      let evicted =
+        if t.valid.(i) then Some { set; way; tag = t.tags.(i) } else None
+      in
+      t.tags.(i) <- tag;
+      t.valid.(i) <- true;
+      touch t ~set ~way;
+      (way, evicted)
+
+let probe t addr =
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  find t ~set ~tag
+
+let invalidate t ~set ~way = t.valid.(index t ~set ~way) <- false
+
+let flush t =
+  Array.fill t.valid 0 (Array.length t.valid) false;
+  Array.fill t.rr_next 0 (Array.length t.rr_next) 0;
+  Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.clock <- 0
+
+let valid_lines t =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid
+
+let resident_tags t ~set =
+  let assoc = t.geometry.Geometry.assoc in
+  let rec go way acc =
+    if way < 0 then acc
+    else begin
+      let i = index t ~set ~way in
+      if t.valid.(i) then go (way - 1) ((way, t.tags.(i)) :: acc)
+      else go (way - 1) acc
+    end
+  in
+  go (assoc - 1) []
+
+let pp ppf t =
+  Format.fprintf ppf "cam-cache %a (%s), %d/%d lines valid" Geometry.pp
+    t.geometry
+    (Replacement.to_string t.replacement)
+    (valid_lines t) (Geometry.lines t.geometry)

@@ -1,0 +1,57 @@
+(** The CAM-tag set-associative cache (XScale organisation).
+
+    Each set is a fully-associative CAM sub-bank: a lookup precharges
+    the match lines of the searched ways, broadcasts the tag, and on a
+    match reads the corresponding data word.  The model tracks exactly
+    the events the energy model charges for: tag comparisons performed,
+    match lines precharged, data reads and line fills.
+
+    The cache never fills implicitly — a lookup reports a miss and the
+    caller decides how (and into which way) to fill.  This is what lets
+    the fetch engine implement baseline, way-placement and
+    way-memoization behaviour on one substrate. *)
+
+type t
+
+type outcome = {
+  hit : bool;
+  way : int;  (** way that hit, or [-1] on a miss *)
+  tag_comparisons : int;  (** CAM compares performed *)
+  ways_precharged : int;  (** match lines precharged *)
+}
+
+type fill_policy =
+  | Victim_by_policy  (** round-robin or LRU chooses the way *)
+  | Forced_way of int  (** way-placement pins the way *)
+
+type eviction = { set : int; way : int; tag : int }
+(** A valid line that was overwritten by a fill. *)
+
+val create : Geometry.t -> replacement:Replacement.t -> t
+val geometry : t -> Geometry.t
+
+val lookup_full : t -> Wp_isa.Addr.t -> outcome
+(** Normal access: search every way of the address's set
+    ([assoc] comparisons, [assoc] precharges). *)
+
+val lookup_way : t -> Wp_isa.Addr.t -> way:int -> outcome
+(** Way-placement access: probe a single way (1 comparison,
+    1 precharge).  A line resident in a {e different} way is
+    deliberately not found — mirroring the hardware. *)
+
+val fill : t -> Wp_isa.Addr.t -> fill_policy -> int * eviction option
+(** Install the line for [addr]; returns the way used and the evicted
+    valid line, if any.  If the line is already resident this is a
+    no-op returning its way (no eviction).
+    @raise Invalid_argument if a forced way is out of range. *)
+
+val probe : t -> Wp_isa.Addr.t -> int option
+(** Side-effect-free residence check (for tests and assertions). *)
+
+val invalidate : t -> set:int -> way:int -> unit
+val flush : t -> unit
+val valid_lines : t -> int
+val resident_tags : t -> set:int -> (int * int) list
+(** [(way, tag)] pairs of valid lines in a set, ascending way order. *)
+
+val pp : Format.formatter -> t -> unit

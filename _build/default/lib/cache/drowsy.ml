@@ -1,0 +1,47 @@
+type t = {
+  geometry : Geometry.t;
+  window : int;
+  last_access : int array;  (** -1 = never accessed (always drowsy) *)
+  mutable accounted_awake : float;
+      (** awake line-ticks accumulated for completed inter-access gaps *)
+}
+
+let create geometry ~window =
+  if window <= 0 then invalid_arg "Drowsy.create: window must be positive";
+  {
+    geometry;
+    window;
+    last_access = Array.make (Geometry.lines geometry) (-1);
+    accounted_awake = 0.0;
+  }
+
+let window t = t.window
+let index t ~set ~way = (set * t.geometry.Geometry.assoc) + way
+
+let note_access t ~now ~set ~way =
+  let i = index t ~set ~way in
+  let last = t.last_access.(i) in
+  t.last_access.(i) <- now;
+  if last < 0 then true (* first touch: the line was asleep *)
+  else begin
+    let gap = now - last in
+    (* The line stayed awake for min(gap, window) of the gap. *)
+    t.accounted_awake <- t.accounted_awake +. float_of_int (min gap t.window);
+    gap > t.window
+  end
+
+let awake_line_ticks t ~now =
+  (* Completed gaps plus the open tail of every touched line. *)
+  let tail = ref 0.0 in
+  Array.iter
+    (fun last ->
+      if last >= 0 then tail := !tail +. float_of_int (min (now - last) t.window))
+    t.last_access;
+  t.accounted_awake +. !tail
+
+let total_line_ticks t ~now =
+  float_of_int (Geometry.lines t.geometry) *. float_of_int now
+
+let reset t =
+  Array.fill t.last_access 0 (Array.length t.last_access) (-1);
+  t.accounted_awake <- 0.0

@@ -1,0 +1,32 @@
+(** Drowsy lines (Flautner et al., ISCA'02 / Kaxiras et al., ISCA'01),
+    the leakage-saving family the paper calls orthogonal to
+    way-placement (Section 7: "these approaches ... can therefore be
+    used together for additional energy savings").
+
+    A line that has not been accessed for [window] ticks drops into a
+    state-preserving low-leakage (drowsy) mode; touching a drowsy line
+    costs a wake-up (one cycle plus a small energy).  The module
+    tracks, per cache line, how long it spent awake, so the leakage
+    accountant can split line-ticks into awake and drowsy at the end
+    of a run.  Ticks are fetch counts (the fetch engine's natural
+    clock); the accountant rescales them to cycles. *)
+
+type t
+
+val create : Geometry.t -> window:int -> t
+(** @raise Invalid_argument unless [window > 0]. *)
+
+val window : t -> int
+
+val note_access : t -> now:int -> set:int -> way:int -> bool
+(** Record an access to a line at tick [now]; returns [true] when the
+    line was drowsy and had to be woken (charge the wake penalty). *)
+
+val awake_line_ticks : t -> now:int -> float
+(** Total line-ticks spent awake up to [now]: every access keeps its
+    line awake for at most [window] further ticks. *)
+
+val total_line_ticks : t -> now:int -> float
+(** [lines x now]. *)
+
+val reset : t -> unit

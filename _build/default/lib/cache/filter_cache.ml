@@ -1,0 +1,25 @@
+type t = { l0 : Cam_cache.t }
+
+type result = {
+  l0_hit : bool;
+  l0_tag_comparisons : int;
+  penalty_cycles : int;
+}
+
+let create ~l0 =
+  if l0.Geometry.assoc <> 1 then
+    invalid_arg "Filter_cache.create: the L0 must be direct-mapped";
+  { l0 = Cam_cache.create l0 ~replacement:Replacement.Round_robin }
+
+let l0_geometry t = Cam_cache.geometry t.l0
+
+let access t addr =
+  let outcome = Cam_cache.lookup_full t.l0 addr in
+  if outcome.Cam_cache.hit then
+    { l0_hit = true; l0_tag_comparisons = 1; penalty_cycles = 0 }
+  else begin
+    ignore (Cam_cache.fill t.l0 addr Cam_cache.Victim_by_policy);
+    { l0_hit = false; l0_tag_comparisons = 1; penalty_cycles = 1 }
+  end
+
+let flush t = Cam_cache.flush t.l0

@@ -1,0 +1,38 @@
+type t = { size_bytes : int; assoc : int; line_bytes : int }
+
+let address_bits = 32
+
+let make ~size_bytes ~assoc ~line_bytes =
+  let pot = Wp_isa.Addr.is_power_of_two in
+  if not (pot size_bytes && pot assoc && pot line_bytes) then
+    invalid_arg "Geometry.make: size, assoc and line must be powers of two";
+  if line_bytes < Wp_isa.Instr.size_bytes then
+    invalid_arg "Geometry.make: line smaller than one instruction";
+  if size_bytes < assoc * line_bytes then
+    invalid_arg "Geometry.make: fewer lines than ways";
+  { size_bytes; assoc; line_bytes }
+
+let sets t = t.size_bytes / (t.assoc * t.line_bytes)
+let lines t = t.size_bytes / t.line_bytes
+let offset_bits t = Wp_isa.Addr.log2 t.line_bytes
+let set_bits t = Wp_isa.Addr.log2 (sets t)
+let tag_bits t = address_bits - offset_bits t - set_bits t
+let way_bits t = Wp_isa.Addr.log2 t.assoc
+let set_index t addr = (addr lsr offset_bits t) land (sets t - 1)
+let tag_of t addr = addr lsr (offset_bits t + set_bits t)
+let line_base t addr = addr land lnot (t.line_bytes - 1)
+let same_line t a b = line_base t a = line_base t b
+let way_select t ~tag = tag land (t.assoc - 1)
+let way_of_addr t addr = way_select t ~tag:(tag_of t addr)
+let instr_slot t addr = (addr land (t.line_bytes - 1)) / Wp_isa.Instr.size_bytes
+let slots_per_line t = t.line_bytes / Wp_isa.Instr.size_bytes
+let way_span_bytes t = sets t * t.line_bytes
+
+let to_string t =
+  let size =
+    if t.size_bytes >= 1024 then Printf.sprintf "%dKB" (t.size_bytes / 1024)
+    else Printf.sprintf "%dB" t.size_bytes
+  in
+  Printf.sprintf "%s/%dway/%dB" size t.assoc t.line_bytes
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

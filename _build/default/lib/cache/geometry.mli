@@ -1,0 +1,54 @@
+(** Cache geometry: size / associativity / line size and the derived
+    address-bit split.
+
+    The XScale-style CAM organisation groups all the ways of one set
+    into a fully-associative sub-bank (paper Section 2, Figure 1), so
+    "set" here names one CAM sub-bank.  Way-placement selects the way
+    inside the sub-bank with the least-significant bits of the tag
+    (paper Section 4.2). *)
+
+type t = private { size_bytes : int; assoc : int; line_bytes : int }
+
+val make : size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** @raise Invalid_argument unless all three are powers of two, the
+    cache holds at least [assoc] lines, and a line holds at least one
+    instruction. *)
+
+val address_bits : int
+(** Simulated physical address width (32). *)
+
+val sets : t -> int
+val lines : t -> int
+val offset_bits : t -> int
+val set_bits : t -> int
+val tag_bits : t -> int
+val way_bits : t -> int
+(** [log2 assoc] — how many low tag bits select the way on a
+    way-placement access. *)
+
+val set_index : t -> Wp_isa.Addr.t -> int
+val tag_of : t -> Wp_isa.Addr.t -> int
+val line_base : t -> Wp_isa.Addr.t -> Wp_isa.Addr.t
+val same_line : t -> Wp_isa.Addr.t -> Wp_isa.Addr.t -> bool
+
+val way_select : t -> tag:int -> int
+(** The way designated for a tag on a way-placement access: the low
+    {!way_bits} bits of the tag. *)
+
+val way_of_addr : t -> Wp_isa.Addr.t -> int
+(** [way_select] composed with [tag_of]. *)
+
+val instr_slot : t -> Wp_isa.Addr.t -> int
+(** Index of the instruction inside its line (0-based). *)
+
+val slots_per_line : t -> int
+(** Instructions per line. *)
+
+val way_span_bytes : t -> int
+(** Bytes of address space that map to a single way before the way
+    index wraps: [sets * line_bytes].  Consecutive chunks of this size
+    at the start of the binary land in consecutive ways. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** e.g. ["32KB/32way/32B"]. *)

@@ -1,0 +1,10 @@
+type t = Round_robin | Lru
+
+let to_string = function Round_robin -> "round-robin" | Lru -> "lru"
+
+let of_string = function
+  | "round-robin" | "rr" -> Ok Round_robin
+  | "lru" -> Ok Lru
+  | s -> Error (Printf.sprintf "unknown replacement policy %S" s)
+
+let all = [ Round_robin; Lru ]

@@ -1,0 +1,10 @@
+(** Replacement policies for the CAM cache.
+
+    The XScale uses round-robin replacement; LRU is provided as an
+    ablation (DESIGN.md Section 5, item 5). *)
+
+type t = Round_robin | Lru
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val all : t list

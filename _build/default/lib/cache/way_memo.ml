@@ -1,0 +1,198 @@
+type invalidation = Flash_clear | Precise
+
+type t = {
+  cache : Cam_cache.t;
+  invalidation : invalidation;
+  nslots : int;  (** links per line = instruction slots + 1 *)
+  link_valid : bool array;  (** [(set*assoc+way)*nslots + slot] *)
+  link_way : int array;
+  link_target : int array;  (** target line base address (model-only) *)
+  backrefs : int list ref array;  (** per line: link indices pointing at it *)
+  mutable last_addr : Wp_isa.Addr.t;  (** -1 when no stream context *)
+  mutable last_set : int;
+  mutable last_way : int;
+}
+
+type result = {
+  hit : bool;
+  filled : bool;
+  tag_comparisons : int;
+  ways_precharged : int;
+  link_followed : bool;
+  link_written : bool;
+  links_invalidated : int;
+}
+
+let links_per_line g = Geometry.slots_per_line g + 1
+let link_bits g = Geometry.way_bits g + 1
+
+let data_overhead_fraction g =
+  float_of_int (links_per_line g * link_bits g)
+  /. float_of_int (g.Geometry.line_bytes * 8)
+
+let create ?(invalidation = Flash_clear) geometry ~replacement =
+  let nlines = Geometry.lines geometry in
+  let nslots = links_per_line geometry in
+  {
+    cache = Cam_cache.create geometry ~replacement;
+    invalidation;
+    nslots;
+    link_valid = Array.make (nlines * nslots) false;
+    link_way = Array.make (nlines * nslots) 0;
+    link_target = Array.make (nlines * nslots) 0;
+    backrefs = Array.init nlines (fun _ -> ref []);
+    last_addr = -1;
+    last_set = -1;
+    last_way = -1;
+  }
+
+let geometry t = Cam_cache.geometry t.cache
+let line_index t ~set ~way = (set * (geometry t).Geometry.assoc) + way
+let link_index t ~set ~way ~slot = (line_index t ~set ~way * t.nslots) + slot
+
+let clear_links_of_line t ~set ~way =
+  let base = line_index t ~set ~way * t.nslots in
+  let cleared = ref 0 in
+  for slot = 0 to t.nslots - 1 do
+    if t.link_valid.(base + slot) then begin
+      t.link_valid.(base + slot) <- false;
+      incr cleared
+    end
+  done;
+  !cleared
+
+let clear_all_links t =
+  let cleared = ref 0 in
+  for i = 0 to Array.length t.link_valid - 1 do
+    if t.link_valid.(i) then begin
+      t.link_valid.(i) <- false;
+      incr cleared
+    end
+  done;
+  Array.iter (fun r -> r := []) t.backrefs;
+  !cleared
+
+(* Invalidate every link that points at the (now evicted) line.  The
+   backref list may contain stale entries for links that were since
+   redirected; only links still pointing here are counted. *)
+let invalidate_links_to t ~set ~way =
+  let here = line_index t ~set ~way in
+  let refs = t.backrefs.(here) in
+  let invalidated = ref 0 in
+  List.iter
+    (fun li ->
+      if t.link_valid.(li) then begin
+        let target_set = Geometry.set_index (geometry t) t.link_target.(li) in
+        if target_set = set && t.link_way.(li) = way then begin
+          t.link_valid.(li) <- false;
+          incr invalidated
+        end
+      end)
+    !refs;
+  refs := [];
+  !invalidated
+
+let write_link t ~src_set ~src_way ~slot ~target_line ~target_way =
+  let li = link_index t ~set:src_set ~way:src_way ~slot in
+  t.link_valid.(li) <- true;
+  t.link_way.(li) <- target_way;
+  t.link_target.(li) <- target_line;
+  let tgt = line_index t ~set:(Geometry.set_index (geometry t) target_line) ~way:target_way in
+  let refs = t.backrefs.(tgt) in
+  refs := li :: !refs
+
+(* The link slot a fetch consults: the next-line link for sequential
+   crossings, the previous instruction's slot for taken transfers. *)
+let source_slot t addr =
+  if t.last_addr < 0 then None
+  else if addr = t.last_addr + Wp_isa.Instr.size_bytes then Some (t.nslots - 1)
+  else Some (Geometry.instr_slot (geometry t) t.last_addr)
+
+let full_path t addr ~slot =
+  let g = geometry t in
+  let set = Geometry.set_index g addr in
+  let outcome = Cam_cache.lookup_full t.cache addr in
+  let hit = outcome.Cam_cache.hit in
+  let way, filled, links_invalidated =
+    if hit then (outcome.Cam_cache.way, false, 0)
+    else begin
+      let way, evicted = Cam_cache.fill t.cache addr Cam_cache.Victim_by_policy in
+      let inv =
+        match (t.invalidation, evicted) with
+        | _, None -> 0
+        | Flash_clear, Some _ -> clear_all_links t
+        | Precise, Some (e : Cam_cache.eviction) ->
+            let own = clear_links_of_line t ~set:e.set ~way:e.way in
+            let pointing = invalidate_links_to t ~set:e.set ~way:e.way in
+            own + pointing
+      in
+      (way, true, inv)
+    end
+  in
+  let link_written =
+    match slot with
+    | Some s when t.last_set >= 0 ->
+        write_link t ~src_set:t.last_set ~src_way:t.last_way ~slot:s
+          ~target_line:(Geometry.line_base g addr) ~target_way:way;
+        true
+    | Some _ | None -> false
+  in
+  t.last_addr <- addr;
+  t.last_set <- set;
+  t.last_way <- way;
+  {
+    hit;
+    filled;
+    tag_comparisons = outcome.Cam_cache.tag_comparisons;
+    ways_precharged = outcome.Cam_cache.ways_precharged;
+    link_followed = false;
+    link_written;
+    links_invalidated;
+  }
+
+let fetch t addr =
+  let g = geometry t in
+  match source_slot t addr with
+  | None -> full_path t addr ~slot:None
+  | Some slot ->
+      let li = link_index t ~set:t.last_set ~way:t.last_way ~slot in
+      let target_line = Geometry.line_base g addr in
+      if t.link_valid.(li) && t.link_target.(li) = target_line then begin
+        (* Blind link follow: zero tag comparisons, zero precharges.
+           Link invalidation on eviction guarantees residence. *)
+        let way = t.link_way.(li) in
+        let set = Geometry.set_index g addr in
+        assert (Cam_cache.probe t.cache addr = Some way);
+        t.last_addr <- addr;
+        t.last_set <- set;
+        t.last_way <- way;
+        {
+          hit = true;
+          filled = false;
+          tag_comparisons = 0;
+          ways_precharged = 0;
+          link_followed = true;
+          link_written = false;
+          links_invalidated = 0;
+        }
+      end
+      else full_path t addr ~slot:(Some slot)
+
+let note_same_line t addr =
+  if t.last_addr < 0 || not (Geometry.same_line (geometry t) addr t.last_addr)
+  then invalid_arg "Way_memo.note_same_line: address not in previous line";
+  t.last_addr <- addr
+
+let reset_stream t =
+  t.last_addr <- -1;
+  t.last_set <- -1;
+  t.last_way <- -1
+
+let flush t =
+  Cam_cache.flush t.cache;
+  Array.fill t.link_valid 0 (Array.length t.link_valid) false;
+  Array.iter (fun r -> r := []) t.backrefs;
+  reset_stream t
+
+let valid_links t =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.link_valid

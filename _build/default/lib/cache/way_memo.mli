@@ -1,0 +1,79 @@
+(** Way-memoization (Ma et al. [12]), the hardware comparator scheme.
+
+    Every cache line carries one link per instruction slot plus one
+    next-line link (for a 32 B line on a 32-way cache: 9 links of
+    6 bits — a 21% overhead on the data side, paper Section 5).  A link
+    records the way that the {e next} fetch after this slot hit, so a
+    later fetch along the same path can read the target way directly
+    with {e zero} tag comparisons.  Links are invalidated whenever the
+    line they point to is evicted, which keeps blind link-following
+    correct.
+
+    Indirect transfers (returns) change target from execution to
+    execution; the model follows a link only when its recorded target
+    line matches the requested address, otherwise it falls back to a
+    full search and rewrites the link — matching the original scheme,
+    which cannot memoize varying targets.
+
+    Same-line fetches are elided by the fetch engine before this module
+    is consulted, exactly as for way-placement (paper Section 4.2,
+    last paragraph). *)
+
+type t
+
+type invalidation =
+  | Flash_clear
+      (** every refill clears {e all} links — the hardware-feasible
+          conservative policy (tracking which links point at a victim
+          line would need reverse pointers per line); default *)
+  | Precise
+      (** only links pointing at the victim are cleared — an idealised
+          upper bound on link effectiveness, used by the ablation
+          benches *)
+
+type result = {
+  hit : bool;  (** line resident before any fill *)
+  filled : bool;
+  tag_comparisons : int;
+  ways_precharged : int;
+  link_followed : bool;  (** fetch served through a valid link *)
+  link_written : bool;
+  links_invalidated : int;  (** links cleared by this access's eviction *)
+}
+
+val create :
+  ?invalidation:invalidation -> Geometry.t -> replacement:Replacement.t -> t
+(** [invalidation] defaults to {!Flash_clear}. *)
+
+val geometry : t -> Geometry.t
+
+val fetch : t -> Wp_isa.Addr.t -> result
+(** Fetch the line-crossing instruction at the address.  The module
+    tracks the previous fetch internally: a fetch at [prev + 4] uses
+    the previous line's next-line link, any other fetch uses the
+    per-slot link of the previous instruction. *)
+
+val note_same_line : t -> Wp_isa.Addr.t -> unit
+(** Inform the module of a fetch the engine elided with the same-line
+    rule, so the previous-fetch context stays accurate and the next
+    line crossing is classified (sequential vs transfer) correctly.
+    @raise Invalid_argument if the address is not in the previous
+    fetch's line. *)
+
+val reset_stream : t -> unit
+(** Forget the previous-fetch context (cache contents and links are
+    kept); the next fetch will do a full search. *)
+
+val flush : t -> unit
+val links_per_line : Geometry.t -> int
+(** Instruction slots + 1. *)
+
+val link_bits : Geometry.t -> int
+(** Bits per link: way bits + valid bit. *)
+
+val data_overhead_fraction : Geometry.t -> float
+(** Extra data-array storage relative to the line payload, e.g. 0.21
+    for a 32 B line on a 32-way cache. *)
+
+val valid_links : t -> int
+(** Number of currently valid links (for tests). *)

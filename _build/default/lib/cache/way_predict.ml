@@ -1,0 +1,89 @@
+type t = {
+  cache : Cam_cache.t;
+  mru : int array;  (** predicted way per set; -1 = no prediction yet *)
+}
+
+type result = {
+  hit : bool;
+  predicted_correctly : bool;
+  filled : bool;
+  tag_comparisons : int;
+  first_probe_ways : int;
+  second_probe_ways : int;
+  penalty_cycles : int;
+}
+
+let create geometry ~replacement =
+  {
+    cache = Cam_cache.create geometry ~replacement;
+    mru = Array.make (Geometry.sets geometry) (-1);
+  }
+
+let geometry t = Cam_cache.geometry t.cache
+let mru_way t ~set = if t.mru.(set) < 0 then None else Some t.mru.(set)
+
+let access t addr =
+  let g = geometry t in
+  let set = Geometry.set_index g addr in
+  let assoc = g.Geometry.assoc in
+  let predicted = t.mru.(set) in
+  let finish ~hit ~predicted_correctly ~filled ~tag_comparisons
+      ~first_probe_ways ~second_probe_ways ~penalty_cycles ~way =
+    if way >= 0 then t.mru.(set) <- way;
+    {
+      hit;
+      predicted_correctly;
+      filled;
+      tag_comparisons;
+      first_probe_ways;
+      second_probe_ways;
+      penalty_cycles;
+    }
+  in
+  if predicted >= 0 then begin
+    let first = Cam_cache.lookup_way t.cache addr ~way:predicted in
+    if first.Cam_cache.hit then
+      finish ~hit:true ~predicted_correctly:true ~filled:false
+        ~tag_comparisons:1 ~first_probe_ways:1 ~second_probe_ways:0
+        ~penalty_cycles:0 ~way:predicted
+    else begin
+      (* Second cycle: search the remaining ways. *)
+      let second = Cam_cache.lookup_full t.cache addr in
+      let remaining = assoc - 1 in
+      if second.Cam_cache.hit then
+        finish ~hit:true ~predicted_correctly:false ~filled:false
+          ~tag_comparisons:(1 + remaining) ~first_probe_ways:1
+          ~second_probe_ways:remaining ~penalty_cycles:1
+          ~way:second.Cam_cache.way
+      else begin
+        let way, _evicted =
+          Cam_cache.fill t.cache addr Cam_cache.Victim_by_policy
+        in
+        finish ~hit:false ~predicted_correctly:false ~filled:true
+          ~tag_comparisons:(1 + remaining) ~first_probe_ways:1
+          ~second_probe_ways:remaining ~penalty_cycles:1 ~way
+      end
+    end
+  end
+  else begin
+    (* Cold set: no prediction, full search directly (still a
+       mispredict cycle in Inoue's scheme since the predicted probe
+       could not be issued). *)
+    let outcome = Cam_cache.lookup_full t.cache addr in
+    if outcome.Cam_cache.hit then
+      finish ~hit:true ~predicted_correctly:false ~filled:false
+        ~tag_comparisons:assoc ~first_probe_ways:0 ~second_probe_ways:assoc
+        ~penalty_cycles:1 ~way:outcome.Cam_cache.way
+    else begin
+      let way, _evicted =
+        Cam_cache.fill t.cache addr Cam_cache.Victim_by_policy
+      in
+      finish ~hit:false ~predicted_correctly:false ~filled:true
+        ~tag_comparisons:assoc ~first_probe_ways:0 ~second_probe_ways:assoc
+        ~penalty_cycles:1 ~way
+    end
+  end
+
+let flush t =
+  Cam_cache.flush t.cache;
+  Array.fill t.mru 0 (Array.length t.mru) (-1)

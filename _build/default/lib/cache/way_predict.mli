@@ -1,0 +1,32 @@
+(** Way prediction (Inoue et al., ISLPED'99) — the second hardware
+    alternative the paper discusses (Sections 1 and 7).
+
+    Each set remembers its most-recently-used way.  An access first
+    probes only that way (one tag comparison, one data read); on a
+    correct prediction that is the whole access.  On a misprediction
+    the remaining ways are searched in a second cycle — extra energy
+    {e and} a one-cycle performance penalty, the recovery cost the
+    paper contrasts with way-placement's certainty. *)
+
+type t
+
+type result = {
+  hit : bool;  (** line resident (after the second probe if needed) *)
+  predicted_correctly : bool;
+      (** first-probe success; false also covers misses *)
+  filled : bool;
+  tag_comparisons : int;
+  first_probe_ways : int;  (** 1 when a prediction existed, else 0 *)
+  second_probe_ways : int;  (** remaining ways searched on mispredict *)
+  penalty_cycles : int;  (** 1 on mispredict or cold set *)
+}
+
+val create : Geometry.t -> replacement:Replacement.t -> t
+val geometry : t -> Geometry.t
+
+val access : t -> Wp_isa.Addr.t -> result
+(** Perform one access (fills on miss via the replacement policy). *)
+
+val flush : t -> unit
+val mru_way : t -> set:int -> int option
+(** Current prediction for a set (for tests). *)

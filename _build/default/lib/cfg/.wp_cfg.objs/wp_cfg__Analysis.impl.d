@@ -1,0 +1,1 @@
+lib/cfg/analysis.ml: Array Basic_block Edge Func Hashtbl Icfg List Option Printf

@@ -1,0 +1,1 @@
+lib/cfg/analysis.mli: Basic_block Func Icfg

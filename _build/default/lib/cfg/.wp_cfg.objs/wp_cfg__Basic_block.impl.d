@@ -1,0 +1,1 @@
+lib/cfg/basic_block.ml: Array Format Wp_isa

@@ -1,0 +1,1 @@
+lib/cfg/basic_block.mli: Format Wp_isa

@@ -1,0 +1,1 @@
+lib/cfg/edge.ml: Basic_block Format

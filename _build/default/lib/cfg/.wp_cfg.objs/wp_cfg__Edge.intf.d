@@ -1,0 +1,1 @@
+lib/cfg/edge.mli: Basic_block Format

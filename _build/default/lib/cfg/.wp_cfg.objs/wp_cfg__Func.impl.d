@@ -1,0 +1,1 @@
+lib/cfg/func.ml: Basic_block Format List

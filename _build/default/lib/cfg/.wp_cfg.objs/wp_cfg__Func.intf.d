@@ -1,0 +1,1 @@
+lib/cfg/func.mli: Basic_block Format

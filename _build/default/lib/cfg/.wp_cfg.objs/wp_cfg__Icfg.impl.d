@@ -1,0 +1,1 @@
+lib/cfg/icfg.ml: Array Basic_block Edge Format Func List Printf String Wp_isa

@@ -1,0 +1,1 @@
+lib/cfg/icfg.mli: Basic_block Edge Format Func Wp_isa

@@ -1,0 +1,1 @@
+lib/cfg/profile.ml: Array Basic_block Format Icfg

@@ -1,0 +1,1 @@
+lib/cfg/profile.mli: Basic_block Format Icfg

@@ -1,0 +1,163 @@
+type loop = {
+  header : Basic_block.id;
+  blocks : Basic_block.id list;
+  back_edges : (Basic_block.id * Basic_block.id) list;
+}
+
+(* Intra-procedural successors: fall-through and taken edges only. *)
+let intra_succs graph id =
+  List.filter_map
+    (fun (e : Edge.t) ->
+      match e.kind with
+      | Edge.Fallthrough | Edge.Taken -> Some e.dst
+      | Edge.Call_to -> None)
+    (Icfg.successors graph id)
+
+let reverse_postorder graph ~entry =
+  let n = Icfg.num_blocks graph in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter dfs (intra_succs graph id);
+      order := id :: !order
+    end
+  in
+  dfs entry;
+  Array.of_list !order
+
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm". *)
+let compute_idoms graph ~entry =
+  let rpo = reverse_postorder graph ~entry in
+  let n = Icfg.num_blocks graph in
+  let rpo_number = Array.make n (-1) in
+  Array.iteri (fun i id -> rpo_number.(id) <- i) rpo;
+  let preds = Array.make n [] in
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun succ ->
+          if rpo_number.(succ) >= 0 then preds.(succ) <- id :: preds.(succ))
+        (intra_succs graph id))
+    rpo;
+  (* idom indexed by rpo number; -1 = undefined. *)
+  let idom = Array.make (Array.length rpo) (-1) in
+  idom.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if a > b then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to Array.length rpo - 1 do
+      let id = rpo.(i) in
+      let new_idom =
+        List.fold_left
+          (fun acc pred ->
+            let p = rpo_number.(pred) in
+            if p < 0 || idom.(p) = -1 then acc
+            else match acc with -1 -> p | acc -> intersect acc p)
+          (-1) preds.(id)
+      in
+      if new_idom >= 0 && idom.(i) <> new_idom then begin
+        idom.(i) <- new_idom;
+        changed := true
+      end
+    done
+  done;
+  (rpo, rpo_number, idom)
+
+let immediate_dominators graph ~entry =
+  let rpo, _, idom = compute_idoms graph ~entry in
+  let result = ref [] in
+  for i = Array.length rpo - 1 downto 1 do
+    if idom.(i) >= 0 then result := (rpo.(i), rpo.(idom.(i))) :: !result
+  done;
+  !result
+
+let dominates graph ~entry a b =
+  let rpo, rpo_number, idom = compute_idoms graph ~entry in
+  ignore rpo;
+  let a_rpo = rpo_number.(a) and b_rpo = rpo_number.(b) in
+  if a_rpo < 0 || b_rpo < 0 then false
+  else begin
+    (* Walk b's dominator chain up to the entry. *)
+    let rec climb i = if i = a_rpo then true else if i = 0 then false else climb idom.(i) in
+    climb b_rpo
+  end
+
+let natural_loops graph ~entry =
+  let rpo, rpo_number, idom = compute_idoms graph ~entry in
+  let dominates_rpo a_rpo b_rpo =
+    let rec climb i = if i = a_rpo then true else if i = 0 then false else climb idom.(i) in
+    climb b_rpo
+  in
+  (* Back edges: latch -> header with header dominating latch. *)
+  let back_edges = ref [] in
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun succ ->
+          let h = rpo_number.(succ) and l = rpo_number.(id) in
+          if h >= 0 && l >= 0 && dominates_rpo h l then
+            back_edges := (id, succ) :: !back_edges)
+        (intra_succs graph id))
+    rpo;
+  (* Group by header and flood the loop body backwards from each latch. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let existing = Option.value (Hashtbl.find_opt by_header header) ~default:[] in
+      Hashtbl.replace by_header header (latch :: existing))
+    !back_edges;
+  let n = Icfg.num_blocks graph in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun id -> List.iter (fun s -> preds.(s) <- id :: preds.(s)) (intra_succs graph id))
+    rpo;
+  Hashtbl.fold
+    (fun header latches acc ->
+      let in_loop = Array.make n false in
+      in_loop.(header) <- true;
+      let rec flood id =
+        if not in_loop.(id) then begin
+          in_loop.(id) <- true;
+          List.iter flood preds.(id)
+        end
+      in
+      List.iter flood latches;
+      let blocks = ref [] in
+      for id = n - 1 downto 0 do
+        if in_loop.(id) then blocks := id :: !blocks
+      done;
+      {
+        header;
+        blocks = !blocks;
+        back_edges = List.map (fun latch -> (latch, header)) latches;
+      }
+      :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+let loop_depth graph ~entry id =
+  List.fold_left
+    (fun acc loop -> if List.mem id loop.blocks then acc + 1 else acc)
+    0
+    (natural_loops graph ~entry)
+
+let function_summary graph (f : Func.t) =
+  let loops = natural_loops graph ~entry:f.Func.entry in
+  let max_depth =
+    List.fold_left
+      (fun acc loop ->
+        List.fold_left
+          (fun acc id -> max acc (loop_depth graph ~entry:f.Func.entry id))
+          acc loop.blocks)
+      0 loops
+  in
+  Printf.sprintf "%s: %d blocks, %d loops, max nesting %d" f.Func.name
+    (List.length f.Func.blocks)
+    (List.length loops) max_depth

@@ -1,0 +1,44 @@
+(** Intra-procedural control-flow analyses: dominators and natural
+    loops.
+
+    A link-time rewriter like the paper's Diablo substrate carries
+    these analyses; here they power workload statistics (loop nesting
+    of generated benchmarks), the CLI's layout inspector, and tests
+    that check the generator emits the loop shapes its specification
+    asks for.  Analyses follow only intra-procedural edges
+    (fall-through and taken); call edges are ignored. *)
+
+type loop = {
+  header : Basic_block.id;
+  blocks : Basic_block.id list;  (** includes the header; sorted *)
+  back_edges : (Basic_block.id * Basic_block.id) list;
+      (** [(latch, header)] pairs *)
+}
+
+val reverse_postorder :
+  Icfg.t -> entry:Basic_block.id -> Basic_block.id array
+(** Blocks of the entry's function reachable intra-procedurally, in
+    reverse postorder (entry first). *)
+
+val immediate_dominators :
+  Icfg.t -> entry:Basic_block.id -> (Basic_block.id * Basic_block.id) list
+(** [(block, idom)] for every reachable block except the entry
+    (Cooper-Harvey-Kennedy iterative algorithm). *)
+
+val dominates :
+  Icfg.t -> entry:Basic_block.id -> Basic_block.id -> Basic_block.id -> bool
+(** [dominates g ~entry a b]: every path from the entry to [b] passes
+    through [a].  A block dominates itself. *)
+
+val natural_loops : Icfg.t -> entry:Basic_block.id -> loop list
+(** Natural loops of the entry's function: one per header, merging the
+    bodies of back edges that share a header.  A back edge is an edge
+    [latch -> header] where [header] dominates [latch]. *)
+
+val loop_depth :
+  Icfg.t -> entry:Basic_block.id -> Basic_block.id -> int
+(** Number of natural loops containing the block (0 = not in a loop). *)
+
+val function_summary :
+  Icfg.t -> Func.t -> string
+(** One-line description: blocks, loops, max nesting (for the CLI). *)

@@ -1,0 +1,24 @@
+type id = int
+type t = { id : id; func : int; instrs : Wp_isa.Instr.t array }
+
+let make ~id ~func ~instrs =
+  let n = Array.length instrs in
+  if n = 0 then invalid_arg "Basic_block.make: empty block";
+  for i = 0 to n - 2 do
+    if Wp_isa.Opcode.is_control instrs.(i).Wp_isa.Instr.opcode then
+      invalid_arg "Basic_block.make: control instruction before block end"
+  done;
+  { id; func; instrs }
+
+let size_instrs t = Array.length t.instrs
+let size_bytes t = size_instrs t * Wp_isa.Instr.size_bytes
+let terminator t = t.instrs.(Array.length t.instrs - 1).Wp_isa.Instr.opcode
+
+let falls_through t =
+  match terminator t with
+  | Wp_isa.Opcode.Alu _ | Mac | Load | Store | Nop | Branch | Call -> true
+  | Jump | Return -> false
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>B%d(f%d, %d instrs, ends %a)@]" t.id t.func
+    (size_instrs t) Wp_isa.Opcode.pp (terminator t)

@@ -1,0 +1,36 @@
+(** Basic blocks of the interprocedural control-flow graph.
+
+    A basic block is a straight-line run of instructions with a single
+    entry (its first instruction) and a single exit (its last).  Blocks
+    are identified by dense integer ids assigned by {!Icfg.Builder};
+    the id doubles as the index into every per-block array in the
+    simulator, so lookups are O(1) everywhere. *)
+
+type id = int
+(** Dense block identifier, unique within one {!Icfg.t}. *)
+
+type t = {
+  id : id;
+  func : int;  (** owning function id *)
+  instrs : Wp_isa.Instr.t array;  (** non-empty *)
+}
+
+val make : id:id -> func:int -> instrs:Wp_isa.Instr.t array -> t
+(** @raise Invalid_argument if [instrs] is empty or if a control
+    instruction appears anywhere but last. *)
+
+val size_instrs : t -> int
+(** Static instruction count. *)
+
+val size_bytes : t -> int
+(** Static size in bytes ([size_instrs * 4]). *)
+
+val terminator : t -> Wp_isa.Opcode.t
+(** Opcode of the last instruction. *)
+
+val falls_through : t -> bool
+(** True when control can flow past the last instruction: the block
+    ends in a non-control instruction, a conditional branch, or a call
+    (whose continuation resumes after the callee returns). *)
+
+val pp : Format.formatter -> t -> unit

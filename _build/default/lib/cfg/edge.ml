@@ -1,0 +1,15 @@
+type kind = Fallthrough | Taken | Call_to
+type t = { src : Basic_block.id; dst : Basic_block.id; kind : kind }
+
+let make ~src ~dst kind = { src; dst; kind }
+
+let is_layout_constraint t =
+  match t.kind with Fallthrough -> true | Taken | Call_to -> false
+
+let kind_to_string = function
+  | Fallthrough -> "fallthrough"
+  | Taken -> "taken"
+  | Call_to -> "call"
+
+let pp ppf t =
+  Format.fprintf ppf "B%d -%s-> B%d" t.src (kind_to_string t.kind) t.dst

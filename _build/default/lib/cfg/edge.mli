@@ -1,0 +1,25 @@
+(** Control-flow edges of the ICFG.
+
+    Return edges are not materialised: the trace walker maintains a
+    call stack, and a [Return] terminator pops it.  The continuation
+    of a call is recorded as the call block's [Fallthrough] edge, which
+    is exactly the "call/return site pair" ordering constraint the
+    way-placement pass must respect (paper Section 3). *)
+
+type kind =
+  | Fallthrough
+      (** [dst] must be laid out immediately after [src]: either plain
+          sequential flow, the not-taken side of a conditional branch,
+          or the post-return continuation of a call. *)
+  | Taken  (** target of a conditional branch or unconditional jump *)
+  | Call_to  (** call to the entry block of the callee *)
+
+type t = { src : Basic_block.id; dst : Basic_block.id; kind : kind }
+
+val make : src:Basic_block.id -> dst:Basic_block.id -> kind -> t
+val is_layout_constraint : t -> bool
+(** True for edges that force [dst] to follow [src] in the binary
+    (fall-through edges, including call continuations). *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  entry : Basic_block.id;
+  blocks : Basic_block.id list;
+}
+
+let make ~id ~name ~entry ~blocks =
+  (match blocks with
+  | first :: _ when first = entry -> ()
+  | [] | _ :: _ -> invalid_arg "Func.make: blocks must start with the entry");
+  { id; name; entry; blocks }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(f%d, %d blocks)" t.name t.id (List.length t.blocks)

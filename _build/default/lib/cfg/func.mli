@@ -1,0 +1,16 @@
+(** Functions (procedures) of the simulated program. *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  entry : Basic_block.id;  (** block control enters on a call *)
+  blocks : Basic_block.id list;  (** all blocks, entry first *)
+}
+
+val make :
+  id:id -> name:string -> entry:Basic_block.id -> blocks:Basic_block.id list -> t
+(** @raise Invalid_argument if [blocks] does not start with [entry]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,189 @@
+type t = {
+  blocks : Basic_block.t array;
+  funcs : Func.t array;
+  succs : Edge.t list array;  (** out-edges per block id *)
+  entry : Basic_block.id;
+  original_order : Basic_block.id array;
+}
+
+let num_blocks t = Array.length t.blocks
+let num_funcs t = Array.length t.funcs
+let block t id = t.blocks.(id)
+let blocks t = t.blocks
+let func t id = t.funcs.(id)
+let funcs t = t.funcs
+let successors t id = t.succs.(id)
+
+let find_succ t id kind =
+  let matches (e : Edge.t) = e.kind = kind in
+  match List.find_opt matches t.succs.(id) with
+  | Some e -> Some e.dst
+  | None -> None
+
+let fallthrough_succ t id = find_succ t id Edge.Fallthrough
+let taken_succ t id = find_succ t id Edge.Taken
+let call_target t id = find_succ t id Edge.Call_to
+let entry t = t.entry
+let original_order t = t.original_order
+
+let total_static_instrs t =
+  Array.fold_left (fun acc b -> acc + Basic_block.size_instrs b) 0 t.blocks
+
+let total_static_bytes t = total_static_instrs t * Wp_isa.Instr.size_bytes
+
+(* Validation: the terminator of each block must agree with its
+   out-edge multiset, fall-through targets must be unique, and call
+   targets must be function entries. *)
+let validate t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let count kind es =
+    List.length (List.filter (fun (e : Edge.t) -> e.kind = kind) es)
+  in
+  let func_entries =
+    Array.fold_left
+      (fun acc (f : Func.t) -> f.entry :: acc)
+      [] t.funcs
+  in
+  let incoming_ft = Array.make (Array.length t.blocks) 0 in
+  Array.iteri
+    (fun id b ->
+      let es = t.succs.(id) in
+      let ft = count Edge.Fallthrough es
+      and tk = count Edge.Taken es
+      and cl = count Edge.Call_to es in
+      (match Basic_block.terminator b with
+      | Wp_isa.Opcode.Branch ->
+          if not (ft = 1 && tk = 1 && cl = 0) then
+            err "B%d: branch needs 1 fallthrough + 1 taken (has %d/%d/%d)" id
+              ft tk cl
+      | Wp_isa.Opcode.Jump ->
+          if not (ft = 0 && tk = 1 && cl = 0) then
+            err "B%d: jump needs exactly 1 taken edge (has %d/%d/%d)" id ft tk
+              cl
+      | Wp_isa.Opcode.Call ->
+          if not (ft = 1 && tk = 0 && cl = 1) then
+            err "B%d: call needs 1 call + 1 fallthrough (has %d/%d/%d)" id ft
+              tk cl
+      | Wp_isa.Opcode.Return ->
+          if es <> [] then err "B%d: return block must have no out-edges" id
+      | Wp_isa.Opcode.Alu _ | Mac | Load | Store | Nop ->
+          if not (ft = 1 && tk = 0 && cl = 0) then
+            err "B%d: plain block needs exactly 1 fallthrough (has %d/%d/%d)"
+              id ft tk cl);
+      List.iter
+        (fun (e : Edge.t) ->
+          if e.dst < 0 || e.dst >= Array.length t.blocks then
+            err "B%d: edge to unknown block B%d" id e.dst
+          else begin
+            (match e.kind with
+            | Edge.Fallthrough -> incoming_ft.(e.dst) <- incoming_ft.(e.dst) + 1
+            | Edge.Taken -> ()
+            | Edge.Call_to ->
+                if not (List.mem e.dst func_entries) then
+                  err "B%d: call edge to B%d, which is no function entry" id
+                    e.dst)
+          end)
+        es)
+    t.blocks;
+  Array.iteri
+    (fun id n ->
+      if n > 1 then err "B%d: %d incoming fall-through edges (max 1)" id n)
+    incoming_ft;
+  if t.entry < 0 || t.entry >= Array.length t.blocks then
+    err "entry block B%d does not exist" t.entry;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "ICFG: %d functions, %d blocks, %d instructions (%d B)"
+    (num_funcs t) (num_blocks t) (total_static_instrs t)
+    (total_static_bytes t)
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable b_blocks : Basic_block.t list;  (** reversed *)
+    mutable b_nblocks : int;
+    mutable b_funcs : (string * Basic_block.id option ref * Basic_block.id list ref) list;
+        (** reversed: name, entry, reversed block ids *)
+    mutable b_nfuncs : int;
+    mutable b_edges : Edge.t list;  (** reversed *)
+    mutable b_entry : Basic_block.id option;
+  }
+
+  let create () =
+    {
+      b_blocks = [];
+      b_nblocks = 0;
+      b_funcs = [];
+      b_nfuncs = 0;
+      b_edges = [];
+      b_entry = None;
+    }
+
+  let add_func b ~name =
+    let id = b.b_nfuncs in
+    b.b_funcs <- (name, ref None, ref []) :: b.b_funcs;
+    b.b_nfuncs <- id + 1;
+    id
+
+  let nth_func b id =
+    let idx_from_head = b.b_nfuncs - 1 - id in
+    if id < 0 || idx_from_head < 0 then
+      invalid_arg "Icfg.Builder.add_block: unknown function";
+    List.nth b.b_funcs idx_from_head
+
+  let add_block b ~func instrs =
+    let id = b.b_nblocks in
+    let _, entry, blocks = nth_func b func in
+    let block = Basic_block.make ~id ~func ~instrs in
+    b.b_blocks <- block :: b.b_blocks;
+    b.b_nblocks <- id + 1;
+    (match !entry with None -> entry := Some id | Some _ -> ());
+    blocks := id :: !blocks;
+    id
+
+  let add_edge b ~src ~dst kind =
+    b.b_edges <- Edge.make ~src ~dst kind :: b.b_edges
+
+  let set_entry b id = b.b_entry <- Some id
+
+  let finish b : graph =
+    let blocks = Array.of_list (List.rev b.b_blocks) in
+    let funcs =
+      List.rev b.b_funcs
+      |> List.mapi (fun id (name, entry, block_ids) ->
+             match !entry with
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Icfg.Builder.finish: function %s is empty"
+                      name)
+             | Some e ->
+                 Func.make ~id ~name ~entry:e ~blocks:(List.rev !block_ids))
+      |> Array.of_list
+    in
+    let succs = Array.make (Array.length blocks) [] in
+    List.iter
+      (fun (e : Edge.t) ->
+        if e.src < 0 || e.src >= Array.length blocks then
+          invalid_arg
+            (Printf.sprintf "Icfg.Builder.finish: edge from unknown B%d" e.src);
+        succs.(e.src) <- e :: succs.(e.src))
+      b.b_edges;
+    let entry =
+      match b.b_entry with
+      | Some e -> e
+      | None ->
+          if Array.length funcs = 0 then
+            invalid_arg "Icfg.Builder.finish: no functions";
+          funcs.(0).Func.entry
+    in
+    let original_order = Array.init (Array.length blocks) (fun i -> i) in
+    let graph = { blocks; funcs; succs; entry; original_order } in
+    match validate graph with
+    | Ok () -> graph
+    | Error errs ->
+        invalid_arg
+          ("Icfg.Builder.finish: invalid graph:\n  " ^ String.concat "\n  " errs)
+end

@@ -1,0 +1,70 @@
+(** The interprocedural control-flow graph (ICFG).
+
+    This mirrors the representation the paper's Diablo-based pass works
+    on: every basic block of every function, linked by intra-procedural
+    edges and call edges, annotated later with profile counts.  The
+    order in which blocks are added to the builder is remembered as the
+    {e original} binary order — the layout the baseline and the
+    way-memoization scheme run with. *)
+
+type t
+
+val num_blocks : t -> int
+val num_funcs : t -> int
+val block : t -> Basic_block.id -> Basic_block.t
+val blocks : t -> Basic_block.t array
+(** All blocks indexed by id.  Do not mutate. *)
+
+val func : t -> Func.id -> Func.t
+val funcs : t -> Func.t array
+val successors : t -> Basic_block.id -> Edge.t list
+val fallthrough_succ : t -> Basic_block.id -> Basic_block.id option
+val taken_succ : t -> Basic_block.id -> Basic_block.id option
+val call_target : t -> Basic_block.id -> Basic_block.id option
+(** Entry block of the callee, for blocks ending in a call. *)
+
+val entry : t -> Basic_block.id
+(** Entry block of the program ([main]'s entry). *)
+
+val original_order : t -> Basic_block.id array
+(** Block ids in the order the compiler emitted them (the unoptimised
+    binary layout). *)
+
+val total_static_instrs : t -> int
+(** Sum of static instruction counts over all blocks. *)
+
+val total_static_bytes : t -> int
+
+val validate : t -> (unit, string list) result
+(** Structural well-formedness: terminators agree with out-edges, at
+    most one incoming fall-through per block, call targets are function
+    entries, the entry block exists.  Builders run this before
+    returning, so a [t] in hand is always valid. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** Imperative construction interface. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_func : t -> name:string -> Func.id
+  (** Declares a function; its entry is the first block added for it. *)
+
+  val add_block : t -> func:Func.id -> Wp_isa.Instr.t array -> Basic_block.id
+  (** Appends a block to [func]; addition order defines the original
+      binary order. *)
+
+  val add_edge :
+    t -> src:Basic_block.id -> dst:Basic_block.id -> Edge.kind -> unit
+
+  val set_entry : t -> Basic_block.id -> unit
+  (** Marks the program entry block (defaults to the first block of the
+      first function). *)
+
+  val finish : t -> graph
+  (** Freezes and validates.
+      @raise Invalid_argument listing every validation error. *)
+end

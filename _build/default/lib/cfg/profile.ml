@@ -1,0 +1,59 @@
+type t = { counts : int array }
+
+let create ~num_blocks = { counts = Array.make num_blocks 0 }
+
+let record_block t id = t.counts.(id) <- t.counts.(id) + 1
+
+let record_block_n t id n =
+  if n < 0 then invalid_arg "Profile.record_block_n: negative count";
+  t.counts.(id) <- t.counts.(id) + n
+
+let block_count t id = t.counts.(id)
+let num_blocks t = Array.length t.counts
+
+let dynamic_instrs t graph =
+  let total = ref 0 in
+  Array.iteri
+    (fun id c ->
+      total := !total + (c * Basic_block.size_instrs (Icfg.block graph id)))
+    t.counts;
+  !total
+
+let block_dynamic_instrs t graph id =
+  t.counts.(id) * Basic_block.size_instrs (Icfg.block graph id)
+
+let hottest_first t =
+  let ids = Array.init (Array.length t.counts) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare t.counts.(b) t.counts.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    ids;
+  ids
+
+let coverage t graph ~fraction_of_blocks =
+  if fraction_of_blocks < 0.0 || fraction_of_blocks > 1.0 then
+    invalid_arg "Profile.coverage: fraction out of [0,1]";
+  let total = dynamic_instrs t graph in
+  if total = 0 then 0.0
+  else begin
+    let ids = hottest_first t in
+    let take =
+      int_of_float (ceil (fraction_of_blocks *. float_of_int (Array.length ids)))
+    in
+    let covered = ref 0 in
+    for i = 0 to min take (Array.length ids) - 1 do
+      covered := !covered + block_dynamic_instrs t graph ids.(i)
+    done;
+    float_of_int !covered /. float_of_int total
+  end
+
+let scale t k =
+  if k < 0 then invalid_arg "Profile.scale: negative factor";
+  { counts = Array.map (fun c -> c * k) t.counts }
+
+let pp ppf t =
+  let executed = Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 t.counts in
+  Format.fprintf ppf "profile: %d/%d blocks executed" executed
+    (Array.length t.counts)

@@ -1,0 +1,40 @@
+(** Dynamic profiles: per-block execution counts.
+
+    A profile is gathered by running the program on its {e training}
+    input (the MiBench "small" set in the paper) and later guides the
+    way-placement pass when the program runs on its {e evaluation}
+    input (the "large" set).  Keeping the two inputs distinct is what
+    makes the reported savings honest. *)
+
+type t
+
+val create : num_blocks:int -> t
+(** All-zero profile for a graph with [num_blocks] blocks. *)
+
+val record_block : t -> Basic_block.id -> unit
+(** Count one execution of the block. *)
+
+val record_block_n : t -> Basic_block.id -> int -> unit
+val block_count : t -> Basic_block.id -> int
+val num_blocks : t -> int
+
+val dynamic_instrs : t -> Icfg.t -> int
+(** Total dynamic instruction count implied by the profile. *)
+
+val block_dynamic_instrs : t -> Icfg.t -> Basic_block.id -> int
+(** [exec count * static size] for one block — the per-block weight the
+    chain placer sums (paper Section 3). *)
+
+val hottest_first : t -> Basic_block.id array
+(** Block ids sorted by descending execution count (ties by id). *)
+
+val coverage : t -> Icfg.t -> fraction_of_blocks:float -> float
+(** Fraction of all dynamic instructions covered by the hottest
+    [fraction_of_blocks] of static blocks — the locality statistic that
+    motivates way-placement ("frequently executed instructions cause
+    the majority of instruction cache accesses"). *)
+
+val scale : t -> int -> t
+(** Multiply every count (saturating at [max_int]); used in tests. *)
+
+val pp : Format.formatter -> t -> unit

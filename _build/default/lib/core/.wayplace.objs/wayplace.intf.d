@@ -1,0 +1,1 @@
+lib/core/wayplace.mli: Area Serial Wp_cache Wp_cfg Wp_energy Wp_isa Wp_layout Wp_pipeline Wp_sim Wp_tlb Wp_workloads

@@ -1,0 +1,1 @@
+lib/core/area.ml: Array Format Printf Wp_cfg Wp_layout

@@ -1,0 +1,1 @@
+lib/core/area.mli: Format Wp_cfg Wp_isa Wp_layout

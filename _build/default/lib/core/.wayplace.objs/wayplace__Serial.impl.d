@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer Fun Hashtbl List Printf Result String Wp_cfg

@@ -1,0 +1,49 @@
+type t = { bytes : int }
+
+let of_bytes ~page_bytes bytes =
+  if bytes <= 0 then invalid_arg "Area.of_bytes: must be positive";
+  if bytes mod page_bytes <> 0 then
+    invalid_arg
+      (Printf.sprintf "Area.of_bytes: %d is not a multiple of the %d B page"
+         bytes page_bytes);
+  { bytes }
+
+let of_kilobytes ~page_bytes kb = of_bytes ~page_bytes (kb * 1024)
+let bytes t = t.bytes
+let pages t ~page_bytes = t.bytes / page_bytes
+let covers t ~code_base addr = addr >= code_base && addr - code_base < t.bytes
+
+let coverage t ~graph ~profile ~layout =
+  let total = Wp_cfg.Profile.dynamic_instrs profile graph in
+  if total = 0 then 0.0
+  else begin
+    let base = Wp_layout.Binary_layout.base layout in
+    let covered = ref 0 in
+    Array.iter
+      (fun id ->
+        (* A block counts as covered when it starts inside the area;
+           blocks straddling the boundary are a one-line effect. *)
+        if covers t ~code_base:base (Wp_layout.Binary_layout.block_start layout id)
+        then
+          covered := !covered + Wp_cfg.Profile.block_dynamic_instrs profile graph id)
+      (Wp_layout.Binary_layout.order layout);
+    float_of_int !covered /. float_of_int total
+  end
+
+let choose ~page_bytes ~max_bytes ~target_coverage ~graph ~profile ~layout =
+  if max_bytes <= 0 || max_bytes mod page_bytes <> 0 then
+    invalid_arg "Area.choose: max_bytes must be a positive page multiple";
+  if target_coverage < 0.0 || target_coverage > 1.0 then
+    invalid_arg "Area.choose: target coverage out of [0,1]";
+  let rec go bytes =
+    if bytes >= max_bytes then { bytes = max_bytes }
+    else begin
+      let candidate = { bytes } in
+      if coverage candidate ~graph ~profile ~layout >= target_coverage then
+        candidate
+      else go (bytes + page_bytes)
+    end
+  in
+  go page_bytes
+
+let pp ppf t = Format.fprintf ppf "%dKB area" (t.bytes / 1024)

@@ -1,0 +1,46 @@
+(** Way-placement area sizing — the operating system's knob
+    (paper Section 4.1).
+
+    The compiler puts the best way-placement candidates at the start of
+    the binary and progressively colder code later, so the OS can pick
+    any area size (a multiple of the page size) without recompiling:
+    statically, per program, or even while the program runs. *)
+
+type t = private { bytes : int }
+
+val of_bytes : page_bytes:int -> int -> t
+(** @raise Invalid_argument unless positive and page-aligned. *)
+
+val of_kilobytes : page_bytes:int -> int -> t
+val bytes : t -> int
+val pages : t -> page_bytes:int -> int
+
+val covers : t -> code_base:Wp_isa.Addr.t -> Wp_isa.Addr.t -> bool
+(** Is the address inside the area? *)
+
+val coverage :
+  t ->
+  graph:Wp_cfg.Icfg.t ->
+  profile:Wp_cfg.Profile.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  float
+(** Fraction of profiled dynamic instructions that the area covers
+    under the given layout — the statistic an OS policy would use. *)
+
+val choose :
+  page_bytes:int ->
+  max_bytes:int ->
+  target_coverage:float ->
+  graph:Wp_cfg.Icfg.t ->
+  profile:Wp_cfg.Profile.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  t
+(** Smallest page-multiple area (up to [max_bytes]) whose coverage
+    reaches [target_coverage]; returns the [max_bytes] area when the
+    target is unreachable.  This is the "OS chooses the best sized
+    way-placement area" policy of Section 4.1, and what
+    [examples/area_tuning.ml] demonstrates.
+    @raise Invalid_argument on a non-positive or non-page-multiple
+    [max_bytes], or a target outside [0,1]. *)
+
+val pp : Format.formatter -> t -> unit

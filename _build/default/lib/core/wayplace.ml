@@ -1,0 +1,32 @@
+module Isa = Wp_isa
+module Cfg = Wp_cfg
+module Layout = Wp_layout
+module Cache = Wp_cache
+module Tlb = Wp_tlb
+module Energy = Wp_energy
+module Pipeline = Wp_pipeline
+module Workloads = Wp_workloads
+module Sim = Wp_sim
+module Area = Area
+module Serial = Serial
+
+type compiled = {
+  layout : Wp_layout.Binary_layout.t;
+  chains : Wp_layout.Chain.t list;
+}
+
+let compile ?(base = Wp_sim.Simulator.code_base) graph profile =
+  let chains = Wp_layout.Chain_builder.build graph profile in
+  let order = Wp_layout.Placer.place graph profile in
+  let layout = Wp_layout.Binary_layout.of_order graph ~base order in
+  { layout; chains }
+
+let original_layout ?(base = Wp_sim.Simulator.code_base) graph =
+  Wp_layout.Binary_layout.of_order graph ~base (Wp_layout.Placer.original graph)
+
+let evaluate ~config ~program ~compiled =
+  let trace = Wp_workloads.Tracer.trace program Wp_workloads.Tracer.Large in
+  Wp_sim.Simulator.run ~config ~program ~layout:compiled.layout ~trace
+
+let paper_machine = Wp_sim.Config.xscale
+let version = "1.0.0"

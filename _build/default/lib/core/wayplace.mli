@@ -1,0 +1,64 @@
+(** Way-placement: compiler-controlled instruction-cache energy saving.
+
+    This is the library's front door.  It re-exports every substrate
+    under a stable name and offers the one-call workflow of the paper:
+
+    {[
+      let program = Wayplace.Workloads.Codegen.generate spec in
+      let profile =
+        Wayplace.Workloads.Tracer.profile program
+          Wayplace.Workloads.Tracer.Small
+      in
+      let compiled = Wayplace.compile program.graph profile in
+      let config =
+        Wayplace.Sim.Config.xscale
+          (Wayplace.Sim.Config.Way_placement { area_bytes = 16 * 1024 })
+      in
+      let stats = Wayplace.evaluate ~config ~program ~compiled in
+      Format.printf "%a@." Wayplace.Sim.Stats.pp stats
+    ]}
+
+    See the paper: Jones, Bartolini, De Bus, Cavazos, O'Boyle,
+    "Instruction Cache Energy Saving Through Compiler Way-Placement",
+    DATE 2008. *)
+
+module Isa = Wp_isa
+module Cfg = Wp_cfg
+module Layout = Wp_layout
+module Cache = Wp_cache
+module Tlb = Wp_tlb
+module Energy = Wp_energy
+module Pipeline = Wp_pipeline
+module Workloads = Wp_workloads
+module Sim = Wp_sim
+module Area = Area
+module Serial = Serial
+
+type compiled = {
+  layout : Wp_layout.Binary_layout.t;
+      (** weight-ordered, fall-through-preserving layout *)
+  chains : Wp_layout.Chain.t list;  (** the chains the placer ordered *)
+}
+
+val compile :
+  ?base:Wp_isa.Addr.t -> Wp_cfg.Icfg.t -> Wp_cfg.Profile.t -> compiled
+(** The paper's link-time pass (Section 3): build chains from
+    fall-through and call/return-pair constraints, weight them with the
+    profile, order heaviest-first, assign addresses.  [base] defaults
+    to {!Wp_sim.Simulator.code_base}. *)
+
+val original_layout : ?base:Wp_isa.Addr.t -> Wp_cfg.Icfg.t -> Wp_layout.Binary_layout.t
+(** The unmodified compiler ordering (what the baseline runs). *)
+
+val evaluate :
+  config:Wp_sim.Config.t ->
+  program:Wp_workloads.Codegen.t ->
+  compiled:compiled ->
+  Wp_sim.Stats.t
+(** Simulate the program's large-input trace on the machine, using the
+    compiled layout for the way-placement scheme. *)
+
+val paper_machine : Wp_sim.Config.scheme -> Wp_sim.Config.t
+(** Alias of {!Wp_sim.Config.xscale} (paper Table 1). *)
+
+val version : string

@@ -1,0 +1,1 @@
+lib/energy/cam_energy.ml: Format Params Wp_cache Wp_isa

@@ -1,0 +1,1 @@
+lib/energy/cam_energy.mli: Format Params Wp_cache

@@ -1,0 +1,30 @@
+type t = {
+  mutable icache : float;
+  mutable itlb : float;
+  mutable dcache : float;
+  mutable memory : float;
+  mutable core : float;
+}
+
+let create () = { icache = 0.; itlb = 0.; dcache = 0.; memory = 0.; core = 0. }
+let add_icache t e = t.icache <- t.icache +. e
+let add_itlb t e = t.itlb <- t.itlb +. e
+let add_dcache t e = t.dcache <- t.dcache +. e
+let add_memory t e = t.memory <- t.memory +. e
+let add_core t e = t.core <- t.core +. e
+let icache_pj t = t.icache
+let itlb_pj t = t.itlb
+let dcache_pj t = t.dcache
+let memory_pj t = t.memory
+let core_pj t = t.core
+let total_pj t = t.icache +. t.itlb +. t.dcache +. t.memory +. t.core
+
+let icache_share t =
+  let total = total_pj t in
+  if total <= 0.0 then 0.0 else t.icache /. total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "E[pJ]: icache=%.0f itlb=%.0f dcache=%.0f mem=%.0f core=%.0f (icache %.1f%%)"
+    t.icache t.itlb t.dcache t.memory t.core
+    (100.0 *. icache_share t)

@@ -1,0 +1,28 @@
+(** Energy bookkeeping for one simulation run.
+
+    Buckets follow the paper's reporting: "instruction cache energy"
+    (Figures 4a, 5a, 6a) is the [icache] bucket alone; the ED product
+    (Figures 4b, 5b, 6b) uses the total over all buckets times the
+    cycle count. *)
+
+type t
+
+val create : unit -> t
+val add_icache : t -> float -> unit
+val add_itlb : t -> float -> unit
+val add_dcache : t -> float -> unit
+val add_memory : t -> float -> unit
+val add_core : t -> float -> unit
+
+val icache_pj : t -> float
+val itlb_pj : t -> float
+val dcache_pj : t -> float
+val memory_pj : t -> float
+val core_pj : t -> float
+val total_pj : t -> float
+
+val icache_share : t -> float
+(** I-cache fraction of the total — the motivating statistic
+    (27% on the StrongARM, paper Section 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  tag_search_full_pj : float;
+  tag_search_one_pj : float;
+  tag_search_per_way_pj : float;
+  data_word_pj : float;
+  line_fill_pj : float;
+  memo_data_factor : float;
+  link_write_pj : float;
+}
+
+let of_geometry (p : Params.t) g =
+  let tag_bits = float_of_int (Wp_cache.Geometry.tag_bits g) in
+  let assoc = float_of_int g.Wp_cache.Geometry.assoc in
+  let sets = float_of_int (Wp_cache.Geometry.sets g) in
+  let line_bytes = float_of_int g.Wp_cache.Geometry.line_bytes in
+  (* Match-line precharge/evaluate and search-line drive are both
+     gated per way on a way-placement access (paper Section 4.2:
+     "disable the tag check and match line precharging to all but the
+     required way"), so the whole tag-side cost scales linearly with
+     the number of ways searched. *)
+  let per_way =
+    tag_bits *. (p.cam_bit_compare_pj +. p.cam_drive_per_bit_pj)
+  in
+  let data_word = p.data_word_base_pj +. (p.data_word_per_set_pj *. sets) in
+  {
+    tag_search_full_pj = per_way *. assoc;
+    tag_search_one_pj = per_way;
+    tag_search_per_way_pj = per_way;
+    data_word_pj = data_word;
+    line_fill_pj = p.line_fill_per_byte_pj *. line_bytes;
+    memo_data_factor = 1.0 +. Wp_cache.Way_memo.data_overhead_fraction g;
+    link_write_pj = p.link_write_pj;
+  }
+
+let tag_search t ~ways =
+  if ways < 0 then invalid_arg "Cam_energy.tag_search: negative way count";
+  t.tag_search_per_way_pj *. float_of_int ways
+
+let tlb_lookup_pj (p : Params.t) ~entries ~page_bytes =
+  let vpn_bits =
+    float_of_int (Wp_cache.Geometry.address_bits - Wp_isa.Addr.log2 page_bytes)
+  in
+  (vpn_bits *. p.tlb_bit_compare_pj *. float_of_int entries)
+  +. (vpn_bits *. p.tlb_drive_per_bit_pj)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tag(full)=%.3fpJ tag(one)=%.3fpJ word=%.3fpJ fill=%.3fpJ memo x%.3f"
+    t.tag_search_full_pj t.tag_search_one_pj t.data_word_pj t.line_fill_pj
+    t.memo_data_factor

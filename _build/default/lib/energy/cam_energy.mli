@@ -1,0 +1,35 @@
+(** Per-event energies for one CAM cache instance, derived from its
+    geometry (paper Sections 2 and 4.2).
+
+    An access decomposes into: precharging and evaluating the match
+    line of every searched way (proportional to ways x tag bits),
+    broadcasting the tag on the search lines (proportional to tag bits,
+    paid once per access), and reading one data word on a hit.  A
+    way-placement access searches a single way; a same-line access
+    skips the tag side entirely; a way-memoization link-follow also
+    skips it but pays the link-storage overhead on the data side. *)
+
+type t = {
+  tag_search_full_pj : float;  (** search all [assoc] ways *)
+  tag_search_one_pj : float;  (** search a single way *)
+  tag_search_per_way_pj : float;
+      (** cost of each searched way; the tag side is fully way-gated,
+          so searches scale linearly in the number of ways *)
+  data_word_pj : float;  (** read one instruction word *)
+  line_fill_pj : float;  (** write one refilled line *)
+  memo_data_factor : float;
+      (** way-memoization multiplier on [data_word_pj] and
+          [line_fill_pj]: [1 + link overhead] (~1.21 for 32B/32-way) *)
+  link_write_pj : float;
+}
+
+val of_geometry : Params.t -> Wp_cache.Geometry.t -> t
+
+val tag_search : t -> ways:int -> float
+(** Energy of a search touching [ways] match lines (zero for zero
+    ways). *)
+
+val tlb_lookup_pj : Params.t -> entries:int -> page_bytes:int -> float
+(** Fully-associative TLB CAM search energy. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+let ed_product ~energy_pj ~cycles = energy_pj *. float_of_int cycles
+
+let normalised ~scheme ~baseline =
+  if baseline <= 0.0 then invalid_arg "Ed.normalised: non-positive baseline";
+  scheme /. baseline
+
+let normalised_ed ~scheme_energy_pj ~scheme_cycles ~baseline_energy_pj
+    ~baseline_cycles =
+  normalised
+    ~scheme:(ed_product ~energy_pj:scheme_energy_pj ~cycles:scheme_cycles)
+    ~baseline:
+      (ed_product ~energy_pj:baseline_energy_pj ~cycles:baseline_cycles)
+
+let percent r = 100.0 *. r

@@ -1,0 +1,21 @@
+(** Energy-delay products and normalised metrics (paper Section 5:
+    "the lower the value the better"). *)
+
+val ed_product : energy_pj:float -> cycles:int -> float
+(** Raw ED value, [energy * delay]. *)
+
+val normalised :
+  scheme:float -> baseline:float -> float
+(** [scheme / baseline]; 1.0 means no change.
+    @raise Invalid_argument if the baseline is not positive. *)
+
+val normalised_ed :
+  scheme_energy_pj:float ->
+  scheme_cycles:int ->
+  baseline_energy_pj:float ->
+  baseline_cycles:int ->
+  float
+(** The number plotted in Figures 4(b), 5(b), 6(b). *)
+
+val percent : float -> float
+(** Ratio to percent (Figures 4(a), 5(a), 6(a) y-axes). *)

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Addr Array Bytes Instr Int32 Opcode Printf Result

@@ -1,0 +1,36 @@
+type t = int
+
+let instruction_bytes = 4
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_power_of_two n) then
+    invalid_arg (Printf.sprintf "Addr.log2: %d is not a power of two" n);
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let check_alignment alignment =
+  if not (is_power_of_two alignment) then
+    invalid_arg
+      (Printf.sprintf "Addr: alignment %d is not a power of two" alignment)
+
+let is_aligned a ~alignment =
+  check_alignment alignment;
+  a land (alignment - 1) = 0
+
+let align_down a ~alignment =
+  check_alignment alignment;
+  a land lnot (alignment - 1)
+
+let align_up a ~alignment =
+  check_alignment alignment;
+  (a + alignment - 1) land lnot (alignment - 1)
+
+let offset_in a ~alignment =
+  check_alignment alignment;
+  a land (alignment - 1)
+
+let next_instruction a = a + instruction_bytes
+let pp ppf a = Format.fprintf ppf "0x%08x" a
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,42 @@
+(** Byte addresses in the simulated 32-bit address space.
+
+    Addresses are plain OCaml [int]s (63-bit on a 64-bit host), which
+    comfortably hold the 32-bit space of the simulated XScale-like
+    machine.  All arithmetic helpers here are pure. *)
+
+type t = int
+(** A byte address.  Invariant: [0 <= t < 2^32]. *)
+
+val instruction_bytes : int
+(** Size of one XR32 instruction in bytes (fixed-width: 4). *)
+
+val is_aligned : t -> alignment:int -> bool
+(** [is_aligned a ~alignment] is true when [a] is a multiple of
+    [alignment].  [alignment] must be a power of two. *)
+
+val align_down : t -> alignment:int -> t
+(** Round [a] down to the nearest multiple of [alignment] (a power of
+    two). *)
+
+val align_up : t -> alignment:int -> t
+(** Round [a] up to the nearest multiple of [alignment] (a power of
+    two). *)
+
+val offset_in : t -> alignment:int -> int
+(** [offset_in a ~alignment] is [a mod alignment] for power-of-two
+    [alignment]. *)
+
+val next_instruction : t -> t
+(** Address of the sequentially following instruction. *)
+
+val is_power_of_two : int -> bool
+(** True for positive powers of two. *)
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n].
+    @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x0000_0040]. *)
+
+val to_string : t -> string

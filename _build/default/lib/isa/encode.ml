@@ -1,0 +1,121 @@
+let opcode_code = function
+  | Opcode.Alu Opcode.Add -> 0
+  | Opcode.Alu Opcode.Sub -> 1
+  | Opcode.Alu Opcode.Logic -> 2
+  | Opcode.Alu Opcode.Move -> 3
+  | Opcode.Alu Opcode.Compare -> 4
+  | Opcode.Mac -> 5
+  | Opcode.Load -> 6
+  | Opcode.Store -> 7
+  | Opcode.Branch -> 8
+  | Opcode.Jump -> 9
+  | Opcode.Call -> 10
+  | Opcode.Return -> 11
+  | Opcode.Nop -> 12
+
+let opcode_of_code = function
+  | 0 -> Some (Opcode.Alu Opcode.Add)
+  | 1 -> Some (Opcode.Alu Opcode.Sub)
+  | 2 -> Some (Opcode.Alu Opcode.Logic)
+  | 3 -> Some (Opcode.Alu Opcode.Move)
+  | 4 -> Some (Opcode.Alu Opcode.Compare)
+  | 5 -> Some Opcode.Mac
+  | 6 -> Some Opcode.Load
+  | 7 -> Some Opcode.Store
+  | 8 -> Some Opcode.Branch
+  | 9 -> Some Opcode.Jump
+  | 10 -> Some Opcode.Call
+  | 11 -> Some Opcode.Return
+  | 12 -> Some Opcode.Nop
+  | _ -> None
+
+(* Locality class in bits 25..24; the immediate carries the
+   parameter (stride in words, or working-set size in 64-byte units). *)
+let locality_parts = function
+  | Instr.No_data -> (0, 0)
+  | Instr.Sequential -> (1, 0)
+  | Instr.Strided stride -> (2, stride / 4)
+  | Instr.Random_within ws -> (3, ws / 64)
+
+let locality_of_parts cls imm =
+  match cls with
+  | 0 -> Ok Instr.No_data
+  | 1 -> Ok Instr.Sequential
+  | 2 -> Ok (Instr.Strided (imm * 4))
+  | 3 -> Ok (Instr.Random_within (imm * 64))
+  | _ -> Error "invalid locality class"
+
+let imm_mask = 0xFF_FFFF
+let imm_min = -(1 lsl 23)
+let imm_max = (1 lsl 23) - 1
+
+let instruction_word (instr : Instr.t) ~pc ~target =
+  let opcode = instr.Instr.opcode in
+  let cls, imm =
+    match (Opcode.is_control opcode, target) with
+    | true, None ->
+        if opcode = Opcode.Return then (0, 0)
+        else invalid_arg "Encode.instruction_word: transfer without target"
+    | true, Some target ->
+        let displacement = (target - pc) / Addr.instruction_bytes in
+        if displacement < imm_min || displacement > imm_max then
+          invalid_arg "Encode.instruction_word: displacement overflow";
+        (0, displacement land imm_mask)
+    | false, Some _ ->
+        invalid_arg "Encode.instruction_word: target on a plain instruction"
+    | false, None ->
+        let cls, param = locality_parts instr.Instr.locality in
+        if param > imm_max then
+          invalid_arg "Encode.instruction_word: locality parameter overflow";
+        (cls, param)
+  in
+  Int32.of_int
+    ((opcode_code opcode lsl 26) lor (cls lsl 24) lor (imm land imm_mask))
+
+let decode word ~pc =
+  let ( let* ) = Result.bind in
+  let w = Int32.to_int word land 0xFFFF_FFFF in
+  let code = (w lsr 26) land 0x3F in
+  let cls = (w lsr 24) land 0x3 in
+  let imm = w land imm_mask in
+  let* opcode =
+    match opcode_of_code code with
+    | Some op -> Ok op
+    | None -> Error (Printf.sprintf "invalid opcode %d" code)
+  in
+  if Opcode.is_control opcode then begin
+    if opcode = Opcode.Return then Ok (Instr.make opcode, None)
+    else begin
+      (* Sign-extend the 24-bit displacement. *)
+      let displacement = if imm > imm_max then imm - (1 lsl 24) else imm in
+      let target = pc + (displacement * Addr.instruction_bytes) in
+      Ok (Instr.make opcode, Some target)
+    end
+  end
+  else begin
+    let* locality = locality_of_parts cls imm in
+    match locality with
+    | Instr.No_data when Opcode.is_memory opcode ->
+        Error "memory instruction without locality"
+    | Instr.No_data -> Ok (Instr.make opcode, None)
+    | (Instr.Sequential | Instr.Strided _ | Instr.Random_within _) as l
+      when Opcode.is_memory opcode ->
+        Ok (Instr.make ~locality:l opcode, None)
+    | Instr.Sequential | Instr.Strided _ | Instr.Random_within _ ->
+        Error "locality on a non-memory instruction"
+  end
+
+let encode_block instrs ~pc ~targets =
+  if Array.length instrs <> Array.length targets then
+    invalid_arg "Encode.encode_block: targets length mismatch";
+  let buf = Bytes.create (Array.length instrs * Addr.instruction_bytes) in
+  Array.iteri
+    (fun i instr ->
+      let word =
+        instruction_word instr
+          ~pc:(pc + (i * Addr.instruction_bytes))
+          ~target:targets.(i)
+      in
+      Bytes.set_int32_le buf (i * Addr.instruction_bytes) word)
+    instrs;
+  buf

@@ -1,0 +1,31 @@
+(** Binary encoding of XR32 instructions — the byte-level existence of
+    the laid-out program.
+
+    A fixed 32-bit little-endian word per instruction:
+
+    {v
+    bits 31..26  opcode class
+    bits 25..24  data-locality class (memory ops; 0 otherwise)
+    bits 23..0   immediate: PC-relative word displacement for control
+                 transfers (two's complement), locality parameter for
+                 memory ops, 0 otherwise
+    v}
+
+    The encoder needs the instruction's address and its resolved
+    target (from the {!Wp_layout} address assignment); the decoder
+    recovers the instruction and the absolute target. *)
+
+val instruction_word :
+  Instr.t -> pc:Addr.t -> target:Addr.t option -> int32
+(** @raise Invalid_argument when a control transfer has no target, a
+    non-control instruction has one, or a displacement overflows the
+    24-bit field. *)
+
+val decode :
+  int32 -> pc:Addr.t -> (Instr.t * Addr.t option, string) result
+(** Inverse of {!instruction_word}. *)
+
+val encode_block :
+  Instr.t array -> pc:Addr.t -> targets:Addr.t option array -> bytes
+(** Encode a straight-line run of instructions starting at [pc];
+    [targets.(i)] resolves instruction [i]'s transfer, if any. *)

@@ -1,0 +1,43 @@
+type data_locality =
+  | No_data
+  | Sequential
+  | Strided of int
+  | Random_within of int
+
+type t = { opcode : Opcode.t; locality : data_locality }
+
+let make ?locality opcode =
+  let locality =
+    match (locality, Opcode.is_memory opcode) with
+    | Some l, true -> l
+    | None, true -> Sequential
+    | (Some No_data | None), false -> No_data
+    | Some (Sequential | Strided _ | Random_within _), false ->
+        invalid_arg "Instr.make: data locality on a non-memory opcode"
+  in
+  (match locality with
+  | No_data ->
+      if Opcode.is_memory opcode then
+        invalid_arg "Instr.make: memory opcode needs a data locality"
+  | Sequential | Strided _ | Random_within _ -> ());
+  { opcode; locality }
+
+let alu kind = make (Opcode.Alu kind)
+let mac = make Opcode.Mac
+let load locality = make ~locality Opcode.Load
+let store locality = make ~locality Opcode.Store
+let branch = make Opcode.Branch
+let jump = make Opcode.Jump
+let call = make Opcode.Call
+let return = make Opcode.Return
+let nop = make Opcode.Nop
+let size_bytes = Addr.instruction_bytes
+
+let pp ppf t =
+  match t.locality with
+  | No_data -> Opcode.pp ppf t.opcode
+  | Sequential -> Format.fprintf ppf "%a[seq]" Opcode.pp t.opcode
+  | Strided s -> Format.fprintf ppf "%a[stride %d]" Opcode.pp t.opcode s
+  | Random_within n -> Format.fprintf ppf "%a[rand %dB]" Opcode.pp t.opcode n
+
+let equal a b = Opcode.equal a.opcode b.opcode && a.locality = b.locality

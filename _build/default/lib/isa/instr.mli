@@ -1,0 +1,35 @@
+(** A single XR32 instruction as it appears inside a basic block.
+
+    Control-flow targets are symbolic (basic-block identifiers owned
+    by the CFG layer); the link-time layout pass later resolves them
+    to concrete addresses.  Data addresses for loads and stores are
+    produced by the workload's data-stream model at simulation time,
+    so instructions only carry a small [data_locality] hint. *)
+
+type data_locality =
+  | No_data  (** not a memory instruction *)
+  | Sequential  (** streaming / stride-1 access pattern *)
+  | Strided of int  (** fixed stride in bytes *)
+  | Random_within of int  (** uniform within a working set of N bytes *)
+
+type t = { opcode : Opcode.t; locality : data_locality }
+
+val make : ?locality:data_locality -> Opcode.t -> t
+(** [make opcode] builds an instruction.  Memory opcodes default to
+    [Sequential] locality; non-memory opcodes must use [No_data].
+    @raise Invalid_argument on a locality/opcode mismatch. *)
+
+val alu : Opcode.alu_kind -> t
+val mac : t
+val load : data_locality -> t
+val store : data_locality -> t
+val branch : t
+val jump : t
+val call : t
+val return : t
+val nop : t
+val size_bytes : int
+(** Every XR32 instruction occupies {!Addr.instruction_bytes}. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

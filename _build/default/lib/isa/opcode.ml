@@ -1,0 +1,61 @@
+type alu_kind = Add | Sub | Logic | Move | Compare
+
+type t =
+  | Alu of alu_kind
+  | Mac
+  | Load
+  | Store
+  | Branch
+  | Jump
+  | Call
+  | Return
+  | Nop
+
+let is_control = function
+  | Branch | Jump | Call | Return -> true
+  | Alu _ | Mac | Load | Store | Nop -> false
+
+let is_memory = function
+  | Load | Store -> true
+  | Alu _ | Mac | Branch | Jump | Call | Return | Nop -> false
+
+let execute_latency = function
+  | Alu _ | Nop -> 1
+  | Mac -> 3
+  | Load | Store -> 1
+  | Branch | Jump | Call | Return -> 1
+
+let mnemonic = function
+  | Alu Add -> "add"
+  | Alu Sub -> "sub"
+  | Alu Logic -> "logic"
+  | Alu Move -> "mov"
+  | Alu Compare -> "cmp"
+  | Mac -> "mac"
+  | Load -> "ldr"
+  | Store -> "str"
+  | Branch -> "b.cond"
+  | Jump -> "b"
+  | Call -> "bl"
+  | Return -> "ret"
+  | Nop -> "nop"
+
+let pp ppf t = Format.pp_print_string ppf (mnemonic t)
+let equal (a : t) (b : t) = a = b
+
+let all =
+  [
+    Alu Add;
+    Alu Sub;
+    Alu Logic;
+    Alu Move;
+    Alu Compare;
+    Mac;
+    Load;
+    Store;
+    Branch;
+    Jump;
+    Call;
+    Return;
+    Nop;
+  ]

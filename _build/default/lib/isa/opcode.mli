@@ -1,0 +1,42 @@
+(** XR32 instruction classes.
+
+    The simulator is trace-driven at the basic-block level, so
+    instructions carry only the information the pipeline and cache
+    models need: their class (which determines execution latency and
+    whether they touch the D-cache) and their control-flow role (which
+    determines the fetch stream). *)
+
+type alu_kind =
+  | Add
+  | Sub
+  | Logic  (** and/or/xor/shift family *)
+  | Move
+  | Compare
+
+type t =
+  | Alu of alu_kind  (** single-cycle integer operation *)
+  | Mac  (** multiply-accumulate; multi-cycle on the XScale-like core *)
+  | Load  (** D-cache read *)
+  | Store  (** D-cache write *)
+  | Branch  (** conditional PC-relative branch *)
+  | Jump  (** unconditional PC-relative branch *)
+  | Call  (** branch-and-link to a function entry *)
+  | Return  (** indirect branch back to the call site *)
+  | Nop
+
+val is_control : t -> bool
+(** True for instructions that may redirect the fetch stream. *)
+
+val is_memory : t -> bool
+(** True for loads and stores. *)
+
+val execute_latency : t -> int
+(** Execution-stage occupancy in cycles (result latency is handled by
+    the pipeline's scoreboard): ALU/Nop 1, MAC 3, Load/Store 1 (plus
+    cache), control 1. *)
+
+val mnemonic : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val all : t list
+(** One representative of every class, for property tests. *)

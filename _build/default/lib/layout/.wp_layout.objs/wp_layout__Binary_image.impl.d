@@ -1,0 +1,1 @@
+lib/layout/binary_image.ml: Array Basic_block Binary_layout Bytes Icfg Printf Wp_cfg Wp_isa

@@ -1,0 +1,1 @@
+lib/layout/binary_image.mli: Binary_layout Wp_cfg Wp_isa

@@ -1,0 +1,1 @@
+lib/layout/binary_layout.ml: Array Basic_block Format Icfg Placer Printf Wp_cfg Wp_isa

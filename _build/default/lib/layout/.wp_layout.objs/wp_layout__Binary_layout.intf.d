@@ -1,0 +1,1 @@
+lib/layout/binary_layout.mli: Format Wp_cfg Wp_isa

@@ -1,0 +1,1 @@
+lib/layout/chain.ml: Basic_block Format List Wp_cfg

@@ -1,0 +1,1 @@
+lib/layout/chain.mli: Format Wp_cfg

@@ -1,0 +1,1 @@
+lib/layout/chain_builder.ml: Array Chain Icfg List Profile Wp_cfg

@@ -1,0 +1,1 @@
+lib/layout/chain_builder.mli: Chain Wp_cfg

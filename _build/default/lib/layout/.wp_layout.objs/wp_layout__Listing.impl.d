@@ -1,0 +1,1 @@
+lib/layout/listing.ml: Array Basic_block Binary_layout Format Func Icfg Printf Wp_cfg Wp_isa

@@ -1,0 +1,1 @@
+lib/layout/listing.mli: Binary_layout Format Wp_cfg

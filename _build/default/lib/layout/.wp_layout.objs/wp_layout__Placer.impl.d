@@ -1,0 +1,1 @@
+lib/layout/placer.ml: Array Chain Chain_builder Icfg List Printf Wp_cfg

@@ -1,0 +1,41 @@
+open Wp_cfg
+
+let transfer_target graph layout id =
+  match Basic_block.terminator (Icfg.block graph id) with
+  | Wp_isa.Opcode.Branch | Wp_isa.Opcode.Jump -> begin
+      match Icfg.taken_succ graph id with
+      | Some t -> Some (Binary_layout.block_start layout t)
+      | None -> None
+    end
+  | Wp_isa.Opcode.Call -> begin
+      match Icfg.call_target graph id with
+      | Some t -> Some (Binary_layout.block_start layout t)
+      | None -> None
+    end
+  | Wp_isa.Opcode.Return | Wp_isa.Opcode.Alu _ | Mac | Load | Store | Nop ->
+      None
+
+let emit graph layout =
+  let image = Bytes.create (Binary_layout.code_size_bytes layout) in
+  let base = Binary_layout.base layout in
+  Array.iter
+    (fun id ->
+      let block = Icfg.block graph id in
+      let instrs = block.Basic_block.instrs in
+      let n = Array.length instrs in
+      let pc = Binary_layout.block_start layout id in
+      let targets = Array.make n None in
+      targets.(n - 1) <- transfer_target graph layout id;
+      let encoded = Wp_isa.Encode.encode_block instrs ~pc ~targets in
+      Bytes.blit encoded 0 image (pc - base) (Bytes.length encoded))
+    (Binary_layout.order layout);
+  image
+
+let decode_at graph layout image addr =
+  ignore graph;
+  let base = Binary_layout.base layout in
+  if addr < base || addr + 4 > base + Bytes.length image then
+    Error (Printf.sprintf "address 0x%x outside the image" addr)
+  else if addr land 3 <> 0 then Error "misaligned code address"
+  else
+    Wp_isa.Encode.decode (Bytes.get_int32_le image (addr - base)) ~pc:addr

@@ -1,0 +1,21 @@
+(** The final binary image: every instruction of the laid-out program
+    encoded to bytes, with control-transfer displacements resolved
+    against the layout's concrete addresses — what the link-time
+    rewriter actually writes out.
+
+    Transfers encode the {e taken} target (branch/jump) or the callee
+    entry (call); plain instructions encode their data-locality
+    class. *)
+
+val emit : Wp_cfg.Icfg.t -> Binary_layout.t -> bytes
+(** The whole text section, [Binary_layout.code_size_bytes] long,
+    starting at the layout's base address. *)
+
+val decode_at :
+  Wp_cfg.Icfg.t ->
+  Binary_layout.t ->
+  bytes ->
+  Wp_isa.Addr.t ->
+  (Wp_isa.Instr.t * Wp_isa.Addr.t option, string) result
+(** Decode the instruction word at a code address of an emitted image
+    (for tests and inspection). *)

@@ -1,0 +1,72 @@
+open Wp_cfg
+
+type t = {
+  base : Wp_isa.Addr.t;
+  order : Basic_block.id array;
+  starts : Wp_isa.Addr.t array;  (** indexed by block id *)
+  sizes : int array;  (** bytes, indexed by block id *)
+  positions : int array;  (** layout position, indexed by block id *)
+  code_size : int;
+  sorted_starts : (Wp_isa.Addr.t * Basic_block.id) array;  (** ascending *)
+}
+
+let of_order graph ~base order =
+  (match Placer.is_admissible graph order with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Binary_layout.of_order: " ^ msg));
+  let n = Icfg.num_blocks graph in
+  let starts = Array.make n 0 in
+  let sizes = Array.make n 0 in
+  let positions = Array.make n 0 in
+  let cursor = ref base in
+  Array.iteri
+    (fun pos id ->
+      let size = Basic_block.size_bytes (Icfg.block graph id) in
+      starts.(id) <- !cursor;
+      sizes.(id) <- size;
+      positions.(id) <- pos;
+      cursor := !cursor + size)
+    order;
+  let sorted_starts = Array.map (fun id -> (starts.(id), id)) order in
+  {
+    base;
+    order = Array.copy order;
+    starts;
+    sizes;
+    positions;
+    code_size = !cursor - base;
+    sorted_starts;
+  }
+
+let base t = t.base
+let code_size_bytes t = t.code_size
+let block_start t id = t.starts.(id)
+
+let instr_addr t id i =
+  let size = t.sizes.(id) in
+  let offset = i * Wp_isa.Instr.size_bytes in
+  if i < 0 || offset >= size then
+    invalid_arg
+      (Printf.sprintf "Binary_layout.instr_addr: index %d out of B%d" i id);
+  t.starts.(id) + offset
+
+let order t = t.order
+let position t id = t.positions.(id)
+
+let block_at t addr =
+  if addr < t.base || addr >= t.base + t.code_size then None
+  else begin
+    (* Largest start <= addr. *)
+    let lo = ref 0 and hi = ref (Array.length t.sorted_starts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      let start, _ = t.sorted_starts.(mid) in
+      if start <= addr then lo := mid else hi := mid - 1
+    done;
+    let start, id = t.sorted_starts.(!lo) in
+    if addr < start + t.sizes.(id) then Some id else None
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "layout: base %a, %d blocks, %d B" Wp_isa.Addr.pp t.base
+    (Array.length t.order) t.code_size

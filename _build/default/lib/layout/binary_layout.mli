@@ -1,0 +1,28 @@
+(** Concrete address assignment for a block ordering.
+
+    Blocks are packed back to back from a base address, 4 bytes per
+    instruction — the final binary image the fetch engine walks. *)
+
+type t
+
+val of_order :
+  Wp_cfg.Icfg.t -> base:Wp_isa.Addr.t -> Wp_cfg.Basic_block.id array -> t
+(** Lay the blocks out in the given order starting at [base].
+    @raise Invalid_argument if the order is not admissible for the
+    graph (see {!Placer.is_admissible}). *)
+
+val base : t -> Wp_isa.Addr.t
+val code_size_bytes : t -> int
+val block_start : t -> Wp_cfg.Basic_block.id -> Wp_isa.Addr.t
+val instr_addr : t -> Wp_cfg.Basic_block.id -> int -> Wp_isa.Addr.t
+(** Address of the [i]-th instruction of a block (0-based).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val order : t -> Wp_cfg.Basic_block.id array
+val position : t -> Wp_cfg.Basic_block.id -> int
+(** Index of the block in the layout order. *)
+
+val block_at : t -> Wp_isa.Addr.t -> Wp_cfg.Basic_block.id option
+(** Which block covers a code address, if any (binary search). *)
+
+val pp : Format.formatter -> t -> unit

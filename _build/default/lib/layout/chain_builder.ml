@@ -1,0 +1,48 @@
+open Wp_cfg
+
+(* Each block has at most one outgoing and one incoming fall-through
+   edge (enforced by Icfg validation), so the fall-through relation is
+   a set of disjoint paths (plus, pathologically, cycles, which we
+   break).  A chain is one maximal path. *)
+let build graph profile =
+  let n = Icfg.num_blocks graph in
+  let next = Array.make n (-1) in
+  let has_pred = Array.make n false in
+  for id = 0 to n - 1 do
+    match Icfg.fallthrough_succ graph id with
+    | Some dst ->
+        next.(id) <- dst;
+        has_pred.(dst) <- true
+    | None -> ()
+  done;
+  let claimed = Array.make n false in
+  let weight_of id = Profile.block_dynamic_instrs profile graph id in
+  let walk head =
+    let rec go id acc_blocks acc_weight =
+      if claimed.(id) then (List.rev acc_blocks, acc_weight)
+      else begin
+        claimed.(id) <- true;
+        let acc_blocks = id :: acc_blocks and acc_weight = acc_weight + weight_of id in
+        let nxt = next.(id) in
+        if nxt = -1 then (List.rev acc_blocks, acc_weight)
+        else go nxt acc_blocks acc_weight
+      end
+    in
+    let blocks, weight = go head [] 0 in
+    Chain.make ~blocks ~weight
+  in
+  let chains = ref [] in
+  (* True heads first: blocks that nothing falls through into. *)
+  for id = 0 to n - 1 do
+    if (not has_pred.(id)) && not claimed.(id) then
+      chains := walk id :: !chains
+  done;
+  (* Any block still unclaimed sits on a fall-through cycle; break the
+     cycle at the smallest unclaimed id. *)
+  for id = 0 to n - 1 do
+    if not claimed.(id) then chains := walk id :: !chains
+  done;
+  List.rev !chains
+
+let chain_of_block chains id =
+  List.find (fun (c : Chain.t) -> List.mem id c.blocks) chains

@@ -1,0 +1,22 @@
+(** Chain construction (paper Section 3, first stage).
+
+    Blocks connected by fall-through edges — including call/return
+    site pairs, whose continuation is a fall-through edge of the call
+    block — are linked into chains whose internal order the placer
+    must respect.  All remaining blocks become singleton chains. *)
+
+val build : Wp_cfg.Icfg.t -> Wp_cfg.Profile.t -> Chain.t list
+(** Chains covering every block of the graph exactly once, each
+    weighted with the sum of its blocks' dynamic instruction counts
+    ([exec count * static size]).  The relative order of the returned
+    list is unspecified (the placer sorts it).
+
+    Fall-through cycles cannot arise from well-formed code generation
+    (a cycle would need a block that is both before and after another),
+    but if one is present it is broken at the block with the smallest
+    id, so the function always terminates and covers all blocks. *)
+
+val chain_of_block :
+  Chain.t list -> Wp_cfg.Basic_block.id -> Chain.t
+(** Find the chain containing a block.
+    @raise Not_found if absent. *)

@@ -1,0 +1,54 @@
+open Wp_cfg
+
+let label graph id =
+  let block = Icfg.block graph id in
+  let f = Icfg.func graph block.Basic_block.func in
+  Printf.sprintf "<%s:B%d>" f.Func.name id
+
+(* The target a control instruction transfers to, as a label. *)
+let target_label graph id =
+  let block = Icfg.block graph id in
+  match Basic_block.terminator block with
+  | Wp_isa.Opcode.Branch | Wp_isa.Opcode.Jump -> begin
+      match Icfg.taken_succ graph id with
+      | Some t -> Some (label graph t)
+      | None -> None
+    end
+  | Wp_isa.Opcode.Call -> begin
+      match Icfg.call_target graph id with
+      | Some t -> Some (label graph t)
+      | None -> None
+    end
+  | Wp_isa.Opcode.Return | Wp_isa.Opcode.Alu _ | Mac | Load | Store | Nop ->
+      None
+
+let pp_block ppf ~graph ~layout id =
+  let block = Icfg.block graph id in
+  Format.fprintf ppf "%a %s:@." Wp_isa.Addr.pp
+    (Binary_layout.block_start layout id)
+    (label graph id);
+  let n = Array.length block.Basic_block.instrs in
+  for i = 0 to n - 1 do
+    let instr = block.Basic_block.instrs.(i) in
+    let addr = Binary_layout.instr_addr layout id i in
+    let target =
+      if i = n - 1 then target_label graph id else None
+    in
+    match target with
+    | Some t -> Format.fprintf ppf "%a:   %a %s@." Wp_isa.Addr.pp addr Wp_isa.Instr.pp instr t
+    | None -> Format.fprintf ppf "%a:   %a@." Wp_isa.Addr.pp addr Wp_isa.Instr.pp instr
+  done
+
+let pp ?limit_blocks ppf ~graph ~layout =
+  let order = Binary_layout.order layout in
+  let n = Array.length order in
+  let shown = match limit_blocks with Some l -> min l n | None -> n in
+  for k = 0 to shown - 1 do
+    pp_block ppf ~graph ~layout order.(k);
+    if k < shown - 1 then Format.pp_print_newline ppf ()
+  done;
+  if shown < n then
+    Format.fprintf ppf "... (%d more blocks elided)@." (n - shown)
+
+let to_string ?limit_blocks ~graph ~layout () =
+  Format.asprintf "%a" (fun ppf () -> pp ?limit_blocks ppf ~graph ~layout) ()

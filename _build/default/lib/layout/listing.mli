@@ -1,0 +1,30 @@
+(** Textual listings of a laid-out binary — the `objdump -d` view of
+    the placement, for debugging layouts and for the CLI's `disasm`
+    subcommand.
+
+    Blocks appear in layout order; each starts with a label line
+    [<function:Bid>] and every instruction is printed at its concrete
+    address with its control-flow target resolved back to a label. *)
+
+val pp_block :
+  Format.formatter ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Binary_layout.t ->
+  Wp_cfg.Basic_block.id ->
+  unit
+
+val pp :
+  ?limit_blocks:int ->
+  Format.formatter ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Binary_layout.t ->
+  unit
+(** The whole binary in layout order; [limit_blocks] truncates long
+    programs (a trailing note reports the elision). *)
+
+val to_string :
+  ?limit_blocks:int ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Binary_layout.t ->
+  unit ->
+  string

@@ -1,0 +1,43 @@
+open Wp_cfg
+
+let place graph profile =
+  let chains = Chain_builder.build graph profile in
+  let sorted = List.sort Chain.compare_by_weight chains in
+  let order = List.concat_map (fun (c : Chain.t) -> c.blocks) sorted in
+  Array.of_list order
+
+let original graph = Array.copy (Icfg.original_order graph)
+
+let is_admissible graph order =
+  let n = Icfg.num_blocks graph in
+  if Array.length order <> n then
+    Error
+      (Printf.sprintf "ordering has %d blocks, graph has %d"
+         (Array.length order) n)
+  else begin
+    let position = Array.make n (-1) in
+    let dup = ref None in
+    Array.iteri
+      (fun pos id ->
+        if id < 0 || id >= n then dup := Some (Printf.sprintf "unknown block B%d" id)
+        else if position.(id) >= 0 then
+          dup := Some (Printf.sprintf "B%d appears twice" id)
+        else position.(id) <- pos)
+      order;
+    match !dup with
+    | Some msg -> Error msg
+    | None ->
+        let violation = ref None in
+        for id = 0 to n - 1 do
+          match Icfg.fallthrough_succ graph id with
+          | Some dst ->
+              if position.(dst) <> position.(id) + 1 then
+                violation :=
+                  Some
+                    (Printf.sprintf
+                       "fall-through B%d -> B%d broken (positions %d, %d)" id
+                       dst position.(id) position.(dst))
+          | None -> ()
+        done;
+        (match !violation with Some msg -> Error msg | None -> Ok ())
+  end

@@ -1,0 +1,24 @@
+(** Weight-ordered chain placement (paper Section 3, second stage).
+
+    Chains are ordered by descending weight — heaviest first — and
+    concatenated into one block ordering for the whole binary, so the
+    most frequently executed code lands at the start of the binary
+    where the way-placement area will cover it.  Crucially, a single
+    layout serves {e every} way-placement area size: shrinking the area
+    just uncovers the coldest prefix blocks, with no recompilation. *)
+
+val place : Wp_cfg.Icfg.t -> Wp_cfg.Profile.t -> Wp_cfg.Basic_block.id array
+(** The way-placement block ordering: every block exactly once,
+    chain-internal (fall-through / call-pair) order preserved, chains
+    sorted heaviest-first. *)
+
+val original : Wp_cfg.Icfg.t -> Wp_cfg.Basic_block.id array
+(** The unmodified compiler-emitted ordering, used by the baseline and
+    the way-memoization comparator. *)
+
+val is_admissible :
+  Wp_cfg.Icfg.t -> Wp_cfg.Basic_block.id array -> (unit, string) result
+(** Checks that an ordering is a permutation of all blocks and that
+    every fall-through edge's destination immediately follows its
+    source — the correctness condition any link-time reordering must
+    meet. *)

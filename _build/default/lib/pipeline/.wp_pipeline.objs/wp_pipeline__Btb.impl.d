@@ -1,0 +1,1 @@
+lib/pipeline/btb.ml: Array Wp_isa

@@ -1,0 +1,1 @@
+lib/pipeline/btb.mli: Wp_isa

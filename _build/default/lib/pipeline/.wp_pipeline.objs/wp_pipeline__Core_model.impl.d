@@ -1,0 +1,1 @@
+lib/pipeline/core_model.ml: Btb Wp_isa

@@ -1,0 +1,1 @@
+lib/pipeline/core_model.mli: Wp_isa

@@ -1,0 +1,41 @@
+type t = {
+  entries : int;
+  tags : int array;
+  counters : int array;  (** 0..3; >=2 predicts taken *)
+  valid : bool array;
+}
+
+let create ~entries =
+  if not (Wp_isa.Addr.is_power_of_two entries) then
+    invalid_arg "Btb.create: entries must be a positive power of two";
+  {
+    entries;
+    tags = Array.make entries 0;
+    counters = Array.make entries 0;
+    valid = Array.make entries false;
+  }
+
+let slot t pc = (pc / Wp_isa.Instr.size_bytes) land (t.entries - 1)
+let tag t pc = pc / Wp_isa.Instr.size_bytes / t.entries
+
+let predict_taken t pc =
+  let i = slot t pc in
+  t.valid.(i) && t.tags.(i) = tag t pc && t.counters.(i) >= 2
+
+let update t pc ~taken =
+  let i = slot t pc in
+  if t.valid.(i) && t.tags.(i) = tag t pc then
+    t.counters.(i) <-
+      (if taken then min 3 (t.counters.(i) + 1) else max 0 (t.counters.(i) - 1))
+  else if taken then begin
+    (* Allocate on taken branches only, as BTBs do. *)
+    t.valid.(i) <- true;
+    t.tags.(i) <- tag t pc;
+    t.counters.(i) <- 2
+  end
+
+let entries t = t.entries
+
+let reset t =
+  Array.fill t.valid 0 t.entries false;
+  Array.fill t.counters 0 t.entries 0

@@ -1,0 +1,17 @@
+(** Branch target buffer with 2-bit saturating counters.
+
+    A small direct-mapped predictor in the XScale style: an untagged
+    miss predicts not-taken; a hit predicts by the counter.  Only the
+    direction matters to the cycle model (targets are always known to
+    the trace-driven simulator). *)
+
+type t
+
+val create : entries:int -> t
+(** @raise Invalid_argument unless [entries] is a positive power of
+    two. *)
+
+val predict_taken : t -> Wp_isa.Addr.t -> bool
+val update : t -> Wp_isa.Addr.t -> taken:bool -> unit
+val entries : t -> int
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/sim/config.ml: Format Printf Wp_cache Wp_energy Wp_isa

@@ -1,0 +1,1 @@
+lib/sim/data_stream.ml: Wp_isa Wp_workloads

@@ -1,0 +1,1 @@
+lib/sim/data_stream.mli: Wp_isa

@@ -1,0 +1,1 @@
+lib/sim/dmem.ml: Config Stats Wp_cache Wp_energy Wp_tlb

@@ -1,0 +1,1 @@
+lib/sim/dmem.mli: Config Stats Wp_isa

@@ -1,0 +1,1 @@
+lib/sim/fetch_engine.ml: Account Cam_cache Cam_energy Config Drowsy Filter_cache Geometry Option Params Stats Way_memo Way_predict Wp_cache Wp_energy Wp_isa Wp_tlb

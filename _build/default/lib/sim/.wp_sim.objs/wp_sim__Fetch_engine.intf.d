@@ -1,0 +1,1 @@
+lib/sim/fetch_engine.mli: Config Stats Wp_isa

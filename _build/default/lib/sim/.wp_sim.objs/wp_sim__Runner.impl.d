@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Config List Simulator Stats Wp_cfg Wp_energy Wp_layout Wp_workloads

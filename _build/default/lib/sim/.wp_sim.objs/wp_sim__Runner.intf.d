@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Config Stats Wp_cfg Wp_layout Wp_workloads

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Basic_block Config Data_stream Dmem Fetch_engine Icfg Stats Wp_cfg Wp_energy Wp_isa Wp_layout Wp_pipeline Wp_workloads

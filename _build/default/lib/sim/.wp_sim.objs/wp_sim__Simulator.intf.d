@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Config Stats Wp_isa Wp_layout Wp_workloads

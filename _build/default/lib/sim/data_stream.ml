@@ -1,0 +1,38 @@
+type t = {
+  rng : Wp_workloads.Rng.t;
+  mutable seq_cursor : int;
+  mutable stride_cursor : int;
+}
+
+let base_address = 0x4000_0000
+
+(* Windows sized for realistic D-cache hit rates: streams reuse a
+   cacheable region, and "random" accesses have the strong temporal
+   locality real pointer-chasing exhibits (90% in a hot subset). *)
+let seq_window = 8 * 1024
+let stride_window = 8 * 1024
+let hot_random_window = 4 * 1024
+let cold_random_window = 64 * 1024
+
+let create ~seed =
+  { rng = Wp_workloads.Rng.create seed; seq_cursor = 0; stride_cursor = 0 }
+
+let next t locality =
+  match locality with
+  | Wp_isa.Instr.No_data -> invalid_arg "Data_stream.next: No_data"
+  | Wp_isa.Instr.Sequential ->
+      let a = base_address + t.seq_cursor in
+      t.seq_cursor <- (t.seq_cursor + 4) mod seq_window;
+      a
+  | Wp_isa.Instr.Strided stride ->
+      let a = base_address + seq_window + t.stride_cursor in
+      t.stride_cursor <- (t.stride_cursor + stride) mod stride_window;
+      a
+  | Wp_isa.Instr.Random_within ws ->
+      let window =
+        if Wp_workloads.Rng.bool t.rng ~p:0.95 then min ws hot_random_window
+        else min ws cold_random_window
+      in
+      let words = max 1 (window / 4) in
+      base_address + seq_window + stride_window
+      + (Wp_workloads.Rng.int t.rng words * 4)

@@ -1,0 +1,17 @@
+(** Synthetic data-address generation for loads and stores.
+
+    Each memory instruction carries a locality class
+    ({!Wp_isa.Instr.data_locality}); this module turns the class into a
+    concrete address deterministically.  The stream depends only on the
+    executed instruction sequence and the seed, so every scheme sees an
+    identical data-side workload — D-cache behaviour can never
+    contaminate the I-cache comparison. *)
+
+type t
+
+val create : seed:int -> t
+val base_address : Wp_isa.Addr.t
+(** Start of the simulated data segment (0x4000_0000), far from code. *)
+
+val next : t -> Wp_isa.Instr.data_locality -> Wp_isa.Addr.t
+(** @raise Invalid_argument on [No_data]. *)

@@ -1,0 +1,62 @@
+type t = {
+  cache : Wp_cache.Cam_cache.t;
+  tlb : Wp_tlb.Tlb.t;
+  energies : Wp_energy.Cam_energy.t;
+  tlb_lookup_pj : float;
+  memory_latency : int;
+  tlb_walk_latency : int;
+  memory_access_pj : float;
+}
+
+let create (config : Config.t) =
+  {
+    cache =
+      Wp_cache.Cam_cache.create config.dcache ~replacement:config.replacement;
+    tlb =
+      Wp_tlb.Tlb.create ~entries:config.dtlb_entries
+        ~page_bytes:config.page_bytes;
+    energies = Wp_energy.Cam_energy.of_geometry config.energy config.dcache;
+    tlb_lookup_pj =
+      Wp_energy.Cam_energy.tlb_lookup_pj config.energy
+        ~entries:config.dtlb_entries ~page_bytes:config.page_bytes;
+    memory_latency = config.memory_latency;
+    tlb_walk_latency = config.tlb_walk_latency;
+    memory_access_pj = config.energy.Wp_energy.Params.memory_access_pj;
+  }
+
+let access t (stats : Stats.t) addr ~write:_ =
+  stats.dcache_accesses <- stats.dcache_accesses + 1;
+  let account = stats.account in
+  Wp_energy.Account.add_dcache account t.tlb_lookup_pj;
+  let tlb_res = Wp_tlb.Tlb.lookup t.tlb addr ~wp_bit_of_page:(fun _ -> false) in
+  let tlb_stall =
+    if tlb_res.Wp_tlb.Tlb.hit then 0
+    else begin
+      stats.dtlb_misses <- stats.dtlb_misses + 1;
+      Wp_energy.Account.add_memory account t.memory_access_pj;
+      t.tlb_walk_latency
+    end
+  in
+  let outcome = Wp_cache.Cam_cache.lookup_full t.cache addr in
+  Wp_energy.Account.add_dcache account
+    (Wp_energy.Cam_energy.tag_search t.energies
+       ~ways:outcome.Wp_cache.Cam_cache.ways_precharged);
+  Wp_energy.Account.add_dcache account t.energies.Wp_energy.Cam_energy.data_word_pj;
+  let miss_stall =
+    if outcome.Wp_cache.Cam_cache.hit then 0
+    else begin
+      stats.dcache_misses <- stats.dcache_misses + 1;
+      let _way, _evicted =
+        Wp_cache.Cam_cache.fill t.cache addr Wp_cache.Cam_cache.Victim_by_policy
+      in
+      Wp_energy.Account.add_dcache account
+        t.energies.Wp_energy.Cam_energy.line_fill_pj;
+      Wp_energy.Account.add_memory account t.memory_access_pj;
+      t.memory_latency
+    end
+  in
+  tlb_stall + miss_stall
+
+let flush t =
+  Wp_cache.Cam_cache.flush t.cache;
+  Wp_tlb.Tlb.flush t.tlb

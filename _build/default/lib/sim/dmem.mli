@@ -1,0 +1,17 @@
+(** The data-memory side: D-cache and D-TLB.
+
+    Kept identical across all schemes (the paper varies only the
+    instruction cache); it exists so that cycle counts and total-energy
+    figures (the ED product) include a realistic data side.  Stores are
+    modelled write-through with no write-back accounting — a
+    simplification that cancels out of every normalised metric. *)
+
+type t
+
+val create : Config.t -> t
+
+val access : t -> Stats.t -> Wp_isa.Addr.t -> write:bool -> int
+(** Perform the access, charge D-cache/D-TLB/memory energy and update
+    counters; returns the pipeline stall in cycles. *)
+
+val flush : t -> unit

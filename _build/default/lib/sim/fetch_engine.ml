@@ -1,0 +1,387 @@
+open Wp_cache
+open Wp_energy
+
+type backend =
+  | B_baseline of Cam_cache.t
+  | B_way_placement of {
+      cache : Cam_cache.t;
+      hint : Wp_tlb.Way_hint.t;
+      mutable area_bytes : int;
+    }
+  | B_way_memo of Way_memo.t
+  | B_way_predict of Way_predict.t
+  | B_filter of { filter : Filter_cache.t; l1 : Cam_cache.t; l0_energies : Cam_energy.t }
+
+type t = {
+  backend : backend;
+  tlb : Wp_tlb.Tlb.t;
+  geometry : Geometry.t;
+  energies : Cam_energy.t;
+  tlb_lookup_pj : float;
+  memory_latency : int;
+  tlb_walk_latency : int;
+  memory_access_pj : float;
+  same_line_elision : bool;
+  code_base : Wp_isa.Addr.t;
+  drowsy : Drowsy.t option;
+  leakage_enabled : bool;
+  energy_params : Params.t;
+  mutable prev_addr : Wp_isa.Addr.t;  (** -1 = no context *)
+  mutable prev_set : int;
+  mutable prev_way : int;
+}
+
+let create (config : Config.t) ~code_base =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fetch_engine.create: " ^ msg));
+  let backend =
+    match config.scheme with
+    | Config.Baseline ->
+        B_baseline
+          (Cam_cache.create config.icache ~replacement:config.replacement)
+    | Config.Way_placement { area_bytes } ->
+        B_way_placement
+          {
+            cache = Cam_cache.create config.icache ~replacement:config.replacement;
+            hint = Wp_tlb.Way_hint.create ();
+            area_bytes;
+          }
+    | Config.Way_memoization ->
+        B_way_memo
+          (Way_memo.create ~invalidation:config.memo_invalidation config.icache
+             ~replacement:config.replacement)
+    | Config.Way_prediction ->
+        B_way_predict
+          (Way_predict.create config.icache ~replacement:config.replacement)
+    | Config.Filter_cache { l0_bytes } ->
+        let l0 =
+          Geometry.make ~size_bytes:l0_bytes ~assoc:1
+            ~line_bytes:config.icache.Geometry.line_bytes
+        in
+        B_filter
+          {
+            filter = Filter_cache.create ~l0;
+            l1 = Cam_cache.create config.icache ~replacement:config.replacement;
+            l0_energies = Cam_energy.of_geometry config.energy l0;
+          }
+  in
+  {
+    backend;
+    tlb =
+      Wp_tlb.Tlb.create ~entries:config.itlb_entries
+        ~page_bytes:config.page_bytes;
+    geometry = config.icache;
+    energies = Cam_energy.of_geometry config.energy config.icache;
+    tlb_lookup_pj =
+      Cam_energy.tlb_lookup_pj config.energy ~entries:config.itlb_entries
+        ~page_bytes:config.page_bytes;
+    memory_latency = config.memory_latency;
+    tlb_walk_latency = config.tlb_walk_latency;
+    memory_access_pj = config.energy.Params.memory_access_pj;
+    same_line_elision = config.same_line_elision;
+    code_base;
+    drowsy =
+      Option.map
+        (fun window -> Drowsy.create config.icache ~window)
+        config.drowsy_window_fetches;
+    leakage_enabled = config.leakage_enabled;
+    energy_params = config.energy;
+    prev_addr = -1;
+    prev_set = -1;
+    prev_way = -1;
+  }
+
+let way_placed_addr t addr =
+  match t.backend with
+  | B_way_placement { area_bytes; _ } ->
+      addr >= t.code_base && addr - t.code_base < area_bytes
+  | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ -> false
+
+let charge_icache stats pj = Account.add_icache stats.Stats.account pj
+
+(* Drowsy bookkeeping: touching a line keeps it awake; touching a
+   sleeping line costs a wake-up (energy + one cycle).  Returns the
+   extra stall. *)
+let note_line t (stats : Stats.t) ~set ~way =
+  t.prev_set <- set;
+  t.prev_way <- way;
+  match t.drowsy with
+  | None -> 0
+  | Some d ->
+      if Drowsy.note_access d ~now:stats.fetches ~set ~way then begin
+        stats.drowsy_wakes <- stats.drowsy_wakes + 1;
+        charge_icache stats t.energy_params.Params.drowsy_wake_pj;
+        1
+      end
+      else 0
+
+(* I-TLB access: every non-same-line fetch translates.  Returns the
+   walk stall and the way-placement bit. *)
+let translate t (stats : Stats.t) addr =
+  Account.add_itlb stats.account t.tlb_lookup_pj;
+  let res =
+    Wp_tlb.Tlb.lookup t.tlb addr ~wp_bit_of_page:(fun page ->
+        way_placed_addr t page)
+  in
+  if res.Wp_tlb.Tlb.hit then (0, res.Wp_tlb.Tlb.way_placed)
+  else begin
+    stats.itlb_misses <- stats.itlb_misses + 1;
+    Account.add_memory stats.account t.memory_access_pj;
+    (t.tlb_walk_latency, res.Wp_tlb.Tlb.way_placed)
+  end
+
+(* A full-width access on the plain CAM cache, shared by the baseline
+   and the way-placement scheme's wide paths.  [fill_policy] differs:
+   way-placement-area lines always land in their designated way. *)
+let full_access t (stats : Stats.t) cache addr ~fill_policy =
+  stats.full_fetches <- stats.full_fetches + 1;
+  let outcome = Cam_cache.lookup_full cache addr in
+  stats.tag_comparisons <- stats.tag_comparisons + outcome.Cam_cache.tag_comparisons;
+  charge_icache stats
+    (Cam_energy.tag_search t.energies ~ways:outcome.Cam_cache.ways_precharged);
+  charge_icache stats t.energies.Cam_energy.data_word_pj;
+  let set = Geometry.set_index t.geometry addr in
+  if outcome.Cam_cache.hit then begin
+    stats.icache_hits <- stats.icache_hits + 1;
+    note_line t stats ~set ~way:outcome.Cam_cache.way
+  end
+  else begin
+    stats.icache_misses <- stats.icache_misses + 1;
+    let way, _evicted = Cam_cache.fill cache addr fill_policy in
+    charge_icache stats t.energies.Cam_energy.line_fill_pj;
+    Account.add_memory stats.account t.memory_access_pj;
+    t.memory_latency + note_line t stats ~set ~way
+  end
+
+(* Single-way (way-placed) access: 1 comparison; misses refill the
+   designated way. *)
+let way_placed_access t (stats : Stats.t) cache addr =
+  stats.wp_fetches <- stats.wp_fetches + 1;
+  let way = Geometry.way_of_addr t.geometry addr in
+  let outcome = Cam_cache.lookup_way cache addr ~way in
+  stats.tag_comparisons <- stats.tag_comparisons + outcome.Cam_cache.tag_comparisons;
+  charge_icache stats (Cam_energy.tag_search t.energies ~ways:1);
+  charge_icache stats t.energies.Cam_energy.data_word_pj;
+  let set = Geometry.set_index t.geometry addr in
+  if outcome.Cam_cache.hit then begin
+    stats.icache_hits <- stats.icache_hits + 1;
+    note_line t stats ~set ~way
+  end
+  else begin
+    stats.icache_misses <- stats.icache_misses + 1;
+    let _way, _evicted = Cam_cache.fill cache addr (Cam_cache.Forced_way way) in
+    charge_icache stats t.energies.Cam_energy.line_fill_pj;
+    Account.add_memory stats.account t.memory_access_pj;
+    t.memory_latency + note_line t stats ~set ~way
+  end
+
+let memo_access t (stats : Stats.t) memo addr =
+  let r = Way_memo.fetch memo addr in
+  stats.tag_comparisons <- stats.tag_comparisons + r.Way_memo.tag_comparisons;
+  if r.Way_memo.link_followed then
+    stats.link_follows <- stats.link_follows + 1
+  else stats.full_fetches <- stats.full_fetches + 1;
+  if r.Way_memo.link_written then stats.link_writes <- stats.link_writes + 1;
+  stats.links_invalidated <-
+    stats.links_invalidated + r.Way_memo.links_invalidated;
+  let factor = t.energies.Cam_energy.memo_data_factor in
+  charge_icache stats
+    (Cam_energy.tag_search t.energies ~ways:r.Way_memo.ways_precharged);
+  charge_icache stats (t.energies.Cam_energy.data_word_pj *. factor);
+  if r.Way_memo.link_written then
+    charge_icache stats t.energies.Cam_energy.link_write_pj;
+  if r.Way_memo.hit then begin
+    stats.icache_hits <- stats.icache_hits + 1;
+    0
+  end
+  else begin
+    stats.icache_misses <- stats.icache_misses + 1;
+    charge_icache stats (t.energies.Cam_energy.line_fill_pj *. factor);
+    Account.add_memory stats.account t.memory_access_pj;
+    t.memory_latency
+  end
+
+(* Way prediction: probe the MRU way first; a mispredict searches the
+   rest in a second cycle (Inoue et al.). *)
+let waypred_access t (stats : Stats.t) predictor addr =
+  stats.full_fetches <- stats.full_fetches + 1;
+  let r = Way_predict.access predictor addr in
+  stats.tag_comparisons <- stats.tag_comparisons + r.Way_predict.tag_comparisons;
+  if r.Way_predict.predicted_correctly then
+    stats.waypred_correct <- stats.waypred_correct + 1
+  else stats.waypred_wrong <- stats.waypred_wrong + 1;
+  charge_icache stats
+    (Cam_energy.tag_search t.energies
+       ~ways:(r.Way_predict.first_probe_ways + r.Way_predict.second_probe_ways));
+  (* The predicted way's data is read speculatively; a mispredict reads
+     the correct way again. *)
+  charge_icache stats
+    (t.energies.Cam_energy.data_word_pj
+    *. float_of_int (max 1 (r.Way_predict.first_probe_ways
+                            + if r.Way_predict.predicted_correctly then 0 else 1)));
+  if r.Way_predict.hit then begin
+    stats.icache_hits <- stats.icache_hits + 1;
+    r.Way_predict.penalty_cycles
+  end
+  else begin
+    stats.icache_misses <- stats.icache_misses + 1;
+    charge_icache stats t.energies.Cam_energy.line_fill_pj;
+    Account.add_memory stats.account t.memory_access_pj;
+    r.Way_predict.penalty_cycles + t.memory_latency
+  end
+
+(* Filter cache: the tiny L0 catches most fetches; L0 misses pay a
+   cycle and a full L1 access (Kin et al.). *)
+let filter_access t (stats : Stats.t) filter l1 l0_energies addr =
+  let r = Filter_cache.access filter addr in
+  charge_icache stats
+    (Cam_energy.tag_search l0_energies ~ways:r.Filter_cache.l0_tag_comparisons);
+  charge_icache stats l0_energies.Cam_energy.data_word_pj;
+  stats.tag_comparisons <- stats.tag_comparisons + r.Filter_cache.l0_tag_comparisons;
+  if r.Filter_cache.l0_hit then begin
+    stats.l0_hits <- stats.l0_hits + 1;
+    stats.full_fetches <- stats.full_fetches + 1;
+    stats.icache_hits <- stats.icache_hits + 1;
+    0
+  end
+  else begin
+    stats.l0_misses <- stats.l0_misses + 1;
+    r.Filter_cache.penalty_cycles
+    + full_access t stats l1 addr ~fill_policy:Cam_cache.Victim_by_policy
+  end
+
+let fetch t (stats : Stats.t) addr =
+  stats.fetches <- stats.fetches + 1;
+  let same_line =
+    t.prev_addr >= 0 && Geometry.same_line t.geometry addr t.prev_addr
+  in
+  (* Sequential same-line fetches skip the tag side on every scheme:
+     the XScale's sequential-access optimisation is a property of the
+     machine, not of the energy-saving scheme (cf. paper Section 4.2
+     and [12]).  The config flag disables it for the ablation bench. *)
+  let elide = same_line && t.same_line_elision in
+  let stall =
+    if elide then begin
+      stats.same_line_fetches <- stats.same_line_fetches + 1;
+      (match t.backend with
+      | B_way_memo memo ->
+          Way_memo.note_same_line memo addr;
+          charge_icache stats
+            (t.energies.Cam_energy.data_word_pj
+            *. t.energies.Cam_energy.memo_data_factor)
+      | B_way_placement _ | B_baseline _ | B_way_predict _ | B_filter _ ->
+          charge_icache stats t.energies.Cam_energy.data_word_pj);
+      if t.prev_set >= 0 then
+        ignore (note_line t stats ~set:t.prev_set ~way:t.prev_way);
+      0
+    end
+    else begin
+      let tlb_stall, way_placed = translate t stats addr in
+      let access_stall =
+        match t.backend with
+        | B_baseline cache ->
+            full_access t stats cache addr
+              ~fill_policy:Cam_cache.Victim_by_policy
+        | B_way_memo memo -> memo_access t stats memo addr
+        | B_way_predict predictor -> waypred_access t stats predictor addr
+        | B_filter { filter; l1; l0_energies } ->
+            filter_access t stats filter l1 l0_energies addr
+        | B_way_placement { cache; hint; area_bytes = _ } -> begin
+            match Wp_tlb.Way_hint.resolve hint ~actual:way_placed with
+            | Wp_tlb.Way_hint.Correct_way_placed ->
+                stats.hint_correct_wp <- stats.hint_correct_wp + 1;
+                way_placed_access t stats cache addr
+            | Wp_tlb.Way_hint.Correct_normal ->
+                stats.hint_correct_normal <- stats.hint_correct_normal + 1;
+                full_access t stats cache addr
+                  ~fill_policy:Cam_cache.Victim_by_policy
+            | Wp_tlb.Way_hint.Missed_saving ->
+                (* Way-placed page accessed with the wide path; the
+                   fill must still respect the designated way. *)
+                stats.hint_missed_saving <- stats.hint_missed_saving + 1;
+                full_access t stats cache addr
+                  ~fill_policy:
+                    (Cam_cache.Forced_way (Geometry.way_of_addr t.geometry addr))
+            | Wp_tlb.Way_hint.Needs_reaccess ->
+                (* Wasted single-way probe, then the real access: one
+                   penalty cycle plus the probe energy (Section 4.1). *)
+                stats.hint_reaccess <- stats.hint_reaccess + 1;
+                stats.tag_comparisons <- stats.tag_comparisons + 1;
+                charge_icache stats (Cam_energy.tag_search t.energies ~ways:1);
+                1
+                + full_access t stats cache addr
+                    ~fill_policy:Cam_cache.Victim_by_policy
+          end
+      in
+      tlb_stall + access_stall
+    end
+  in
+  t.prev_addr <- addr;
+  stall
+
+let reset_stream t =
+  t.prev_addr <- -1;
+  t.prev_set <- -1;
+  t.prev_way <- -1;
+  match t.backend with
+  | B_way_memo memo -> Way_memo.reset_stream memo
+  | B_way_placement { hint; _ } -> Wp_tlb.Way_hint.reset hint
+  | B_baseline _ | B_way_predict _ | B_filter _ -> ()
+
+let flush t =
+  Wp_tlb.Tlb.flush t.tlb;
+  (match t.backend with
+  | B_baseline cache -> Cam_cache.flush cache
+  | B_way_placement { cache; hint; _ } ->
+      Cam_cache.flush cache;
+      Wp_tlb.Way_hint.reset hint
+  | B_way_memo memo -> Way_memo.flush memo
+  | B_way_predict predictor -> Way_predict.flush predictor
+  | B_filter { filter; l1; _ } ->
+      Filter_cache.flush filter;
+      Cam_cache.flush l1);
+  Option.iter Drowsy.reset t.drowsy;
+  t.prev_addr <- -1;
+  t.prev_set <- -1;
+  t.prev_way <- -1
+
+(* The OS resizes the way-placement area at run time (paper Section
+   4.1): way-placement bits in the I-TLB and line placements in the
+   cache are stale for the new area, so both are flushed. *)
+let resize_area t ~area_bytes =
+  match t.backend with
+  | B_way_placement wp ->
+      if area_bytes <= 0 then
+        invalid_arg "Fetch_engine.resize_area: area must be positive";
+      wp.area_bytes <- area_bytes;
+      Wp_tlb.Tlb.flush t.tlb;
+      Cam_cache.flush wp.cache;
+      Wp_tlb.Way_hint.reset wp.hint;
+      t.prev_addr <- -1;
+      t.prev_set <- -1;
+      t.prev_way <- -1
+  | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ ->
+      invalid_arg "Fetch_engine.resize_area: not a way-placement config"
+
+(* End-of-run leakage: line-ticks are counted in fetches and rescaled
+   to cycles; without a drowsy policy every line leaks at the awake
+   rate for the whole run. *)
+let finalize t (stats : Stats.t) ~cycles =
+  if t.leakage_enabled then begin
+    let lines = float_of_int (Geometry.lines t.geometry) in
+    let awake_fraction =
+      match t.drowsy with
+      | None -> 1.0
+      | Some d ->
+          let now = stats.fetches in
+          if now = 0 then 1.0
+          else Drowsy.awake_line_ticks d ~now /. Drowsy.total_line_ticks d ~now
+    in
+    let p = t.energy_params in
+    let rate =
+      p.Params.leak_awake_pj_per_line_cycle
+      *. (awake_fraction +. ((1.0 -. awake_fraction) *. p.Params.leak_drowsy_factor))
+    in
+    charge_icache stats (lines *. float_of_int cycles *. rate)
+  end

@@ -1,0 +1,52 @@
+(** The instruction-fetch path: I-TLB + I-cache under one of the three
+    schemes (paper Sections 2 and 4).
+
+    Per fetch the engine decides the access mode:
+    - {b same-line}: the address shares a line with the previous fetch
+      and the scheme elides tag checks (way-placement and
+      way-memoization do; the baseline never does) — the tag side stays
+      off, only a data word is read;
+    - {b way-placed}: the way-hint bit predicted a way-placement-area
+      access and the I-TLB confirms it — a single way is searched, and
+      on a miss the line is filled into the way named by the low tag
+      bits;
+    - {b hint re-access}: the hint predicted way-placed but the page is
+      not — the single-way probe is wasted, a full access follows, and
+      one penalty cycle is charged (Section 4.1, second scenario);
+    - {b full}: everything else searches all ways.
+
+    All energy flows into the run's {!Stats.t} account. *)
+
+type t
+
+val create : Config.t -> code_base:Wp_isa.Addr.t -> t
+(** @raise Invalid_argument if the configuration fails
+    {!Config.validate}. *)
+
+val fetch : t -> Stats.t -> Wp_isa.Addr.t -> int
+(** Fetch one instruction; returns the stall in cycles beyond the base
+    fetch cycle (0 on an undisturbed hit). *)
+
+val reset_stream : t -> unit
+(** Forget the previous-fetch context (used at simulation start and by
+    tests); cache contents are preserved. *)
+
+val flush : t -> unit
+(** Cold caches, TLB and hint — required when the OS resizes the
+    way-placement area mid-run (see {!Wayplace.Area}). *)
+
+val resize_area : t -> area_bytes:int -> unit
+(** Change the way-placement area size at run time, as the OS may
+    (paper Section 4.1).  The I-cache, I-TLB and way-hint bit are
+    flushed: existing placements and way-placement bits are stale for
+    the new area.
+    @raise Invalid_argument on non-way-placement configurations or a
+    non-positive size. *)
+
+val finalize : t -> Stats.t -> cycles:int -> unit
+(** Charge end-of-run leakage energy (a no-op unless the configuration
+    enabled leakage accounting). *)
+
+val way_placed_addr : t -> Wp_isa.Addr.t -> bool
+(** Whether an address falls inside the configured way-placement area
+    (false for baseline and way-memoization configs). *)

@@ -1,0 +1,36 @@
+(** Experiment orchestration: the paper's methodology in one place.
+
+    For each benchmark: generate the program, profile it on the
+    {e small} input, build the way-placement layout from that profile,
+    then evaluate every scheme on the {e large} input (Section 5).
+    The baseline and way-memoization run the original binary layout;
+    way-placement runs the reordered one. *)
+
+type prepared = {
+  program : Wp_workloads.Codegen.t;
+  profile_small : Wp_cfg.Profile.t;
+  trace_large : Wp_workloads.Tracer.trace;
+  original_layout : Wp_layout.Binary_layout.t;
+  placed_layout : Wp_layout.Binary_layout.t;
+}
+
+val prepare : Wp_workloads.Spec.t -> prepared
+(** Everything scheme-independent, computed once per benchmark. *)
+
+val run_scheme : prepared -> Config.t -> Stats.t
+(** Evaluate one configuration on the prepared benchmark (picks the
+    layout that matches the scheme). *)
+
+type comparison = {
+  baseline : Stats.t;
+  scheme : Stats.t;
+  norm_icache_energy : float;  (** Figures 4a / 5a / 6a *)
+  norm_ed : float;  (** Figures 4b / 5b / 6b *)
+  norm_cycles : float;
+}
+
+val compare_to_baseline : prepared -> Config.t -> comparison
+(** Run the scheme config and an otherwise-identical baseline. *)
+
+val geometric_mean : float list -> float
+val arithmetic_mean : float list -> float

@@ -1,0 +1,84 @@
+open Wp_cfg
+
+let code_base = 0x0001_0000
+
+let run_with_resizes ~schedule:resize_schedule ~(config : Config.t)
+    ~(program : Wp_workloads.Codegen.t) ~layout
+    ~(trace : Wp_workloads.Tracer.trace) =
+  (let rec ascending = function
+     | (a, _) :: ((b, _) :: _ as rest) ->
+         if b <= a then
+           invalid_arg "Simulator.run: resize schedule must be ascending"
+         else ascending rest
+     | [ _ ] | [] -> ()
+   in
+   ascending resize_schedule);
+  let graph = program.Wp_workloads.Codegen.graph in
+  let stats = Stats.create () in
+  let engine = Fetch_engine.create config ~code_base in
+  let dmem = Dmem.create config in
+  let core =
+    Wp_pipeline.Core_model.create ~btb_entries:config.btb_entries
+      ~mispredict_penalty:config.mispredict_penalty ()
+  in
+  let data =
+    Data_stream.create ~seed:(program.Wp_workloads.Codegen.spec.Wp_workloads.Spec.seed lxor 0xDA7A)
+  in
+  (* Per-block lookup tables, indexed by block id. *)
+  let n = Icfg.num_blocks graph in
+  let starts = Array.init n (fun id -> Wp_layout.Binary_layout.block_start layout id) in
+  let bodies = Array.init n (fun id -> (Icfg.block graph id).Basic_block.instrs) in
+  let taken_succs =
+    Array.init n (fun id ->
+        match Icfg.taken_succ graph id with Some b -> b | None -> -1)
+  in
+  let blocks = trace.Wp_workloads.Tracer.blocks in
+  let nblocks = Array.length blocks in
+  let pending_resizes = ref resize_schedule in
+  for k = 0 to nblocks - 1 do
+    (match !pending_resizes with
+    | (at, area_bytes) :: rest when at <= k ->
+        Fetch_engine.resize_area engine ~area_bytes;
+        pending_resizes := rest
+    | (_, _) :: _ | [] -> ());
+    let id = blocks.(k) in
+    let start = starts.(id) in
+    let body = bodies.(id) in
+    let nb = Array.length body in
+    for i = 0 to nb - 1 do
+      let pc = start + (i * Wp_isa.Instr.size_bytes) in
+      let fetch_stall = Fetch_engine.fetch engine stats pc in
+      let instr = body.(i) in
+      let opcode = instr.Wp_isa.Instr.opcode in
+      let dmem_stall =
+        match opcode with
+        | Wp_isa.Opcode.Load ->
+            Dmem.access dmem stats (Data_stream.next data instr.Wp_isa.Instr.locality)
+              ~write:false
+        | Wp_isa.Opcode.Store ->
+            Dmem.access dmem stats (Data_stream.next data instr.Wp_isa.Instr.locality)
+              ~write:true
+        | Wp_isa.Opcode.Alu _ | Mac | Branch | Jump | Call | Return | Nop -> 0
+      in
+      let taken =
+        match opcode with
+        | Wp_isa.Opcode.Branch ->
+            i = nb - 1 && k + 1 < nblocks && blocks.(k + 1) = taken_succs.(id)
+        | Wp_isa.Opcode.Jump | Call | Return | Alu _ | Mac | Load | Store | Nop
+          ->
+            false
+      in
+      Wp_pipeline.Core_model.retire core ~pc ~opcode ~fetch_stall ~dmem_stall
+        ~taken
+    done
+  done;
+  stats.Stats.cycles <- Wp_pipeline.Core_model.cycles core;
+  Fetch_engine.finalize engine stats ~cycles:stats.Stats.cycles;
+  stats.Stats.retired_instrs <- Wp_pipeline.Core_model.instructions core;
+  Wp_energy.Account.add_core stats.Stats.account
+    (config.energy.Wp_energy.Params.core_rest_pj_per_cycle
+    *. float_of_int stats.Stats.cycles);
+  stats
+
+let run ~config ~program ~layout ~trace =
+  run_with_resizes ~schedule:[] ~config ~program ~layout ~trace

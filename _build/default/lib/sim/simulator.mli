@@ -1,0 +1,35 @@
+(** Trace-driven whole-machine simulation.
+
+    Replays a block trace through the fetch engine, the data-memory
+    engine and the core cycle model, and returns the complete
+    statistics (counters + energy account + cycles).  The same trace
+    replayed under different schemes/configurations yields directly
+    comparable runs — the paper's "we always compare equally
+    configured machines" protocol (Section 5). *)
+
+val code_base : Wp_isa.Addr.t
+(** Where program text is laid out (0x0001_0000). *)
+
+val run :
+  config:Config.t ->
+  program:Wp_workloads.Codegen.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  Stats.t
+(** @raise Invalid_argument if the config is invalid. *)
+
+val run_with_resizes :
+  schedule:(int * int) list ->
+  config:Config.t ->
+  program:Wp_workloads.Codegen.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  Stats.t
+(** Like {!run}, with an OS resize schedule: ascending
+    [(trace_block_index, area_bytes)] pairs — when the replay reaches
+    that block the way-placement area is resized (paper Section 4.1,
+    "even adjusting it during program execution"; the caches are
+    flushed at each resize).  Only meaningful for way-placement
+    configurations.
+    @raise Invalid_argument if the config is invalid, the schedule is
+    not ascending, or the scheme is not way-placement. *)

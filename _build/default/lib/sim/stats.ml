@@ -1,0 +1,100 @@
+type t = {
+  mutable fetches : int;
+  mutable same_line_fetches : int;
+  mutable wp_fetches : int;
+  mutable full_fetches : int;
+  mutable icache_hits : int;
+  mutable icache_misses : int;
+  mutable tag_comparisons : int;
+  mutable hint_correct_wp : int;
+  mutable hint_correct_normal : int;
+  mutable hint_missed_saving : int;
+  mutable hint_reaccess : int;
+  mutable waypred_correct : int;
+  mutable waypred_wrong : int;
+  mutable l0_hits : int;
+  mutable l0_misses : int;
+  mutable drowsy_wakes : int;
+  mutable link_follows : int;
+  mutable link_writes : int;
+  mutable links_invalidated : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable cycles : int;
+  mutable retired_instrs : int;
+  account : Wp_energy.Account.t;
+}
+
+let create () =
+  {
+    fetches = 0;
+    same_line_fetches = 0;
+    wp_fetches = 0;
+    full_fetches = 0;
+    icache_hits = 0;
+    icache_misses = 0;
+    tag_comparisons = 0;
+    hint_correct_wp = 0;
+    hint_correct_normal = 0;
+    hint_missed_saving = 0;
+    hint_reaccess = 0;
+    waypred_correct = 0;
+    waypred_wrong = 0;
+    l0_hits = 0;
+    l0_misses = 0;
+    drowsy_wakes = 0;
+    link_follows = 0;
+    link_writes = 0;
+    links_invalidated = 0;
+    itlb_misses = 0;
+    dtlb_misses = 0;
+    dcache_accesses = 0;
+    dcache_misses = 0;
+    cycles = 0;
+    retired_instrs = 0;
+    account = Wp_energy.Account.create ();
+  }
+
+let icache_energy_pj t = Wp_energy.Account.icache_pj t.account
+let total_energy_pj t = Wp_energy.Account.total_pj t.account
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let icache_miss_rate t = ratio t.icache_misses t.fetches
+let same_line_rate t = ratio t.same_line_fetches t.fetches
+
+let hint_accuracy t =
+  let consulted =
+    t.hint_correct_wp + t.hint_correct_normal + t.hint_missed_saving
+    + t.hint_reaccess
+  in
+  if consulted = 0 then 1.0
+  else ratio (t.hint_correct_wp + t.hint_correct_normal) consulted
+
+let pp_brief ppf t =
+  Format.fprintf ppf
+    "fetches=%d (SL %.1f%%, miss %.3f%%) cycles=%d E(icache)=%.0fpJ"
+    t.fetches
+    (100.0 *. same_line_rate t)
+    (100.0 *. icache_miss_rate t)
+    t.cycles (icache_energy_pj t)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>fetches: %d (same-line %d, way-placed %d, full %d)@,\
+     i-cache: %d hits / %d misses (%.4f%% miss), %d tag comparisons@,\
+     hint: %d/%d correct wp/normal, %d missed, %d re-accesses@,\
+     links: %d follows, %d writes, %d invalidated@,\
+     tlb misses: i=%d d=%d; d-cache: %d accesses, %d misses@,\
+     cycles: %d (IPC %.3f); %a@]"
+    t.fetches t.same_line_fetches t.wp_fetches t.full_fetches t.icache_hits
+    t.icache_misses
+    (100.0 *. icache_miss_rate t)
+    t.tag_comparisons t.hint_correct_wp t.hint_correct_normal
+    t.hint_missed_saving t.hint_reaccess t.link_follows t.link_writes
+    t.links_invalidated t.itlb_misses t.dtlb_misses t.dcache_accesses
+    t.dcache_misses t.cycles
+    (ratio t.retired_instrs t.cycles)
+    Wp_energy.Account.pp t.account

@@ -1,0 +1,51 @@
+(** Counters and energy accounting for one simulation run. *)
+
+type t = {
+  (* instruction fetch *)
+  mutable fetches : int;
+  mutable same_line_fetches : int;  (** served with the tag side off *)
+  mutable wp_fetches : int;  (** single-way (way-placed) accesses *)
+  mutable full_fetches : int;  (** all-way searches *)
+  mutable icache_hits : int;
+  mutable icache_misses : int;
+  mutable tag_comparisons : int;
+  (* way-hint bit (paper Section 4.1) *)
+  mutable hint_correct_wp : int;
+  mutable hint_correct_normal : int;
+  mutable hint_missed_saving : int;
+  mutable hint_reaccess : int;  (** wrong "way-placed" hints: +1 cycle each *)
+  (* way prediction (Inoue et al.) *)
+  mutable waypred_correct : int;
+  mutable waypred_wrong : int;  (** +1 cycle each *)
+  (* filter cache (Kin et al.) *)
+  mutable l0_hits : int;
+  mutable l0_misses : int;  (** +1 cycle each *)
+  (* drowsy lines (Flautner et al.) *)
+  mutable drowsy_wakes : int;  (** +1 cycle each *)
+  (* way-memoization *)
+  mutable link_follows : int;
+  mutable link_writes : int;
+  mutable links_invalidated : int;
+  (* translation *)
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  (* data side *)
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  (* outcome *)
+  mutable cycles : int;
+  mutable retired_instrs : int;
+  account : Wp_energy.Account.t;
+}
+
+val create : unit -> t
+val icache_energy_pj : t -> float
+val total_energy_pj : t -> float
+val icache_miss_rate : t -> float
+val same_line_rate : t -> float
+val hint_accuracy : t -> float
+(** Correct hints over all non-same-line fetches (1.0 when the hint was
+    never consulted). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_brief : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tlb/tlb.ml: Array Format Wp_isa

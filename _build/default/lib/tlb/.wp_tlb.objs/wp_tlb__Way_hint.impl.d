@@ -1,0 +1,1 @@
+lib/tlb/way_hint.ml:

@@ -1,0 +1,70 @@
+type t = {
+  entries : int;
+  page_bytes : int;
+  pages : int array;  (** page base address per entry *)
+  valid : bool array;
+  wp_bits : bool array;
+  mutable rr_next : int;
+}
+
+type lookup = { hit : bool; way_placed : bool }
+
+let create ~entries ~page_bytes =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  if not (Wp_isa.Addr.is_power_of_two page_bytes) then
+    invalid_arg "Tlb.create: page size must be a power of two";
+  {
+    entries;
+    page_bytes;
+    pages = Array.make entries 0;
+    valid = Array.make entries false;
+    wp_bits = Array.make entries false;
+    rr_next = 0;
+  }
+
+let entries t = t.entries
+let page_bytes t = t.page_bytes
+let page_base t addr = Wp_isa.Addr.align_down addr ~alignment:t.page_bytes
+
+let find t page =
+  let rec go i =
+    if i >= t.entries then None
+    else if t.valid.(i) && t.pages.(i) = page then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lookup t addr ~wp_bit_of_page =
+  let page = page_base t addr in
+  match find t page with
+  | Some i -> { hit = true; way_placed = t.wp_bits.(i) }
+  | None ->
+      let victim =
+        let rec invalid i =
+          if i >= t.entries then None
+          else if not t.valid.(i) then Some i
+          else invalid (i + 1)
+        in
+        match invalid 0 with
+        | Some i -> i
+        | None ->
+            let i = t.rr_next in
+            t.rr_next <- (i + 1) mod t.entries;
+            i
+      in
+      let wp = wp_bit_of_page page in
+      t.pages.(victim) <- page;
+      t.valid.(victim) <- true;
+      t.wp_bits.(victim) <- wp;
+      { hit = false; way_placed = wp }
+
+let flush t =
+  Array.fill t.valid 0 t.entries false;
+  t.rr_next <- 0
+
+let valid_entries t =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid
+
+let pp ppf t =
+  Format.fprintf ppf "i-tlb: %d entries, %d B pages, %d valid" t.entries
+    t.page_bytes (valid_entries t)

@@ -1,0 +1,21 @@
+type t = { mutable hint : bool }
+
+type verdict =
+  | Correct_way_placed
+  | Correct_normal
+  | Missed_saving
+  | Needs_reaccess
+
+let create () = { hint = false }
+let predict t = t.hint
+
+let resolve t ~actual =
+  let predicted = t.hint in
+  t.hint <- actual;
+  match (predicted, actual) with
+  | true, true -> Correct_way_placed
+  | false, false -> Correct_normal
+  | false, true -> Missed_saving
+  | true, false -> Needs_reaccess
+
+let reset t = t.hint <- false

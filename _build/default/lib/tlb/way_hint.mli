@@ -1,0 +1,34 @@
+(** The single way-hint bit (paper Section 4.1).
+
+    The I-TLB and the instruction cache are accessed in parallel, so
+    whether the fetch targets the way-placement area is not known until
+    the access has happened.  A single bit, read before the cache,
+    records whether the {e previous} fetch was to the way-placement
+    area and predicts that the next one is too.
+
+    The two mispredict scenarios:
+    - hint says "not way-placed" but the page is: a full-width access
+      is performed — an energy-saving opportunity is merely missed;
+    - hint says "way-placed" but the page is not: the single-way access
+      was useless, and a second, full access must be made — one cycle
+      of penalty plus the extra access energy. *)
+
+type t
+
+type verdict =
+  | Correct_way_placed  (** predicted and actual both way-placed *)
+  | Correct_normal
+  | Missed_saving  (** predicted normal, was way-placed *)
+  | Needs_reaccess  (** predicted way-placed, was normal: 1-cycle penalty *)
+
+val create : unit -> t
+(** Initial prediction is "not way-placed". *)
+
+val predict : t -> bool
+(** True = next access predicted to hit the way-placement area. *)
+
+val resolve : t -> actual:bool -> verdict
+(** Compare the prediction with the way-placement bit read from the
+    I-TLB, update the hint to [actual], and classify the outcome. *)
+
+val reset : t -> unit

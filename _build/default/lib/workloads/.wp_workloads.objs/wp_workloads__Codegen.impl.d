@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Array Basic_block Edge Func Icfg Instr List Opcode Printf Rng Spec Wp_cfg Wp_isa

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Format Result Wp_isa

@@ -1,0 +1,1 @@
+lib/workloads/tracer.ml: Array Basic_block Codegen Icfg Profile Rng Spec Wp_cfg Wp_isa

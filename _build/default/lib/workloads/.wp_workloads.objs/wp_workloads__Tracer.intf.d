@@ -1,0 +1,1 @@
+lib/workloads/tracer.mli: Codegen Wp_cfg

@@ -1,0 +1,461 @@
+open Wp_isa
+open Wp_cfg
+
+type t = {
+  spec : Spec.t;
+  graph : Icfg.t;
+  taken_prob : float array;
+  hot_funcs : bool array;
+}
+
+(* Per-function intermediate form.  Blocks are described first (so
+   forward control transfers can be patched), then emitted to the
+   builder in description order, which preserves every fall-through
+   adjacency in the original binary layout. *)
+type term =
+  | T_fallthrough of int ref  (** local index of the next block *)
+  | T_branch of { taken : int ref; ft : int ref; prob : float }
+  | T_jump of int ref
+  | T_call of { callee : Func.id; cont : int ref }
+  | T_return
+
+type blk = { body : Instr.t array; term : term }
+
+(* A hole is a forward reference waiting for the next emitted block. *)
+type hole = int ref
+
+let unpatched = -1
+
+let sample_plain_instr spec rng =
+  let r = Rng.float rng in
+  if r < spec.Spec.mem_ratio then begin
+    let locality =
+      let l = Rng.float rng in
+      if l < 0.5 then Instr.Sequential
+      else if l < 0.75 then Instr.Strided ((1 + Rng.int rng 16) * 4)
+      else Instr.Random_within spec.Spec.data_working_set_bytes
+    in
+    if Rng.bool rng ~p:0.6 then Instr.load locality else Instr.store locality
+  end
+  else if r < spec.Spec.mem_ratio +. spec.Spec.mac_ratio then Instr.mac
+  else begin
+    match Rng.int rng 5 with
+    | 0 -> Instr.alu Opcode.Add
+    | 1 -> Instr.alu Opcode.Sub
+    | 2 -> Instr.alu Opcode.Logic
+    | 3 -> Instr.alu Opcode.Move
+    | _ -> Instr.alu Opcode.Compare
+  end
+
+(* [n] instructions, the last being [last]. *)
+let instrs spec rng ~n ~last =
+  Array.init n (fun i ->
+      if i = n - 1 then last else sample_plain_instr spec rng)
+
+let plain_body spec rng ~n =
+  Array.init n (fun _ -> sample_plain_instr spec rng)
+
+(* The call graph is layered like a real application: [main] calls a
+   set of phase functions, phases call mid-level helpers, helpers call
+   leaves.  Leaves contain no calls, and only leaves may be called from
+   inside loops; both rules bound the dynamic size of one program run
+   (no multiplicative call-in-loop blow-up through the call DAG) while
+   the layering makes a run sweep a wide slice of the static code. *)
+type zones = { phase_end : int; leaf_start : int }
+
+let zones_of ~num_funcs =
+  let phase_end = min num_funcs (2 + (num_funcs / 10)) in
+  let leaf_start = max phase_end (num_funcs - max 1 (num_funcs * 2 / 5)) in
+  { phase_end; leaf_start }
+
+type fn_state = {
+  spec : Spec.t;
+  rng : Rng.t;
+  mutable blks : blk list;  (** reversed *)
+  mutable nblks : int;
+  mutable probs : float list;  (** reversed, aligned with blks *)
+  func_id : Func.id;
+  num_funcs : int;
+  hot : bool array;
+  zones : zones;
+  mutable depth0_calls : int;
+}
+
+let fresh st ~body ~term ~prob =
+  assert (Array.length body > 0);
+  let idx = st.nblks in
+  st.blks <- { body; term } :: st.blks;
+  st.probs <- prob :: st.probs;
+  st.nblks <- idx + 1;
+  idx
+
+let patch holes idx = List.iter (fun r -> r := idx) holes
+
+let block_len st =
+  Rng.int_in st.rng ~min:st.spec.Spec.instrs_per_block_min
+    ~max:st.spec.Spec.instrs_per_block_max
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let branch_prob st =
+  clamp 0.05 0.95 (st.spec.Spec.if_taken_bias +. (Rng.float st.rng -. 0.5) *. 0.4)
+
+(* Latch continue-probability for [trips] expected iterations. *)
+let latch_prob trips = float_of_int trips /. float_of_int (trips + 1)
+
+(* Call targets descend one layer: main -> phases -> mids -> leaves.
+   In-loop calls ([leaf_only]) always pick from the leaf zone. *)
+let callee_range st ~leaf_only =
+  let n = st.num_funcs in
+  let { phase_end; leaf_start } = st.zones in
+  let lo, hi =
+    if leaf_only then (leaf_start, n - 1)
+    else if st.func_id = 0 then (1, phase_end - 1)
+    else if st.func_id < phase_end then (phase_end, leaf_start - 1)
+    else (leaf_start, n - 1)
+  in
+  (* Degenerate zones (tiny programs): fall back to any later id. *)
+  let lo = max lo (st.func_id + 1) in
+  if lo > hi then (st.func_id + 1, n - 1) else (lo, hi)
+
+let choose_callee st ~leaf_only =
+  let lo, hi = callee_range st ~leaf_only in
+  if lo > hi then None
+  else begin
+    (* Leaf targets are drawn uniformly: each helper binds its own
+       leaves, so a phase's working set spans distinct code instead of
+       every helper sharing one hot leaf.  Hotness of leaves emerges
+       from the loops around their call sites. *)
+    let prefer_hot =
+      (not leaf_only) && Rng.bool st.rng ~p:st.spec.Spec.hot_call_bias
+    in
+    let hot_candidates =
+      let rec collect i acc =
+        if i > hi then acc else collect (i + 1) (if st.hot.(i) then i :: acc else acc)
+      in
+      collect lo []
+    in
+    match (prefer_hot, hot_candidates) with
+    | true, _ :: _ ->
+        let arr = Array.of_list hot_candidates in
+        Some arr.(Rng.int st.rng (Array.length arr))
+    | true, [] | false, _ -> Some (Rng.int_in st.rng ~min:lo ~max:hi)
+  end
+
+let is_leaf st = st.func_id >= st.zones.leaf_start
+
+(* Emit one straight block; possibly a call site.  Inside loops only
+   leaf callees are allowed (see [fn_state.leaf_start]); leaf
+   functions never call. *)
+let emit_straight st ~depth : int * hole list =
+  let n = block_len st in
+  let is_phase = st.func_id > 0 && st.func_id < st.zones.phase_end in
+  let depth0_call_p =
+    if st.func_id = 0 then 0.75 else if is_phase then 0.50 else 0.30
+  in
+  let callee =
+    if is_leaf st then None
+    else if depth = 0 then
+      if Rng.bool st.rng ~p:depth0_call_p then choose_callee st ~leaf_only:false
+      else None
+    else if depth = 1 then
+      (* Phase loops cycle over mid-level helpers (whose own loops call
+         leaves), so one phase's instantaneous working set spans many
+         functions; mid loops call leaves only, bounding the blow-up. *)
+      if is_phase && Rng.bool st.rng ~p:0.30 then
+        choose_callee st ~leaf_only:false
+      else if Rng.bool st.rng ~p:0.28 then choose_callee st ~leaf_only:true
+      else None
+    else None
+  in
+  match callee with
+  | Some callee ->
+      if depth = 0 then st.depth0_calls <- st.depth0_calls + 1;
+      let cont = ref unpatched in
+      let idx =
+        fresh st
+          ~body:(instrs st.spec st.rng ~n ~last:Instr.call)
+          ~term:(T_call { callee; cont }) ~prob:0.0
+      in
+      (idx, [ cont ])
+  | None ->
+      let hole = ref unpatched in
+      let idx =
+        fresh st ~body:(plain_body st.spec st.rng ~n)
+          ~term:(T_fallthrough hole) ~prob:0.0
+      in
+      (idx, [ hole ])
+
+(* Budgeted recursive generation of a region sequence.  Returns the
+   first emitted block's index and the trailing holes to patch to
+   whatever follows the sequence.  [budget] counts blocks,
+   approximately. *)
+let rec emit_seq st ~budget ~depth ~entry_holes : hole list =
+  if budget <= 0 then entry_holes
+  else begin
+    let remaining, holes =
+      if depth < st.spec.Spec.max_loop_depth && budget >= 4 && Rng.bool st.rng ~p:0.30
+      then emit_loop st ~budget ~depth ~entry_holes
+      else if budget >= 5 && Rng.bool st.rng ~p:0.35 then
+        emit_if st ~budget ~depth ~entry_holes
+      else begin
+        let idx, holes = emit_straight st ~depth in
+        patch entry_holes idx;
+        (budget - 1, holes)
+      end
+    in
+    emit_seq st ~budget:remaining ~depth ~entry_holes:holes
+  end
+
+and emit_loop st ~budget ~depth ~entry_holes : int * hole list =
+  (* body_first ... body blocks ... latch(Branch taken->body_first). *)
+  let body_budget = 1 + Rng.int st.rng (min (budget - 2) 6) in
+  let first_idx = st.nblks in
+  let body_holes =
+    emit_seq st ~budget:body_budget ~depth:(depth + 1) ~entry_holes
+  in
+  (* The sequence emitted at least one block (budget >= 1), so
+     [first_idx] is the loop header. *)
+  let trips =
+    (* Leaves are the ultra-hot kernels: their loops iterate hard
+       (hot leaves doubly so).  Non-leaf loops iterate lightly, so the
+       multi-function working set of a phase is cycled rather than
+       parked in one helper.  Inner levels of a nest also iterate less
+       so a deep nest cannot swallow a whole run's block budget. *)
+    let base = st.spec.Spec.avg_loop_trips in
+    let scaled =
+      if is_leaf st then
+        (* A few leaves are the super-hot kernels that dominate the
+           dynamic profile; hot leaves iterate 4x, cold ones 1x. *)
+        if st.hot.(st.func_id) then base * 4 else base
+      else max 2 (base / 3)
+    in
+    let tapered = max 2 (scaled / (depth + 1)) in
+    max 1 (int_of_float (float_of_int tapered *. (0.5 +. Rng.float st.rng)))
+  in
+  let exit_hole = ref unpatched in
+  let taken = ref first_idx in
+  let latch =
+    fresh st
+      ~body:(instrs st.spec st.rng ~n:(max 2 (block_len st / 2)) ~last:Instr.branch)
+      ~term:(T_branch { taken; ft = exit_hole; prob = latch_prob trips })
+      ~prob:(latch_prob trips)
+  in
+  patch body_holes latch;
+  (budget - body_budget - 1, [ exit_hole ])
+
+and emit_if st ~budget ~depth ~entry_holes : int * hole list =
+  let prob = branch_prob st in
+  let taken = ref unpatched and ft = ref unpatched in
+  let cond =
+    fresh st
+      ~body:(instrs st.spec st.rng ~n:(block_len st) ~last:Instr.branch)
+      ~term:(T_branch { taken; ft; prob })
+      ~prob
+  in
+  patch entry_holes cond;
+  let arm_budget b = 1 + Rng.int st.rng (max 1 (min b 4)) in
+  (* Then-arm: falls in from the cond block, ends with a jump over the
+     else-arm. *)
+  let then_budget = arm_budget ((budget - 2) / 2) in
+  let then_first = st.nblks in
+  let then_holes =
+    emit_seq st ~budget:then_budget ~depth ~entry_holes:[]
+  in
+  ft := then_first;
+  let join_hole = ref unpatched in
+  let jump_idx =
+    fresh st
+      ~body:(instrs st.spec st.rng ~n:1 ~last:Instr.jump)
+      ~term:(T_jump join_hole) ~prob:0.0
+  in
+  patch then_holes jump_idx;
+  (* Else-arm: entered by the taken edge, falls through to the join. *)
+  let else_budget = arm_budget ((budget - 2) / 2) in
+  let else_first = st.nblks in
+  let else_holes =
+    emit_seq st ~budget:else_budget ~depth ~entry_holes:[]
+  in
+  taken := else_first;
+  (budget - then_budget - else_budget - 2, join_hole :: else_holes)
+
+let emit_function ~spec ~rng ~func_id ~num_funcs ~hot ~zones =
+  let st =
+    {
+      spec;
+      rng;
+      blks = [];
+      nblks = 0;
+      probs = [];
+      func_id;
+      num_funcs;
+      hot;
+      zones;
+      depth0_calls = 0;
+    }
+  in
+  let budget =
+    if func_id = 0 then
+      (* main is a small driver: a prologue plus the phase loop below.
+         Random loops in main would starve the phase sweep. *)
+      2
+    else
+      Rng.int_in rng ~min:spec.Spec.blocks_per_func_min
+        ~max:spec.Spec.blocks_per_func_max
+  in
+  (* The entry must exist even with a tiny budget: emit the body, then
+     the return block that all trailing holes reach. *)
+  let trailing =
+    if func_id = 0 then begin
+      let hole = ref unpatched in
+      let idx =
+        fresh st
+          ~body:(plain_body st.spec st.rng ~n:(block_len st))
+          ~term:(T_fallthrough hole) ~prob:0.0
+      in
+      ignore idx;
+      [ hole ]
+    end
+    else emit_seq st ~budget ~depth:0 ~entry_holes:[]
+  in
+  ignore budget;
+  (* Every non-leaf function is guaranteed some unconditional top-level
+     call sites (main drives several phases); without this, an unlucky
+     seed produces a main that returns immediately and the benchmark
+     degenerates.  main's phase calls sit inside an outer loop - the
+     program processes several work items per run - so every outer
+     iteration sweeps the whole executed footprint through the
+     instruction cache, which is what makes cache size matter. *)
+  let append_call trailing callee =
+    let cont = ref unpatched in
+    let idx =
+      fresh st
+        ~body:(instrs st.spec st.rng ~n:(block_len st) ~last:Instr.call)
+        ~term:(T_call { callee; cont })
+        ~prob:0.0
+    in
+    patch !trailing idx;
+    trailing := [ cont ];
+    idx
+  in
+  let append_driver_loop trailing ~wanted ~trips =
+    let first_call = ref (-1) in
+    for _ = 1 to wanted do
+      match choose_callee st ~leaf_only:false with
+      | None -> ()
+      | Some callee ->
+          let idx = append_call trailing callee in
+          if !first_call < 0 then first_call := idx
+    done;
+    if !first_call >= 0 && trips > 1 then begin
+      let prob = latch_prob trips in
+      let exit_hole = ref unpatched in
+      let latch =
+        fresh st
+          ~body:(instrs st.spec st.rng ~n:2 ~last:Instr.branch)
+          ~term:(T_branch { taken = ref !first_call; ft = exit_hole; prob })
+          ~prob
+      in
+      patch !trailing latch;
+      trailing := [ exit_hole ]
+    end
+  in
+  let trailing = ref trailing in
+  if func_id = 0 then
+    (* main sweeps its phases ~3 times per run. *)
+    append_driver_loop trailing
+      ~wanted:(max 4 (min 14 (zones.phase_end - 1)))
+      ~trips:3
+  else if func_id < zones.phase_end then
+    (* A phase iterates over a pipeline of mid-level helpers, so its
+       loop's instruction working set spans several functions at
+       once. *)
+    begin
+      let mids = max 1 (zones.leaf_start - zones.phase_end) in
+      append_driver_loop trailing
+        ~wanted:(max 3 (min 8 (mids / 4)))
+        ~trips:(max 4 spec.Spec.avg_loop_trips)
+    end
+  else if not (is_leaf st) then begin
+    let missing = max 0 (1 - st.depth0_calls) in
+    for _ = 1 to missing do
+      match choose_callee st ~leaf_only:false with
+      | None -> ()
+      | Some callee -> ignore (append_call trailing callee)
+    done
+  end;
+  let trailing = !trailing in
+  let ret_idx =
+    fresh st
+      ~body:(instrs spec rng ~n:(max 1 (block_len st / 2)) ~last:Instr.return)
+      ~term:T_return ~prob:0.0
+  in
+  patch trailing ret_idx;
+  (Array.of_list (List.rev st.blks), Array.of_list (List.rev st.probs))
+
+let generate spec =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Codegen.generate: " ^ msg));
+  let rng = Rng.create spec.Spec.seed in
+  let num_funcs = spec.Spec.num_funcs in
+  let hot = Array.make num_funcs false in
+  hot.(0) <- true;
+  for i = 1 to num_funcs - 1 do
+    hot.(i) <- Rng.bool rng ~p:spec.Spec.hot_func_fraction
+  done;
+  (* Phase 1: describe every function. *)
+  let zones = zones_of ~num_funcs in
+  let descriptions =
+    Array.init num_funcs (fun func_id ->
+        emit_function ~spec ~rng:(Rng.split rng) ~func_id ~num_funcs ~hot
+          ~zones)
+  in
+  (* Phase 2: emit to the builder; record the global id of each local
+     block and each function entry. *)
+  let builder = Icfg.Builder.create () in
+  let global_base = Array.make num_funcs 0 in
+  Array.iteri
+    (fun func_id (blks, _) ->
+      let fid = Icfg.Builder.add_func builder ~name:(Printf.sprintf "f%d" func_id) in
+      assert (fid = func_id);
+      Array.iteri
+        (fun local (b : blk) ->
+          let gid = Icfg.Builder.add_block builder ~func:func_id b.body in
+          if local = 0 then global_base.(func_id) <- gid)
+        blks)
+    descriptions;
+  (* Phase 3: edges, now that every id (including callee entries) is
+     known.  Local index i of function f has global id base(f) + i
+     because blocks were added contiguously. *)
+  let nblocks = ref 0 in
+  Array.iter (fun (blks, _) -> nblocks := !nblocks + Array.length blks) descriptions;
+  let taken_prob = Array.make !nblocks 0.0 in
+  Array.iteri
+    (fun func_id (blks, probs) ->
+      let base = global_base.(func_id) in
+      Array.iteri
+        (fun local (b : blk) ->
+          let src = base + local in
+          taken_prob.(src) <- probs.(local);
+          match b.term with
+          | T_fallthrough nxt ->
+              Icfg.Builder.add_edge builder ~src ~dst:(base + !nxt) Edge.Fallthrough
+          | T_branch { taken; ft; prob = _ } ->
+              Icfg.Builder.add_edge builder ~src ~dst:(base + !taken) Edge.Taken;
+              Icfg.Builder.add_edge builder ~src ~dst:(base + !ft) Edge.Fallthrough
+          | T_jump nxt ->
+              Icfg.Builder.add_edge builder ~src ~dst:(base + !nxt) Edge.Taken
+          | T_call { callee; cont } ->
+              Icfg.Builder.add_edge builder ~src ~dst:global_base.(callee)
+                Edge.Call_to;
+              Icfg.Builder.add_edge builder ~src ~dst:(base + !cont)
+                Edge.Fallthrough
+          | T_return -> ())
+        blks)
+    descriptions;
+  Icfg.Builder.set_entry builder global_base.(0);
+  let graph = Icfg.Builder.finish builder in
+  { spec; graph; taken_prob; hot_funcs = hot }
+
+let hot_block t id = t.hot_funcs.((Icfg.block t.graph id).Basic_block.func)

@@ -1,0 +1,27 @@
+(** Synthetic program generation.
+
+    Turns a {!Spec.t} into a well-formed ICFG plus the stochastic
+    branch behaviour the trace walker needs.  Generation is structured
+    (sequences, if-diamonds, natural loops, call sites), emits blocks
+    in compiled order — every fall-through edge's target directly
+    follows its source — and is fully deterministic in the spec's
+    seed.
+
+    Calls always target functions with a strictly larger id, so the
+    call graph is acyclic and the walker's stack is bounded by the
+    function count. *)
+
+type t = {
+  spec : Spec.t;
+  graph : Wp_cfg.Icfg.t;
+  taken_prob : float array;
+      (** per block id: probability that the terminating branch is
+          taken; meaningful only for [Branch] terminators *)
+  hot_funcs : bool array;  (** per function id: member of the hot set *)
+}
+
+val generate : Spec.t -> t
+(** @raise Invalid_argument if the spec fails {!Spec.validate}. *)
+
+val hot_block : t -> Wp_cfg.Basic_block.id -> bool
+(** Whether the block belongs to a hot function. *)

@@ -1,0 +1,20 @@
+(** The 23 MiBench benchmarks of the paper's evaluation (Section 5).
+
+    Each specification mirrors the corresponding MiBench program's
+    observable fetch behaviour: static code size, loop structure, hot
+    working-set size, call-graph shape and memory intensity.  The
+    excluded programs (lame, mad, typeset, ghostscript, gsm — rejected
+    by the authors' gcc; basicmath, qsort, dijkstra, stringsearch —
+    inconsistent train/test programs) are likewise omitted here. *)
+
+val all : Spec.t list
+(** In the order of the paper's Figure 4 x-axis. *)
+
+val names : string list
+
+val find : string -> Spec.t
+(** @raise Not_found for an unknown name. *)
+
+val tiny : Spec.t
+(** A miniature benchmark for unit tests and the quickstart example:
+    runs in milliseconds. *)

@@ -1,0 +1,32 @@
+(** SplitMix64: a small, fast, deterministic PRNG.
+
+    Every stochastic choice in the workload generator and trace walker
+    flows through an explicit [Rng.t], so a benchmark is a pure
+    function of its specification — two runs with the same seed are
+    bit-identical, which the tests rely on. *)
+
+type t
+
+val create : int -> t
+(** Seed with any integer. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> min:int -> max:int -> int
+(** Uniform in [\[min, max\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> p:float -> bool
+(** True with probability [p]. *)
+
+val split : t -> t
+(** Derive an independent stream (for per-function sub-generators). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array List Option QCheck QCheck_alcotest Wayplace

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array QCheck QCheck_alcotest Wayplace

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Bytes Format Option Printf QCheck QCheck_alcotest Result Wayplace

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest QCheck QCheck_alcotest Wayplace

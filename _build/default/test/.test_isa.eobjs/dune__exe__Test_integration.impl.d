@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Wayplace

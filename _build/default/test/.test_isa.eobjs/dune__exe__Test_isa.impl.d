@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest List QCheck QCheck_alcotest Wayplace

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array List QCheck QCheck_alcotest String Wayplace

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Filename Fun Printf Result Sys Wayplace

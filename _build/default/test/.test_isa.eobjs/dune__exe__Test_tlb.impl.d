@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest List QCheck QCheck_alcotest Wayplace

@@ -1,0 +1,162 @@
+(* Tests for dominators and natural-loop detection. *)
+
+module Isa = Wayplace.Isa
+module Icfg = Wayplace.Cfg.Icfg
+module Edge = Wayplace.Cfg.Edge
+module Analysis = Wayplace.Cfg.Analysis
+
+let alu = Isa.Instr.alu Isa.Opcode.Add
+let branch = Isa.Instr.branch
+let jump = Isa.Instr.jump
+let ret = Isa.Instr.return
+
+(* A function with one loop and an if-diamond inside it:
+
+     b0 entry (plain)
+     b1 loop header (plain)
+     b2 cond (branch: taken -> b4, ft -> b3)
+     b3 then (jump -> b5)
+     b4 else (plain, ft -> b5)
+     b5 latch (branch: taken -> b1, ft -> b6)
+     b6 ret                                                        *)
+let build_loop_graph () =
+  let b = Icfg.Builder.create () in
+  let f = Icfg.Builder.add_func b ~name:"f" in
+  let b0 = Icfg.Builder.add_block b ~func:f [| alu |] in
+  let b1 = Icfg.Builder.add_block b ~func:f [| alu |] in
+  let b2 = Icfg.Builder.add_block b ~func:f [| branch |] in
+  let b3 = Icfg.Builder.add_block b ~func:f [| jump |] in
+  let b4 = Icfg.Builder.add_block b ~func:f [| alu |] in
+  let b5 = Icfg.Builder.add_block b ~func:f [| branch |] in
+  let b6 = Icfg.Builder.add_block b ~func:f [| ret |] in
+  Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b2 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b4 Edge.Taken;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b3 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b3 ~dst:b5 Edge.Taken;
+  Icfg.Builder.add_edge b ~src:b4 ~dst:b5 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b5 ~dst:b1 Edge.Taken;
+  Icfg.Builder.add_edge b ~src:b5 ~dst:b6 Edge.Fallthrough;
+  (Icfg.Builder.finish b, (b0, b1, b2, b3, b4, b5, b6))
+
+let test_rpo_starts_at_entry () =
+  let graph, (b0, _, _, _, _, _, _) = build_loop_graph () in
+  let rpo = Analysis.reverse_postorder graph ~entry:b0 in
+  Alcotest.(check int) "entry first" b0 rpo.(0);
+  Alcotest.(check int) "all reachable" 7 (Array.length rpo)
+
+let test_rpo_respects_order () =
+  let graph, (b0, b1, b2, _, _, b5, b6) = build_loop_graph () in
+  let rpo = Analysis.reverse_postorder graph ~entry:b0 in
+  let pos id =
+    let rec go i = if rpo.(i) = id then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "header before latch" true (pos b1 < pos b5);
+  Alcotest.(check bool) "cond before latch" true (pos b2 < pos b5);
+  Alcotest.(check bool) "latch before exit or after" true (pos b6 > pos b1)
+
+let test_idoms () =
+  let graph, (b0, b1, b2, b3, b4, b5, b6) = build_loop_graph () in
+  let idoms = Analysis.immediate_dominators graph ~entry:b0 in
+  let idom id = List.assoc id idoms in
+  Alcotest.(check int) "b1's idom" b0 (idom b1);
+  Alcotest.(check int) "b2's idom" b1 (idom b2);
+  Alcotest.(check int) "b3's idom" b2 (idom b3);
+  Alcotest.(check int) "b4's idom" b2 (idom b4);
+  Alcotest.(check int) "join's idom is the cond" b2 (idom b5);
+  Alcotest.(check int) "exit's idom" b5 (idom b6)
+
+let test_dominates () =
+  let graph, (b0, b1, b2, b3, _, b5, b6) = build_loop_graph () in
+  let dom = Analysis.dominates graph ~entry:b0 in
+  Alcotest.(check bool) "entry dominates all" true (dom b0 b6);
+  Alcotest.(check bool) "self domination" true (dom b2 b2);
+  Alcotest.(check bool) "header dominates latch" true (dom b1 b5);
+  Alcotest.(check bool) "then-arm does not dominate join" false (dom b3 b5);
+  Alcotest.(check bool) "no reverse domination" false (dom b6 b0)
+
+let test_natural_loop () =
+  let graph, (b0, b1, b2, b3, b4, b5, _) = build_loop_graph () in
+  match Analysis.natural_loops graph ~entry:b0 with
+  | [ loop ] ->
+      Alcotest.(check int) "header" b1 loop.Analysis.header;
+      Alcotest.(check (list int)) "body" [ b1; b2; b3; b4; b5 ] loop.Analysis.blocks;
+      Alcotest.(check (list (pair int int))) "back edge" [ (b5, b1) ]
+        loop.Analysis.back_edges
+  | loops -> Alcotest.failf "expected one loop, got %d" (List.length loops)
+
+let test_loop_depths () =
+  let graph, (b0, b1, _, _, _, _, b6) = build_loop_graph () in
+  Alcotest.(check int) "entry depth 0" 0 (Analysis.loop_depth graph ~entry:b0 b0);
+  Alcotest.(check int) "header depth 1" 1 (Analysis.loop_depth graph ~entry:b0 b1);
+  Alcotest.(check int) "exit depth 0" 0 (Analysis.loop_depth graph ~entry:b0 b6)
+
+(* The generator's loop structure must be visible to the analysis:
+   generated functions with max_loop_depth >= 1 contain natural loops,
+   and the nesting never exceeds the spec (plus the driver loop). *)
+let test_generated_loops () =
+  let spec = Wayplace.Workloads.Mibench.find "fft" in
+  let program = Wayplace.Workloads.Codegen.generate spec in
+  let graph = program.Wayplace.Workloads.Codegen.graph in
+  let total_loops = ref 0 in
+  let max_depth = ref 0 in
+  Array.iter
+    (fun (f : Wayplace.Cfg.Func.t) ->
+      let loops = Analysis.natural_loops graph ~entry:f.Wayplace.Cfg.Func.entry in
+      total_loops := !total_loops + List.length loops;
+      List.iter
+        (fun (l : Analysis.loop) ->
+          max_depth :=
+            max !max_depth
+              (Analysis.loop_depth graph ~entry:f.Wayplace.Cfg.Func.entry
+                 l.Analysis.header))
+        loops)
+    (Icfg.funcs graph);
+  Alcotest.(check bool) "benchmark has loops" true (!total_loops > 10);
+  Alcotest.(check bool) "nesting bounded by spec + driver" true
+    (!max_depth <= spec.Wayplace.Workloads.Spec.max_loop_depth + 1)
+
+let test_no_loops_in_straight_line () =
+  let b = Icfg.Builder.create () in
+  let f = Icfg.Builder.add_func b ~name:"f" in
+  let b0 = Icfg.Builder.add_block b ~func:f [| alu |] in
+  let b1 = Icfg.Builder.add_block b ~func:f [| ret |] in
+  Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+  let graph = Icfg.Builder.finish b in
+  Alcotest.(check int) "no loops" 0
+    (List.length (Analysis.natural_loops graph ~entry:b0))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_function_summary () =
+  let graph, _ = build_loop_graph () in
+  let f = Icfg.func graph 0 in
+  let summary = Analysis.function_summary graph f in
+  Alcotest.(check bool) "mentions one loop" true
+    (contains_substring summary "1 loops");
+  Alcotest.(check bool) "mentions nesting" true
+    (contains_substring summary "max nesting 1")
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "dominators",
+        [
+          Alcotest.test_case "rpo entry" `Quick test_rpo_starts_at_entry;
+          Alcotest.test_case "rpo ordering" `Quick test_rpo_respects_order;
+          Alcotest.test_case "immediate dominators" `Quick test_idoms;
+          Alcotest.test_case "dominates" `Quick test_dominates;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "natural loop" `Quick test_natural_loop;
+          Alcotest.test_case "loop depths" `Quick test_loop_depths;
+          Alcotest.test_case "generated benchmarks" `Quick test_generated_loops;
+          Alcotest.test_case "straight line" `Quick test_no_loops_in_straight_line;
+          Alcotest.test_case "summary" `Quick test_function_summary;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for basic blocks, edges, the ICFG builder/validator and
+   profiles. *)
+
+module Isa = Wayplace.Isa
+module Cfg = Wayplace.Cfg
+module BB = Wayplace.Cfg.Basic_block
+module Icfg = Wayplace.Cfg.Icfg
+module Edge = Wayplace.Cfg.Edge
+module Profile = Wayplace.Cfg.Profile
+
+let alu = Isa.Instr.alu Isa.Opcode.Add
+let branch = Isa.Instr.branch
+let jump = Isa.Instr.jump
+let call = Isa.Instr.call
+let ret = Isa.Instr.return
+
+(* --- Basic_block --- *)
+
+let test_block_make () =
+  let b = BB.make ~id:3 ~func:1 ~instrs:[| alu; alu; branch |] in
+  Alcotest.(check int) "size" 3 (BB.size_instrs b);
+  Alcotest.(check int) "bytes" 12 (BB.size_bytes b);
+  Alcotest.(check bool) "terminator" true (BB.terminator b = Isa.Opcode.Branch)
+
+let test_block_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Basic_block.make: empty block")
+    (fun () -> ignore (BB.make ~id:0 ~func:0 ~instrs:[||]))
+
+let test_block_control_middle () =
+  Alcotest.check_raises "control in middle"
+    (Invalid_argument "Basic_block.make: control instruction before block end")
+    (fun () -> ignore (BB.make ~id:0 ~func:0 ~instrs:[| branch; alu |]))
+
+let test_falls_through () =
+  let mk instrs = BB.make ~id:0 ~func:0 ~instrs in
+  Alcotest.(check bool) "plain" true (BB.falls_through (mk [| alu |]));
+  Alcotest.(check bool) "branch" true (BB.falls_through (mk [| branch |]));
+  Alcotest.(check bool) "call" true (BB.falls_through (mk [| call |]));
+  Alcotest.(check bool) "jump" false (BB.falls_through (mk [| jump |]));
+  Alcotest.(check bool) "return" false (BB.falls_through (mk [| ret |]))
+
+(* --- Edge --- *)
+
+let test_edge_layout_constraint () =
+  let e kind = Edge.make ~src:0 ~dst:1 kind in
+  Alcotest.(check bool) "fallthrough" true (Edge.is_layout_constraint (e Edge.Fallthrough));
+  Alcotest.(check bool) "taken" false (Edge.is_layout_constraint (e Edge.Taken));
+  Alcotest.(check bool) "call" false (Edge.is_layout_constraint (e Edge.Call_to))
+
+(* --- Icfg builder helpers --- *)
+
+(* A two-function program:
+     f0: b0(alu, fallthrough) b1(branch: taken->b0? no: taken->b3 ft->b2)
+         b2(call f1, ft b3) b3(ret)
+     f1: b4(alu ft) b5(ret) *)
+let build_valid () =
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let f1 = Icfg.Builder.add_func b ~name:"helper" in
+  let b0 = Icfg.Builder.add_block b ~func:f0 [| alu; alu |] in
+  let b1 = Icfg.Builder.add_block b ~func:f0 [| alu; branch |] in
+  let b2 = Icfg.Builder.add_block b ~func:f0 [| call |] in
+  let b3 = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  let b4 = Icfg.Builder.add_block b ~func:f1 [| alu |] in
+  let b5 = Icfg.Builder.add_block b ~func:f1 [| ret |] in
+  Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b3 Edge.Taken;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b2 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b4 Edge.Call_to;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b3 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b4 ~dst:b5 Edge.Fallthrough;
+  (Icfg.Builder.finish b, (b0, b1, b2, b3, b4, b5))
+
+let test_builder_valid () =
+  let graph, (b0, b1, b2, b3, b4, _b5) = build_valid () in
+  Alcotest.(check int) "blocks" 6 (Icfg.num_blocks graph);
+  Alcotest.(check int) "funcs" 2 (Icfg.num_funcs graph);
+  Alcotest.(check int) "entry" b0 (Icfg.entry graph);
+  Alcotest.(check (option int)) "fallthrough" (Some b1) (Icfg.fallthrough_succ graph b0);
+  Alcotest.(check (option int)) "taken" (Some b3) (Icfg.taken_succ graph b1);
+  Alcotest.(check (option int)) "call target" (Some b4) (Icfg.call_target graph b2);
+  Alcotest.(check (option int)) "return no succ" None (Icfg.fallthrough_succ graph b3);
+  Alcotest.(check int) "static instrs" 8 (Icfg.total_static_instrs graph);
+  Alcotest.(check int) "static bytes" 32 (Icfg.total_static_bytes graph)
+
+let test_builder_original_order () =
+  let graph, _ = build_valid () in
+  Alcotest.(check (list int)) "identity order" [ 0; 1; 2; 3; 4; 5 ]
+    (Array.to_list (Icfg.original_order graph))
+
+let expect_invalid name build =
+  Alcotest.(check bool) name true
+    (match build () with
+    | (_ : Icfg.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_branch_needs_both_edges () =
+  expect_invalid "branch without taken" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let b0 = Icfg.Builder.add_block b ~func:f [| branch |] in
+      let b1 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+      Icfg.Builder.finish b)
+
+let test_jump_needs_taken_only () =
+  expect_invalid "jump with fallthrough" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let b0 = Icfg.Builder.add_block b ~func:f [| jump |] in
+      let b1 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Taken;
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+      Icfg.Builder.finish b)
+
+let test_return_no_edges () =
+  expect_invalid "return with edge" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let b0 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      let b1 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+      Icfg.Builder.finish b)
+
+let test_call_to_non_entry () =
+  expect_invalid "call to non-entry" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let b0 = Icfg.Builder.add_block b ~func:f [| call |] in
+      let b1 = Icfg.Builder.add_block b ~func:f [| alu |] in
+      let b2 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      (* call edge to b1, which is not a function entry *)
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Call_to;
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+      Icfg.Builder.add_edge b ~src:b1 ~dst:b2 Edge.Fallthrough;
+      Icfg.Builder.finish b)
+
+let test_double_fallthrough_into_block () =
+  expect_invalid "two fall-throughs into one block" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let b0 = Icfg.Builder.add_block b ~func:f [| alu |] in
+      let b1 = Icfg.Builder.add_block b ~func:f [| alu |] in
+      let b2 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      Icfg.Builder.add_edge b ~src:b0 ~dst:b2 Edge.Fallthrough;
+      Icfg.Builder.add_edge b ~src:b1 ~dst:b2 Edge.Fallthrough;
+      Icfg.Builder.finish b)
+
+let test_empty_function_rejected () =
+  expect_invalid "empty function" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let _ = Icfg.Builder.add_func b ~name:"empty" in
+      let b0 = Icfg.Builder.add_block b ~func:f [| ret |] in
+      ignore b0;
+      Icfg.Builder.finish b)
+
+let test_plain_block_needs_fallthrough () =
+  expect_invalid "plain block with no successor" (fun () ->
+      let b = Icfg.Builder.create () in
+      let f = Icfg.Builder.add_func b ~name:"f" in
+      let _b0 = Icfg.Builder.add_block b ~func:f [| alu |] in
+      Icfg.Builder.finish b)
+
+(* --- Profile --- *)
+
+let test_profile_counts () =
+  let p = Profile.create ~num_blocks:4 in
+  Profile.record_block p 1;
+  Profile.record_block p 1;
+  Profile.record_block_n p 3 10;
+  Alcotest.(check int) "b0" 0 (Profile.block_count p 0);
+  Alcotest.(check int) "b1" 2 (Profile.block_count p 1);
+  Alcotest.(check int) "b3" 10 (Profile.block_count p 3);
+  Alcotest.(check int) "num blocks" 4 (Profile.num_blocks p)
+
+let test_profile_negative () =
+  let p = Profile.create ~num_blocks:1 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Profile.record_block_n: negative count") (fun () ->
+      Profile.record_block_n p 0 (-1))
+
+let test_profile_dynamic_instrs () =
+  let graph, (b0, b1, _, _, _, _) = build_valid () in
+  let p = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  Profile.record_block_n p b0 5;
+  (* b0 has 2 instrs *)
+  Profile.record_block_n p b1 3;
+  (* b1 has 2 instrs *)
+  Alcotest.(check int) "dynamic" 16 (Profile.dynamic_instrs p graph);
+  Alcotest.(check int) "per block" 10 (Profile.block_dynamic_instrs p graph b0)
+
+let test_profile_hottest_first () =
+  let p = Profile.create ~num_blocks:4 in
+  Profile.record_block_n p 2 100;
+  Profile.record_block_n p 0 50;
+  Profile.record_block_n p 3 50;
+  Alcotest.(check (list int)) "order with id ties" [ 2; 0; 3; 1 ]
+    (Array.to_list (Profile.hottest_first p))
+
+let test_profile_coverage () =
+  let graph, (b0, _, _, _, _, _) = build_valid () in
+  let p = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  Profile.record_block_n p b0 100;
+  Alcotest.(check (float 0.0001)) "one hot block fully covers" 1.0
+    (Profile.coverage p graph ~fraction_of_blocks:0.2);
+  Alcotest.(check (float 0.0001)) "zero fraction covers nothing" 0.0
+    (Profile.coverage p graph ~fraction_of_blocks:0.0);
+  Alcotest.check_raises "fraction range"
+    (Invalid_argument "Profile.coverage: fraction out of [0,1]") (fun () ->
+      ignore (Profile.coverage p graph ~fraction_of_blocks:1.5))
+
+let test_profile_scale () =
+  let p = Profile.create ~num_blocks:2 in
+  Profile.record_block_n p 0 3;
+  let q = Profile.scale p 4 in
+  Alcotest.(check int) "scaled" 12 (Profile.block_count q 0);
+  Alcotest.(check int) "original untouched" 3 (Profile.block_count p 0)
+
+let prop_coverage_monotone =
+  QCheck.Test.make ~name:"coverage is monotone in the fraction" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (a, b) ->
+      let graph, _ = build_valid () in
+      let p = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+      Profile.record_block_n p 0 (a + 1);
+      Profile.record_block_n p 4 (b + 1);
+      let c1 = Profile.coverage p graph ~fraction_of_blocks:0.3 in
+      let c2 = Profile.coverage p graph ~fraction_of_blocks:0.8 in
+      c1 <= c2 +. 1e-9)
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "basic_block",
+        [
+          Alcotest.test_case "make" `Quick test_block_make;
+          Alcotest.test_case "rejects empty" `Quick test_block_empty;
+          Alcotest.test_case "rejects early control" `Quick test_block_control_middle;
+          Alcotest.test_case "falls_through" `Quick test_falls_through;
+        ] );
+      ( "edge",
+        [ Alcotest.test_case "layout constraints" `Quick test_edge_layout_constraint ] );
+      ( "icfg",
+        [
+          Alcotest.test_case "valid graph" `Quick test_builder_valid;
+          Alcotest.test_case "original order" `Quick test_builder_original_order;
+          Alcotest.test_case "branch edge check" `Quick test_branch_needs_both_edges;
+          Alcotest.test_case "jump edge check" `Quick test_jump_needs_taken_only;
+          Alcotest.test_case "return edge check" `Quick test_return_no_edges;
+          Alcotest.test_case "call target check" `Quick test_call_to_non_entry;
+          Alcotest.test_case "unique fall-through pred" `Quick test_double_fallthrough_into_block;
+          Alcotest.test_case "empty function" `Quick test_empty_function_rejected;
+          Alcotest.test_case "plain block successor" `Quick test_plain_block_needs_fallthrough;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "counts" `Quick test_profile_counts;
+          Alcotest.test_case "negative count" `Quick test_profile_negative;
+          Alcotest.test_case "dynamic instrs" `Quick test_profile_dynamic_instrs;
+          Alcotest.test_case "hottest first" `Quick test_profile_hottest_first;
+          Alcotest.test_case "coverage" `Quick test_profile_coverage;
+          Alcotest.test_case "scale" `Quick test_profile_scale;
+          QCheck_alcotest.to_alcotest prop_coverage_monotone;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the public Wayplace facade and the Area policy. *)
+
+module W = Wayplace
+module Area = Wayplace.Area
+module Mibench = Wayplace.Workloads.Mibench
+module Tracer = Wayplace.Workloads.Tracer
+module Codegen = Wayplace.Workloads.Codegen
+module Placer = Wayplace.Layout.Placer
+module Binary_layout = Wayplace.Layout.Binary_layout
+
+let prepared =
+  lazy
+    (let program = Codegen.generate Mibench.tiny in
+     let profile = Tracer.profile program Tracer.Small in
+     let compiled = W.compile program.Codegen.graph profile in
+     (program, profile, compiled))
+
+(* --- compile --- *)
+
+let test_compile_admissible () =
+  let program, _, compiled = Lazy.force prepared in
+  Alcotest.(check bool) "admissible" true
+    (Placer.is_admissible program.Codegen.graph
+       (Binary_layout.order compiled.W.layout)
+    = Ok ())
+
+let test_compile_base_default () =
+  let _, _, compiled = Lazy.force prepared in
+  Alcotest.(check int) "default base" W.Sim.Simulator.code_base
+    (Binary_layout.base compiled.W.layout)
+
+let test_compile_custom_base () =
+  let program, profile, _ = Lazy.force prepared in
+  let compiled = W.compile ~base:0x4000 program.Codegen.graph profile in
+  Alcotest.(check int) "custom base" 0x4000 (Binary_layout.base compiled.W.layout)
+
+let test_compile_chains_cover () =
+  let program, _, compiled = Lazy.force prepared in
+  let total =
+    List.fold_left
+      (fun acc c -> acc + W.Layout.Chain.length c)
+      0 compiled.W.chains
+  in
+  Alcotest.(check int) "chains cover all blocks"
+    (W.Cfg.Icfg.num_blocks program.Codegen.graph)
+    total
+
+let test_compile_hottest_first () =
+  let _, _, compiled = Lazy.force prepared in
+  let weights =
+    List.sort W.Layout.Chain.compare_by_weight compiled.W.chains
+    |> List.map (fun (c : W.Layout.Chain.t) -> c.W.Layout.Chain.weight)
+  in
+  (* The layout's first block belongs to the heaviest chain. *)
+  match (List.sort W.Layout.Chain.compare_by_weight compiled.W.chains, weights) with
+  | heaviest :: _, _ ->
+      Alcotest.(check int) "first block of heaviest chain leads"
+        (W.Layout.Chain.first heaviest)
+        (Binary_layout.order compiled.W.layout).(0)
+  | [], _ -> Alcotest.fail "no chains"
+
+let test_original_layout () =
+  let program, _, _ = Lazy.force prepared in
+  let layout = W.original_layout program.Codegen.graph in
+  Alcotest.(check (list int)) "identity order"
+    (Array.to_list (W.Cfg.Icfg.original_order program.Codegen.graph))
+    (Array.to_list (Binary_layout.order layout))
+
+let test_evaluate_runs () =
+  let program, _, compiled = Lazy.force prepared in
+  let config =
+    W.paper_machine (W.Sim.Config.Way_placement { area_bytes = 1024 })
+  in
+  let stats = W.evaluate ~config ~program ~compiled in
+  Alcotest.(check bool) "fetched something" true (stats.W.Sim.Stats.fetches > 0);
+  Alcotest.(check bool) "energy positive" true
+    (W.Sim.Stats.total_energy_pj stats > 0.0)
+
+(* --- Area --- *)
+
+let page = 1024
+
+let test_area_validation () =
+  Alcotest.(check bool) "non multiple" true
+    (match Area.of_bytes ~page_bytes:page 1500 with
+    | (_ : Area.t) -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "non positive" true
+    (match Area.of_bytes ~page_bytes:page 0 with
+    | (_ : Area.t) -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check int) "kilobytes" 2048 (Area.bytes (Area.of_kilobytes ~page_bytes:page 2));
+  Alcotest.(check int) "pages" 2 (Area.pages (Area.of_kilobytes ~page_bytes:page 2) ~page_bytes:page)
+
+let test_area_covers () =
+  let area = Area.of_kilobytes ~page_bytes:page 2 in
+  Alcotest.(check bool) "inside" true (Area.covers area ~code_base:0x1000 0x17FF);
+  Alcotest.(check bool) "boundary excluded" false
+    (Area.covers area ~code_base:0x1000 0x1800);
+  Alcotest.(check bool) "before base" false (Area.covers area ~code_base:0x1000 0xFFF)
+
+let coverage_for area_kb =
+  let program, profile, compiled = Lazy.force prepared in
+  Area.coverage
+    (Area.of_kilobytes ~page_bytes:page area_kb)
+    ~graph:program.Codegen.graph ~profile ~layout:compiled.W.layout
+
+let test_area_coverage_monotone () =
+  let c1 = coverage_for 1 and c2 = coverage_for 2 and c4 = coverage_for 4 in
+  Alcotest.(check bool) "monotone" true (c1 <= c2 +. 1e-9 && c2 <= c4 +. 1e-9);
+  Alcotest.(check bool) "bounded" true (c1 >= 0.0 && c4 <= 1.0)
+
+let test_area_full_coverage () =
+  let program, _, compiled = Lazy.force prepared in
+  let code = Binary_layout.code_size_bytes compiled.W.layout in
+  let kb = (code / 1024) + 1 in
+  Alcotest.(check (float 1e-9)) "area beyond the binary covers all" 1.0
+    (coverage_for kb);
+  ignore program
+
+let test_area_choose () =
+  let program, profile, compiled = Lazy.force prepared in
+  let graph = program.Codegen.graph in
+  let layout = compiled.W.layout in
+  let chosen =
+    Area.choose ~page_bytes:page ~max_bytes:(32 * 1024) ~target_coverage:0.9
+      ~graph ~profile ~layout
+  in
+  Alcotest.(check bool) "reaches the target" true
+    (Area.coverage chosen ~graph ~profile ~layout >= 0.9);
+  (* Minimality: one page less must fall short (unless it is one page). *)
+  if Area.bytes chosen > page then begin
+    let smaller = Area.of_bytes ~page_bytes:page (Area.bytes chosen - page) in
+    Alcotest.(check bool) "minimal" true
+      (Area.coverage smaller ~graph ~profile ~layout < 0.9)
+  end
+
+let test_area_choose_unreachable () =
+  let program, profile, compiled = Lazy.force prepared in
+  let graph = program.Codegen.graph in
+  (* Target 1.0 with a cap smaller than the binary: returns the cap. *)
+  let chosen =
+    Area.choose ~page_bytes:page ~max_bytes:page ~target_coverage:1.0 ~graph
+      ~profile ~layout:compiled.W.layout
+  in
+  Alcotest.(check int) "cap returned" page (Area.bytes chosen)
+
+let test_area_choose_validation () =
+  let program, profile, compiled = Lazy.force prepared in
+  let graph = program.Codegen.graph in
+  let layout = compiled.W.layout in
+  Alcotest.(check bool) "bad target" true
+    (match
+       Area.choose ~page_bytes:page ~max_bytes:page ~target_coverage:2.0 ~graph
+         ~profile ~layout
+     with
+    | (_ : Area.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_version () =
+  Alcotest.(check bool) "non-empty version" true (String.length W.version > 0)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "admissible" `Quick test_compile_admissible;
+          Alcotest.test_case "default base" `Quick test_compile_base_default;
+          Alcotest.test_case "custom base" `Quick test_compile_custom_base;
+          Alcotest.test_case "chains cover" `Quick test_compile_chains_cover;
+          Alcotest.test_case "hottest chain first" `Quick test_compile_hottest_first;
+          Alcotest.test_case "original layout" `Quick test_original_layout;
+          Alcotest.test_case "evaluate" `Quick test_evaluate_runs;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "validation" `Quick test_area_validation;
+          Alcotest.test_case "covers" `Quick test_area_covers;
+          Alcotest.test_case "coverage monotone" `Quick test_area_coverage_monotone;
+          Alcotest.test_case "full coverage" `Quick test_area_full_coverage;
+          Alcotest.test_case "choose minimal" `Quick test_area_choose;
+          Alcotest.test_case "choose cap" `Quick test_area_choose_unreachable;
+          Alcotest.test_case "choose validation" `Quick test_area_choose_validation;
+          Alcotest.test_case "version" `Quick test_version;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for instruction encoding and whole-image emission. *)
+
+module Isa = Wayplace.Isa
+module Encode = Wayplace.Isa.Encode
+module Instr = Wayplace.Isa.Instr
+module Opcode = Wayplace.Isa.Opcode
+module Image = Wayplace.Layout.Binary_image
+module Layout = Wayplace.Layout.Binary_layout
+module Placer = Wayplace.Layout.Placer
+module Icfg = Wayplace.Cfg.Icfg
+
+let roundtrip ?target instr ~pc =
+  let word = Encode.instruction_word instr ~pc ~target in
+  match Encode.decode word ~pc with
+  | Ok (decoded, back_target) ->
+      Alcotest.(check bool) "instruction survives" true (Instr.equal instr decoded);
+      Alcotest.(check (option int)) "target survives" target back_target
+  | Error msg -> Alcotest.fail msg
+
+let test_roundtrip_plain () =
+  roundtrip (Instr.alu Opcode.Add) ~pc:0x1000;
+  roundtrip (Instr.alu Opcode.Compare) ~pc:0x1000;
+  roundtrip Instr.mac ~pc:0;
+  roundtrip Instr.nop ~pc:0xFFFC
+
+let test_roundtrip_memory () =
+  roundtrip (Instr.load Instr.Sequential) ~pc:0x1000;
+  roundtrip (Instr.store (Instr.Strided 64)) ~pc:0x1000;
+  roundtrip (Instr.load (Instr.Random_within 4096)) ~pc:0x1000
+
+let test_roundtrip_transfers () =
+  roundtrip Instr.branch ~pc:0x1000 ~target:0x1100;
+  roundtrip Instr.jump ~pc:0x1000 ~target:0x0F00 (* backwards *);
+  roundtrip Instr.call ~pc:0x1000 ~target:0x9000;
+  roundtrip Instr.return ~pc:0x1000
+
+let test_encode_errors () =
+  let fails f = match f () with (_ : int32) -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "branch without target" true
+    (fails (fun () -> Encode.instruction_word Instr.branch ~pc:0 ~target:None));
+  Alcotest.(check bool) "target on alu" true
+    (fails (fun () ->
+         Encode.instruction_word (Instr.alu Opcode.Add) ~pc:0 ~target:(Some 4)));
+  Alcotest.(check bool) "displacement overflow" true
+    (fails (fun () ->
+         Encode.instruction_word Instr.jump ~pc:0 ~target:(Some (1 lsl 27))))
+
+let test_decode_garbage () =
+  Alcotest.(check bool) "invalid opcode" true
+    (Result.is_error (Encode.decode 0xFC00_0000l ~pc:0))
+
+let prop_roundtrip_displacements =
+  QCheck.Test.make ~name:"branch displacement roundtrips" ~count:300
+    QCheck.(int_range (-100000) 100000)
+    (fun words ->
+      let pc = 0x0100_0000 in
+      let target = pc + (words * 4) in
+      let word = Encode.instruction_word Instr.branch ~pc ~target:(Some target) in
+      match Encode.decode word ~pc with
+      | Ok (_, Some back) -> back = target
+      | Ok (_, None) | Error _ -> false)
+
+(* Whole-image emission on a generated benchmark: every instruction
+   address decodes back to the instruction the graph holds, and every
+   terminator's encoded target matches the layout. *)
+let test_image_roundtrip () =
+  let program = Wayplace.Workloads.Codegen.generate Wayplace.Workloads.Mibench.tiny in
+  let graph = program.Wayplace.Workloads.Codegen.graph in
+  let profile =
+    Wayplace.Workloads.Tracer.profile program Wayplace.Workloads.Tracer.Small
+  in
+  let layout =
+    Layout.of_order graph ~base:0x10000 (Placer.place graph profile)
+  in
+  let image = Image.emit graph layout in
+  Alcotest.(check int) "image size" (Layout.code_size_bytes layout)
+    (Bytes.length image);
+  Array.iter
+    (fun id ->
+      let block = Icfg.block graph id in
+      Array.iteri
+        (fun i instr ->
+          let addr = Layout.instr_addr layout id i in
+          match Image.decode_at graph layout image addr with
+          | Error msg -> Alcotest.fail msg
+          | Ok (decoded, target) ->
+              if not (Instr.equal instr decoded) then
+                Alcotest.failf "B%d[%d] decodes to %s" id i
+                  (Format.asprintf "%a" Instr.pp decoded);
+              let is_last = i = Array.length block.Wayplace.Cfg.Basic_block.instrs - 1 in
+              let expected_target =
+                if not is_last then None
+                else begin
+                  match Wayplace.Cfg.Basic_block.terminator block with
+                  | Opcode.Branch | Opcode.Jump ->
+                      Option.map (Layout.block_start layout) (Icfg.taken_succ graph id)
+                  | Opcode.Call ->
+                      Option.map (Layout.block_start layout) (Icfg.call_target graph id)
+                  | Opcode.Return | Opcode.Alu _ | Mac | Load | Store | Nop ->
+                      None
+                end
+              in
+              Alcotest.(check (option int))
+                (Printf.sprintf "B%d[%d] target" id i)
+                expected_target target)
+        block.Wayplace.Cfg.Basic_block.instrs)
+    (Layout.order layout)
+
+let test_image_bounds () =
+  let program = Wayplace.Workloads.Codegen.generate Wayplace.Workloads.Mibench.tiny in
+  let graph = program.Wayplace.Workloads.Codegen.graph in
+  let layout = Layout.of_order graph ~base:0x10000 (Placer.original graph) in
+  let image = Image.emit graph layout in
+  Alcotest.(check bool) "below base" true
+    (Result.is_error (Image.decode_at graph layout image 0x0FFF0));
+  Alcotest.(check bool) "past end" true
+    (Result.is_error
+       (Image.decode_at graph layout image (0x10000 + Bytes.length image)));
+  Alcotest.(check bool) "misaligned" true
+    (Result.is_error (Image.decode_at graph layout image 0x10002))
+
+let () =
+  Alcotest.run "encode"
+    [
+      ( "words",
+        [
+          Alcotest.test_case "plain roundtrip" `Quick test_roundtrip_plain;
+          Alcotest.test_case "memory roundtrip" `Quick test_roundtrip_memory;
+          Alcotest.test_case "transfer roundtrip" `Quick test_roundtrip_transfers;
+          Alcotest.test_case "encode errors" `Quick test_encode_errors;
+          Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+          QCheck_alcotest.to_alcotest prop_roundtrip_displacements;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "whole-program roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_image_bounds;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the energy model: per-event CAM energies, the account
+   buckets and ED products. *)
+
+module Params = Wayplace.Energy.Params
+module Cam_energy = Wayplace.Energy.Cam_energy
+module Account = Wayplace.Energy.Account
+module Ed = Wayplace.Energy.Ed
+module Geometry = Wayplace.Cache.Geometry
+
+let xscale = Geometry.make ~size_bytes:(32 * 1024) ~assoc:32 ~line_bytes:32
+let e32 = Cam_energy.of_geometry Params.default xscale
+let feq = Alcotest.(check (float 1e-9))
+
+let test_tag_search_linear () =
+  feq "zero ways" 0.0 (Cam_energy.tag_search e32 ~ways:0);
+  feq "one way" e32.Cam_energy.tag_search_one_pj (Cam_energy.tag_search e32 ~ways:1);
+  feq "all ways" e32.Cam_energy.tag_search_full_pj (Cam_energy.tag_search e32 ~ways:32);
+  feq "linearity"
+    (2.0 *. Cam_energy.tag_search e32 ~ways:1)
+    (Cam_energy.tag_search e32 ~ways:2);
+  Alcotest.(check bool) "negative rejected" true
+    (match Cam_energy.tag_search e32 ~ways:(-1) with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_full_search_dominates () =
+  Alcotest.(check bool) "full is 32x one way" true
+    (abs_float
+       (e32.Cam_energy.tag_search_full_pj
+       -. (32.0 *. e32.Cam_energy.tag_search_one_pj))
+    < 1e-9)
+
+let test_energy_scales_with_assoc () =
+  let e8 =
+    Cam_energy.of_geometry Params.default
+      (Geometry.make ~size_bytes:(32 * 1024) ~assoc:8 ~line_bytes:32)
+  in
+  Alcotest.(check bool) "32-way search costs more than 8-way" true
+    (e32.Cam_energy.tag_search_full_pj > e8.Cam_energy.tag_search_full_pj);
+  (* 8-way has more sets (128 vs 32) hence longer bit lines. *)
+  Alcotest.(check bool) "more sets -> costlier word" true
+    (e8.Cam_energy.data_word_pj > e32.Cam_energy.data_word_pj)
+
+let test_memo_factor () =
+  feq "21% for 32B/32-way" (1.0 +. (54.0 /. 256.0)) e32.Cam_energy.memo_data_factor;
+  let e8 =
+    Cam_energy.of_geometry Params.default
+      (Geometry.make ~size_bytes:(32 * 1024) ~assoc:8 ~line_bytes:32)
+  in
+  (* 8-way links are 4 bits: 9 x 4 / 256 = 14%. *)
+  feq "14% for 32B/8-way" (1.0 +. (36.0 /. 256.0)) e8.Cam_energy.memo_data_factor
+
+let test_tlb_energy () =
+  let small = Cam_energy.tlb_lookup_pj Params.default ~entries:8 ~page_bytes:1024 in
+  let big = Cam_energy.tlb_lookup_pj Params.default ~entries:32 ~page_bytes:1024 in
+  Alcotest.(check bool) "positive" true (small > 0.0);
+  Alcotest.(check bool) "more entries cost more" true (big > small)
+
+let test_way_placed_access_is_cheap () =
+  (* The core claim: a way-placed access (1 way + word) costs a small
+     fraction of a normal access (32 ways + word). *)
+  let normal = e32.Cam_energy.tag_search_full_pj +. e32.Cam_energy.data_word_pj in
+  let placed = e32.Cam_energy.tag_search_one_pj +. e32.Cam_energy.data_word_pj in
+  Alcotest.(check bool) "at least 3x cheaper" true (placed *. 3.0 < normal)
+
+(* --- Account --- *)
+
+let test_account_buckets () =
+  let a = Account.create () in
+  Account.add_icache a 10.0;
+  Account.add_icache a 5.0;
+  Account.add_itlb a 1.0;
+  Account.add_dcache a 2.0;
+  Account.add_memory a 3.0;
+  Account.add_core a 4.0;
+  feq "icache" 15.0 (Account.icache_pj a);
+  feq "itlb" 1.0 (Account.itlb_pj a);
+  feq "dcache" 2.0 (Account.dcache_pj a);
+  feq "memory" 3.0 (Account.memory_pj a);
+  feq "core" 4.0 (Account.core_pj a);
+  feq "total" 25.0 (Account.total_pj a);
+  feq "share" 0.6 (Account.icache_share a)
+
+let test_account_empty_share () =
+  feq "empty share" 0.0 (Account.icache_share (Account.create ()))
+
+(* --- Ed --- *)
+
+let test_ed_product () =
+  feq "raw" 200.0 (Ed.ed_product ~energy_pj:100.0 ~cycles:2)
+
+let test_normalised () =
+  feq "half" 0.5 (Ed.normalised ~scheme:50.0 ~baseline:100.0);
+  Alcotest.(check bool) "zero baseline rejected" true
+    (match Ed.normalised ~scheme:1.0 ~baseline:0.0 with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_normalised_ed () =
+  feq "combined" 0.25
+    (Ed.normalised_ed ~scheme_energy_pj:50.0 ~scheme_cycles:100
+       ~baseline_energy_pj:100.0 ~baseline_cycles:200)
+
+let test_percent () = feq "percent" 52.0 (Ed.percent 0.52)
+
+let prop_normalised_identity =
+  QCheck.Test.make ~name:"x/x = 1" ~count:100
+    QCheck.(float_range 0.001 1e9)
+    (fun x -> abs_float (Ed.normalised ~scheme:x ~baseline:x -. 1.0) < 1e-9)
+
+let prop_ed_monotone =
+  QCheck.Test.make ~name:"ED monotone in both factors" ~count:100
+    QCheck.(pair (float_range 1.0 1e6) (int_range 1 1_000_000))
+    (fun (e, c) ->
+      Ed.ed_product ~energy_pj:e ~cycles:c
+      <= Ed.ed_product ~energy_pj:(e +. 1.0) ~cycles:(c + 1))
+
+let () =
+  Alcotest.run "energy"
+    [
+      ( "cam_energy",
+        [
+          Alcotest.test_case "tag search linearity" `Quick test_tag_search_linear;
+          Alcotest.test_case "full search scaling" `Quick test_full_search_dominates;
+          Alcotest.test_case "associativity scaling" `Quick test_energy_scales_with_assoc;
+          Alcotest.test_case "way-memo factor" `Quick test_memo_factor;
+          Alcotest.test_case "tlb energy" `Quick test_tlb_energy;
+          Alcotest.test_case "way-placed cheapness" `Quick test_way_placed_access_is_cheap;
+        ] );
+      ( "account",
+        [
+          Alcotest.test_case "buckets" `Quick test_account_buckets;
+          Alcotest.test_case "empty share" `Quick test_account_empty_share;
+        ] );
+      ( "ed",
+        [
+          Alcotest.test_case "product" `Quick test_ed_product;
+          Alcotest.test_case "normalised" `Quick test_normalised;
+          Alcotest.test_case "normalised ED" `Quick test_normalised_ed;
+          Alcotest.test_case "percent" `Quick test_percent;
+          QCheck_alcotest.to_alcotest prop_normalised_identity;
+          QCheck_alcotest.to_alcotest prop_ed_monotone;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Unit and property tests for the XR32 ISA layer. *)
+
+module Addr = Wayplace.Isa.Addr
+module Opcode = Wayplace.Isa.Opcode
+module Instr = Wayplace.Isa.Instr
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Addr --- *)
+
+let test_instruction_bytes () = check "4-byte instructions" 4 Addr.instruction_bytes
+
+let test_is_power_of_two () =
+  List.iter
+    (fun n -> check_bool (string_of_int n) true (Addr.is_power_of_two n))
+    [ 1; 2; 4; 1024; 1 lsl 30 ];
+  List.iter
+    (fun n -> check_bool (string_of_int n) false (Addr.is_power_of_two n))
+    [ 0; -1; -4; 3; 6; 1000 ]
+
+let test_log2 () =
+  check "log2 1" 0 (Addr.log2 1);
+  check "log2 2" 1 (Addr.log2 2);
+  check "log2 32" 5 (Addr.log2 32);
+  check "log2 4096" 12 (Addr.log2 4096);
+  Alcotest.check_raises "log2 of non-power" (Invalid_argument "Addr.log2: 3 is not a power of two")
+    (fun () -> ignore (Addr.log2 3))
+
+let test_alignment () =
+  check "align_down" 0x20 (Addr.align_down 0x27 ~alignment:32);
+  check "align_up" 0x40 (Addr.align_up 0x27 ~alignment:32);
+  check "align_up exact" 0x40 (Addr.align_up 0x40 ~alignment:32);
+  check "offset_in" 7 (Addr.offset_in 0x27 ~alignment:32);
+  check_bool "is_aligned yes" true (Addr.is_aligned 0x40 ~alignment:32);
+  check_bool "is_aligned no" false (Addr.is_aligned 0x42 ~alignment:32);
+  Alcotest.check_raises "bad alignment" (Invalid_argument "Addr: alignment 3 is not a power of two")
+    (fun () -> ignore (Addr.align_down 5 ~alignment:3))
+
+let test_next_instruction () =
+  check "next" 0x104 (Addr.next_instruction 0x100)
+
+let test_pp () =
+  Alcotest.(check string) "hex" "0x00000040" (Addr.to_string 0x40)
+
+let prop_align_idempotent =
+  QCheck.Test.make ~name:"align_down is idempotent and aligned" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 10))
+    (fun (a, k) ->
+      let alignment = 1 lsl k in
+      let d = Addr.align_down a ~alignment in
+      d <= a
+      && Addr.is_aligned d ~alignment
+      && Addr.align_down d ~alignment = d
+      && a - d < alignment)
+
+let prop_align_up_ge =
+  QCheck.Test.make ~name:"align_up bounds" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 10))
+    (fun (a, k) ->
+      let alignment = 1 lsl k in
+      let u = Addr.align_up a ~alignment in
+      u >= a && Addr.is_aligned u ~alignment && u - a < alignment)
+
+let prop_log2_roundtrip =
+  QCheck.Test.make ~name:"log2 inverts shifts" ~count:100
+    QCheck.(int_bound 40)
+    (fun k -> Addr.log2 (1 lsl k) = k)
+
+(* --- Opcode --- *)
+
+let test_is_control () =
+  List.iter
+    (fun (op, expected) ->
+      check_bool (Opcode.mnemonic op) expected (Opcode.is_control op))
+    [
+      (Opcode.Branch, true);
+      (Opcode.Jump, true);
+      (Opcode.Call, true);
+      (Opcode.Return, true);
+      (Opcode.Alu Opcode.Add, false);
+      (Opcode.Mac, false);
+      (Opcode.Load, false);
+      (Opcode.Store, false);
+      (Opcode.Nop, false);
+    ]
+
+let test_is_memory () =
+  check_bool "load" true (Opcode.is_memory Opcode.Load);
+  check_bool "store" true (Opcode.is_memory Opcode.Store);
+  check_bool "alu" false (Opcode.is_memory (Opcode.Alu Opcode.Sub));
+  check_bool "branch" false (Opcode.is_memory Opcode.Branch)
+
+let test_latency () =
+  check "alu" 1 (Opcode.execute_latency (Opcode.Alu Opcode.Move));
+  check "mac" 3 (Opcode.execute_latency Opcode.Mac);
+  check "load" 1 (Opcode.execute_latency Opcode.Load);
+  check "branch" 1 (Opcode.execute_latency Opcode.Branch)
+
+let test_mnemonics_unique () =
+  let ms = List.map Opcode.mnemonic Opcode.all in
+  check "all distinct" (List.length ms) (List.length (List.sort_uniq compare ms))
+
+let test_all_covers_classes () =
+  check_bool "has control" true (List.exists Opcode.is_control Opcode.all);
+  check_bool "has memory" true (List.exists Opcode.is_memory Opcode.all)
+
+(* --- Instr --- *)
+
+let test_instr_constructors () =
+  Alcotest.(check bool) "alu no data" true
+    ((Instr.alu Opcode.Add).Instr.locality = Instr.No_data);
+  Alcotest.(check bool) "load keeps locality" true
+    ((Instr.load (Instr.Strided 8)).Instr.locality = Instr.Strided 8);
+  Alcotest.(check bool) "default memory locality" true
+    ((Instr.make Opcode.Load).Instr.locality = Instr.Sequential)
+
+let test_instr_validation () =
+  Alcotest.check_raises "locality on alu"
+    (Invalid_argument "Instr.make: data locality on a non-memory opcode")
+    (fun () -> ignore (Instr.make ~locality:Instr.Sequential (Opcode.Alu Opcode.Add)));
+  Alcotest.check_raises "no_data on load"
+    (Invalid_argument "Instr.make: memory opcode needs a data locality")
+    (fun () -> ignore (Instr.make ~locality:Instr.No_data Opcode.Load))
+
+let test_instr_equal () =
+  check_bool "equal" true (Instr.equal (Instr.load Instr.Sequential) (Instr.load Instr.Sequential));
+  check_bool "differ by locality" false
+    (Instr.equal (Instr.load Instr.Sequential) (Instr.load (Instr.Strided 4)));
+  check_bool "differ by opcode" false (Instr.equal Instr.branch Instr.jump)
+
+let test_instr_size () = check "size" 4 Instr.size_bytes
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "instruction bytes" `Quick test_instruction_bytes;
+          Alcotest.test_case "powers of two" `Quick test_is_power_of_two;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "alignment" `Quick test_alignment;
+          Alcotest.test_case "next instruction" `Quick test_next_instruction;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+          QCheck_alcotest.to_alcotest prop_align_idempotent;
+          QCheck_alcotest.to_alcotest prop_align_up_ge;
+          QCheck_alcotest.to_alcotest prop_log2_roundtrip;
+        ] );
+      ( "opcode",
+        [
+          Alcotest.test_case "control classification" `Quick test_is_control;
+          Alcotest.test_case "memory classification" `Quick test_is_memory;
+          Alcotest.test_case "latencies" `Quick test_latency;
+          Alcotest.test_case "mnemonics unique" `Quick test_mnemonics_unique;
+          Alcotest.test_case "class coverage" `Quick test_all_covers_classes;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "constructors" `Quick test_instr_constructors;
+          Alcotest.test_case "validation" `Quick test_instr_validation;
+          Alcotest.test_case "equality" `Quick test_instr_equal;
+          Alcotest.test_case "size" `Quick test_instr_size;
+        ] );
+    ]

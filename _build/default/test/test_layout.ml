@@ -1,0 +1,294 @@
+(* Tests for chains, the chain builder, the weight-ordered placer and
+   concrete address assignment. *)
+
+module Isa = Wayplace.Isa
+module Icfg = Wayplace.Cfg.Icfg
+module Edge = Wayplace.Cfg.Edge
+module Profile = Wayplace.Cfg.Profile
+module Chain = Wayplace.Layout.Chain
+module Chain_builder = Wayplace.Layout.Chain_builder
+module Placer = Wayplace.Layout.Placer
+module Binary_layout = Wayplace.Layout.Binary_layout
+
+let alu = Isa.Instr.alu Isa.Opcode.Add
+let branch = Isa.Instr.branch
+let call = Isa.Instr.call
+let ret = Isa.Instr.return
+
+(* --- Chain --- *)
+
+let test_chain_make () =
+  let c = Chain.make ~blocks:[ 3; 1; 2 ] ~weight:7 in
+  Alcotest.(check int) "length" 3 (Chain.length c);
+  Alcotest.(check int) "first" 3 (Chain.first c)
+
+let test_chain_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Chain.make: empty chain")
+    (fun () -> ignore (Chain.make ~blocks:[] ~weight:0));
+  Alcotest.check_raises "negative" (Invalid_argument "Chain.make: negative weight")
+    (fun () -> ignore (Chain.make ~blocks:[ 1 ] ~weight:(-1)))
+
+let test_chain_compare () =
+  let heavy = Chain.make ~blocks:[ 5 ] ~weight:100 in
+  let light = Chain.make ~blocks:[ 1 ] ~weight:10 in
+  let light2 = Chain.make ~blocks:[ 0 ] ~weight:10 in
+  Alcotest.(check bool) "heavy first" true (Chain.compare_by_weight heavy light < 0);
+  Alcotest.(check bool) "ties by first block id" true
+    (Chain.compare_by_weight light2 light < 0)
+
+(* A hand-built two-function graph:
+
+     b0 plain -ft-> b1 call(f1) -ft-> b2 branch(taken b4) -ft-> b3 ret
+     b4 ret
+     f1: b5 plain -ft-> b6 ret
+
+   Expected chains: [b0;b1;b2;b3], [b4], [b5;b6]. *)
+let build_graph () =
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let f1 = Icfg.Builder.add_func b ~name:"callee" in
+  let b0 = Icfg.Builder.add_block b ~func:f0 [| alu; alu |] in
+  let b1 = Icfg.Builder.add_block b ~func:f0 [| call |] in
+  let b2 = Icfg.Builder.add_block b ~func:f0 [| branch |] in
+  let b3 = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  let b4 = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  let b5 = Icfg.Builder.add_block b ~func:f1 [| alu; alu; alu |] in
+  let b6 = Icfg.Builder.add_block b ~func:f1 [| ret |] in
+  Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b5 Edge.Call_to;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b2 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b4 Edge.Taken;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b3 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b5 ~dst:b6 Edge.Fallthrough;
+  Icfg.Builder.finish b
+
+let profile_of graph weights =
+  let p = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  List.iteri (fun id w -> Profile.record_block_n p id w) weights;
+  p
+
+(* --- Chain_builder --- *)
+
+let test_chains_cover_all_blocks () =
+  let graph = build_graph () in
+  let p = profile_of graph [ 1; 1; 1; 1; 1; 1; 1 ] in
+  let chains = Chain_builder.build graph p in
+  let all = List.concat_map (fun (c : Chain.t) -> c.blocks) chains in
+  Alcotest.(check int) "every block exactly once" (Icfg.num_blocks graph)
+    (List.length (List.sort_uniq compare all));
+  Alcotest.(check int) "no duplicates" (Icfg.num_blocks graph) (List.length all)
+
+let test_chain_shapes () =
+  let graph = build_graph () in
+  let p = profile_of graph [ 1; 1; 1; 1; 1; 1; 1 ] in
+  let chains = Chain_builder.build graph p in
+  let sorted_blocks =
+    List.sort compare (List.map (fun (c : Chain.t) -> c.blocks) chains)
+  in
+  Alcotest.(check (list (list int))) "chains follow fall-through paths"
+    [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5; 6 ] ]
+    sorted_blocks
+
+let test_chain_weights_sum_dynamic_instrs () =
+  let graph = build_graph () in
+  (* b0 runs 10 times (2 instrs), b5 runs 7 times (3 instrs). *)
+  let p = profile_of graph [ 10; 0; 0; 0; 0; 7; 0 ] in
+  let chains = Chain_builder.build graph p in
+  let main_chain = Chain_builder.chain_of_block chains 0 in
+  let callee_chain = Chain_builder.chain_of_block chains 5 in
+  Alcotest.(check int) "main chain weight" 20 main_chain.Chain.weight;
+  Alcotest.(check int) "callee chain weight" 21 callee_chain.Chain.weight
+
+let test_chain_of_block_missing () =
+  let graph = build_graph () in
+  let p = profile_of graph [] in
+  let chains = Chain_builder.build graph p in
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (Chain_builder.chain_of_block chains 99))
+
+(* --- Placer --- *)
+
+let test_place_heaviest_first () =
+  let graph = build_graph () in
+  let p = profile_of graph [ 1; 1; 1; 1; 0; 100; 0 ] in
+  let order = Placer.place graph p in
+  Alcotest.(check int) "hottest chain first" 5 order.(0);
+  Alcotest.(check int) "then its tail" 6 order.(1)
+
+let test_place_admissible () =
+  let graph = build_graph () in
+  let p = profile_of graph [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let order = Placer.place graph p in
+  Alcotest.(check bool) "admissible" true (Placer.is_admissible graph order = Ok ())
+
+let test_original_admissible () =
+  let graph = build_graph () in
+  Alcotest.(check bool) "original admissible" true
+    (Placer.is_admissible graph (Placer.original graph) = Ok ())
+
+let test_is_admissible_rejects () =
+  let graph = build_graph () in
+  let is_error order =
+    match Placer.is_admissible graph order with Error _ -> true | Ok () -> false
+  in
+  Alcotest.(check bool) "broken fall-through" true (is_error [| 1; 0; 2; 3; 4; 5; 6 |]);
+  Alcotest.(check bool) "duplicate block" true (is_error [| 0; 0; 2; 3; 4; 5; 6 |]);
+  Alcotest.(check bool) "wrong length" true (is_error [| 0; 1 |])
+
+(* Property: for every MiBench benchmark, both the original and the
+   placed orders are admissible. *)
+let prop_place_mibench =
+  let specs = Array.of_list Wayplace.Workloads.Mibench.all in
+  QCheck.Test.make ~name:"placement admissible on the whole suite"
+    ~count:(Array.length specs)
+    QCheck.(int_bound (Array.length specs - 1))
+    (fun i ->
+      let program = Wayplace.Workloads.Codegen.generate specs.(i) in
+      let graph = program.Wayplace.Workloads.Codegen.graph in
+      let profile =
+        Wayplace.Workloads.Tracer.profile program Wayplace.Workloads.Tracer.Small
+      in
+      let order = Placer.place graph profile in
+      Placer.is_admissible graph order = Ok ()
+      && Placer.is_admissible graph (Placer.original graph) = Ok ())
+
+(* --- Binary_layout --- *)
+
+let test_layout_addresses () =
+  let graph = build_graph () in
+  let order = Placer.original graph in
+  let layout = Binary_layout.of_order graph ~base:0x1000 order in
+  Alcotest.(check int) "base" 0x1000 (Binary_layout.base layout);
+  Alcotest.(check int) "b0 start" 0x1000 (Binary_layout.block_start layout 0);
+  Alcotest.(check int) "b1 start" 0x1008 (Binary_layout.block_start layout 1);
+  Alcotest.(check int) "instr addr" 0x1004 (Binary_layout.instr_addr layout 0 1);
+  Alcotest.(check int) "code size" (Icfg.total_static_bytes graph)
+    (Binary_layout.code_size_bytes layout);
+  Alcotest.(check int) "position" 1 (Binary_layout.position layout 1)
+
+let test_layout_block_at () =
+  let graph = build_graph () in
+  let layout = Binary_layout.of_order graph ~base:0 (Placer.original graph) in
+  Alcotest.(check (option int)) "first byte" (Some 0) (Binary_layout.block_at layout 0);
+  Alcotest.(check (option int)) "inside b0" (Some 0) (Binary_layout.block_at layout 7);
+  Alcotest.(check (option int)) "first of b1" (Some 1) (Binary_layout.block_at layout 8);
+  Alcotest.(check (option int)) "past the end" None
+    (Binary_layout.block_at layout (Binary_layout.code_size_bytes layout));
+  Alcotest.(check (option int)) "before base" None (Binary_layout.block_at layout (-1))
+
+let test_layout_instr_addr_bounds () =
+  let graph = build_graph () in
+  let layout = Binary_layout.of_order graph ~base:0 (Placer.original graph) in
+  Alcotest.(check bool) "out of range" true
+    (match Binary_layout.instr_addr layout 0 2 with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_layout_rejects_inadmissible () =
+  let graph = build_graph () in
+  Alcotest.(check bool) "inadmissible rejected" true
+    (match Binary_layout.of_order graph ~base:0 [| 1; 0; 2; 3; 4; 5; 6 |] with
+    | (_ : Binary_layout.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_layout_contiguous =
+  let specs = Array.of_list Wayplace.Workloads.Mibench.all in
+  QCheck.Test.make ~name:"blocks are packed back to back" ~count:6
+    QCheck.(int_bound (Array.length specs - 1))
+    (fun i ->
+      let program = Wayplace.Workloads.Codegen.generate specs.(i) in
+      let graph = program.Wayplace.Workloads.Codegen.graph in
+      let profile =
+        Wayplace.Workloads.Tracer.profile program Wayplace.Workloads.Tracer.Small
+      in
+      let layout =
+        Binary_layout.of_order graph ~base:0x8000 (Placer.place graph profile)
+      in
+      let order = Binary_layout.order layout in
+      let ok = ref true in
+      let cursor = ref 0x8000 in
+      Array.iter
+        (fun id ->
+          if Binary_layout.block_start layout id <> !cursor then ok := false;
+          cursor :=
+            !cursor + Wayplace.Cfg.Basic_block.size_bytes (Icfg.block graph id))
+        order;
+      !ok && !cursor - 0x8000 = Binary_layout.code_size_bytes layout)
+
+(* --- Listing --- *)
+
+module Listing = Wayplace.Layout.Listing
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_listing_contents () =
+  let graph = build_graph () in
+  let layout = Binary_layout.of_order graph ~base:0x1000 (Placer.original graph) in
+  let text = Listing.to_string ~graph ~layout () in
+  Alcotest.(check bool) "has main's entry label" true (contains text "<main:B0>");
+  Alcotest.(check bool) "has the callee label" true (contains text "<callee:B5>");
+  Alcotest.(check bool) "call resolves to the callee" true
+    (contains text "bl <callee:B5>");
+  Alcotest.(check bool) "branch resolves to its target" true
+    (contains text "b.cond <main:B4>");
+  Alcotest.(check bool) "addresses are printed" true (contains text "0x00001000")
+
+let test_listing_limit () =
+  let graph = build_graph () in
+  let layout = Binary_layout.of_order graph ~base:0 (Placer.original graph) in
+  let text = Listing.to_string ~limit_blocks:2 ~graph ~layout () in
+  Alcotest.(check bool) "elision note" true (contains text "5 more blocks elided");
+  Alcotest.(check bool) "third block absent" false (contains text "<main:B2>")
+
+let test_listing_block_count () =
+  let graph = build_graph () in
+  let layout = Binary_layout.of_order graph ~base:0 (Placer.original graph) in
+  let text = Listing.to_string ~graph ~layout () in
+  (* One label line per block. *)
+  let labels = ref 0 in
+  String.iter (fun c -> if c = '<' then incr labels) text;
+  Alcotest.(check bool) "at least one label per block" true
+    (!labels >= Icfg.num_blocks graph)
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "make" `Quick test_chain_make;
+          Alcotest.test_case "validation" `Quick test_chain_invalid;
+          Alcotest.test_case "weight ordering" `Quick test_chain_compare;
+        ] );
+      ( "chain_builder",
+        [
+          Alcotest.test_case "covers all blocks" `Quick test_chains_cover_all_blocks;
+          Alcotest.test_case "chain shapes" `Quick test_chain_shapes;
+          Alcotest.test_case "weights" `Quick test_chain_weights_sum_dynamic_instrs;
+          Alcotest.test_case "chain_of_block missing" `Quick test_chain_of_block_missing;
+        ] );
+      ( "placer",
+        [
+          Alcotest.test_case "heaviest first" `Quick test_place_heaviest_first;
+          Alcotest.test_case "placed admissible" `Quick test_place_admissible;
+          Alcotest.test_case "original admissible" `Quick test_original_admissible;
+          Alcotest.test_case "rejects bad orders" `Quick test_is_admissible_rejects;
+          QCheck_alcotest.to_alcotest prop_place_mibench;
+        ] );
+      ( "listing",
+        [
+          Alcotest.test_case "contents" `Quick test_listing_contents;
+          Alcotest.test_case "limit" `Quick test_listing_limit;
+          Alcotest.test_case "labels" `Quick test_listing_block_count;
+        ] );
+      ( "binary_layout",
+        [
+          Alcotest.test_case "addresses" `Quick test_layout_addresses;
+          Alcotest.test_case "block_at" `Quick test_layout_block_at;
+          Alcotest.test_case "instr bounds" `Quick test_layout_instr_addr_bounds;
+          Alcotest.test_case "rejects inadmissible" `Quick test_layout_rejects_inadmissible;
+          QCheck_alcotest.to_alcotest prop_layout_contiguous;
+        ] );
+    ]

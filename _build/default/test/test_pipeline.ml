@@ -1,0 +1,153 @@
+(* Tests for the BTB and the XTREM-lite cycle model. *)
+
+module Btb = Wayplace.Pipeline.Btb
+module Core = Wayplace.Pipeline.Core_model
+module Opcode = Wayplace.Isa.Opcode
+
+let test_btb_validation () =
+  Alcotest.(check bool) "non power of two" true
+    (match Btb.create ~entries:3 with
+    | (_ : Btb.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_btb_cold_predicts_not_taken () =
+  let b = Btb.create ~entries:16 in
+  Alcotest.(check bool) "cold" false (Btb.predict_taken b 0x100)
+
+let test_btb_learns_taken () =
+  let b = Btb.create ~entries:16 in
+  Btb.update b 0x100 ~taken:true;
+  Alcotest.(check bool) "learned after one taken" true (Btb.predict_taken b 0x100)
+
+let test_btb_hysteresis () =
+  let b = Btb.create ~entries:16 in
+  Btb.update b 0x100 ~taken:true;
+  (* allocate at counter 2 *)
+  Btb.update b 0x100 ~taken:true;
+  (* counter 3 *)
+  Btb.update b 0x100 ~taken:false;
+  (* counter 2: still predicts taken *)
+  Alcotest.(check bool) "one not-taken tolerated" true (Btb.predict_taken b 0x100);
+  Btb.update b 0x100 ~taken:false;
+  Alcotest.(check bool) "two flip the prediction" false (Btb.predict_taken b 0x100)
+
+let test_btb_no_alloc_on_not_taken () =
+  let b = Btb.create ~entries:16 in
+  Btb.update b 0x100 ~taken:false;
+  Alcotest.(check bool) "not allocated" false (Btb.predict_taken b 0x100)
+
+let test_btb_tag_disambiguation () =
+  let b = Btb.create ~entries:16 in
+  Btb.update b 0x100 ~taken:true;
+  (* 0x100 and 0x100 + 16*4 alias to the same slot but differ in tag. *)
+  let alias = 0x100 + (16 * 4) in
+  Alcotest.(check bool) "alias does not hit" false (Btb.predict_taken b alias)
+
+let test_btb_reset () =
+  let b = Btb.create ~entries:16 in
+  Btb.update b 0x100 ~taken:true;
+  Btb.reset b;
+  Alcotest.(check bool) "cold again" false (Btb.predict_taken b 0x100)
+
+(* --- Core_model --- *)
+
+let retire_alu core =
+  Core.retire core ~pc:0 ~opcode:(Opcode.Alu Opcode.Add) ~fetch_stall:0
+    ~dmem_stall:0 ~taken:false
+
+let test_core_base_cpi () =
+  let core = Core.create () in
+  for _ = 1 to 10 do
+    retire_alu core
+  done;
+  Alcotest.(check int) "10 alus take 10 cycles" 10 (Core.cycles core);
+  Alcotest.(check int) "instructions" 10 (Core.instructions core);
+  Alcotest.(check (float 0.001)) "ipc 1.0" 1.0 (Core.ipc core)
+
+let test_core_mac_occupancy () =
+  let core = Core.create () in
+  Core.retire core ~pc:0 ~opcode:Opcode.Mac ~fetch_stall:0 ~dmem_stall:0
+    ~taken:false;
+  Alcotest.(check int) "mac takes 3 cycles" 3 (Core.cycles core)
+
+let test_core_stalls_accumulate () =
+  let core = Core.create () in
+  Core.retire core ~pc:0 ~opcode:Opcode.Load ~fetch_stall:50 ~dmem_stall:50
+    ~taken:false;
+  Alcotest.(check int) "1 + 50 + 50" 101 (Core.cycles core)
+
+let test_core_negative_stall () =
+  let core = Core.create () in
+  Alcotest.check_raises "negative stall"
+    (Invalid_argument "Core_model.retire: negative stall") (fun () ->
+      Core.retire core ~pc:0 ~opcode:Opcode.Nop ~fetch_stall:(-1) ~dmem_stall:0
+        ~taken:false)
+
+let test_core_mispredict_penalty () =
+  let core = Core.create ~mispredict_penalty:4 () in
+  (* Cold BTB predicts not-taken; a taken branch mispredicts. *)
+  Core.retire core ~pc:0x40 ~opcode:Opcode.Branch ~fetch_stall:0 ~dmem_stall:0
+    ~taken:true;
+  Alcotest.(check int) "mispredict charged" 5 (Core.cycles core);
+  Alcotest.(check int) "counted" 1 (Core.mispredicts core);
+  (* The BTB has now learned; the same branch taken again is correct. *)
+  Core.retire core ~pc:0x40 ~opcode:Opcode.Branch ~fetch_stall:0 ~dmem_stall:0
+    ~taken:true;
+  Alcotest.(check int) "second time predicted" 6 (Core.cycles core);
+  Alcotest.(check int) "still one mispredict" 1 (Core.mispredicts core)
+
+let test_core_unconditional_free () =
+  let core = Core.create () in
+  List.iter
+    (fun opcode ->
+      Core.retire core ~pc:0 ~opcode ~fetch_stall:0 ~dmem_stall:0 ~taken:true)
+    [ Opcode.Jump; Opcode.Call; Opcode.Return ];
+  Alcotest.(check int) "no penalty for unconditional" 3 (Core.cycles core);
+  Alcotest.(check int) "no mispredicts" 0 (Core.mispredicts core)
+
+let test_core_reset () =
+  let core = Core.create () in
+  retire_alu core;
+  Core.reset core;
+  Alcotest.(check int) "cycles cleared" 0 (Core.cycles core);
+  Alcotest.(check int) "instrs cleared" 0 (Core.instructions core)
+
+let prop_core_cycles_lower_bound =
+  QCheck.Test.make ~name:"cycles >= instructions" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (QCheck.int_bound 8))
+    (fun stalls ->
+      let core = Core.create () in
+      List.iter
+        (fun s ->
+          Core.retire core ~pc:0 ~opcode:Opcode.Nop ~fetch_stall:s ~dmem_stall:0
+            ~taken:false)
+        stalls;
+      Core.cycles core >= Core.instructions core
+      && Core.cycles core
+         = Core.instructions core + List.fold_left ( + ) 0 stalls)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "btb",
+        [
+          Alcotest.test_case "validation" `Quick test_btb_validation;
+          Alcotest.test_case "cold prediction" `Quick test_btb_cold_predicts_not_taken;
+          Alcotest.test_case "learns taken" `Quick test_btb_learns_taken;
+          Alcotest.test_case "2-bit hysteresis" `Quick test_btb_hysteresis;
+          Alcotest.test_case "no alloc on not-taken" `Quick test_btb_no_alloc_on_not_taken;
+          Alcotest.test_case "tag disambiguation" `Quick test_btb_tag_disambiguation;
+          Alcotest.test_case "reset" `Quick test_btb_reset;
+        ] );
+      ( "core_model",
+        [
+          Alcotest.test_case "base CPI" `Quick test_core_base_cpi;
+          Alcotest.test_case "mac occupancy" `Quick test_core_mac_occupancy;
+          Alcotest.test_case "stalls" `Quick test_core_stalls_accumulate;
+          Alcotest.test_case "negative stall" `Quick test_core_negative_stall;
+          Alcotest.test_case "mispredict penalty" `Quick test_core_mispredict_penalty;
+          Alcotest.test_case "unconditional transfers" `Quick test_core_unconditional_free;
+          Alcotest.test_case "reset" `Quick test_core_reset;
+          QCheck_alcotest.to_alcotest prop_core_cycles_lower_bound;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Tests for the I-TLB with way-placement bits and the way-hint bit. *)
+
+module Tlb = Wayplace.Tlb.Tlb
+module Way_hint = Wayplace.Tlb.Way_hint
+
+let wp_below limit page = page < limit
+
+let test_tlb_create_validation () =
+  let invalid f = match f () with (_ : Tlb.t) -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero entries" true
+    (invalid (fun () -> Tlb.create ~entries:0 ~page_bytes:1024));
+  Alcotest.(check bool) "bad page size" true
+    (invalid (fun () -> Tlb.create ~entries:4 ~page_bytes:1000))
+
+let test_tlb_miss_then_hit () =
+  let t = Tlb.create ~entries:4 ~page_bytes:1024 in
+  let first = Tlb.lookup t 0x1234 ~wp_bit_of_page:(wp_below 0x2000) in
+  Alcotest.(check bool) "cold miss" false first.Tlb.hit;
+  Alcotest.(check bool) "wp bit set by the OS" true first.Tlb.way_placed;
+  let second = Tlb.lookup t 0x12FF ~wp_bit_of_page:(wp_below 0x2000) in
+  Alcotest.(check bool) "same page hits" true second.Tlb.hit;
+  Alcotest.(check bool) "wp bit remembered" true second.Tlb.way_placed;
+  Alcotest.(check int) "one entry" 1 (Tlb.valid_entries t)
+
+let test_tlb_wp_bit_false () =
+  let t = Tlb.create ~entries:4 ~page_bytes:1024 in
+  let r = Tlb.lookup t 0x9000 ~wp_bit_of_page:(wp_below 0x2000) in
+  Alcotest.(check bool) "outside the area" false r.Tlb.way_placed
+
+let test_tlb_page_base () =
+  let t = Tlb.create ~entries:4 ~page_bytes:1024 in
+  Alcotest.(check int) "page base" 0x1400 (Tlb.page_base t 0x17FF)
+
+let test_tlb_round_robin_eviction () =
+  let t = Tlb.create ~entries:2 ~page_bytes:1024 in
+  let lookup addr = ignore (Tlb.lookup t addr ~wp_bit_of_page:(fun _ -> false)) in
+  lookup 0x0000;
+  lookup 0x0400;
+  (* Third page evicts the first (round robin). *)
+  lookup 0x0800;
+  let r = Tlb.lookup t 0x0000 ~wp_bit_of_page:(fun _ -> false) in
+  Alcotest.(check bool) "first page was evicted" false r.Tlb.hit
+
+let test_tlb_flush () =
+  let t = Tlb.create ~entries:4 ~page_bytes:1024 in
+  ignore (Tlb.lookup t 0x0 ~wp_bit_of_page:(fun _ -> true));
+  Tlb.flush t;
+  Alcotest.(check int) "empty" 0 (Tlb.valid_entries t);
+  let r = Tlb.lookup t 0x0 ~wp_bit_of_page:(fun _ -> false) in
+  Alcotest.(check bool) "stale wp bit gone after flush" false r.Tlb.way_placed
+
+let test_tlb_wp_callback_gets_page_base () =
+  let t = Tlb.create ~entries:4 ~page_bytes:1024 in
+  let seen = ref (-1) in
+  ignore
+    (Tlb.lookup t 0x17FF ~wp_bit_of_page:(fun page ->
+         seen := page;
+         false));
+  Alcotest.(check int) "callback argument is the page base" 0x1400 !seen
+
+(* --- Way_hint --- *)
+
+let test_hint_initial () =
+  let h = Way_hint.create () in
+  Alcotest.(check bool) "starts predicting normal" false (Way_hint.predict h)
+
+let test_hint_verdicts () =
+  let h = Way_hint.create () in
+  (* false -> actual true: missed saving, hint becomes true. *)
+  Alcotest.(check bool) "missed saving" true
+    (Way_hint.resolve h ~actual:true = Way_hint.Missed_saving);
+  Alcotest.(check bool) "hint updated" true (Way_hint.predict h);
+  (* true -> actual true: correct way-placed. *)
+  Alcotest.(check bool) "correct wp" true
+    (Way_hint.resolve h ~actual:true = Way_hint.Correct_way_placed);
+  (* true -> actual false: needs re-access. *)
+  Alcotest.(check bool) "re-access" true
+    (Way_hint.resolve h ~actual:false = Way_hint.Needs_reaccess);
+  (* false -> actual false: correct normal. *)
+  Alcotest.(check bool) "correct normal" true
+    (Way_hint.resolve h ~actual:false = Way_hint.Correct_normal)
+
+let test_hint_reset () =
+  let h = Way_hint.create () in
+  ignore (Way_hint.resolve h ~actual:true);
+  Way_hint.reset h;
+  Alcotest.(check bool) "reset to normal" false (Way_hint.predict h)
+
+(* Property: the hint bit is exactly "last actual", so on any sequence
+   the number of mispredicts equals the number of transitions. *)
+let prop_hint_transitions =
+  QCheck.Test.make ~name:"mispredicts = transitions" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) bool)
+    (fun actuals ->
+      let h = Way_hint.create () in
+      let mispredicts =
+        List.fold_left
+          (fun acc actual ->
+            match Way_hint.resolve h ~actual with
+            | Way_hint.Missed_saving | Way_hint.Needs_reaccess -> acc + 1
+            | Way_hint.Correct_way_placed | Way_hint.Correct_normal -> acc)
+          0 actuals
+      in
+      let transitions =
+        fst
+          (List.fold_left
+             (fun (acc, prev) actual ->
+               ((if actual <> prev then acc + 1 else acc), actual))
+             (0, false) actuals)
+      in
+      mispredicts = transitions)
+
+let () =
+  Alcotest.run "tlb"
+    [
+      ( "tlb",
+        [
+          Alcotest.test_case "validation" `Quick test_tlb_create_validation;
+          Alcotest.test_case "miss then hit" `Quick test_tlb_miss_then_hit;
+          Alcotest.test_case "wp bit false" `Quick test_tlb_wp_bit_false;
+          Alcotest.test_case "page base" `Quick test_tlb_page_base;
+          Alcotest.test_case "round-robin eviction" `Quick test_tlb_round_robin_eviction;
+          Alcotest.test_case "flush" `Quick test_tlb_flush;
+          Alcotest.test_case "callback argument" `Quick test_tlb_wp_callback_gets_page_base;
+        ] );
+      ( "way_hint",
+        [
+          Alcotest.test_case "initial state" `Quick test_hint_initial;
+          Alcotest.test_case "verdicts" `Quick test_hint_verdicts;
+          Alcotest.test_case "reset" `Quick test_hint_reset;
+          QCheck_alcotest.to_alcotest prop_hint_transitions;
+        ] );
+    ]

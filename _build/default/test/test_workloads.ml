@@ -1,0 +1,329 @@
+(* Tests for the deterministic RNG, benchmark specs, the code
+   generator and the trace walker. *)
+
+module Rng = Wayplace.Workloads.Rng
+module Spec = Wayplace.Workloads.Spec
+module Mibench = Wayplace.Workloads.Mibench
+module Codegen = Wayplace.Workloads.Codegen
+module Tracer = Wayplace.Workloads.Tracer
+module Icfg = Wayplace.Cfg.Icfg
+module Profile = Wayplace.Cfg.Profile
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_rng_int_bound_errors () =
+  let r = Rng.create 1 in
+  Alcotest.(check bool) "zero bound" true
+    (match Rng.int r 0 with (_ : int) -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "int_in inverted" true
+    (match Rng.int_in r ~min:5 ~max:1 with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"int stays in [0,bound)" ~count:300
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"float stays in [0,1)" ~count:200 QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Rng.float r in
+        if v < 0.0 || v >= 1.0 then ok := false
+      done;
+      !ok)
+
+let prop_rng_int_in_inclusive =
+  QCheck.Test.make ~name:"int_in covers both endpoints" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let saw_min = ref false and saw_max = ref false in
+      for _ = 1 to 2000 do
+        match Rng.int_in r ~min:3 ~max:5 with
+        | 3 -> saw_min := true
+        | 5 -> saw_max := true
+        | 4 -> ()
+        | _ -> failwith "out of range"
+      done;
+      !saw_min && !saw_max)
+
+let prop_rng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:100
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 0 30) int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let test_rng_bool_probabilities () =
+  let r = Rng.create 11 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+(* --- Spec / Mibench --- *)
+
+let test_mibench_has_23 () =
+  Alcotest.(check int) "23 benchmarks (paper Section 5)" 23 (List.length Mibench.all)
+
+let test_mibench_all_valid () =
+  List.iter
+    (fun spec ->
+      match Spec.validate spec with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    (Mibench.tiny :: Mibench.all)
+
+let test_mibench_names_unique () =
+  let names = Mibench.names in
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_mibench_find () =
+  Alcotest.(check string) "find crc" "crc" (Mibench.find "crc").Spec.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Mibench.find "doom"))
+
+let test_spec_validation_catches () =
+  let base = Mibench.tiny in
+  let invalid spec =
+    match Spec.validate spec with Error _ -> true | Ok () -> false
+  in
+  Alcotest.(check bool) "no funcs" true (invalid { base with Spec.num_funcs = 0 });
+  Alcotest.(check bool) "bad block range" true
+    (invalid { base with Spec.blocks_per_func_min = 9; blocks_per_func_max = 3 });
+  Alcotest.(check bool) "bad fraction" true
+    (invalid { base with Spec.hot_func_fraction = 1.5 });
+  Alcotest.(check bool) "mix too big" true
+    (invalid { base with Spec.mem_ratio = 0.8; mac_ratio = 0.3 })
+
+(* --- Codegen --- *)
+
+let test_codegen_deterministic () =
+  let a = Codegen.generate Mibench.tiny in
+  let b = Codegen.generate Mibench.tiny in
+  Alcotest.(check int) "same block count" (Icfg.num_blocks a.Codegen.graph)
+    (Icfg.num_blocks b.Codegen.graph);
+  Alcotest.(check bool) "same probabilities" true
+    (a.Codegen.taken_prob = b.Codegen.taken_prob)
+
+let test_codegen_rejects_invalid_spec () =
+  Alcotest.(check bool) "invalid spec" true
+    (match Codegen.generate { Mibench.tiny with Spec.num_funcs = 0 } with
+    | (_ : Codegen.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_codegen_calls_forward_only () =
+  let p = Codegen.generate (Mibench.find "susan_c") in
+  let graph = p.Codegen.graph in
+  let ok = ref true in
+  for id = 0 to Icfg.num_blocks graph - 1 do
+    match Icfg.call_target graph id with
+    | Some callee_entry ->
+        let caller = (Icfg.block graph id).Wayplace.Cfg.Basic_block.func in
+        let callee = (Icfg.block graph callee_entry).Wayplace.Cfg.Basic_block.func in
+        if callee <= caller then ok := false
+    | None -> ()
+  done;
+  Alcotest.(check bool) "call DAG is forward" true !ok
+
+let test_codegen_main_is_entry () =
+  let p = Codegen.generate Mibench.tiny in
+  let graph = p.Codegen.graph in
+  let entry_func = (Icfg.block graph (Icfg.entry graph)).Wayplace.Cfg.Basic_block.func in
+  Alcotest.(check int) "entry in function 0" 0 entry_func
+
+let test_codegen_branch_probs_in_range () =
+  let p = Codegen.generate (Mibench.find "fft") in
+  let graph = p.Codegen.graph in
+  let ok = ref true in
+  for id = 0 to Icfg.num_blocks graph - 1 do
+    if
+      Wayplace.Cfg.Basic_block.terminator (Icfg.block graph id)
+      = Wayplace.Isa.Opcode.Branch
+    then begin
+      let prob = p.Codegen.taken_prob.(id) in
+      if prob <= 0.0 || prob >= 1.0 then ok := false
+    end
+  done;
+  Alcotest.(check bool) "branch probabilities in (0,1)" true !ok
+
+let test_codegen_hot_main () =
+  let p = Codegen.generate Mibench.tiny in
+  Alcotest.(check bool) "main is hot" true p.Codegen.hot_funcs.(0);
+  Alcotest.(check bool) "hot_block consistent" true (Codegen.hot_block p 0)
+
+(* Whole-suite well-formedness is enforced by Icfg validation inside
+   the builder, so generating every benchmark is itself a test. *)
+let test_codegen_whole_suite () =
+  List.iter (fun spec -> ignore (Codegen.generate spec)) Mibench.all
+
+(* --- Tracer --- *)
+
+let test_tracer_budget () =
+  let p = Codegen.generate Mibench.tiny in
+  let tr = Tracer.trace p Tracer.Large in
+  Alcotest.(check int) "exactly the budget"
+    Mibench.tiny.Spec.trace_blocks_large
+    (Array.length tr.Tracer.blocks)
+
+let test_tracer_deterministic () =
+  let p = Codegen.generate Mibench.tiny in
+  let a = Tracer.trace p Tracer.Large in
+  let b = Tracer.trace p Tracer.Large in
+  Alcotest.(check bool) "identical traces" true (a.Tracer.blocks = b.Tracer.blocks);
+  Alcotest.(check int) "identical instr counts" a.Tracer.dynamic_instrs
+    b.Tracer.dynamic_instrs
+
+let test_tracer_inputs_differ () =
+  let p = Codegen.generate Mibench.tiny in
+  let small = Tracer.trace p Tracer.Small in
+  let large = Tracer.trace p Tracer.Large in
+  Alcotest.(check bool) "training and evaluation walks differ" true
+    (small.Tracer.blocks <> large.Tracer.blocks)
+
+let test_tracer_profile_matches_trace () =
+  let p = Codegen.generate Mibench.tiny in
+  let tr, prof = Tracer.trace_and_profile p Tracer.Small in
+  let counted = Array.make (Icfg.num_blocks p.Codegen.graph) 0 in
+  Array.iter (fun id -> counted.(id) <- counted.(id) + 1) tr.Tracer.blocks;
+  let ok = ref true in
+  Array.iteri (fun id c -> if Profile.block_count prof id <> c then ok := false) counted;
+  Alcotest.(check bool) "profile equals trace histogram" true !ok;
+  Alcotest.(check int) "dynamic instrs agree" tr.Tracer.dynamic_instrs
+    (Profile.dynamic_instrs prof p.Codegen.graph)
+
+let test_tracer_profile_standalone_agrees () =
+  let p = Codegen.generate Mibench.tiny in
+  let prof1 = Tracer.profile p Tracer.Small in
+  let _, prof2 = Tracer.trace_and_profile p Tracer.Small in
+  let ok = ref true in
+  for id = 0 to Profile.num_blocks prof1 - 1 do
+    if Profile.block_count prof1 id <> Profile.block_count prof2 id then
+      ok := false
+  done;
+  Alcotest.(check bool) "profile = trace_and_profile" true !ok
+
+let test_tracer_trace_is_walk () =
+  (* Every consecutive pair in the trace must be a legal transition:
+     a successor edge, a return (continuation resolved via the stack),
+     or a restart at the entry. *)
+  let p = Codegen.generate Mibench.tiny in
+  let graph = p.Codegen.graph in
+  let tr = Tracer.trace p Tracer.Small in
+  let legal src dst =
+    List.exists
+      (fun (e : Wayplace.Cfg.Edge.t) -> e.dst = dst)
+      (Icfg.successors graph src)
+    || dst = Icfg.entry graph
+    || Wayplace.Cfg.Basic_block.terminator (Icfg.block graph src)
+       = Wayplace.Isa.Opcode.Return
+  in
+  let ok = ref true in
+  for k = 0 to Array.length tr.Tracer.blocks - 2 do
+    if not (legal tr.Tracer.blocks.(k) tr.Tracer.blocks.(k + 1)) then ok := false
+  done;
+  Alcotest.(check bool) "trace follows graph edges" true !ok
+
+let test_perturbed_probs_bounded () =
+  let p = Codegen.generate Mibench.tiny in
+  let probs = Tracer.perturbed_probs p Tracer.Large in
+  let base = p.Codegen.taken_prob in
+  let ok = ref true in
+  Array.iteri
+    (fun i prob ->
+      if prob < 0.02 -. 1e-9 || prob > 0.98 +. 1e-9 then ok := false;
+      if abs_float (prob -. base.(i)) > 0.06 +. 1e-9 then ok := false)
+    probs;
+  Alcotest.(check bool) "perturbation bounded" true !ok
+
+let test_perturbed_probs_differ_by_input () =
+  let p = Codegen.generate (Mibench.find "crc") in
+  let small = Tracer.perturbed_probs p Tracer.Small in
+  let large = Tracer.perturbed_probs p Tracer.Large in
+  Alcotest.(check bool) "inputs perturb differently" true (small <> large)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "bound errors" `Quick test_rng_int_bound_errors;
+          Alcotest.test_case "bool rate" `Quick test_rng_bool_probabilities;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_int_in_inclusive;
+          QCheck_alcotest.to_alcotest prop_rng_shuffle_permutes;
+        ] );
+      ( "mibench",
+        [
+          Alcotest.test_case "23 benchmarks" `Quick test_mibench_has_23;
+          Alcotest.test_case "all specs valid" `Quick test_mibench_all_valid;
+          Alcotest.test_case "names unique" `Quick test_mibench_names_unique;
+          Alcotest.test_case "find" `Quick test_mibench_find;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation_catches;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_codegen_deterministic;
+          Alcotest.test_case "invalid spec" `Quick test_codegen_rejects_invalid_spec;
+          Alcotest.test_case "forward call DAG" `Quick test_codegen_calls_forward_only;
+          Alcotest.test_case "entry is main" `Quick test_codegen_main_is_entry;
+          Alcotest.test_case "branch prob range" `Quick test_codegen_branch_probs_in_range;
+          Alcotest.test_case "hot functions" `Quick test_codegen_hot_main;
+          Alcotest.test_case "whole suite generates" `Slow test_codegen_whole_suite;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "budget respected" `Quick test_tracer_budget;
+          Alcotest.test_case "deterministic" `Quick test_tracer_deterministic;
+          Alcotest.test_case "inputs differ" `Quick test_tracer_inputs_differ;
+          Alcotest.test_case "profile = histogram" `Quick test_tracer_profile_matches_trace;
+          Alcotest.test_case "profile agreement" `Quick test_tracer_profile_standalone_agrees;
+          Alcotest.test_case "trace follows edges" `Quick test_tracer_trace_is_walk;
+          Alcotest.test_case "perturbation bounded" `Quick test_perturbed_probs_bounded;
+          Alcotest.test_case "inputs perturb differently" `Quick test_perturbed_probs_differ_by_input;
+        ] );
+    ]
