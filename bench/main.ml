@@ -10,7 +10,13 @@
    Absolute numbers are not expected to match the paper (the substrate
    is a simulator, not the authors' testbed); the shapes — who wins, by
    roughly what factor, where the anomalies sit — are the reproduction
-   target.  EXPERIMENTS.md records paper-vs-measured for every id. *)
+   target.  EXPERIMENTS.md records paper-vs-measured for every id.
+
+   Every experiment declares its (benchmark x config) job grid up
+   front; the driver fans the union of the requested grids out on a
+   Sweep domain pool (-j N, default all cores; -j 1 is the sequential
+   fallback), then the printing functions replay against the warm
+   cache.  Results are bit-identical either way. *)
 
 module Config = Wayplace.Sim.Config
 module Stats = Wayplace.Sim.Stats
@@ -20,45 +26,37 @@ module Geometry = Wayplace.Cache.Geometry
 module Mibench = Wayplace.Workloads.Mibench
 module Tracer = Wayplace.Workloads.Tracer
 module Ed = Wayplace.Energy.Ed
+module Sweep = Wayplace.Sim.Sweep
 
 let kb n = n * 1024
 let wp n = Config.Way_placement { area_bytes = kb n }
 let geometry ~size_kb ~ways = Geometry.make ~size_bytes:(kb size_kb) ~assoc:ways ~line_bytes:32
 
 (* ------------------------------------------------------------------ *)
-(* Memoised benchmark preparation and simulation runs: figures share   *)
-(* baselines, so every (benchmark, config) pair is simulated once.     *)
+(* One sweep engine for the whole process: figures share baselines, so *)
+(* every (benchmark, config) pair is prepared and simulated once, and  *)
+(* the driver warms the cache in parallel before printing.             *)
 
-let preps : (string, Runner.prepared) Hashtbl.t = Hashtbl.create 32
+let requested_workers = ref None
 
-let prep name =
-  match Hashtbl.find_opt preps name with
-  | Some p -> p
-  | None ->
-      let p = Runner.prepare (Mibench.find name) in
-      Hashtbl.add preps name p;
-      p
+let progress job ~seconds ~completed ~total =
+  Printf.eprintf "[sweep %3d/%d] %-48s %6.2fs\n%!" completed total
+    (Sweep.job_label job) seconds
 
-let run_cache : (string, Stats.t) Hashtbl.t = Hashtbl.create 512
+let sweep =
+  lazy (Sweep.create ?workers:!requested_workers ~progress ())
 
-let config_key (c : Config.t) =
-  Printf.sprintf "%s|%s|%s|%b|%b|%b|%d"
-    (Geometry.to_string c.Config.icache)
-    (Config.scheme_name c.Config.scheme)
-    (Wayplace.Cache.Replacement.to_string c.Config.replacement)
-    c.Config.same_line_elision
-    (c.Config.memo_invalidation = Wayplace.Cache.Way_memo.Precise)
-    c.Config.leakage_enabled
-    (Option.value c.Config.drowsy_window_fetches ~default:0)
+let prep name = Sweep.prepared (Lazy.force sweep) name
+let job benchmark config = { Sweep.benchmark; config }
+let run name config = Sweep.stats (Lazy.force sweep) (job name config)
 
-let run name config =
-  let key = name ^ "|" ^ config_key config in
-  match Hashtbl.find_opt run_cache key with
-  | Some stats -> stats
-  | None ->
-      let stats = Runner.run_scheme (prep name) config in
-      Hashtbl.add run_cache key stats;
-      stats
+(* Job grids: [grid] is the raw benchmark x config product, [cmp] adds
+   the baseline partner every normalised metric divides by. *)
+let grid benchmarks configs =
+  List.concat_map (fun c -> List.map (fun b -> job b c) benchmarks) configs
+
+let cmp benchmarks configs = Sweep.with_baselines (grid benchmarks configs)
+let no_jobs () = []
 
 let norm_energy name config =
   let baseline = run name (Config.with_scheme config Config.Baseline) in
@@ -134,6 +132,9 @@ let fig1 () =
 
 let fig4_config scheme = Config.xscale scheme
 
+let fig4_jobs () =
+  cmp suite [ fig4_config Config.Way_memoization; fig4_config (wp 16) ]
+
 let fig4a () =
   header
     "Figure 4(a) - normalised i-cache energy per benchmark\n\
@@ -172,6 +173,11 @@ let fig4b () =
 
 let fig5_areas = [ 16; 8; 4; 2; 1 ]
 
+let fig5_jobs () =
+  cmp suite
+    (fig4_config Config.Way_memoization
+    :: List.map (fun a -> fig4_config (wp a)) fig5_areas)
+
 let fig5a () =
   header
     "Figure 5(a) - normalised i-cache energy vs way-placement area\n\
@@ -206,6 +212,19 @@ let fig5b () =
 
 let fig6_sizes = [ 8; 16; 32 ]
 let fig6_ways = [ 8; 16; 32 ]
+
+let fig6_jobs () =
+  cmp suite
+    (List.concat_map
+       (fun size_kb ->
+         List.concat_map
+           (fun ways ->
+             let g = geometry ~size_kb ~ways in
+             List.map
+               (fun s -> Config.with_icache (Config.xscale s) g)
+               [ Config.Way_memoization; wp 16; wp 8 ])
+           fig6_ways)
+       fig6_sizes)
 
 let fig6_row metric size_kb ways =
   let g = geometry ~size_kb ~ways in
@@ -253,6 +272,13 @@ let fig6b () =
 
 let ablation_suite = [ "crc"; "susan_c"; "rijndael_e"; "tiff2bw"; "ispell" ]
 
+let ablate_sameline_jobs () =
+  cmp ablation_suite
+    [
+      Config.xscale (wp 16);
+      Config.with_same_line_elision (Config.xscale (wp 16)) false;
+    ]
+
 let ablate_sameline () =
   header
     "Ablation - same-line tag-check elision off\n\
@@ -270,6 +296,13 @@ let ablate_sameline () =
     "Without elision the baseline pays full tag energy on every fetch, so\n\
      way-placement's relative saving grows - the elision is conservative.\n%!"
 
+let ablate_replacement_jobs () =
+  cmp ablation_suite
+    [
+      Config.xscale (wp 16);
+      Config.with_replacement (Config.xscale (wp 16)) Wayplace.Cache.Replacement.Lru;
+    ]
+
 let ablate_replacement () =
   header "Ablation - round-robin (XScale) vs LRU replacement";
   Printf.printf "%-12s %16s %16s\n" "benchmark" "wp rr" "wp lru";
@@ -283,6 +316,14 @@ let ablate_replacement () =
       Printf.printf "%-12s %15.1f%% %15.1f%%\n" name (pct rr) (pct lru))
     ablation_suite;
   Printf.printf "%!"
+
+let ablate_invalidation_jobs () =
+  let base =
+    Config.with_icache (Config.xscale Config.Way_memoization)
+      (geometry ~size_kb:8 ~ways:32)
+  in
+  cmp ablation_suite
+    [ base; Config.with_memo_invalidation base Wayplace.Cache.Way_memo.Precise ]
 
 let ablate_invalidation () =
   header
@@ -302,6 +343,8 @@ let ablate_invalidation () =
     ablation_suite;
   Printf.printf "%!"
 
+let ablate_hint_jobs () = grid ablation_suite [ Config.xscale (wp 16) ]
+
 let ablate_hint () =
   header
     "Ablation - the way-hint bit (paper Section 4.1)\n\
@@ -318,6 +361,10 @@ let ablate_hint () =
   Printf.printf
     "The hint is right whenever execution stays inside or outside the area,\n\
      which the chain layout makes the common case (paper: \"very accurate\").\n%!"
+
+(* The self-profiled run is a bespoke Simulator.run (oracle layout),
+   outside the sweep grid; only the standard runs prefetch. *)
+let ablate_profile_jobs () = cmp ablation_suite [ Config.xscale (wp 16) ]
 
 let ablate_profile () =
   header
@@ -349,18 +396,22 @@ let ablate_profile () =
 (* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's evaluation (Section 7 related work). *)
 
+let ext_schemes =
+  [
+    ("way-placement 16KB", wp 16);
+    ("way-memoization", Config.Way_memoization);
+    ("way-prediction", Config.Way_prediction);
+    ("filter-cache 512B", Config.Filter_cache { l0_bytes = 512 });
+  ]
+
+let ext_comparators_jobs () =
+  cmp suite (List.map (fun (_, s) -> Config.xscale s) ext_schemes)
+
 let ext_comparators () =
   header
     "Extension - all comparator schemes at 32KB/32-way
      (way prediction: Inoue et al. [6]; filter cache: Kin et al. [11])";
-  let schemes =
-    [
-      ("way-placement 16KB", wp 16);
-      ("way-memoization", Config.Way_memoization);
-      ("way-prediction", Config.Way_prediction);
-      ("filter-cache 512B", Config.Filter_cache { l0_bytes = 512 });
-    ]
-  in
+  let schemes = ext_schemes in
   Printf.printf "%-20s %10s %10s %12s
 " "scheme" "energy" "ED" "cycles";
   List.iter
@@ -383,21 +434,24 @@ let ext_comparators () =
      no ISA change, no extra storage and no performance risk.
 %!"
 
+let ext_drowsy_rows =
+  let with_leak config = Config.with_leakage config true in
+  let drowsy config = Config.with_drowsy (with_leak config) (Some 2000) in
+  [
+    ("baseline + leakage", with_leak (Config.xscale Config.Baseline));
+    ("wp 16KB + leakage", with_leak (Config.xscale (wp 16)));
+    ("baseline + drowsy", drowsy (Config.xscale Config.Baseline));
+    ("wp 16KB + drowsy", drowsy (Config.xscale (wp 16)));
+  ]
+
+let ext_drowsy_jobs () = grid ablation_suite (List.map snd ext_drowsy_rows)
+
 let ext_drowsy () =
   header
     "Extension - combining way-placement with drowsy lines
      (leakage accounting on; Section 7: the schemes are orthogonal)";
-  let with_leak config = Config.with_leakage config true in
-  let drowsy config = Config.with_drowsy (with_leak config) (Some 2000) in
-  let rows =
-    [
-      ("baseline + leakage", with_leak (Config.xscale Config.Baseline));
-      ("wp 16KB + leakage", with_leak (Config.xscale (wp 16)));
-      ("baseline + drowsy", drowsy (Config.xscale Config.Baseline));
-      ("wp 16KB + drowsy", drowsy (Config.xscale (wp 16)));
-    ]
-  in
-  let base_cfg = with_leak (Config.xscale Config.Baseline) in
+  let rows = ext_drowsy_rows in
+  let base_cfg = List.assoc "baseline + leakage" rows in
   let subset = ablation_suite in
   Printf.printf "%-20s %14s %10s
 " "configuration" "icache energy" "wakes";
@@ -428,6 +482,8 @@ let ext_drowsy () =
 (* ------------------------------------------------------------------ *)
 (* CSV export: the three figure datasets, one file per figure, for     *)
 (* external plotting.                                                  *)
+
+let csv_jobs () = fig4_jobs () @ fig5_jobs () @ fig6_jobs ()
 
 let csv () =
   header "CSV export (bench_csv/fig{4,5,6}.csv)";
@@ -532,41 +588,81 @@ let micro () =
 
 let experiments =
   [
-    ("tab1", tab1);
-    ("fig1", fig1);
-    ("fig4a", fig4a);
-    ("fig4b", fig4b);
-    ("fig5a", fig5a);
-    ("fig5b", fig5b);
-    ("fig6a", fig6a);
-    ("fig6b", fig6b);
-    ("ablate-sameline", ablate_sameline);
-    ("ablate-replacement", ablate_replacement);
-    ("ablate-invalidation", ablate_invalidation);
-    ("ablate-hint", ablate_hint);
-    ("ablate-profile", ablate_profile);
-    ("ext-comparators", ext_comparators);
-    ("ext-drowsy", ext_drowsy);
-    ("csv", csv);
-    ("micro", micro);
+    ("tab1", no_jobs, tab1);
+    ("fig1", no_jobs, fig1);
+    ("fig4a", fig4_jobs, fig4a);
+    ("fig4b", fig4_jobs, fig4b);
+    ("fig5a", fig5_jobs, fig5a);
+    ("fig5b", fig5_jobs, fig5b);
+    ("fig6a", fig6_jobs, fig6a);
+    ("fig6b", fig6_jobs, fig6b);
+    ("ablate-sameline", ablate_sameline_jobs, ablate_sameline);
+    ("ablate-replacement", ablate_replacement_jobs, ablate_replacement);
+    ("ablate-invalidation", ablate_invalidation_jobs, ablate_invalidation);
+    ("ablate-hint", ablate_hint_jobs, ablate_hint);
+    ("ablate-profile", ablate_profile_jobs, ablate_profile);
+    ("ext-comparators", ext_comparators_jobs, ext_comparators);
+    ("ext-drowsy", ext_drowsy_jobs, ext_drowsy);
+    ("csv", csv_jobs, csv);
+    ("micro", no_jobs, micro);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [-j N] [EXPERIMENT...]\n\
+     \  -j, --jobs N   simulate on N worker domains (default %d; 1 = sequential)\n\
+     \  list           print the experiment ids and exit\n"
+    (Sweep.default_workers ())
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | [] | _ :: [] -> List.map fst experiments
-    | _ :: [ "list" ] ->
-        List.iter (fun (id, _) -> print_endline id) experiments;
+  let rec parse ids = function
+    | [] -> List.rev ids
+    | ("-j" | "--jobs") :: v :: rest -> begin
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            requested_workers := Some n;
+            parse ids rest
+        | Some _ | None ->
+            Printf.eprintf "bad worker count %S\n" v;
+            usage ();
+            exit 1
+      end
+    | [ ("-j" | "--jobs") ] ->
+        Printf.eprintf "-j needs a worker count\n";
+        usage ();
+        exit 1
+    | ("-h" | "--help") :: _ ->
+        usage ();
         exit 0
-    | _ :: ids -> ids
+    | "list" :: _ ->
+        List.iter (fun (id, _, _) -> print_endline id) experiments;
+        exit 0
+    | id :: rest -> parse (id :: ids) rest
   in
+  let requested =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map (fun (id, _, _) -> id) experiments
+    | ids -> ids
+  in
+  let lookup id =
+    match List.find_opt (fun (id', _, _) -> id = id') experiments with
+    | Some entry -> entry
+    | None ->
+        Printf.eprintf "unknown experiment %S (try: list)\n" id;
+        exit 1
+  in
+  let selected = List.map lookup requested in
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun id ->
-      match List.assoc_opt id experiments with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown experiment %S (try: list)\n" id;
-          exit 1)
-    requested;
+  (* Warm the cache in parallel: one deduped batch for all requested
+     experiments, so baselines shared across figures run once. *)
+  let jobs = List.concat_map (fun (_, jobs_of, _) -> jobs_of ()) selected in
+  let unique = List.length (Sweep.dedup jobs) in
+  if unique > 0 then begin
+    let engine = Lazy.force sweep in
+    Printf.eprintf "[sweep] %d unique jobs on %d worker%s\n%!" unique
+      (Sweep.workers engine)
+      (if Sweep.workers engine = 1 then "" else "s");
+    ignore (Sweep.run_batch engine jobs)
+  end;
+  List.iter (fun (_, _, f) -> f ()) selected;
   Printf.printf "\n[bench] done in %.1fs\n%!" (Unix.gettimeofday () -. t0)

@@ -1,8 +1,11 @@
 (* Command-line front end: run one benchmark under one configuration,
-   inspect a benchmark's layout, dump profiles and block orders, or
-   list the suite.
+   sweep a benchmark x configuration grid on a domain pool, inspect a
+   benchmark's layout, dump profiles and block orders, or list the
+   suite.
 
      dune exec bin/wayplace_cli.exe -- run -b crc -s wayplace -a 16
+     dune exec bin/wayplace_cli.exe -- sweep -b crc,susan_c -s wayplace,waymemo -j 4
+     dune exec bin/wayplace_cli.exe -- sweep --sizes 8,16,32 --ways-list 8,16,32 --csv grid.csv
      dune exec bin/wayplace_cli.exe -- layout -b ispell
      dune exec bin/wayplace_cli.exe -- profile -b crc -o crc.profile
      dune exec bin/wayplace_cli.exe -- layout -b crc --profile crc.profile
@@ -81,6 +84,198 @@ let run_cmd benchmark scheme area size ways line =
       comparison.Wayplace.Sim.Runner.norm_ed
       comparison.Wayplace.Sim.Runner.norm_cycles;
     Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+(* --- sweep: a benchmark x configuration grid on the domain pool --- *)
+
+module Sweep = Wayplace.Sim.Sweep
+module Sim_stats = Wayplace.Sim.Stats
+
+let comma_list = String.split_on_char ','
+
+let parse_int_list ~what s =
+  let parts = comma_list s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> begin
+        match int_of_string_opt (String.trim p) with
+        | Some n when n > 0 -> go (n :: acc) rest
+        | Some _ | None -> Error (Printf.sprintf "bad %s %S" what p)
+      end
+  in
+  go [] parts
+
+let sweep_benchmarks_arg =
+  let doc = "Comma-separated benchmark names, or $(b,all) for the whole suite." in
+  Arg.(value & opt string "all" & info [ "b"; "benchmarks" ] ~docv:"NAMES" ~doc)
+
+let sweep_schemes_arg =
+  let doc =
+    "Comma-separated schemes (baseline, wayplace, waymemo, waypred, filter)."
+  in
+  Arg.(value & opt string "wayplace,waymemo" & info [ "s"; "schemes" ] ~docv:"SCHEMES" ~doc)
+
+let sweep_areas_arg =
+  let doc = "Comma-separated way-placement area sizes in KB (one job per area)." in
+  Arg.(value & opt string "16" & info [ "a"; "areas" ] ~docv:"KBS" ~doc)
+
+let sweep_sizes_arg =
+  let doc = "Comma-separated I-cache sizes in KB." in
+  Arg.(value & opt string "32" & info [ "sizes" ] ~docv:"KBS" ~doc)
+
+let sweep_ways_arg =
+  let doc = "Comma-separated I-cache associativities." in
+  Arg.(value & opt string "32" & info [ "ways-list" ] ~docv:"NS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep (default: all cores; 1 = sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Also write the sweep results to this CSV file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let sweep_row engine benchmark (config : Wayplace.Sim.Config.t) =
+  let baseline_config =
+    Wayplace.Sim.Config.with_scheme config Wayplace.Sim.Config.Baseline
+  in
+  let b = Sweep.stats engine { Sweep.benchmark; config = baseline_config } in
+  let s = Sweep.stats engine { Sweep.benchmark; config } in
+  let energy =
+    Wayplace.Energy.Ed.normalised
+      ~scheme:(Sim_stats.icache_energy_pj s)
+      ~baseline:(Sim_stats.icache_energy_pj b)
+  in
+  let ed =
+    Wayplace.Energy.Ed.normalised_ed
+      ~scheme_energy_pj:(Sim_stats.total_energy_pj s)
+      ~scheme_cycles:s.Sim_stats.cycles
+      ~baseline_energy_pj:(Sim_stats.total_energy_pj b)
+      ~baseline_cycles:b.Sim_stats.cycles
+  in
+  let cycles =
+    float_of_int s.Sim_stats.cycles /. float_of_int b.Sim_stats.cycles
+  in
+  (energy, ed, cycles)
+
+let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out =
+  let ( let* ) = Result.bind in
+  let result =
+    let* benchmarks =
+      match benchmarks with
+      | "all" -> Ok Wayplace.Workloads.Mibench.names
+      | names ->
+          List.fold_left
+            (fun acc name ->
+              let* acc = acc in
+              let name = String.trim name in
+              let* _spec = find_spec name in
+              Ok (name :: acc))
+            (Ok []) (comma_list names)
+          |> Result.map List.rev
+    in
+    let* areas = parse_int_list ~what:"area" areas in
+    let* sizes = parse_int_list ~what:"cache size" sizes in
+    let* ways = parse_int_list ~what:"associativity" ways in
+    let* schemes =
+      (* way-placement expands to one scheme per requested area *)
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let s = String.trim s in
+          let variants =
+            match s with
+            | "wayplace" | "way-placement" -> areas
+            | _ -> [ 16 ]
+          in
+          List.fold_left
+            (fun acc area ->
+              let* acc = acc in
+              let* p = parse_scheme s area in
+              Ok (p :: acc))
+            (Ok acc) variants)
+        (Ok []) (comma_list schemes)
+      |> Result.map List.rev
+    in
+    let* configs =
+      List.fold_left
+        (fun acc size_kb ->
+          List.fold_left
+            (fun acc ways ->
+              List.fold_left
+                (fun acc scheme ->
+                  let* acc = acc in
+                  let* c = config_of ~scheme ~size_kb ~ways ~line in
+                  Ok (c :: acc))
+                acc schemes)
+            acc ways)
+        (Ok []) sizes
+      |> Result.map List.rev
+    in
+    let progress job ~seconds ~completed ~total =
+      Printf.eprintf "[sweep %3d/%d] %-48s %6.2fs\n%!" completed total
+        (Sweep.job_label job) seconds
+    in
+    let engine = Sweep.create ?workers:jobs ~progress () in
+    let scheme_jobs =
+      List.concat_map
+        (fun config ->
+          List.map (fun benchmark -> { Sweep.benchmark; config }) benchmarks)
+        configs
+    in
+    Printf.eprintf "[sweep] %d unique jobs on %d worker%s\n%!"
+      (List.length (Sweep.dedup (Sweep.with_baselines scheme_jobs)))
+      (Sweep.workers engine)
+      (if Sweep.workers engine = 1 then "" else "s");
+    let t0 = Unix.gettimeofday () in
+    ignore (Sweep.run_batch engine (Sweep.with_baselines scheme_jobs));
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-12s %-16s %-20s %9s %8s %9s\n" "benchmark" "icache"
+      "scheme" "energy" "ED" "cycles";
+    let rows =
+      List.map
+        (fun { Sweep.benchmark; config } ->
+          let energy, ed, cycles = sweep_row engine benchmark config in
+          (benchmark, config, energy, ed, cycles))
+        scheme_jobs
+    in
+    List.iter
+      (fun (benchmark, (config : Wayplace.Sim.Config.t), energy, ed, cycles) ->
+        Printf.printf "%-12s %-16s %-20s %8.1f%% %8.3f %9.4f\n" benchmark
+          (Wayplace.Cache.Geometry.to_string config.Wayplace.Sim.Config.icache)
+          (Wayplace.Sim.Config.scheme_name config.Wayplace.Sim.Config.scheme)
+          (100.0 *. energy) ed cycles)
+      rows;
+    Printf.printf "[sweep] %d rows in %.1fs\n%!" (List.length rows) elapsed;
+    match csv_out with
+    | None -> Ok ()
+    | Some path -> (
+        match open_out path with
+        | exception Sys_error msg -> Error msg
+        | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc "benchmark,icache,scheme,energy,ed,cycles\n";
+                List.iter
+                  (fun (benchmark, (config : Wayplace.Sim.Config.t), energy, ed, cycles)
+                     ->
+                    Printf.fprintf oc "%s,%s,%s,%.4f,%.4f,%.4f\n" benchmark
+                      (Wayplace.Cache.Geometry.to_string
+                         config.Wayplace.Sim.Config.icache)
+                      (Wayplace.Sim.Config.scheme_name
+                         config.Wayplace.Sim.Config.scheme)
+                      energy ed cycles)
+                  rows);
+            Printf.printf "wrote %s\n%!" path;
+            Ok ())
   in
   match result with
   | Ok () -> 0
@@ -242,6 +437,14 @@ let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark under one configuration")
       run_term;
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:
+           "Sweep a benchmark x configuration grid on a parallel domain pool")
+      Term.(
+        const sweep_cmd $ sweep_benchmarks_arg $ sweep_schemes_arg
+        $ sweep_areas_arg $ sweep_sizes_arg $ sweep_ways_arg $ line_arg
+        $ jobs_arg $ csv_arg);
     Cmd.v
       (Cmd.info "layout" ~doc:"Show the way-placement layout of a benchmark")
       Term.(const layout_cmd $ benchmark_arg $ profile_arg $ output_arg);

@@ -162,7 +162,22 @@ let fetch t addr =
            Link invalidation on eviction guarantees residence. *)
         let way = t.link_way.(li) in
         let set = Geometry.set_index g addr in
-        assert (Cam_cache.probe t.cache addr = Some way);
+        (* Link invalidation on eviction is what makes the blind
+           follow sound; check it without allocating a comparison
+           witness, and fail loudly enough to debug if it ever
+           breaks. *)
+        (match Cam_cache.probe t.cache addr with
+        | Some w when w = way -> ()
+        | resident ->
+            invalid_arg
+              (Printf.sprintf
+                 "Way_memo.fetch: link (set %d, way %d, slot %d) names way %d \
+                  for address 0x%x, but the line is %s — residence invariant \
+                  broken"
+                 t.last_set t.last_way slot way addr
+                 (match resident with
+                 | None -> "not resident"
+                 | Some w -> Printf.sprintf "resident in way %d" w)));
         t.last_addr <- addr;
         t.last_set <- set;
         t.last_way <- way;

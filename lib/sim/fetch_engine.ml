@@ -270,7 +270,13 @@ let fetch t (stats : Stats.t) addr =
           charge_icache stats
             (t.energies.Cam_energy.data_word_pj
             *. t.energies.Cam_energy.memo_data_factor)
-      | B_way_placement _ | B_baseline _ | B_way_predict _ | B_filter _ ->
+      | B_filter { l0_energies; _ } ->
+          (* The previous fetch left this line resident in the L0
+             (either it hit there or the miss refilled it), so the
+             sequential word streams from the L0 array — charging the
+             L1's much larger data read would overbill the scheme. *)
+          charge_icache stats l0_energies.Cam_energy.data_word_pj
+      | B_way_placement _ | B_baseline _ | B_way_predict _ ->
           charge_icache stats t.energies.Cam_energy.data_word_pj);
       if t.prev_set >= 0 then
         ignore (note_line t stats ~set:t.prev_set ~way:t.prev_way);

@@ -1,0 +1,251 @@
+type job = { benchmark : string; config : Config.t }
+
+type progress = job -> seconds:float -> completed:int -> total:int -> unit
+
+(* A per-key once-cell: the table lock is only held to find/create the
+   cell, so two workers computing different keys never serialise on
+   each other — only a second request for the *same* key blocks until
+   the first finishes. *)
+type 'a once = { cell_lock : Mutex.t; mutable value : 'a option }
+
+let once_create () = { cell_lock = Mutex.create (); value = None }
+
+let once_get cell compute =
+  Mutex.lock cell.cell_lock;
+  match cell.value with
+  | Some v ->
+      Mutex.unlock cell.cell_lock;
+      v
+  | None ->
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock cell.cell_lock)
+        (fun () ->
+          let v = compute () in
+          cell.value <- Some v;
+          v)
+
+type t = {
+  workers : int;
+  progress : progress option;
+  tables_lock : Mutex.t;  (** guards the two hashtables (not the cells) *)
+  preps : (string, Runner.prepared once) Hashtbl.t;
+  results : (string, Stats.t once) Hashtbl.t;
+}
+
+let default_workers () = Domain.recommended_domain_count ()
+
+let create ?workers ?progress () =
+  {
+    workers = max 1 (Option.value workers ~default:(default_workers ()));
+    progress;
+    tables_lock = Mutex.create ();
+    preps = Hashtbl.create 32;
+    results = Hashtbl.create 512;
+  }
+
+let workers t = t.workers
+
+(* The runtime representation of a Config.t is pure immutable data
+   (scalars, records, variants), so marshalling is a total, stable
+   encoding of the whole value: every field participates, including
+   any added later. *)
+let config_key (config : Config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string config []))
+
+let job_key job = job.benchmark ^ "|" ^ config_key job.config
+
+let job_label job =
+  Printf.sprintf "%s x %s @ %s" job.benchmark
+    (Config.scheme_name job.config.Config.scheme)
+    (Wp_cache.Geometry.to_string job.config.Config.icache)
+
+let dedup jobs =
+  let seen = Hashtbl.create (List.length jobs) in
+  List.filter
+    (fun job ->
+      let key = job_key job in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    jobs
+
+let with_baselines jobs =
+  dedup
+    (List.concat_map
+       (fun job ->
+         [ job; { job with config = Config.with_scheme job.config Config.Baseline } ])
+       jobs)
+
+let find_or_add_cell t table key =
+  Mutex.lock t.tables_lock;
+  let cell =
+    match Hashtbl.find_opt table key with
+    | Some cell -> cell
+    | None ->
+        let cell = once_create () in
+        Hashtbl.add table key cell;
+        cell
+  in
+  Mutex.unlock t.tables_lock;
+  cell
+
+let prepared t name =
+  let cell = find_or_add_cell t t.preps name in
+  once_get cell (fun () -> Runner.prepare (Wp_workloads.Mibench.find name))
+
+let stats t job =
+  let cell = find_or_add_cell t t.results (job_key job) in
+  once_get cell (fun () -> Runner.run_scheme (prepared t job.benchmark) job.config)
+
+let completed t =
+  Mutex.lock t.tables_lock;
+  let n =
+    Hashtbl.fold
+      (fun _ cell acc -> if cell.value <> None then acc + 1 else acc)
+      t.results 0
+  in
+  Mutex.unlock t.tables_lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* The worker pool.  One batch = one pool: a cursor over the deduped
+   job array doles out work; completions flow back through a
+   Mutex/Condition queue so the submitting domain can emit progress in
+   completion order while workers keep running. *)
+
+type batch = {
+  jobs : job array;
+  queue_lock : Mutex.t;
+  completion : Condition.t;  (** signalled on completion and worker exit *)
+  mutable next : int;  (** cursor: next job index to hand out *)
+  mutable finished : (job * float) list;  (** completion events, newest first *)
+  mutable failure : exn option;  (** first failure; stops the cursor *)
+  mutable exited : int;  (** workers that have left their loop *)
+}
+
+let take batch =
+  Mutex.lock batch.queue_lock;
+  let item =
+    if batch.failure <> None || batch.next >= Array.length batch.jobs then None
+    else begin
+      let i = batch.next in
+      batch.next <- i + 1;
+      Some batch.jobs.(i)
+    end
+  in
+  Mutex.unlock batch.queue_lock;
+  item
+
+let run_one t batch job =
+  match
+    let t0 = Unix.gettimeofday () in
+    ignore (stats t job);
+    Unix.gettimeofday () -. t0
+  with
+  | seconds ->
+      Mutex.lock batch.queue_lock;
+      batch.finished <- (job, seconds) :: batch.finished;
+      Condition.signal batch.completion;
+      Mutex.unlock batch.queue_lock
+  | exception exn ->
+      Mutex.lock batch.queue_lock;
+      if batch.failure = None then batch.failure <- Some exn;
+      Condition.signal batch.completion;
+      Mutex.unlock batch.queue_lock
+
+let worker t batch () =
+  let rec loop () =
+    match take batch with
+    | None ->
+        Mutex.lock batch.queue_lock;
+        batch.exited <- batch.exited + 1;
+        Condition.signal batch.completion;
+        Mutex.unlock batch.queue_lock
+    | Some job ->
+        run_one t batch job;
+        loop ()
+  in
+  loop ()
+
+(* Drain completion events on the submitting domain until every worker
+   has exited, emitting progress in completion order. *)
+let pump t batch ~nworkers =
+  let total = Array.length batch.jobs in
+  let emitted = ref 0 in
+  Mutex.lock batch.queue_lock;
+  let rec drain () =
+    (match List.rev batch.finished with
+    | [] -> ()
+    | events ->
+        batch.finished <- [];
+        List.iter
+          (fun (job, seconds) ->
+            incr emitted;
+            match t.progress with
+            | None -> ()
+            | Some f -> f job ~seconds ~completed:!emitted ~total)
+          events);
+    if batch.exited < nworkers then begin
+      Condition.wait batch.completion batch.queue_lock;
+      drain ()
+    end
+  in
+  drain ();
+  Mutex.unlock batch.queue_lock
+
+let run_sequential t batch =
+  let total = Array.length batch.jobs in
+  let completed = ref 0 in
+  Array.iter
+    (fun job ->
+      if batch.failure = None then begin
+        run_one t batch job;
+        match List.rev batch.finished with
+        | [] -> ()
+        | events ->
+            batch.finished <- [];
+            List.iter
+              (fun (job, seconds) ->
+                incr completed;
+                match t.progress with
+                | None -> ()
+                | Some f -> f job ~seconds ~completed:!completed ~total)
+              events
+      end)
+    batch.jobs
+
+(* Only sound when no workers are mutating the tables — i.e. between
+   batches, which is when run_batch consults it. *)
+let already_cached t job =
+  Mutex.lock t.tables_lock;
+  let cell = Hashtbl.find_opt t.results (job_key job) in
+  Mutex.unlock t.tables_lock;
+  match cell with Some { value = Some _; _ } -> true | _ -> false
+
+let run_batch t jobs =
+  let todo =
+    Array.of_list
+      (List.filter (fun job -> not (already_cached t job)) (dedup jobs))
+  in
+  let batch =
+    {
+      jobs = todo;
+      queue_lock = Mutex.create ();
+      completion = Condition.create ();
+      next = 0;
+      finished = [];
+      failure = None;
+      exited = 0;
+    }
+  in
+  let nworkers = max 1 (min t.workers (Array.length todo)) in
+  if nworkers <= 1 then run_sequential t batch
+  else begin
+    let domains = List.init nworkers (fun _ -> Domain.spawn (worker t batch)) in
+    pump t batch ~nworkers;
+    List.iter Domain.join domains
+  end;
+  (match batch.failure with Some exn -> raise exn | None -> ());
+  List.map (fun job -> stats t job) jobs

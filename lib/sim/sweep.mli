@@ -1,0 +1,95 @@
+(** Parallel sweep engine: the evaluation harness's core workload.
+
+    Every figure, ablation and extension of the paper's evaluation is
+    a {e sweep} — a grid of [benchmark x Config.t] jobs, each an
+    independent {!Runner.prepare} + {!Simulator.run}.  Jobs share
+    nothing mutable (each run builds fresh caches, TLBs and stats), so
+    a sweep is embarrassingly parallel; what they {e do} share is
+    work: figures reuse each other's baselines and several
+    configurations per benchmark reuse one prepared program.
+
+    This module supplies both halves:
+
+    - {b memoisation} — per-benchmark {!Runner.prepared} values and
+      per-job {!Stats.t} results are computed once and cached,
+      thread-safely, keyed on the {e complete} configuration (every
+      [Config.t] field participates in the key, unlike an ad-hoc
+      printed key that silently merges configs differing in an
+      unlisted field);
+    - {b a domain pool} — {!run_batch} deduplicates a job list and
+      fans it out over OCaml 5 domains coordinated by a
+      [Mutex]/[Condition] work queue.  Results are bit-identical to a
+      sequential run and are returned in input order; progress
+      callbacks fire on the submitting domain, in completion order.
+
+    A sweep engine is cheap to create and long-lived: create one per
+    process and feed it every experiment so baselines dedup across
+    figures. *)
+
+type job = { benchmark : string; config : Config.t }
+(** One simulation: a MiBench benchmark name ({!Wp_workloads.Mibench.find})
+    evaluated under one machine configuration. *)
+
+type progress = job -> seconds:float -> completed:int -> total:int -> unit
+(** Called once per job completed by {!run_batch}: the job, its own
+    wall-clock cost, and batch progress.  Invocations are serialised
+    and, when the pool is parallel, always run on the domain that
+    called {!run_batch} — callbacks may print freely. *)
+
+type t
+
+val create : ?workers:int -> ?progress:progress -> unit -> t
+(** A fresh engine with empty caches.  [workers] defaults to
+    {!default_workers}; it is clamped to at least 1, and 1 means
+    {!run_batch} runs sequentially on the calling domain (no domains
+    are spawned). *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware's available
+    parallelism. *)
+
+val workers : t -> int
+
+val config_key : Config.t -> string
+(** A stable key covering every field of the configuration (a digest
+    of its runtime representation).  Two configs get the same key iff
+    they are structurally equal. *)
+
+val job_key : job -> string
+(** [benchmark] + {!config_key} — the memoisation key. *)
+
+val job_label : job -> string
+(** Human-readable ["crc x way-placement(16KB) @ 32KB/32w/32B"] for
+    progress lines and logs. *)
+
+val dedup : job list -> job list
+(** Distinct jobs by {!job_key}, first occurrence order preserved. *)
+
+val with_baselines : job list -> job list
+(** Each job followed by its baseline partner (same benchmark, same
+    config with the scheme replaced by {!Config.Baseline}), deduped —
+    the expansion every normalised figure needs. *)
+
+val prepared : t -> string -> Runner.prepared
+(** Memoised {!Runner.prepare} of a benchmark (by MiBench name).
+    Thread-safe; concurrent callers of the same benchmark block until
+    the first finishes, different benchmarks prepare concurrently.
+    @raise Not_found for an unknown benchmark name. *)
+
+val stats : t -> job -> Stats.t
+(** Memoised result of the job.  A cache miss computes the run on the
+    calling domain (sequentially); {!run_batch} is the parallel way to
+    warm the cache. *)
+
+val completed : t -> int
+(** Number of distinct jobs simulated so far (cache size). *)
+
+val run_batch : t -> job list -> Stats.t list
+(** Deduplicate [jobs], simulate every not-yet-cached one on the
+    worker pool, and return the stats of [jobs] {e in input order}
+    (duplicates included).  Results are bit-identical to running the
+    same jobs sequentially: jobs share no mutable simulation state,
+    and memoisation guarantees each distinct job is simulated exactly
+    once.  If a job raises, no further jobs are started and the
+    exception is re-raised on the calling domain after the pool
+    drains. *)

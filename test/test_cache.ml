@@ -298,6 +298,36 @@ let test_memo_flush () =
   let r = Memo.fetch m 0x1000 in
   Alcotest.(check bool) "cold after flush" false r.Memo.hit
 
+(* Precise invalidation must clear links into an evicted line (no
+   stale blind follow) while links rebuilt afterwards follow cleanly —
+   the residence invariant the fetch path checks on every follow. *)
+let test_memo_precise_invalidated_link_then_follow () =
+  let g = Geometry.make ~size_bytes:128 ~assoc:2 ~line_bytes:32 in
+  let m = Memo.create ~invalidation:Memo.Precise g ~replacement:Replacement.Round_robin in
+  let a = 0x00 and b = 0x20 and c = 0x60 and d = 0xA0 in
+  (* a sits in set 0; b, c, d contend for the two ways of set 1. *)
+  ignore (Memo.fetch m a);
+  ignore (Memo.fetch m b);
+  ignore (Memo.fetch m a);
+  let r = Memo.fetch m b in
+  Alcotest.(check bool) "a->b link follows before eviction" true
+    r.Memo.link_followed;
+  (* Fill c then d into set 1: round-robin evicts b (the refill of b
+     below, [filled = true], confirms it was gone). *)
+  Memo.reset_stream m;
+  ignore (Memo.fetch m c);
+  ignore (Memo.fetch m d);
+  Memo.reset_stream m;
+  ignore (Memo.fetch m a);
+  let r = Memo.fetch m b in
+  Alcotest.(check bool) "stale a->b link was invalidated" false
+    r.Memo.link_followed;
+  Alcotest.(check bool) "b refilled through the full path" true r.Memo.filled;
+  ignore (Memo.fetch m a);
+  let r = Memo.fetch m b in
+  Alcotest.(check bool) "rebuilt link follows with residence intact" true
+    r.Memo.link_followed
+
 (* Property: under random traffic, a followed link always lands on a
    resident line (the module asserts residence internally) and the
    fetch sequence never raises. *)
@@ -574,6 +604,8 @@ let () =
           Alcotest.test_case "varying target" `Quick test_memo_varying_target_not_followed;
           Alcotest.test_case "note_same_line" `Quick test_memo_note_same_line;
           Alcotest.test_case "flash clear" `Quick test_memo_flash_clear;
+          Alcotest.test_case "precise invalidation then follow" `Quick
+            test_memo_precise_invalidated_link_then_follow;
           Alcotest.test_case "flush" `Quick test_memo_flush;
           QCheck_alcotest.to_alcotest prop_memo_random_traffic;
         ] );

@@ -1,0 +1,59 @@
+(* Golden-number regression test (slow/integration tier).
+
+   Pins the fig4a headline numbers recorded in EXPERIMENTS.md — the
+   suite-average normalised I-cache energy at the paper's 32KB/32-way
+   configuration with a 16KB way-placement area:
+
+     way-placement   56.1% of baseline
+     way-memoization 63.9% of baseline
+
+   to within +-0.1pp, so the sweep engine, future perf work and model
+   refactors cannot silently change the reproduction's results.  The
+   whole 23-benchmark suite runs through the parallel sweep engine,
+   which also exercises the domain pool at integration scale. *)
+
+module Config = Wayplace.Sim.Config
+module Stats = Wayplace.Sim.Stats
+module Sweep = Wayplace.Sim.Sweep
+module Mibench = Wayplace.Workloads.Mibench
+module Ed = Wayplace.Energy.Ed
+
+let wp16 = Config.xscale (Config.Way_placement { area_bytes = 16 * 1024 })
+let waymemo = Config.xscale Config.Way_memoization
+let baseline = Config.xscale Config.Baseline
+
+let suite_average engine config =
+  let norm benchmark =
+    let b = Sweep.stats engine { Sweep.benchmark; config = baseline } in
+    let s = Sweep.stats engine { Sweep.benchmark; config } in
+    Ed.normalised
+      ~scheme:(Stats.icache_energy_pj s)
+      ~baseline:(Stats.icache_energy_pj b)
+  in
+  let names = Mibench.names in
+  List.fold_left (fun acc n -> acc +. norm n) 0.0 names
+  /. float_of_int (List.length names)
+
+let test_fig4a_suite_averages () =
+  let engine = Sweep.create () in
+  let jobs =
+    Sweep.with_baselines
+      (List.concat_map
+         (fun config ->
+           List.map (fun benchmark -> { Sweep.benchmark; config }) Mibench.names)
+         [ wp16; waymemo ])
+  in
+  ignore (Sweep.run_batch engine jobs);
+  Alcotest.(check (float 0.001))
+    "way-placement suite average (EXPERIMENTS.md fig4a)" 0.561
+    (suite_average engine wp16);
+  Alcotest.(check (float 0.001))
+    "way-memoization suite average (EXPERIMENTS.md fig4a)" 0.639
+    (suite_average engine waymemo)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "fig4a",
+        [ Alcotest.test_case "suite averages pinned" `Slow test_fig4a_suite_averages ] );
+    ]

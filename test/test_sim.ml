@@ -225,6 +225,31 @@ let test_wm_same_line_uses_memo_factor () =
   Alcotest.(check bool) "memo pays the 21% data overhead" true
     (memo_icache > base_icache)
 
+(* A same-line sequential fetch on the filter-cache machine streams
+   from the L0, so it must be charged the L0's (much smaller) data-word
+   energy, not the 32KB L1's. *)
+let test_filter_same_line_charges_l0 () =
+  let e = engine (Config.Filter_cache { l0_bytes = 512 }) in
+  let stats = Stats.create () in
+  ignore (Fetch_engine.fetch e stats code_base);
+  let before = Wayplace.Energy.Account.icache_pj stats.Stats.account in
+  ignore (Fetch_engine.fetch e stats (code_base + 4));
+  let delta = Wayplace.Energy.Account.icache_pj stats.Stats.account -. before in
+  let params = Wayplace.Energy.Params.default in
+  let l0_energies =
+    Wayplace.Energy.Cam_energy.of_geometry params
+      (Geometry.make ~size_bytes:512 ~assoc:1 ~line_bytes:32)
+  in
+  let l1_energies =
+    Wayplace.Energy.Cam_energy.of_geometry params
+      (Config.xscale Config.Baseline).Config.icache
+  in
+  Alcotest.(check (float 1e-9)) "elided fetch pays the L0 data word"
+    l0_energies.Wayplace.Energy.Cam_energy.data_word_pj delta;
+  Alcotest.(check bool) "L0 word strictly cheaper than L1 word" true
+    (l0_energies.Wayplace.Energy.Cam_energy.data_word_pj
+    < l1_energies.Wayplace.Energy.Cam_energy.data_word_pj)
+
 (* --- Fetch_engine: way prediction --- *)
 
 let test_waypred_counters () =
@@ -469,6 +494,8 @@ let () =
           Alcotest.test_case "resize schedule validation" `Quick test_resize_schedule_validation;
           Alcotest.test_case "resize schedule runs" `Quick test_resize_schedule_runs;
           Alcotest.test_case "memo data overhead" `Quick test_wm_same_line_uses_memo_factor;
+          Alcotest.test_case "filter same-line uses L0 energy" `Quick
+            test_filter_same_line_charges_l0;
         ] );
       ( "simulator",
         [

@@ -1,0 +1,222 @@
+(* Tests for the parallel sweep engine: job keying, dedup/baseline
+   expansion, memoisation, result ordering, progress reporting, error
+   propagation — and the headline guarantee, bit-identical results
+   between the sequential fallback and the domain pool. *)
+
+module Config = Wayplace.Sim.Config
+module Stats = Wayplace.Sim.Stats
+module Sweep = Wayplace.Sim.Sweep
+module Account = Wayplace.Energy.Account
+
+let wp16 = Config.Way_placement { area_bytes = 16 * 1024 }
+let job benchmark config = { Sweep.benchmark; config }
+
+(* A small but heterogeneous grid: two benchmarks x two schemes, plus
+   the shared baselines. *)
+let small_grid =
+  Sweep.with_baselines
+    [
+      job "crc" (Config.xscale wp16);
+      job "susan_c" (Config.xscale wp16);
+      job "crc" (Config.xscale Config.Way_memoization);
+      job "susan_c" (Config.xscale Config.Way_memoization);
+    ]
+
+(* --- keys, dedup, baseline expansion (pure) --- *)
+
+let test_job_key_stable_and_distinct () =
+  let j1 = job "crc" (Config.xscale wp16) in
+  let j2 = job "crc" (Config.xscale wp16) in
+  Alcotest.(check string) "equal jobs, equal keys" (Sweep.job_key j1)
+    (Sweep.job_key j2);
+  Alcotest.(check bool) "benchmark participates" false
+    (Sweep.job_key j1 = Sweep.job_key (job "susan_c" (Config.xscale wp16)));
+  Alcotest.(check bool) "scheme participates" false
+    (Sweep.job_key j1 = Sweep.job_key (job "crc" (Config.xscale Config.Baseline)))
+
+(* The ad-hoc printed key this module replaced omitted several config
+   fields (memory latency among them), silently merging distinct
+   configs; the marshalled key must separate every field. *)
+let test_config_key_covers_all_fields () =
+  let base = Config.xscale Config.Baseline in
+  let slower = { base with Config.memory_latency = base.Config.memory_latency + 1 } in
+  Alcotest.(check bool) "memory latency participates" false
+    (Sweep.config_key base = Sweep.config_key slower);
+  let filter b = Config.xscale (Config.Filter_cache { l0_bytes = b }) in
+  Alcotest.(check bool) "filter L0 size participates" false
+    (Sweep.config_key (filter 512) = Sweep.config_key (filter 1024))
+
+let test_dedup () =
+  let a = job "crc" (Config.xscale wp16) in
+  let b = job "crc" (Config.xscale Config.Baseline) in
+  Alcotest.(check int) "duplicates removed" 2
+    (List.length (Sweep.dedup [ a; b; a; b; a ]));
+  match Sweep.dedup [ b; a; b ] with
+  | [ first; second ] ->
+      Alcotest.(check string) "first occurrence order kept" (Sweep.job_key b)
+        (Sweep.job_key first);
+      Alcotest.(check string) "second kept" (Sweep.job_key a)
+        (Sweep.job_key second)
+  | other -> Alcotest.failf "expected 2 jobs, got %d" (List.length other)
+
+let test_with_baselines () =
+  let scheme_job = job "crc" (Config.xscale wp16) in
+  let expanded = Sweep.with_baselines [ scheme_job ] in
+  Alcotest.(check int) "scheme + baseline" 2 (List.length expanded);
+  let baseline_job = job "crc" (Config.xscale Config.Baseline) in
+  Alcotest.(check bool) "baseline partner present" true
+    (List.exists
+       (fun j -> Sweep.job_key j = Sweep.job_key baseline_job)
+       expanded);
+  (* A baseline job's partner is itself: no duplicate appears, and the
+     elision flag (etc.) of the scheme config carries over. *)
+  let off = Config.with_same_line_elision (Config.xscale wp16) false in
+  let expanded = Sweep.with_baselines [ job "crc" off ] in
+  Alcotest.(check int) "distinct baseline per elision flag" 2
+    (List.length expanded);
+  Alcotest.(check bool) "partner keeps elision off" true
+    (List.exists
+       (fun (j : Sweep.job) -> j.Sweep.config.Config.same_line_elision = false)
+       (List.filter
+          (fun (j : Sweep.job) -> j.Sweep.config.Config.scheme = Config.Baseline)
+          expanded))
+
+(* --- the parallel guarantee: bit-identical stats --- *)
+
+let check_stats_identical label (a : Stats.t) (b : Stats.t) =
+  let ci name x y = Alcotest.(check int) (label ^ ": " ^ name) x y in
+  ci "fetches" a.Stats.fetches b.Stats.fetches;
+  ci "same_line_fetches" a.Stats.same_line_fetches b.Stats.same_line_fetches;
+  ci "wp_fetches" a.Stats.wp_fetches b.Stats.wp_fetches;
+  ci "full_fetches" a.Stats.full_fetches b.Stats.full_fetches;
+  ci "icache_hits" a.Stats.icache_hits b.Stats.icache_hits;
+  ci "icache_misses" a.Stats.icache_misses b.Stats.icache_misses;
+  ci "tag_comparisons" a.Stats.tag_comparisons b.Stats.tag_comparisons;
+  ci "hint_correct_wp" a.Stats.hint_correct_wp b.Stats.hint_correct_wp;
+  ci "hint_correct_normal" a.Stats.hint_correct_normal b.Stats.hint_correct_normal;
+  ci "hint_missed_saving" a.Stats.hint_missed_saving b.Stats.hint_missed_saving;
+  ci "hint_reaccess" a.Stats.hint_reaccess b.Stats.hint_reaccess;
+  ci "waypred_correct" a.Stats.waypred_correct b.Stats.waypred_correct;
+  ci "waypred_wrong" a.Stats.waypred_wrong b.Stats.waypred_wrong;
+  ci "l0_hits" a.Stats.l0_hits b.Stats.l0_hits;
+  ci "l0_misses" a.Stats.l0_misses b.Stats.l0_misses;
+  ci "drowsy_wakes" a.Stats.drowsy_wakes b.Stats.drowsy_wakes;
+  ci "link_follows" a.Stats.link_follows b.Stats.link_follows;
+  ci "link_writes" a.Stats.link_writes b.Stats.link_writes;
+  ci "links_invalidated" a.Stats.links_invalidated b.Stats.links_invalidated;
+  ci "itlb_misses" a.Stats.itlb_misses b.Stats.itlb_misses;
+  ci "dtlb_misses" a.Stats.dtlb_misses b.Stats.dtlb_misses;
+  ci "dcache_accesses" a.Stats.dcache_accesses b.Stats.dcache_accesses;
+  ci "dcache_misses" a.Stats.dcache_misses b.Stats.dcache_misses;
+  ci "cycles" a.Stats.cycles b.Stats.cycles;
+  ci "retired_instrs" a.Stats.retired_instrs b.Stats.retired_instrs;
+  (* float 0.0 tolerance = exact equality: bit-identical, not close *)
+  let cf name f =
+    Alcotest.(check (float 0.0)) (label ^ ": " ^ name) (f a.Stats.account)
+      (f b.Stats.account)
+  in
+  cf "icache_pj" Account.icache_pj;
+  cf "itlb_pj" Account.itlb_pj;
+  cf "dcache_pj" Account.dcache_pj;
+  cf "memory_pj" Account.memory_pj;
+  cf "core_pj" Account.core_pj
+
+let test_sequential_parallel_identical () =
+  let sequential = Sweep.create ~workers:1 () in
+  let parallel = Sweep.create ~workers:3 () in
+  let seq_stats = Sweep.run_batch sequential small_grid in
+  let par_stats = Sweep.run_batch parallel small_grid in
+  Alcotest.(check int) "same cardinality" (List.length seq_stats)
+    (List.length par_stats);
+  List.iteri
+    (fun i (s, p) ->
+      check_stats_identical
+        (Printf.sprintf "job %d (%s)"
+           i
+           (Sweep.job_label (List.nth small_grid i)))
+        s p)
+    (List.combine seq_stats par_stats)
+
+(* --- memoisation and ordering --- *)
+
+let test_run_batch_order_and_memoisation () =
+  let t = Sweep.create ~workers:2 () in
+  let a = job "crc" (Config.xscale wp16) in
+  let b = job "crc" (Config.xscale Config.Baseline) in
+  match Sweep.run_batch t [ a; b; a ] with
+  | [ s1; s2; s3 ] ->
+      Alcotest.(check bool) "duplicate job returns the memoised value" true
+        (s1 == s3);
+      Alcotest.(check bool) "distinct jobs differ" true (not (s1 == s2));
+      Alcotest.(check int) "two unique jobs cached" 2 (Sweep.completed t);
+      (* a second batch is pure cache hits *)
+      let again = Sweep.run_batch t [ a; b ] in
+      Alcotest.(check bool) "cache hit returns same value" true
+        (List.nth again 0 == s1);
+      Alcotest.(check int) "no new jobs" 2 (Sweep.completed t)
+  | other -> Alcotest.failf "expected 3 results, got %d" (List.length other)
+
+let test_stats_memoises_prepare () =
+  let t = Sweep.create ~workers:1 () in
+  let p1 = Sweep.prepared t "crc" in
+  let p2 = Sweep.prepared t "crc" in
+  Alcotest.(check bool) "prepare memoised" true (p1 == p2)
+
+(* --- progress reporting --- *)
+
+let test_progress_reporting () =
+  let events = ref [] in
+  let progress job ~seconds ~completed ~total =
+    events := (Sweep.job_key job, seconds, completed, total) :: !events
+  in
+  let t = Sweep.create ~workers:2 ~progress () in
+  let n = List.length small_grid in
+  ignore (Sweep.run_batch t small_grid);
+  let seen = List.rev !events in
+  Alcotest.(check int) "one event per unique job" n (List.length seen);
+  List.iteri
+    (fun i (_, seconds, completed, total) ->
+      Alcotest.(check int) "completion order" (i + 1) completed;
+      Alcotest.(check int) "total" n total;
+      Alcotest.(check bool) "non-negative timing" true (seconds >= 0.0))
+    seen;
+  (* cached reruns emit nothing *)
+  events := [];
+  ignore (Sweep.run_batch t small_grid);
+  Alcotest.(check int) "no events for cache hits" 0 (List.length !events)
+
+(* --- error propagation --- *)
+
+let test_failure_propagates () =
+  List.iter
+    (fun workers ->
+      let t = Sweep.create ~workers () in
+      let bad = job "no_such_benchmark" (Config.xscale Config.Baseline) in
+      Alcotest.check_raises
+        (Printf.sprintf "unknown benchmark raises (workers=%d)" workers)
+        Not_found
+        (fun () -> ignore (Sweep.run_batch t [ bad ])))
+    [ 1; 2 ]
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "job key" `Quick test_job_key_stable_and_distinct;
+          Alcotest.test_case "config key completeness" `Quick
+            test_config_key_covers_all_fields;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "with_baselines" `Quick test_with_baselines;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sequential = parallel (bit-identical)" `Quick
+            test_sequential_parallel_identical;
+          Alcotest.test_case "ordering + memoisation" `Quick
+            test_run_batch_order_and_memoisation;
+          Alcotest.test_case "prepare memoised" `Quick test_stats_memoises_prepare;
+          Alcotest.test_case "progress" `Quick test_progress_reporting;
+          Alcotest.test_case "failure propagation" `Quick test_failure_propagates;
+        ] );
+    ]
