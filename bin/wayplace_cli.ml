@@ -257,31 +257,76 @@ let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out =
     match csv_out with
     | None -> Ok ()
     | Some path -> (
-        match open_out path with
-        | exception Sys_error msg -> Error msg
-        | oc ->
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                output_string oc "benchmark,icache,scheme,energy,ed,cycles\n";
-                List.iter
-                  (fun (benchmark, (config : Wayplace.Sim.Config.t), energy, ed, cycles)
-                     ->
-                    Printf.fprintf oc "%s,%s,%s,%.4f,%.4f,%.4f\n" benchmark
-                      (Wayplace.Cache.Geometry.to_string
-                         config.Wayplace.Sim.Config.icache)
-                      (Wayplace.Sim.Config.scheme_name
-                         config.Wayplace.Sim.Config.scheme)
-                      energy ed cycles)
-                  rows);
+        let csv_rows =
+          List.map
+            (fun (benchmark, (config : Wayplace.Sim.Config.t), energy, ed, cycles)
+               ->
+              [
+                benchmark;
+                Wayplace.Cache.Geometry.to_string
+                  config.Wayplace.Sim.Config.icache;
+                Wayplace.Sim.Config.scheme_name
+                  config.Wayplace.Sim.Config.scheme;
+                Printf.sprintf "%.4f" energy;
+                Printf.sprintf "%.4f" ed;
+                Printf.sprintf "%.4f" cycles;
+              ])
+            rows
+        in
+        match
+          Wayplace.Sim.Report.write_csv ~path
+            ~header:[ "benchmark"; "icache"; "scheme"; "energy"; "ed"; "cycles" ]
+            ~rows:csv_rows
+        with
+        | Ok () ->
             Printf.printf "wrote %s\n%!" path;
-            Ok ())
+            Ok ()
+        | Error msg -> Error msg)
   in
   match result with
   | Ok () -> 0
   | Error msg ->
       Format.eprintf "error: %s@." msg;
       1
+
+(* --- fuzz: differential testing on the domain pool --- *)
+
+let seed_arg =
+  let doc = "First fuzz seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let count_arg =
+  let doc = "Number of consecutive seeds to run." in
+  Arg.(value & opt int 100 & info [ "count" ] ~docv:"K" ~doc)
+
+let fuzz_cmd seed count jobs =
+  if count <= 0 then begin
+    Format.eprintf "error: --count must be positive@.";
+    1
+  end
+  else begin
+    let progress seed ~seconds ~completed ~total =
+      Printf.eprintf "[fuzz %3d/%d] seed %-10d %6.2fs\n%!" completed total seed
+        seconds
+    in
+    let t0 = Unix.gettimeofday () in
+    let reports =
+      Wayplace.Check.Differ.fuzz ?workers:jobs ~progress ~seed ~count ()
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    match reports with
+    | [] ->
+        Printf.printf "[fuzz] %d seeds (%d..%d) clean in %.1fs\n%!" count seed
+          (seed + count - 1) elapsed;
+        0
+    | failures ->
+        List.iter
+          (fun r -> Format.printf "%a@." Wayplace.Check.Differ.pp_report r)
+          failures;
+        Printf.printf "[fuzz] %d/%d seeds FAILED in %.1fs\n%!"
+          (List.length failures) count elapsed;
+        1
+  end
 
 let profile_arg =
   let doc = "Load the training profile from this file instead of rerunning." in
@@ -445,6 +490,12 @@ let cmds =
         const sweep_cmd $ sweep_benchmarks_arg $ sweep_schemes_arg
         $ sweep_areas_arg $ sweep_sizes_arg $ sweep_ways_arg $ line_arg
         $ jobs_arg $ csv_arg);
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Differentially test the simulator on generated programs (oracle \
+            cache, conservation laws, metamorphic scheme equalities)")
+      Term.(const fuzz_cmd $ seed_arg $ count_arg $ jobs_arg);
     Cmd.v
       (Cmd.info "layout" ~doc:"Show the way-placement layout of a benchmark")
       Term.(const layout_cmd $ benchmark_arg $ profile_arg $ output_arg);

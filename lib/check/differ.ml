@@ -1,0 +1,396 @@
+module Config = Wp_sim.Config
+module Stats = Wp_sim.Stats
+module Runner = Wp_sim.Runner
+module Sweep = Wp_sim.Sweep
+module Spec = Wp_workloads.Spec
+module Tracer = Wp_workloads.Tracer
+module Geometry = Wp_cache.Geometry
+module Replacement = Wp_cache.Replacement
+
+type violation = string
+
+type report = {
+  seed : int;
+  spec : Spec.t;
+  violations : violation list;
+  shrunk : Spec.t;
+  shrunk_violations : violation list;
+}
+
+let default_geometries =
+  [
+    Geometry.make ~size_bytes:512 ~assoc:4 ~line_bytes:16;
+    Geometry.make ~size_bytes:1024 ~assoc:8 ~line_bytes:32;
+  ]
+
+(* One run of the grid: a labelled configuration.  The first geometry
+   also carries the ablations (LRU, elision off, precise invalidation);
+   the rest run the five plain schemes. *)
+let configs_for ~ablations geometry =
+  let line = geometry.Geometry.line_bytes in
+  let l0_bytes = min (4 * line) (geometry.Geometry.size_bytes / 2) in
+  let base scheme = Config.with_icache (Config.xscale scheme) geometry in
+  let plain =
+    [
+      ("baseline", base Config.Baseline);
+      ("wayplace", base (Config.Way_placement { area_bytes = 2048 }));
+      ("waymemo", base Config.Way_memoization);
+      ("waypred", base Config.Way_prediction);
+      ("filter", base (Config.Filter_cache { l0_bytes }));
+    ]
+  in
+  if not ablations then plain
+  else
+    plain
+    @ [
+        ( "baseline-lru",
+          Config.with_replacement (base Config.Baseline) Replacement.Lru );
+        ( "waypred-lru",
+          Config.with_replacement (base Config.Way_prediction) Replacement.Lru );
+        ( "baseline-noelide",
+          Config.with_same_line_elision (base Config.Baseline) false );
+        ( "waymemo-precise",
+          Config.with_memo_invalidation (base Config.Way_memoization)
+            Wp_cache.Way_memo.Precise );
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* The oracle replay: the baseline fetch path re-executed from first
+   principles — walk the trace, resolve each pc from the layout, elide
+   sequential same-line fetches, send everything else to the naive
+   cache model. *)
+
+type oracle_counts = {
+  o_fetches : int;
+  o_same_line : int;
+  o_hits : int;
+  o_misses : int;
+  o_tag_comparisons : int;
+}
+
+let replay_baseline_oracle ~geometry ~replacement ~elision ~graph ~layout
+    ~(trace : Tracer.trace) =
+  let cache = Oracle_cache.create geometry ~replacement in
+  let fetches = ref 0 and same_line = ref 0 in
+  let hits = ref 0 and misses = ref 0 and tag_comparisons = ref 0 in
+  let prev = ref (-1) in
+  Array.iter
+    (fun id ->
+      let start = Wp_layout.Binary_layout.block_start layout id in
+      let n = Wp_cfg.Basic_block.size_instrs (Wp_cfg.Icfg.block graph id) in
+      for i = 0 to n - 1 do
+        let pc = start + (i * Wp_isa.Instr.size_bytes) in
+        incr fetches;
+        if elision && !prev >= 0 && Geometry.same_line geometry pc !prev then
+          incr same_line
+        else begin
+          let o = Oracle_cache.lookup_full cache pc in
+          tag_comparisons := !tag_comparisons + o.Oracle_cache.tag_comparisons;
+          if o.Oracle_cache.hit then incr hits
+          else begin
+            incr misses;
+            ignore (Oracle_cache.fill cache pc Oracle_cache.Victim_by_policy)
+          end
+        end;
+        prev := pc
+      done)
+    trace.Tracer.blocks;
+  {
+    o_fetches = !fetches;
+    o_same_line = !same_line;
+    o_hits = !hits;
+    o_misses = !misses;
+    o_tag_comparisons = !tag_comparisons;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checks.  Each returns violations as strings; [where]
+   prefixes them with the run's label and geometry. *)
+
+let rel_close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_counters ~where (config : Config.t) (s : Stats.t)
+    (trace : Tracer.trace) =
+  let v = ref [] in
+  let fail fmt = Printf.ksprintf (fun msg -> v := (where ^ ": " ^ msg) :: !v) fmt in
+  let expect name actual expected =
+    if actual <> expected then fail "%s = %d, expected %d" name actual expected
+  in
+  expect "retired_instrs" s.Stats.retired_instrs trace.Tracer.dynamic_instrs;
+  expect "fetches" s.Stats.fetches trace.Tracer.dynamic_instrs;
+  let non_elided = s.Stats.fetches - s.Stats.same_line_fetches in
+  expect "same_line + wp + full + link_follows"
+    (s.Stats.same_line_fetches + s.Stats.wp_fetches + s.Stats.full_fetches
+   + s.Stats.link_follows)
+    s.Stats.fetches;
+  expect "icache_hits + icache_misses"
+    (s.Stats.icache_hits + s.Stats.icache_misses)
+    non_elided;
+  if not config.Config.same_line_elision then
+    expect "same_line_fetches (elision off)" s.Stats.same_line_fetches 0;
+  if s.Stats.cycles < s.Stats.retired_instrs then
+    fail "cycles %d < retired %d" s.Stats.cycles s.Stats.retired_instrs;
+  (match config.Config.scheme with
+  | Config.Baseline ->
+      expect "wp_fetches (baseline)" s.Stats.wp_fetches 0;
+      expect "link_follows (baseline)" s.Stats.link_follows 0;
+      expect "full_fetches (baseline)" s.Stats.full_fetches non_elided;
+      expect "l0 accesses (baseline)" (s.Stats.l0_hits + s.Stats.l0_misses) 0;
+      expect "waypred counters (baseline)"
+        (s.Stats.waypred_correct + s.Stats.waypred_wrong)
+        0
+  | Config.Way_placement _ ->
+      expect "wp_fetches = hint_correct_wp" s.Stats.wp_fetches
+        s.Stats.hint_correct_wp;
+      expect "full = other hint outcomes" s.Stats.full_fetches
+        (s.Stats.hint_correct_normal + s.Stats.hint_missed_saving
+       + s.Stats.hint_reaccess);
+      expect "hint outcomes partition non-elided"
+        (s.Stats.hint_correct_wp + s.Stats.hint_correct_normal
+       + s.Stats.hint_missed_saving + s.Stats.hint_reaccess)
+        non_elided
+  | Config.Way_memoization ->
+      expect "wp_fetches (waymemo)" s.Stats.wp_fetches 0;
+      expect "link_follows + full (waymemo)"
+        (s.Stats.link_follows + s.Stats.full_fetches)
+        non_elided
+  | Config.Way_prediction ->
+      expect "waypred outcomes partition non-elided"
+        (s.Stats.waypred_correct + s.Stats.waypred_wrong)
+        non_elided
+  | Config.Filter_cache _ ->
+      expect "l0 outcomes partition non-elided"
+        (s.Stats.l0_hits + s.Stats.l0_misses)
+        non_elided);
+  !v
+
+(* Recompute every energy bucket of a baseline run from its counters
+   alone and compare with the simulator's account: the accounting can
+   then never drift from the events it claims to charge for (PR 1's
+   filter-cache bug, caught structurally). *)
+let check_baseline_energy ~where (config : Config.t) (s : Stats.t) =
+  match config.Config.scheme with
+  | Config.Way_placement _ | Config.Way_memoization | Config.Way_prediction
+  | Config.Filter_cache _ ->
+      []
+  | Config.Baseline ->
+      let v = ref [] in
+      let expect name actual expected =
+        if not (rel_close actual expected) then
+          v :=
+            Printf.sprintf "%s: %s = %.6g pJ, recomputed %.6g pJ" where name
+              actual expected
+            :: !v
+      in
+      let p = config.Config.energy in
+      let ie = Wp_energy.Cam_energy.of_geometry p config.Config.icache in
+      let de = Wp_energy.Cam_energy.of_geometry p config.Config.dcache in
+      let assoc = config.Config.icache.Geometry.assoc in
+      let f = float_of_int in
+      let non_elided = s.Stats.fetches - s.Stats.same_line_fetches in
+      let acct = s.Stats.account in
+      expect "icache"
+        (Wp_energy.Account.icache_pj acct)
+        (f non_elided
+         *. (Wp_energy.Cam_energy.tag_search ie ~ways:assoc
+            +. ie.Wp_energy.Cam_energy.data_word_pj)
+        +. (f s.Stats.same_line_fetches *. ie.Wp_energy.Cam_energy.data_word_pj)
+        +. (f s.Stats.icache_misses *. ie.Wp_energy.Cam_energy.line_fill_pj));
+      expect "itlb"
+        (Wp_energy.Account.itlb_pj acct)
+        (f non_elided
+        *. Wp_energy.Cam_energy.tlb_lookup_pj p
+             ~entries:config.Config.itlb_entries
+             ~page_bytes:config.Config.page_bytes);
+      expect "memory"
+        (Wp_energy.Account.memory_pj acct)
+        (f
+           (s.Stats.itlb_misses + s.Stats.dtlb_misses + s.Stats.icache_misses
+          + s.Stats.dcache_misses)
+        *. p.Wp_energy.Params.memory_access_pj);
+      expect "dcache"
+        (Wp_energy.Account.dcache_pj acct)
+        (f s.Stats.dcache_accesses
+         *. (Wp_energy.Cam_energy.tlb_lookup_pj p
+               ~entries:config.Config.dtlb_entries
+               ~page_bytes:config.Config.page_bytes
+            +. Wp_energy.Cam_energy.tag_search de
+                 ~ways:config.Config.dcache.Geometry.assoc
+            +. de.Wp_energy.Cam_energy.data_word_pj)
+        +. (f s.Stats.dcache_misses *. de.Wp_energy.Cam_energy.line_fill_pj));
+      expect "core"
+        (Wp_energy.Account.core_pj acct)
+        (f s.Stats.cycles *. p.Wp_energy.Params.core_rest_pj_per_cycle);
+      !v
+
+let check_oracle ~where (config : Config.t) (s : Stats.t) ~graph ~layout ~trace =
+  match config.Config.scheme with
+  | Config.Way_placement _ | Config.Way_memoization | Config.Way_prediction
+  | Config.Filter_cache _ ->
+      []
+  | Config.Baseline ->
+      let o =
+        replay_baseline_oracle ~geometry:config.Config.icache
+          ~replacement:config.Config.replacement
+          ~elision:config.Config.same_line_elision ~graph ~layout ~trace
+      in
+      let v = ref [] in
+      let expect name actual expected =
+        if actual <> expected then
+          v :=
+            Printf.sprintf "%s: %s = %d, oracle says %d" where name actual
+              expected
+            :: !v
+      in
+      expect "fetches" s.Stats.fetches o.o_fetches;
+      expect "same_line_fetches" s.Stats.same_line_fetches o.o_same_line;
+      expect "icache_hits" s.Stats.icache_hits o.o_hits;
+      expect "icache_misses" s.Stats.icache_misses o.o_misses;
+      expect "tag_comparisons" s.Stats.tag_comparisons o.o_tag_comparisons;
+      !v
+
+(* Equalities between two runs of the same program. *)
+let expect_same ~where results pairs fields =
+  List.concat_map
+    (fun (la, lb) ->
+      match (List.assoc_opt la results, List.assoc_opt lb results) with
+      | Some (a : Stats.t), Some (b : Stats.t) ->
+          List.filter_map
+            (fun (name, (get : Stats.t -> int)) ->
+              if get a = get b then None
+              else
+                Some
+                  (Printf.sprintf "%s: %s vs %s: %s %d <> %d" where la lb name
+                     (get a) (get b)))
+            fields
+      | _, _ -> [])
+    pairs
+
+let execution_fields =
+  [
+    ("retired_instrs", fun (s : Stats.t) -> s.Stats.retired_instrs);
+    ("fetches", fun s -> s.Stats.fetches);
+    ("dcache_accesses", fun s -> s.Stats.dcache_accesses);
+    ("dcache_misses", fun s -> s.Stats.dcache_misses);
+    ("dtlb_misses", fun s -> s.Stats.dtlb_misses);
+  ]
+
+let hit_miss_fields =
+  [
+    ("same_line_fetches", fun (s : Stats.t) -> s.Stats.same_line_fetches);
+    ("icache_hits", fun s -> s.Stats.icache_hits);
+    ("icache_misses", fun s -> s.Stats.icache_misses);
+  ]
+
+let check_cross ~where results =
+  let labels = List.map fst results in
+  let vs_baseline = List.map (fun l -> ("baseline", l)) labels in
+  (* Execution is layout- and scheme-independent: way-placement (which
+     runs the reordered binary) must agree too. *)
+  expect_same ~where results vs_baseline execution_fields
+  (* The pure energy schemes may not change one hit/miss decision.
+     Way-memoization qualifies only under round-robin: blind link
+     follows skip LRU touches, so its recency state diverges by
+     design.  Way-prediction preserves even LRU state (same touches,
+     same order).  The filter cache is architecturally different (its
+     L1 sees only L0 misses) and is excluded. *)
+  @ expect_same ~where results
+      [
+        ("baseline", "waymemo");
+        ("baseline", "waymemo-precise");
+        ("baseline", "waypred");
+        ("baseline-lru", "waypred-lru");
+      ]
+      hit_miss_fields
+
+(* ------------------------------------------------------------------ *)
+
+let check_spec ?(geometries = default_geometries) spec =
+  match Runner.prepare spec with
+  | exception exn ->
+      [ Printf.sprintf "prepare raised: %s" (Printexc.to_string exn) ]
+  | prepared ->
+      let graph = prepared.Runner.program.Wp_workloads.Codegen.graph in
+      let trace = prepared.Runner.trace_large in
+      List.concat
+        (List.mapi
+           (fun i geometry ->
+             let gname = Geometry.to_string geometry in
+             let runs = configs_for ~ablations:(i = 0) geometry in
+             let results =
+               List.filter_map
+                 (fun (label, config) ->
+                   match Runner.run_scheme prepared config with
+                   | stats -> Some (label, Ok (config, stats))
+                   | exception exn -> Some (label, Error exn))
+                 runs
+             in
+             let raised =
+               List.filter_map
+                 (fun (label, r) ->
+                   match r with
+                   | Error exn ->
+                       Some
+                         (Printf.sprintf "%s @ %s: simulator raised: %s" label
+                            gname (Printexc.to_string exn))
+                   | Ok _ -> None)
+                 results
+             in
+             let ok =
+               List.filter_map
+                 (fun (label, r) ->
+                   match r with
+                   | Ok (config, stats) -> Some (label, (config, stats))
+                   | Error _ -> None)
+                 results
+             in
+             let stats_only = List.map (fun (l, (_, s)) -> (l, s)) ok in
+             raised
+             @ List.concat_map
+                 (fun (label, (config, stats)) ->
+                   let where = Printf.sprintf "%s @ %s" label gname in
+                   let layout =
+                     match config.Config.scheme with
+                     | Config.Way_placement _ -> prepared.Runner.placed_layout
+                     | _ -> prepared.Runner.original_layout
+                   in
+                   check_counters ~where config stats trace
+                   @ check_baseline_energy ~where config stats
+                   @ check_oracle ~where config stats ~graph ~layout ~trace)
+                 ok
+             @ check_cross ~where:gname stats_only)
+           geometries)
+
+let check_seed ?geometries seed = check_spec ?geometries (Progen.spec_of_seed seed)
+
+let run_seed ?(check = fun spec -> check_spec spec) seed =
+  let spec = Progen.spec_of_seed seed in
+  match check spec with
+  | [] -> None
+  | violations ->
+      let failing s = check s <> [] in
+      let shrunk = Progen.minimize ~failing spec in
+      Some { seed; spec; violations; shrunk; shrunk_violations = check shrunk }
+
+let fuzz ?workers ?progress ~seed ~count () =
+  let workers =
+    match workers with Some w -> w | None -> Sweep.default_workers ()
+  in
+  let seeds = List.init count (fun i -> seed + i) in
+  List.filter_map Fun.id (Sweep.Pool.map ~workers ?progress run_seed seeds)
+
+let pp_list ppf = function
+  | [] -> Format.fprintf ppf "  (none)@,"
+  | vs ->
+      List.iter (fun v -> Format.fprintf ppf "  - %s@," v) vs
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fuzz failure at seed %d (reproduce: wayplace_cli fuzz --seed %d \
+     --count 1)@,original program: %a@,violations (%d):@,%a\
+     shrunk program: %a@,violations on shrunk program (%d):@,%a@]"
+    r.seed r.seed Spec.pp r.spec
+    (List.length r.violations)
+    pp_list r.violations Spec.pp r.shrunk
+    (List.length r.shrunk_violations)
+    pp_list r.shrunk_violations

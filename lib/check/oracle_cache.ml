@@ -1,0 +1,166 @@
+open Wp_cache
+
+(* One resident line.  The whole cache is a flat list of these; every
+   operation scans it.  No arrays, no per-set indexing — nothing shared
+   with the production implementation beyond the published semantics. *)
+type line = { set : int; way : int; tag : int; mutable last_use : int }
+
+type t = {
+  geometry : Geometry.t;
+  replacement : Replacement.t;
+  mutable lines : line list;
+  mutable cursors : (int * int) list;  (** set -> next round-robin way *)
+  mutable clock : int;
+}
+
+type outcome = {
+  hit : bool;
+  way : int;
+  tag_comparisons : int;
+  ways_precharged : int;
+}
+
+type fill_policy = Victim_by_policy | Forced_way of int
+type eviction = { set : int; way : int; tag : int }
+
+let create geometry ~replacement =
+  { geometry; replacement; lines = []; cursors = []; clock = 0 }
+
+let geometry t = t.geometry
+
+let touch t line =
+  t.clock <- t.clock + 1;
+  line.last_use <- t.clock
+
+let lines_of_set t set = List.filter (fun (l : line) -> l.set = set) t.lines
+
+(* Lowest-numbered way holding the tag, like the production cache's
+   ascending way scan. *)
+let find t ~set ~tag =
+  List.fold_left
+    (fun (best : line option) (l : line) ->
+      if l.set = set && l.tag = tag then
+        match best with
+        | Some b when b.way <= l.way -> best
+        | Some _ | None -> Some l
+      else best)
+    None t.lines
+
+let lookup_full t addr =
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  let assoc = t.geometry.Geometry.assoc in
+  match find t ~set ~tag with
+  | Some line ->
+      touch t line;
+      { hit = true; way = line.way; tag_comparisons = assoc; ways_precharged = assoc }
+  | None ->
+      { hit = false; way = -1; tag_comparisons = assoc; ways_precharged = assoc }
+
+let lookup_way t addr ~way =
+  let assoc = t.geometry.Geometry.assoc in
+  if way < 0 || way >= assoc then
+    invalid_arg (Printf.sprintf "Oracle_cache.lookup_way: way %d of %d" way assoc);
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  match List.find_opt (fun (l : line) -> l.set = set && l.way = way) t.lines with
+  | Some line when line.tag = tag ->
+      touch t line;
+      { hit = true; way; tag_comparisons = 1; ways_precharged = 1 }
+  | Some _ | None -> { hit = false; way = -1; tag_comparisons = 1; ways_precharged = 1 }
+
+let choose_victim t ~set =
+  let assoc = t.geometry.Geometry.assoc in
+  let resident = lines_of_set t set in
+  let occupied way = List.exists (fun (l : line) -> l.way = way) resident in
+  (* Prefer the lowest-numbered invalid way before evicting. *)
+  let rec first_invalid way =
+    if way >= assoc then None
+    else if not (occupied way) then Some way
+    else first_invalid (way + 1)
+  in
+  match first_invalid 0 with
+  | Some way -> way
+  | None -> begin
+      match t.replacement with
+      | Replacement.Round_robin ->
+          let way =
+            match List.assoc_opt set t.cursors with Some w -> w | None -> 0
+          in
+          t.cursors <-
+            (set, (way + 1) mod assoc) :: List.remove_assoc set t.cursors;
+          way
+      | Replacement.Lru ->
+          (* Least recently used; the lowest way wins a timestamp tie,
+             matching the production cache's ascending strict-min scan. *)
+          let best =
+            List.fold_left
+              (fun best l ->
+                match best with
+                | None -> Some l
+                | Some b ->
+                    if
+                      l.last_use < b.last_use
+                      || (l.last_use = b.last_use && l.way < b.way)
+                    then Some l
+                    else best)
+              None resident
+          in
+          (match best with Some l -> l.way | None -> assert false)
+    end
+
+let fill t addr policy =
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  match find t ~set ~tag with
+  | Some line ->
+      touch t line;
+      (line.way, None)
+  | None ->
+      let way =
+        match policy with
+        | Victim_by_policy -> choose_victim t ~set
+        | Forced_way way ->
+            if way < 0 || way >= t.geometry.Geometry.assoc then
+              invalid_arg
+                (Printf.sprintf "Oracle_cache.fill: forced way %d out of range"
+                   way);
+            way
+      in
+      let evicted =
+        List.find_opt (fun (l : line) -> l.set = set && l.way = way) t.lines
+        |> Option.map (fun (l : line) -> { set = l.set; way = l.way; tag = l.tag })
+      in
+      t.lines <-
+        List.filter (fun (l : line) -> not (l.set = set && l.way = way)) t.lines;
+      let line = { set; way; tag; last_use = 0 } in
+      t.lines <- line :: t.lines;
+      touch t line;
+      (way, evicted)
+
+let probe t addr =
+  let set = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag_of t.geometry addr in
+  Option.map (fun (l : line) -> l.way) (find t ~set ~tag)
+
+let invalidate t ~set ~way =
+  t.lines <- List.filter (fun (l : line) -> not (l.set = set && l.way = way)) t.lines
+
+let flush t =
+  t.lines <- [];
+  t.cursors <- [];
+  t.clock <- 0
+
+let valid_lines t = List.length t.lines
+
+let resident_tags t ~set =
+  lines_of_set t set
+  |> List.map (fun (l : line) -> (l.way, l.tag))
+  |> List.sort compare
+
+let pp ppf t =
+  Format.fprintf ppf "oracle-cache %a (%s), %d/%d lines valid" Geometry.pp
+    t.geometry
+    (Replacement.to_string t.replacement)
+    (valid_lines t)
+    (Geometry.lines t.geometry)

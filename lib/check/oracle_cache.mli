@@ -1,0 +1,47 @@
+(** A naive reference model of the CAM-tag cache.
+
+    Same surface as {!Wp_cache.Cam_cache}, radically different
+    implementation: one flat association list of resident lines, every
+    operation a whole-list scan, replacement state recomputed from
+    first principles on each decision.  Deliberately slow and obviously
+    correct — the differential tests replay the same access stream
+    through this model and through the real simulator and demand
+    identical architectural outcomes (hits, misses, victims).
+
+    Semantics mirrored exactly:
+    - a lookup never fills; the caller decides how;
+    - hits touch the LRU clock, misses do not;
+    - fills prefer the lowest-numbered invalid way, then round-robin
+      cursor or least-recently-used (lowest way breaks LRU ties);
+    - a forced-way fill of a resident line is a no-op returning its
+      current way. *)
+
+type t
+
+type outcome = {
+  hit : bool;
+  way : int;  (** way that hit, or [-1] on a miss *)
+  tag_comparisons : int;
+  ways_precharged : int;
+}
+
+type fill_policy = Victim_by_policy | Forced_way of int
+type eviction = { set : int; way : int; tag : int }
+
+val create : Wp_cache.Geometry.t -> replacement:Wp_cache.Replacement.t -> t
+val geometry : t -> Wp_cache.Geometry.t
+val lookup_full : t -> Wp_isa.Addr.t -> outcome
+val lookup_way : t -> Wp_isa.Addr.t -> way:int -> outcome
+
+val fill : t -> Wp_isa.Addr.t -> fill_policy -> int * eviction option
+(** @raise Invalid_argument if a forced way is out of range. *)
+
+val probe : t -> Wp_isa.Addr.t -> int option
+val invalidate : t -> set:int -> way:int -> unit
+val flush : t -> unit
+val valid_lines : t -> int
+
+val resident_tags : t -> set:int -> (int * int) list
+(** [(way, tag)] pairs of valid lines in a set, ascending way order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+open Wp_workloads
+
+let generate rng ~name =
+  let num_funcs = Rng.int_in rng ~min:1 ~max:15 in
+  let blocks_per_func_min = Rng.int_in rng ~min:1 ~max:3 in
+  let blocks_per_func_max =
+    blocks_per_func_min + Rng.int_in rng ~min:0 ~max:8
+  in
+  let instrs_per_block_min = Rng.int_in rng ~min:1 ~max:4 in
+  let instrs_per_block_max =
+    instrs_per_block_min + Rng.int_in rng ~min:0 ~max:8
+  in
+  let mem_ratio = Rng.float rng *. 0.5 in
+  let mac_ratio = Rng.float rng *. (1.0 -. mem_ratio) *. 0.5 in
+  {
+    Spec.name;
+    seed = Rng.int rng 1_000_000;
+    num_funcs;
+    blocks_per_func_min;
+    blocks_per_func_max;
+    instrs_per_block_min;
+    instrs_per_block_max;
+    max_loop_depth = Rng.int_in rng ~min:0 ~max:3;
+    avg_loop_trips = Rng.int_in rng ~min:1 ~max:8;
+    hot_func_fraction = Rng.float rng;
+    hot_call_bias = Rng.float rng;
+    if_taken_bias = Rng.float rng;
+    mem_ratio;
+    mac_ratio;
+    data_working_set_bytes = 64 lsl Rng.int_in rng ~min:0 ~max:8;
+    trace_blocks_large = Rng.int_in rng ~min:80 ~max:1200;
+    trace_blocks_small = Rng.int_in rng ~min:40 ~max:400;
+  }
+
+let spec_of_seed seed =
+  let spec = generate (Rng.create seed) ~name:(Printf.sprintf "fuzz%d" seed) in
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Progen.spec_of_seed: generated invalid spec: " ^ msg));
+  spec
+
+let size (s : Spec.t) =
+  Spec.static_code_estimate_bytes s
+  + s.Spec.trace_blocks_large + s.Spec.trace_blocks_small
+  + s.Spec.avg_loop_trips + s.Spec.max_loop_depth
+  + (s.Spec.data_working_set_bytes / 64)
+
+let shrink_candidates (s : Spec.t) =
+  let half x = x / 2 in
+  let candidates =
+    [
+      { s with Spec.trace_blocks_large = max 1 (half s.Spec.trace_blocks_large) };
+      { s with Spec.num_funcs = max 1 (half s.Spec.num_funcs) };
+      { s with Spec.num_funcs = s.Spec.num_funcs - 1 };
+      {
+        s with
+        Spec.blocks_per_func_max =
+          max s.Spec.blocks_per_func_min (half s.Spec.blocks_per_func_max);
+      };
+      { s with Spec.blocks_per_func_min = 1; blocks_per_func_max = 1 };
+      {
+        s with
+        Spec.instrs_per_block_max =
+          max s.Spec.instrs_per_block_min (half s.Spec.instrs_per_block_max);
+      };
+      { s with Spec.instrs_per_block_min = 1; instrs_per_block_max = 1 };
+      { s with Spec.max_loop_depth = s.Spec.max_loop_depth - 1 };
+      { s with Spec.avg_loop_trips = max 1 (half s.Spec.avg_loop_trips) };
+      { s with Spec.trace_blocks_small = max 1 (half s.Spec.trace_blocks_small) };
+      {
+        s with
+        Spec.data_working_set_bytes = max 64 (half s.Spec.data_working_set_bytes);
+      };
+    ]
+  in
+  List.filter
+    (fun c -> size c < size s && Result.is_ok (Spec.validate c))
+    candidates
+
+let rec minimize ~failing spec =
+  match List.find_opt failing (shrink_candidates spec) with
+  | Some smaller -> minimize ~failing smaller
+  | None -> spec

@@ -1,0 +1,35 @@
+(** Randomized well-formed XR32 program generation for the
+    differential fuzzer.
+
+    A fuzz case is just a {!Wp_workloads.Spec.t}: {!Wp_workloads.Codegen}
+    is deterministic in the spec, so generating a random {e spec} is
+    generating a random closed ICFG — loops, calls, returns and all —
+    and a failing case is reproducible (and shrinkable) from its seed
+    alone. *)
+
+val spec_of_seed : int -> Wp_workloads.Spec.t
+(** The fuzz program for a seed: a pure function, always valid under
+    {!Wp_workloads.Spec.validate}.  Shapes span one-function straight-line
+    code up to ~15 functions with nested loops and layered calls; trace
+    budgets stay small enough that one case simulates in milliseconds. *)
+
+val generate : Wp_workloads.Rng.t -> name:string -> Wp_workloads.Spec.t
+(** The generator underneath {!spec_of_seed}, on a caller-owned
+    stream. *)
+
+val size : Wp_workloads.Spec.t -> int
+(** Shrink metric: static-code estimate plus dynamic budgets.  Every
+    {!shrink_candidates} result is strictly smaller, so shrinking
+    terminates. *)
+
+val shrink_candidates : Wp_workloads.Spec.t -> Wp_workloads.Spec.t list
+(** Valid specs strictly smaller than the input (halved trace budgets,
+    fewer functions, fewer/shorter blocks, shallower loops, ...), most
+    aggressive first.  Empty once the spec is minimal. *)
+
+val minimize :
+  failing:(Wp_workloads.Spec.t -> bool) -> Wp_workloads.Spec.t -> Wp_workloads.Spec.t
+(** Greedy shrink: repeatedly replace the spec with the first candidate
+    that still satisfies [failing], until none does.  Deterministic; the
+    result still fails (assuming the input did) and is locally minimal:
+    every candidate of the result passes. *)

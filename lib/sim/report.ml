@@ -1,0 +1,28 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let csv_field s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_line fields = String.concat "," (List.map csv_field fields) ^ "\n"
+
+let write_csv ~path ~header ~rows =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (csv_line header);
+          List.iter (fun row -> output_string oc (csv_line row)) rows);
+      Ok ()

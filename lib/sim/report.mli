@@ -1,0 +1,23 @@
+(** Result emission for the sweep harness: RFC-4180 CSV.
+
+    The CLI's [sweep --csv] used to interpolate fields with [%s],
+    silently producing an unparseable file the day a field grows a
+    comma; this module owns the quoting rules and the file I/O so the
+    behaviour is testable without running the binary. *)
+
+val csv_field : string -> string
+(** Quote a field if (and only if) it contains a comma, a double
+    quote, or a line break; embedded double quotes are doubled
+    (RFC 4180). *)
+
+val csv_line : string list -> string
+(** Escape each field, join with commas, terminate with ["\n"]. *)
+
+val write_csv :
+  path:string ->
+  header:string list ->
+  rows:string list list ->
+  (unit, string) result
+(** Write a header plus rows to [path].  An unwritable path (missing
+    directory, permission, ...) is reported as [Error message] — never
+    an exception — so callers exit cleanly with a diagnostic. *)

@@ -73,6 +73,72 @@ let hint_accuracy t =
   if consulted = 0 then 1.0
   else ratio (t.hint_correct_wp + t.hint_correct_normal) consulted
 
+(* Field tables drive [equal] and [pp_diff] so the two can never
+   disagree about which fields exist; a counter added to [t] must be
+   added here (the differential tests cross-check totals, so an
+   omission shows up as a conservation-law failure, not silence). *)
+let int_fields =
+  [
+    ("fetches", fun t -> t.fetches);
+    ("same_line_fetches", fun t -> t.same_line_fetches);
+    ("wp_fetches", fun t -> t.wp_fetches);
+    ("full_fetches", fun t -> t.full_fetches);
+    ("icache_hits", fun t -> t.icache_hits);
+    ("icache_misses", fun t -> t.icache_misses);
+    ("tag_comparisons", fun t -> t.tag_comparisons);
+    ("hint_correct_wp", fun t -> t.hint_correct_wp);
+    ("hint_correct_normal", fun t -> t.hint_correct_normal);
+    ("hint_missed_saving", fun t -> t.hint_missed_saving);
+    ("hint_reaccess", fun t -> t.hint_reaccess);
+    ("waypred_correct", fun t -> t.waypred_correct);
+    ("waypred_wrong", fun t -> t.waypred_wrong);
+    ("l0_hits", fun t -> t.l0_hits);
+    ("l0_misses", fun t -> t.l0_misses);
+    ("drowsy_wakes", fun t -> t.drowsy_wakes);
+    ("link_follows", fun t -> t.link_follows);
+    ("link_writes", fun t -> t.link_writes);
+    ("links_invalidated", fun t -> t.links_invalidated);
+    ("itlb_misses", fun t -> t.itlb_misses);
+    ("dtlb_misses", fun t -> t.dtlb_misses);
+    ("dcache_accesses", fun t -> t.dcache_accesses);
+    ("dcache_misses", fun t -> t.dcache_misses);
+    ("cycles", fun t -> t.cycles);
+    ("retired_instrs", fun t -> t.retired_instrs);
+  ]
+
+let energy_fields =
+  [
+    ("icache_pj", fun t -> Wp_energy.Account.icache_pj t.account);
+    ("itlb_pj", fun t -> Wp_energy.Account.itlb_pj t.account);
+    ("dcache_pj", fun t -> Wp_energy.Account.dcache_pj t.account);
+    ("memory_pj", fun t -> Wp_energy.Account.memory_pj t.account);
+    ("core_pj", fun t -> Wp_energy.Account.core_pj t.account);
+  ]
+
+let equal a b =
+  List.for_all (fun (_, f) -> f a = f b) int_fields
+  && List.for_all (fun (_, f) -> Float.equal (f a) (f b)) energy_fields
+
+let pp_diff ppf (a, b) =
+  let diffs =
+    List.filter_map
+      (fun (name, f) ->
+        if f a = f b then None
+        else Some (Printf.sprintf "%s: %d <> %d" name (f a) (f b)))
+      int_fields
+    @ List.filter_map
+        (fun (name, f) ->
+          if Float.equal (f a) (f b) then None
+          else Some (Printf.sprintf "%s: %.17g <> %.17g" name (f a) (f b)))
+        energy_fields
+  in
+  match diffs with
+  | [] -> Format.fprintf ppf "(no differing fields)"
+  | diffs ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+        diffs
+
 let pp_brief ppf t =
   Format.fprintf ppf
     "fetches=%d (SL %.1f%%, miss %.3f%%) cycles=%d E(icache)=%.0fpJ"

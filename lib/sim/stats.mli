@@ -47,5 +47,16 @@ val hint_accuracy : t -> float
 (** Correct hints over all non-same-line fetches (1.0 when the hint was
     never consulted). *)
 
+val equal : t -> t -> bool
+(** Field-by-field equality over every counter and every energy bucket.
+    Floats are compared exactly ([Float.equal], no tolerance): two runs
+    are equal only when they are bit-identical, which is what the
+    sweep-engine and differential tests assert. *)
+
+val pp_diff : Format.formatter -> t * t -> unit
+(** Print only the fields on which the two runs disagree, one
+    ["name: left <> right"] line each (["(no differing fields)"] when
+    {!equal}).  The companion to {!equal} for test failure output. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_brief : Format.formatter -> t -> unit

@@ -1,6 +1,150 @@
+(* ------------------------------------------------------------------ *)
+(* The generic worker pool.  One call = one pool: a cursor over the
+   item array doles out work; completions flow back through a
+   Mutex/Condition queue so the submitting domain can emit progress in
+   completion order while workers keep running.  [Sweep.run_batch] and
+   the differential fuzzer ([Wp_check.Differ]) both fan out here. *)
+
+module Pool = struct
+  type 'a progress = 'a -> seconds:float -> completed:int -> total:int -> unit
+
+  type ('a, 'b) batch = {
+    items : 'a array;
+    results : 'b option array;
+    queue_lock : Mutex.t;
+    completion : Condition.t;  (** signalled on completion and worker exit *)
+    mutable next : int;  (** cursor: next item index to hand out *)
+    mutable finished : ('a * float) list;  (** completion events, newest first *)
+    mutable failure : exn option;  (** first failure; stops the cursor *)
+    mutable exited : int;  (** workers that have left their loop *)
+  }
+
+  let take batch =
+    Mutex.lock batch.queue_lock;
+    let item =
+      if batch.failure <> None || batch.next >= Array.length batch.items then
+        None
+      else begin
+        let i = batch.next in
+        batch.next <- i + 1;
+        Some i
+      end
+    in
+    Mutex.unlock batch.queue_lock;
+    item
+
+  let run_one f batch i =
+    let item = batch.items.(i) in
+    match
+      let t0 = Unix.gettimeofday () in
+      let v = f item in
+      (v, Unix.gettimeofday () -. t0)
+    with
+    | v, seconds ->
+        Mutex.lock batch.queue_lock;
+        batch.results.(i) <- Some v;
+        batch.finished <- (item, seconds) :: batch.finished;
+        Condition.signal batch.completion;
+        Mutex.unlock batch.queue_lock
+    | exception exn ->
+        Mutex.lock batch.queue_lock;
+        if batch.failure = None then batch.failure <- Some exn;
+        Condition.signal batch.completion;
+        Mutex.unlock batch.queue_lock
+
+  let worker f batch () =
+    let rec loop () =
+      match take batch with
+      | None ->
+          Mutex.lock batch.queue_lock;
+          batch.exited <- batch.exited + 1;
+          Condition.signal batch.completion;
+          Mutex.unlock batch.queue_lock
+      | Some i ->
+          run_one f batch i;
+          loop ()
+    in
+    loop ()
+
+  (* Drain completion events on the submitting domain until every
+     worker has exited, emitting progress in completion order. *)
+  let pump progress batch ~nworkers =
+    let total = Array.length batch.items in
+    let emitted = ref 0 in
+    Mutex.lock batch.queue_lock;
+    let rec drain () =
+      (match List.rev batch.finished with
+      | [] -> ()
+      | events ->
+          batch.finished <- [];
+          List.iter
+            (fun (item, seconds) ->
+              incr emitted;
+              match progress with
+              | None -> ()
+              | Some f -> f item ~seconds ~completed:!emitted ~total)
+            events);
+      if batch.exited < nworkers then begin
+        Condition.wait batch.completion batch.queue_lock;
+        drain ()
+      end
+    in
+    drain ();
+    Mutex.unlock batch.queue_lock
+
+  let run_sequential f progress batch =
+    let total = Array.length batch.items in
+    let completed = ref 0 in
+    Array.iteri
+      (fun i _ ->
+        if batch.failure = None then begin
+          run_one f batch i;
+          match List.rev batch.finished with
+          | [] -> ()
+          | events ->
+              batch.finished <- [];
+              List.iter
+                (fun (item, seconds) ->
+                  incr completed;
+                  match progress with
+                  | None -> ()
+                  | Some f -> f item ~seconds ~completed:!completed ~total)
+                events
+        end)
+      batch.items
+
+  let map ~workers ?progress f items =
+    let batch =
+      {
+        items = Array.of_list items;
+        results = Array.make (List.length items) None;
+        queue_lock = Mutex.create ();
+        completion = Condition.create ();
+        next = 0;
+        finished = [];
+        failure = None;
+        exited = 0;
+      }
+    in
+    let nworkers = max 1 (min workers (Array.length batch.items)) in
+    if nworkers <= 1 then run_sequential f progress batch
+    else begin
+      let domains =
+        List.init nworkers (fun _ -> Domain.spawn (worker f batch))
+      in
+      pump progress batch ~nworkers;
+      List.iter Domain.join domains
+    end;
+    (match batch.failure with Some exn -> raise exn | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false)
+         batch.results)
+end
+
 type job = { benchmark : string; config : Config.t }
 
-type progress = job -> seconds:float -> completed:int -> total:int -> unit
+type progress = job Pool.progress
 
 (* A per-key once-cell: the table lock is only held to find/create the
    cell, so two workers computing different keys never serialise on
@@ -109,113 +253,6 @@ let completed t =
   Mutex.unlock t.tables_lock;
   n
 
-(* ------------------------------------------------------------------ *)
-(* The worker pool.  One batch = one pool: a cursor over the deduped
-   job array doles out work; completions flow back through a
-   Mutex/Condition queue so the submitting domain can emit progress in
-   completion order while workers keep running. *)
-
-type batch = {
-  jobs : job array;
-  queue_lock : Mutex.t;
-  completion : Condition.t;  (** signalled on completion and worker exit *)
-  mutable next : int;  (** cursor: next job index to hand out *)
-  mutable finished : (job * float) list;  (** completion events, newest first *)
-  mutable failure : exn option;  (** first failure; stops the cursor *)
-  mutable exited : int;  (** workers that have left their loop *)
-}
-
-let take batch =
-  Mutex.lock batch.queue_lock;
-  let item =
-    if batch.failure <> None || batch.next >= Array.length batch.jobs then None
-    else begin
-      let i = batch.next in
-      batch.next <- i + 1;
-      Some batch.jobs.(i)
-    end
-  in
-  Mutex.unlock batch.queue_lock;
-  item
-
-let run_one t batch job =
-  match
-    let t0 = Unix.gettimeofday () in
-    ignore (stats t job);
-    Unix.gettimeofday () -. t0
-  with
-  | seconds ->
-      Mutex.lock batch.queue_lock;
-      batch.finished <- (job, seconds) :: batch.finished;
-      Condition.signal batch.completion;
-      Mutex.unlock batch.queue_lock
-  | exception exn ->
-      Mutex.lock batch.queue_lock;
-      if batch.failure = None then batch.failure <- Some exn;
-      Condition.signal batch.completion;
-      Mutex.unlock batch.queue_lock
-
-let worker t batch () =
-  let rec loop () =
-    match take batch with
-    | None ->
-        Mutex.lock batch.queue_lock;
-        batch.exited <- batch.exited + 1;
-        Condition.signal batch.completion;
-        Mutex.unlock batch.queue_lock
-    | Some job ->
-        run_one t batch job;
-        loop ()
-  in
-  loop ()
-
-(* Drain completion events on the submitting domain until every worker
-   has exited, emitting progress in completion order. *)
-let pump t batch ~nworkers =
-  let total = Array.length batch.jobs in
-  let emitted = ref 0 in
-  Mutex.lock batch.queue_lock;
-  let rec drain () =
-    (match List.rev batch.finished with
-    | [] -> ()
-    | events ->
-        batch.finished <- [];
-        List.iter
-          (fun (job, seconds) ->
-            incr emitted;
-            match t.progress with
-            | None -> ()
-            | Some f -> f job ~seconds ~completed:!emitted ~total)
-          events);
-    if batch.exited < nworkers then begin
-      Condition.wait batch.completion batch.queue_lock;
-      drain ()
-    end
-  in
-  drain ();
-  Mutex.unlock batch.queue_lock
-
-let run_sequential t batch =
-  let total = Array.length batch.jobs in
-  let completed = ref 0 in
-  Array.iter
-    (fun job ->
-      if batch.failure = None then begin
-        run_one t batch job;
-        match List.rev batch.finished with
-        | [] -> ()
-        | events ->
-            batch.finished <- [];
-            List.iter
-              (fun (job, seconds) ->
-                incr completed;
-                match t.progress with
-                | None -> ()
-                | Some f -> f job ~seconds ~completed:!completed ~total)
-              events
-      end)
-    batch.jobs
-
 (* Only sound when no workers are mutating the tables — i.e. between
    batches, which is when run_batch consults it. *)
 let already_cached t job =
@@ -226,26 +263,10 @@ let already_cached t job =
 
 let run_batch t jobs =
   let todo =
-    Array.of_list
-      (List.filter (fun job -> not (already_cached t job)) (dedup jobs))
+    List.filter (fun job -> not (already_cached t job)) (dedup jobs)
   in
-  let batch =
-    {
-      jobs = todo;
-      queue_lock = Mutex.create ();
-      completion = Condition.create ();
-      next = 0;
-      finished = [];
-      failure = None;
-      exited = 0;
-    }
-  in
-  let nworkers = max 1 (min t.workers (Array.length todo)) in
-  if nworkers <= 1 then run_sequential t batch
-  else begin
-    let domains = List.init nworkers (fun _ -> Domain.spawn (worker t batch)) in
-    pump t batch ~nworkers;
-    List.iter Domain.join domains
-  end;
-  (match batch.failure with Some exn -> raise exn | None -> ());
+  ignore
+    (Pool.map ~workers:t.workers ?progress:t.progress
+       (fun job -> ignore (stats t job))
+       todo);
   List.map (fun job -> stats t job) jobs

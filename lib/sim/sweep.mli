@@ -26,15 +26,32 @@
     process and feed it every experiment so baselines dedup across
     figures. *)
 
+(** The generic domain pool the sweep engine runs on, exposed so other
+    embarrassingly parallel harnesses (the differential fuzzer, future
+    sweeps over non-MiBench inputs) fan out over the same machinery
+    instead of growing their own. *)
+module Pool : sig
+  type 'a progress = 'a -> seconds:float -> completed:int -> total:int -> unit
+  (** Called once per completed item: the item, its own wall-clock
+      cost, and batch progress.  Invocations are serialised and, when
+      the pool is parallel, always run on the domain that called
+      {!map} — callbacks may print freely. *)
+
+  val map : workers:int -> ?progress:'a progress -> ('a -> 'b) -> 'a list -> 'b list
+  (** [map ~workers f items] computes [List.map f items] on a pool of
+      [workers] domains (clamped to at least 1 and at most the item
+      count; 1 runs sequentially on the calling domain).  Results are
+      returned in input order; progress fires in completion order.  If
+      [f] raises, no further items are started and the first exception
+      is re-raised on the calling domain after the pool drains. *)
+end
+
 type job = { benchmark : string; config : Config.t }
 (** One simulation: a MiBench benchmark name ({!Wp_workloads.Mibench.find})
     evaluated under one machine configuration. *)
 
-type progress = job -> seconds:float -> completed:int -> total:int -> unit
-(** Called once per job completed by {!run_batch}: the job, its own
-    wall-clock cost, and batch progress.  Invocations are serialised
-    and, when the pool is parallel, always run on the domain that
-    called {!run_batch} — callbacks may print freely. *)
+type progress = job Pool.progress
+(** Per-job progress for {!run_batch} (see {!Pool.progress}). *)
 
 type t
 

@@ -1,0 +1,77 @@
+(* Regression tests for the sweep CSV emitter: RFC-4180 quoting and
+   the clean-exit contract for unwritable paths (the CLI's [sweep
+   --csv] used to interpolate fields raw and die on bad paths). *)
+
+module Report = Wayplace.Sim.Report
+
+let test_csv_field () =
+  let check input expected =
+    Alcotest.(check string) (Printf.sprintf "field %S" input) expected
+      (Report.csv_field input)
+  in
+  check "plain" "plain";
+  check "" "";
+  check "32KB/32way/32B" "32KB/32way/32B";
+  check "a,b" "\"a,b\"";
+  check "say \"hi\"" "\"say \"\"hi\"\"\"";
+  check "two\nlines" "\"two\nlines\"";
+  check "cr\rhere" "\"cr\rhere\"";
+  (* spaces alone need no quotes *)
+  check "way placement" "way placement"
+
+let test_csv_line () =
+  Alcotest.(check string) "fields joined and terminated"
+    "benchmark,\"a,b\",1.0\n"
+    (Report.csv_line [ "benchmark"; "a,b"; "1.0" ]);
+  Alcotest.(check string) "empty fields survive" ",,\n"
+    (Report.csv_line [ ""; ""; "" ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_write_csv_roundtrip () =
+  let path = Filename.temp_file "wayplace_report" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match
+        Report.write_csv ~path
+          ~header:[ "benchmark"; "scheme"; "ed" ]
+          ~rows:[ [ "crc"; "way,placement"; "0.9369" ]; [ "sha"; "x\"y"; "1" ] ]
+      with
+      | Error msg -> Alcotest.failf "write failed: %s" msg
+      | Ok () ->
+          Alcotest.(check string) "exact bytes"
+            "benchmark,scheme,ed\ncrc,\"way,placement\",0.9369\nsha,\"x\"\"y\",1\n"
+            (read_file path))
+
+let test_write_csv_unwritable_path () =
+  match
+    Report.write_csv ~path:"/nonexistent-dir/deeper/out.csv"
+      ~header:[ "a" ] ~rows:[]
+  with
+  | Error msg ->
+      Alcotest.(check bool) "diagnostic not empty" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "writing into a missing directory succeeded"
+
+(* The CLI exits 1 with the Error message instead of raising; locked in
+   end-to-end by the differential fuzz smoke step in CI, and at the lib
+   level here. *)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "field quoting" `Quick test_csv_field;
+          Alcotest.test_case "line assembly" `Quick test_csv_line;
+          Alcotest.test_case "write + read back" `Quick
+            test_write_csv_roundtrip;
+          Alcotest.test_case "unwritable path is a clean error" `Quick
+            test_write_csv_unwritable_path;
+        ] );
+    ]
