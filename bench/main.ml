@@ -542,6 +542,16 @@ let micro () =
     ignore (Cam.fill cam (i * 32) Cam.Victim_by_policy)
   done;
   let memo = Memo.create g ~replacement:Wayplace.Cache.Replacement.Round_robin in
+  (* Same cache with a (discarding) probe attached: the difference to
+     the plain lookup is the whole cost of observability when enabled;
+     disabled it is one branch (and Stats stay bit-identical — tested). *)
+  let cam_probed =
+    Cam.create ~probe:Wayplace.Obs.Probe.null g
+      ~replacement:Wayplace.Cache.Replacement.Round_robin
+  in
+  for i = 0 to 255 do
+    ignore (Cam.fill cam_probed (i * 32) Cam.Victim_by_policy)
+  done;
   let tlb = Wayplace.Tlb.Tlb.create ~entries:32 ~page_bytes:1024 in
   let counter = ref 0 in
   let tests =
@@ -551,6 +561,10 @@ let micro () =
           (Staged.stage (fun () ->
                incr counter;
                ignore (Cam.lookup_full cam ((!counter land 255) * 32))));
+        Test.make ~name:"cam.lookup_full+probe"
+          (Staged.stage (fun () ->
+               incr counter;
+               ignore (Cam.lookup_full cam_probed ((!counter land 255) * 32))));
         Test.make ~name:"cam.lookup_way"
           (Staged.stage (fun () ->
                incr counter;

@@ -6,6 +6,7 @@
      dune exec bin/wayplace_cli.exe -- run -b crc -s wayplace -a 16
      dune exec bin/wayplace_cli.exe -- sweep -b crc,susan_c -s wayplace,waymemo -j 4
      dune exec bin/wayplace_cli.exe -- sweep --sizes 8,16,32 --ways-list 8,16,32 --csv grid.csv
+     dune exec bin/wayplace_cli.exe -- timeline -b crc -s wayplace --window 5000 --chrome crc.trace.json
      dune exec bin/wayplace_cli.exe -- layout -b ispell
      dune exec bin/wayplace_cli.exe -- profile -b crc -o crc.profile
      dune exec bin/wayplace_cli.exe -- layout -b crc --profile crc.profile
@@ -95,6 +96,19 @@ let run_cmd benchmark scheme area size ways line =
 
 module Sweep = Wayplace.Sim.Sweep
 module Sim_stats = Wayplace.Sim.Stats
+module Report = Wayplace.Sim.Report
+
+let quiet_arg =
+  let doc =
+    "Suppress progress lines on stderr.  Progress is also suppressed \
+     automatically when stderr is not a terminal (e.g. under CI or when \
+     piped), so logs stay clean without the flag."
+  in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+(* Progress chatter is interactive feedback: off when asked, off when
+   nobody is watching (stderr redirected to a file or pipe). *)
+let progress_enabled ~quiet = (not quiet) && Unix.isatty Unix.stderr
 
 let comma_list = String.split_on_char ','
 
@@ -142,6 +156,10 @@ let csv_arg =
   let doc = "Also write the sweep results to this CSV file." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let json_arg =
+  let doc = "Also write the sweep results to this JSON file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let sweep_row engine benchmark (config : Wayplace.Sim.Config.t) =
   let baseline_config =
     Wayplace.Sim.Config.with_scheme config Wayplace.Sim.Config.Baseline
@@ -165,7 +183,34 @@ let sweep_row engine benchmark (config : Wayplace.Sim.Config.t) =
   in
   (energy, ed, cycles)
 
-let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out =
+let sweep_json rows =
+  Report.Jobj
+    [
+      ( "rows",
+        Report.Jlist
+          (List.map
+             (fun (benchmark, (config : Wayplace.Sim.Config.t), energy, ed, cycles)
+                ->
+               Report.Jobj
+                 [
+                   ("benchmark", Report.Jstring benchmark);
+                   ( "icache",
+                     Report.Jstring
+                       (Wayplace.Cache.Geometry.to_string
+                          config.Wayplace.Sim.Config.icache) );
+                   ( "scheme",
+                     Report.Jstring
+                       (Wayplace.Sim.Config.scheme_name
+                          config.Wayplace.Sim.Config.scheme) );
+                   ("energy", Report.Jfloat energy);
+                   ("ed", Report.Jfloat ed);
+                   ("cycles", Report.Jfloat cycles);
+                 ])
+             rows) );
+    ]
+
+let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out json_out
+    quiet =
   let ( let* ) = Result.bind in
   let result =
     let* benchmarks =
@@ -219,21 +264,27 @@ let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out =
         (Ok []) sizes
       |> Result.map List.rev
     in
-    let progress job ~seconds ~completed ~total =
-      Printf.eprintf "[sweep %3d/%d] %-48s %6.2fs\n%!" completed total
-        (Sweep.job_label job) seconds
+    let verbose = progress_enabled ~quiet in
+    let progress =
+      if verbose then
+        Some
+          (fun job ~seconds ~completed ~total ->
+            Printf.eprintf "[sweep %3d/%d] %-48s %6.2fs\n%!" completed total
+              (Sweep.job_label job) seconds)
+      else None
     in
-    let engine = Sweep.create ?workers:jobs ~progress () in
+    let engine = Sweep.create ?workers:jobs ?progress () in
     let scheme_jobs =
       List.concat_map
         (fun config ->
           List.map (fun benchmark -> { Sweep.benchmark; config }) benchmarks)
         configs
     in
-    Printf.eprintf "[sweep] %d unique jobs on %d worker%s\n%!"
-      (List.length (Sweep.dedup (Sweep.with_baselines scheme_jobs)))
-      (Sweep.workers engine)
-      (if Sweep.workers engine = 1 then "" else "s");
+    if verbose then
+      Printf.eprintf "[sweep] %d unique jobs on %d worker%s\n%!"
+        (List.length (Sweep.dedup (Sweep.with_baselines scheme_jobs)))
+        (Sweep.workers engine)
+        (if Sweep.workers engine = 1 then "" else "s");
     let t0 = Unix.gettimeofday () in
     ignore (Sweep.run_batch engine (Sweep.with_baselines scheme_jobs));
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -254,34 +305,44 @@ let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out =
           (100.0 *. energy) ed cycles)
       rows;
     Printf.printf "[sweep] %d rows in %.1fs\n%!" (List.length rows) elapsed;
-    match csv_out with
+    let* () =
+      match csv_out with
+      | None -> Ok ()
+      | Some path ->
+          let csv_rows =
+            List.map
+              (fun ( benchmark,
+                     (config : Wayplace.Sim.Config.t),
+                     energy,
+                     ed,
+                     cycles ) ->
+                [
+                  benchmark;
+                  Wayplace.Cache.Geometry.to_string
+                    config.Wayplace.Sim.Config.icache;
+                  Wayplace.Sim.Config.scheme_name
+                    config.Wayplace.Sim.Config.scheme;
+                  Printf.sprintf "%.4f" energy;
+                  Printf.sprintf "%.4f" ed;
+                  Printf.sprintf "%.4f" cycles;
+                ])
+              rows
+          in
+          let* () =
+            Report.write_csv ~path
+              ~header:
+                [ "benchmark"; "icache"; "scheme"; "energy"; "ed"; "cycles" ]
+              ~rows:csv_rows
+          in
+          Printf.printf "wrote %s\n%!" path;
+          Ok ()
+    in
+    match json_out with
     | None -> Ok ()
-    | Some path -> (
-        let csv_rows =
-          List.map
-            (fun (benchmark, (config : Wayplace.Sim.Config.t), energy, ed, cycles)
-               ->
-              [
-                benchmark;
-                Wayplace.Cache.Geometry.to_string
-                  config.Wayplace.Sim.Config.icache;
-                Wayplace.Sim.Config.scheme_name
-                  config.Wayplace.Sim.Config.scheme;
-                Printf.sprintf "%.4f" energy;
-                Printf.sprintf "%.4f" ed;
-                Printf.sprintf "%.4f" cycles;
-              ])
-            rows
-        in
-        match
-          Wayplace.Sim.Report.write_csv ~path
-            ~header:[ "benchmark"; "icache"; "scheme"; "energy"; "ed"; "cycles" ]
-            ~rows:csv_rows
-        with
-        | Ok () ->
-            Printf.printf "wrote %s\n%!" path;
-            Ok ()
-        | Error msg -> Error msg)
+    | Some path ->
+        let* () = Report.write_json ~path (sweep_json rows) in
+        Printf.printf "wrote %s\n%!" path;
+        Ok ()
   in
   match result with
   | Ok () -> 0
@@ -299,19 +360,23 @@ let count_arg =
   let doc = "Number of consecutive seeds to run." in
   Arg.(value & opt int 100 & info [ "count" ] ~docv:"K" ~doc)
 
-let fuzz_cmd seed count jobs =
+let fuzz_cmd seed count jobs quiet =
   if count <= 0 then begin
     Format.eprintf "error: --count must be positive@.";
     1
   end
   else begin
-    let progress seed ~seconds ~completed ~total =
-      Printf.eprintf "[fuzz %3d/%d] seed %-10d %6.2fs\n%!" completed total seed
-        seconds
+    let progress =
+      if progress_enabled ~quiet then
+        Some
+          (fun seed ~seconds ~completed ~total ->
+            Printf.eprintf "[fuzz %3d/%d] seed %-10d %6.2fs\n%!" completed
+              total seed seconds)
+      else None
     in
     let t0 = Unix.gettimeofday () in
     let reports =
-      Wayplace.Check.Differ.fuzz ?workers:jobs ~progress ~seed ~count ()
+      Wayplace.Check.Differ.fuzz ?workers:jobs ?progress ~seed ~count ()
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     match reports with
@@ -327,6 +392,114 @@ let fuzz_cmd seed count jobs =
           (List.length failures) count elapsed;
         1
   end
+
+(* --- timeline: one probed run, windowed by the sampler --- *)
+
+module Sampler = Wayplace.Obs.Sampler
+
+let window_arg =
+  let doc = "Sampler window length in cycles." in
+  Arg.(value & opt int Sampler.default_window_cycles
+       & info [ "window" ] ~docv:"CYCLES" ~doc)
+
+let timeline_csv_arg =
+  let doc = "Write the windowed timeline to this CSV file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let chrome_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file (loadable in chrome://tracing or \
+     Perfetto) to this file."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+
+let resize_arg =
+  let doc =
+    "Runtime resize schedule for way-placement: comma-separated $(i,IDX:KB) \
+     pairs (ascending trace block index, new area size in KB).  The caches \
+     are flushed at each resize."
+  in
+  Arg.(value & opt string "" & info [ "resize" ] ~docv:"IDX:KB,..." ~doc)
+
+let parse_resizes s =
+  let bad p = Error (Printf.sprintf "bad resize %S (want IDX:KB)" p) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match String.split_on_char ':' (String.trim p) with
+        | [ idx; kb ] -> (
+            match (int_of_string_opt idx, int_of_string_opt kb) with
+            | Some i, Some k when i >= 0 && k > 0 ->
+                go ((i, k * 1024) :: acc) rest
+            | _ -> bad p)
+        | _ -> bad p)
+  in
+  if String.trim s = "" then Ok [] else go [] (comma_list s)
+
+let marker_to_string = function
+  | Sampler.Resize { cycle; area_bytes } ->
+      Printf.sprintf "resize@%d=%dB" cycle area_bytes
+  | Sampler.Flush { cycle } -> Printf.sprintf "flush@%d" cycle
+
+let print_timeline windows =
+  Printf.printf "%-6s %10s %10s %8s %6s %8s %8s %12s %s\n" "window" "start"
+    "end" "retired" "ipc" "fetches" "misses" "total_pj" "markers";
+  List.iter
+    (fun (w : Sampler.window) ->
+      Printf.printf "%-6d %10d %10d %8d %6.3f %8d %8d %12.1f %s\n"
+        w.Sampler.index w.Sampler.start_cycle w.Sampler.end_cycle
+        w.Sampler.retired (Sampler.ipc w) (Sampler.fetches w)
+        (Sampler.get w Sampler.Counter.Icache_misses)
+        (Array.fold_left ( +. ) 0.0 w.Sampler.energy_pj)
+        (String.concat " " (List.map marker_to_string w.Sampler.markers)))
+    windows
+
+let timeline_cmd benchmark scheme area size ways line window csv_out chrome_out
+    resizes =
+  let ( let* ) = Result.bind in
+  let result =
+    let* spec = find_spec benchmark in
+    let* scheme = parse_scheme scheme area in
+    let* config = config_of ~scheme ~size_kb:size ~ways ~line in
+    let* schedule = parse_resizes resizes in
+    let* () = if window > 0 then Ok () else Error "--window must be positive" in
+    let prep = Wayplace.Sim.Runner.prepare spec in
+    let* stats, windows =
+      match
+        Wayplace.Sim.Runner.run_timeline ~schedule ~window_cycles:window prep
+          config
+      with
+      | result -> Ok result
+      | exception Invalid_argument msg -> Error msg
+    in
+    Format.printf "benchmark: %s@." spec.Wayplace.Workloads.Spec.name;
+    Format.printf "%a@." Wayplace.Sim.Config.pp config;
+    Printf.printf "%d windows of %d cycles: %d cycles, %d retired, %.1f pJ\n"
+      (List.length windows) window stats.Sim_stats.cycles
+      stats.Sim_stats.retired_instrs
+      (Sim_stats.total_energy_pj stats);
+    if csv_out = None && chrome_out = None then print_timeline windows;
+    let* () =
+      match csv_out with
+      | None -> Ok ()
+      | Some path ->
+          let* () = Wayplace.Sim.Timeline.write_csv ~path windows in
+          Printf.printf "wrote %s (%d windows)\n%!" path (List.length windows);
+          Ok ()
+    in
+    match chrome_out with
+    | None -> Ok ()
+    | Some path ->
+        let* () = Wayplace.Sim.Timeline.write_chrome ~path windows in
+        Printf.printf "wrote %s (load in chrome://tracing or Perfetto)\n%!"
+          path;
+        Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
 
 let profile_arg =
   let doc = "Load the training profile from this file instead of rerunning." in
@@ -489,13 +662,23 @@ let cmds =
       Term.(
         const sweep_cmd $ sweep_benchmarks_arg $ sweep_schemes_arg
         $ sweep_areas_arg $ sweep_sizes_arg $ sweep_ways_arg $ line_arg
-        $ jobs_arg $ csv_arg);
+        $ jobs_arg $ csv_arg $ json_arg $ quiet_arg);
+    Cmd.v
+      (Cmd.info "timeline"
+         ~doc:
+           "Simulate one benchmark with the windowed sampler attached and \
+            export the timeline (stdout table, CSV, or Chrome trace-event \
+            JSON)")
+      Term.(
+        const timeline_cmd $ benchmark_arg $ scheme_arg $ area_arg $ size_arg
+        $ ways_arg $ line_arg $ window_arg $ timeline_csv_arg $ chrome_arg
+        $ resize_arg);
     Cmd.v
       (Cmd.info "fuzz"
          ~doc:
            "Differentially test the simulator on generated programs (oracle \
             cache, conservation laws, metamorphic scheme equalities)")
-      Term.(const fuzz_cmd $ seed_arg $ count_arg $ jobs_arg);
+      Term.(const fuzz_cmd $ seed_arg $ count_arg $ jobs_arg $ quiet_arg);
     Cmd.v
       (Cmd.info "layout" ~doc:"Show the way-placement layout of a benchmark")
       Term.(const layout_cmd $ benchmark_arg $ profile_arg $ output_arg);

@@ -49,4 +49,40 @@ let () =
   Format.printf
     "@.The resized run lands between the two static points: the second half@.\
      runs with 2KB worth of way-placed pages, after a one-off flush whose@.\
-     refills are visible in the miss rate.@."
+     refills are visible in the miss rate.@.";
+
+  (* The same resized run, observed: a sampler on the probe bus windows
+     the event stream, and the resize/flush markers land in the window
+     where the OS acted.  (The CLI equivalent:
+       wayplace_cli timeline -b susan_c -s wayplace \
+         --resize <half>:2 --window 50000 --chrome resize.trace.json
+     — the Chrome file opens in chrome://tracing or Perfetto.) *)
+  let module S = Wayplace.Obs.Sampler in
+  let sampler = S.create ~window_cycles:50_000 () in
+  let (_ : Stats.t) =
+    Simulator.run_probed ~probe:(S.probe sampler)
+      ~schedule:[ (half, 2 * 1024) ]
+      ~config:(config 16) ~program ~layout ~trace
+  in
+  let windows = S.finish sampler in
+  Format.printf "@.timeline (50k-cycle windows):@.";
+  List.iter
+    (fun (w : S.window) ->
+      let markers =
+        match w.S.markers with
+        | [] -> ""
+        | ms ->
+            "  <- "
+            ^ String.concat ", "
+                (List.map
+                   (function
+                     | S.Resize { area_bytes; _ } ->
+                         Printf.sprintf "resize to %dKB" (area_bytes / 1024)
+                     | S.Flush _ -> "flush")
+                   ms)
+      in
+      Format.printf "  window %2d  ipc %5.3f  i-misses %4d%s@." w.S.index
+        (S.ipc w)
+        (S.get w S.Counter.Icache_misses)
+        markers)
+    windows

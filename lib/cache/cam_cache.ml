@@ -6,6 +6,7 @@ type t = {
   rr_next : int array;  (** round-robin cursor per set *)
   last_use : int array;  (** LRU timestamps, [set * assoc + way] *)
   mutable clock : int;
+  probe : Wp_obs.Probe.t option;
 }
 
 type outcome = {
@@ -18,7 +19,7 @@ type outcome = {
 type fill_policy = Victim_by_policy | Forced_way of int
 type eviction = { set : int; way : int; tag : int }
 
-let create geometry ~replacement =
+let create ?probe geometry ~replacement =
   let n = Geometry.sets geometry * geometry.Geometry.assoc in
   {
     geometry;
@@ -28,6 +29,7 @@ let create geometry ~replacement =
     rr_next = Array.make (Geometry.sets geometry) 0;
     last_use = Array.make n 0;
     clock = 0;
+    probe;
   }
 
 let geometry t = t.geometry
@@ -52,6 +54,9 @@ let lookup_full t addr =
   let set = Geometry.set_index t.geometry addr in
   let tag = Geometry.tag_of t.geometry addr in
   let assoc = t.geometry.Geometry.assoc in
+  (match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Tag_search { ways = assoc }));
   match find t ~set ~tag with
   | Some way ->
       touch t ~set ~way;
@@ -64,6 +69,9 @@ let lookup_way t addr ~way =
     invalid_arg (Printf.sprintf "Cam_cache.lookup_way: way %d of %d" way assoc);
   let set = Geometry.set_index t.geometry addr in
   let tag = Geometry.tag_of t.geometry addr in
+  (match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Tag_search { ways = 1 }));
   let i = index t ~set ~way in
   if t.valid.(i) && t.tags.(i) = tag then begin
     touch t ~set ~way;
@@ -120,6 +128,10 @@ let fill t addr policy =
       t.tags.(i) <- tag;
       t.valid.(i) <- true;
       touch t ~set ~way;
+      (match t.probe with
+      | None -> ()
+      | Some p ->
+          p (Wp_obs.Probe.Line_fill { evicted = Option.is_some evicted }));
       (way, evicted)
 
 let probe t addr =

@@ -27,7 +27,11 @@ type fill_policy =
 type eviction = { set : int; way : int; tag : int }
 (** A valid line that was overwritten by a fill. *)
 
-val create : Geometry.t -> replacement:Replacement.t -> t
+val create : ?probe:Wp_obs.Probe.t -> Geometry.t -> replacement:Replacement.t -> t
+(** [probe] observes every CAM search ([Tag_search], with the number of
+    ways precharged) and line fill ([Line_fill]); pure observation,
+    never affects behaviour. *)
+
 val geometry : t -> Geometry.t
 
 val lookup_full : t -> Wp_isa.Addr.t -> outcome

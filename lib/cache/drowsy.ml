@@ -4,15 +4,17 @@ type t = {
   last_access : int array;  (** -1 = never accessed (always drowsy) *)
   mutable accounted_awake : float;
       (** awake line-ticks accumulated for completed inter-access gaps *)
+  probe : Wp_obs.Probe.t option;
 }
 
-let create geometry ~window =
+let create ?probe geometry ~window =
   if window <= 0 then invalid_arg "Drowsy.create: window must be positive";
   {
     geometry;
     window;
     last_access = Array.make (Geometry.lines geometry) (-1);
     accounted_awake = 0.0;
+    probe;
   }
 
 let window t = t.window
@@ -22,13 +24,19 @@ let note_access t ~now ~set ~way =
   let i = index t ~set ~way in
   let last = t.last_access.(i) in
   t.last_access.(i) <- now;
-  if last < 0 then true (* first touch: the line was asleep *)
-  else begin
-    let gap = now - last in
-    (* The line stayed awake for min(gap, window) of the gap. *)
-    t.accounted_awake <- t.accounted_awake +. float_of_int (min gap t.window);
-    gap > t.window
-  end
+  let wake =
+    if last < 0 then true (* first touch: the line was asleep *)
+    else begin
+      let gap = now - last in
+      (* The line stayed awake for min(gap, window) of the gap. *)
+      t.accounted_awake <- t.accounted_awake +. float_of_int (min gap t.window);
+      gap > t.window
+    end
+  in
+  (match t.probe with
+  | None -> ()
+  | Some p -> if wake then p Wp_obs.Probe.Drowsy_wake);
+  wake
 
 let awake_line_ticks t ~now =
   (* Completed gaps plus the open tail of every touched line. *)

@@ -13,8 +13,10 @@
 
 type t
 
-val create : Geometry.t -> window:int -> t
-(** @raise Invalid_argument unless [window > 0]. *)
+val create : ?probe:Wp_obs.Probe.t -> Geometry.t -> window:int -> t
+(** [probe] observes one [Drowsy_wake] event per woken access; pure
+    observation.
+    @raise Invalid_argument unless [window > 0]. *)
 
 val window : t -> int
 

@@ -1,4 +1,4 @@
-type t = { l0 : Cam_cache.t }
+type t = { l0 : Cam_cache.t; probe : Wp_obs.Probe.t option }
 
 type result = {
   l0_hit : bool;
@@ -6,15 +6,18 @@ type result = {
   penalty_cycles : int;
 }
 
-let create ~l0 =
+let create ?probe ~l0 () =
   if l0.Geometry.assoc <> 1 then
     invalid_arg "Filter_cache.create: the L0 must be direct-mapped";
-  { l0 = Cam_cache.create l0 ~replacement:Replacement.Round_robin }
+  { l0 = Cam_cache.create ?probe l0 ~replacement:Replacement.Round_robin; probe }
 
 let l0_geometry t = Cam_cache.geometry t.l0
 
 let access t addr =
   let outcome = Cam_cache.lookup_full t.l0 addr in
+  (match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.L0_access { hit = outcome.Cam_cache.hit }));
   if outcome.Cam_cache.hit then
     { l0_hit = true; l0_tag_comparisons = 1; penalty_cycles = 0 }
   else begin

@@ -17,8 +17,10 @@ type result = {
   penalty_cycles : int;  (** 1 on an L0 miss *)
 }
 
-val create : l0:Geometry.t -> t
-(** @raise Invalid_argument unless the L0 is direct-mapped. *)
+val create : ?probe:Wp_obs.Probe.t -> l0:Geometry.t -> unit -> t
+(** [probe] observes the L0's searches/fills plus one [L0_access]
+    event per access; pure observation.
+    @raise Invalid_argument unless the L0 is direct-mapped. *)
 
 val l0_geometry : t -> Geometry.t
 

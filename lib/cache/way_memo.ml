@@ -11,6 +11,7 @@ type t = {
   mutable last_addr : Wp_isa.Addr.t;  (** -1 when no stream context *)
   mutable last_set : int;
   mutable last_way : int;
+  probe : Wp_obs.Probe.t option;
 }
 
 type result = {
@@ -30,11 +31,11 @@ let data_overhead_fraction g =
   float_of_int (links_per_line g * link_bits g)
   /. float_of_int (g.Geometry.line_bytes * 8)
 
-let create ?(invalidation = Flash_clear) geometry ~replacement =
+let create ?(invalidation = Flash_clear) ?probe geometry ~replacement =
   let nlines = Geometry.lines geometry in
   let nslots = links_per_line geometry in
   {
-    cache = Cam_cache.create geometry ~replacement;
+    cache = Cam_cache.create ?probe geometry ~replacement;
     invalidation;
     nslots;
     link_valid = Array.make (nlines * nslots) false;
@@ -44,6 +45,7 @@ let create ?(invalidation = Flash_clear) geometry ~replacement =
     last_addr = -1;
     last_set = -1;
     last_way = -1;
+    probe;
   }
 
 let geometry t = Cam_cache.geometry t.cache
@@ -99,7 +101,8 @@ let write_link t ~src_set ~src_way ~slot ~target_line ~target_way =
   t.link_target.(li) <- target_line;
   let tgt = line_index t ~set:(Geometry.set_index (geometry t) target_line) ~way:target_way in
   let refs = t.backrefs.(tgt) in
-  refs := li :: !refs
+  refs := li :: !refs;
+  match t.probe with None -> () | Some p -> p Wp_obs.Probe.Link_write
 
 (* The link slot a fetch consults: the next-line link for sequential
    crossings, the previous instruction's slot for taken transfers. *)
@@ -126,6 +129,9 @@ let full_path t addr ~slot =
             let pointing = invalidate_links_to t ~set:e.set ~way:e.way in
             own + pointing
       in
+      (match t.probe with
+      | None -> ()
+      | Some p -> if inv > 0 then p (Wp_obs.Probe.Links_invalidated inv));
       (way, true, inv)
     end
   in

@@ -42,8 +42,14 @@ type result = {
 }
 
 val create :
-  ?invalidation:invalidation -> Geometry.t -> replacement:Replacement.t -> t
-(** [invalidation] defaults to {!Flash_clear}. *)
+  ?invalidation:invalidation ->
+  ?probe:Wp_obs.Probe.t ->
+  Geometry.t ->
+  replacement:Replacement.t ->
+  t
+(** [invalidation] defaults to {!Flash_clear}.  [probe] observes the
+    inner CAM's searches and fills plus [Link_write] /
+    [Links_invalidated] events; pure observation. *)
 
 val geometry : t -> Geometry.t
 

@@ -1,6 +1,7 @@
 type t = {
   cache : Cam_cache.t;
   mru : int array;  (** predicted way per set; -1 = no prediction yet *)
+  probe : Wp_obs.Probe.t option;
 }
 
 type result = {
@@ -13,10 +14,11 @@ type result = {
   penalty_cycles : int;
 }
 
-let create geometry ~replacement =
+let create ?probe geometry ~replacement =
   {
-    cache = Cam_cache.create geometry ~replacement;
+    cache = Cam_cache.create ?probe geometry ~replacement;
     mru = Array.make (Geometry.sets geometry) (-1);
+    probe;
   }
 
 let geometry t = Cam_cache.geometry t.cache
@@ -30,6 +32,10 @@ let access t addr =
   let finish ~hit ~predicted_correctly ~filled ~tag_comparisons
       ~first_probe_ways ~second_probe_ways ~penalty_cycles ~way =
     if way >= 0 then t.mru.(set) <- way;
+    (match t.probe with
+    | None -> ()
+    | Some p ->
+        p (Wp_obs.Probe.Way_prediction { correct = predicted_correctly }));
     {
       hit;
       predicted_correctly;

@@ -21,7 +21,10 @@ type result = {
   penalty_cycles : int;  (** 1 on mispredict or cold set *)
 }
 
-val create : Geometry.t -> replacement:Replacement.t -> t
+val create : ?probe:Wp_obs.Probe.t -> Geometry.t -> replacement:Replacement.t -> t
+(** [probe] observes the inner CAM plus one [Way_prediction] event per
+    access; pure observation. *)
+
 val geometry : t -> Geometry.t
 
 val access : t -> Wp_isa.Addr.t -> result

@@ -304,6 +304,106 @@ let check_cross ~where results =
       hit_miss_fields
 
 (* ------------------------------------------------------------------ *)
+(* Probe invariance: observability must be read-only.  Rerunning a grid
+   cell with a sampler attached has to leave the statistics
+   bit-identical, and the sampler's own aggregates have to reproduce
+   them — counter sums exactly, retired/cycles exactly, and cumulative
+   per-bucket energy bit-for-bit (the sampler mirrors the account's
+   additions in order). *)
+
+module Sampler = Wp_obs.Sampler
+
+(* The Stats.t field each sampler counter mirrors; [None] for counters
+   with no stats counterpart (line fills and evictions are cache
+   internals the stats never count). *)
+let counter_stat (s : Stats.t) = function
+  | Sampler.Counter.Same_line_fetches -> Some s.Stats.same_line_fetches
+  | Sampler.Counter.Wp_fetches -> Some s.Stats.wp_fetches
+  | Sampler.Counter.Full_fetches -> Some s.Stats.full_fetches
+  | Sampler.Counter.Link_follows -> Some s.Stats.link_follows
+  | Sampler.Counter.Icache_hits -> Some s.Stats.icache_hits
+  | Sampler.Counter.Icache_misses -> Some s.Stats.icache_misses
+  | Sampler.Counter.L0_hits -> Some s.Stats.l0_hits
+  | Sampler.Counter.L0_misses -> Some s.Stats.l0_misses
+  | Sampler.Counter.Tag_comparisons -> Some s.Stats.tag_comparisons
+  | Sampler.Counter.Hint_correct_wp -> Some s.Stats.hint_correct_wp
+  | Sampler.Counter.Hint_correct_normal -> Some s.Stats.hint_correct_normal
+  | Sampler.Counter.Hint_missed_saving -> Some s.Stats.hint_missed_saving
+  | Sampler.Counter.Hint_reaccess -> Some s.Stats.hint_reaccess
+  | Sampler.Counter.Waypred_correct -> Some s.Stats.waypred_correct
+  | Sampler.Counter.Waypred_wrong -> Some s.Stats.waypred_wrong
+  | Sampler.Counter.Drowsy_wakes -> Some s.Stats.drowsy_wakes
+  | Sampler.Counter.Link_writes -> Some s.Stats.link_writes
+  | Sampler.Counter.Links_invalidated -> Some s.Stats.links_invalidated
+  | Sampler.Counter.Itlb_misses -> Some s.Stats.itlb_misses
+  | Sampler.Counter.Dtlb_misses -> Some s.Stats.dtlb_misses
+  | Sampler.Counter.Dcache_accesses -> Some s.Stats.dcache_accesses
+  | Sampler.Counter.Dcache_misses -> Some s.Stats.dcache_misses
+  | Sampler.Counter.Line_fills | Sampler.Counter.Evictions -> None
+
+let bucket_total acct = function
+  | Wp_obs.Probe.Icache -> Wp_energy.Account.icache_pj acct
+  | Wp_obs.Probe.Itlb -> Wp_energy.Account.itlb_pj acct
+  | Wp_obs.Probe.Dcache -> Wp_energy.Account.dcache_pj acct
+  | Wp_obs.Probe.Memory -> Wp_energy.Account.memory_pj acct
+  | Wp_obs.Probe.Core -> Wp_energy.Account.core_pj acct
+
+let check_probe ~where prepared (config : Config.t) (s : Stats.t) =
+  (* A short window so generated programs still produce several
+     windows and boundary handling gets exercised. *)
+  let sampler = Sampler.create ~window_cycles:1024 () in
+  match Runner.run_scheme ~probe:(Sampler.probe sampler) prepared config with
+  | exception exn ->
+      [
+        Printf.sprintf "%s: probed run raised: %s" where
+          (Printexc.to_string exn);
+      ]
+  | probed ->
+      let windows = Sampler.finish sampler in
+      let v = ref [] in
+      let fail fmt =
+        Printf.ksprintf (fun msg -> v := (where ^ ": " ^ msg) :: !v) fmt
+      in
+      if not (Stats.equal s probed) then
+        fail "probe changed the stats: %s"
+          (Format.asprintf "%a" Stats.pp_diff (s, probed));
+      let sums = Sampler.sum_counters windows in
+      List.iter
+        (fun c ->
+          match counter_stat probed c with
+          | None -> ()
+          | Some expected ->
+              let actual = sums.(Sampler.Counter.index c) in
+              if actual <> expected then
+                fail "window sum %s = %d, stats say %d"
+                  (Sampler.Counter.name c) actual expected)
+        Sampler.Counter.all;
+      let retired =
+        List.fold_left
+          (fun acc (w : Sampler.window) -> acc + w.Sampler.retired)
+          0 windows
+      in
+      if retired <> probed.Stats.retired_instrs then
+        fail "window retired sum = %d, stats say %d" retired
+          probed.Stats.retired_instrs;
+      (match List.rev windows with
+      | [] -> fail "sampler produced no windows"
+      | (last : Sampler.window) :: _ ->
+          if last.Sampler.end_cycle <> probed.Stats.cycles then
+            fail "last window ends at cycle %d, stats say %d"
+              last.Sampler.end_cycle probed.Stats.cycles);
+      let cum = Sampler.final_cum_energy windows in
+      List.iter
+        (fun b ->
+          let actual = cum.(Wp_obs.Probe.bucket_index b) in
+          let expected = bucket_total probed.Stats.account b in
+          if not (Float.equal actual expected) then
+            fail "cumulative %s = %.9g pJ, account says %.9g pJ"
+              (Wp_obs.Probe.bucket_name b) actual expected)
+        Wp_obs.Probe.buckets;
+      !v
+
+(* ------------------------------------------------------------------ *)
 
 let check_spec ?(geometries = default_geometries) spec =
   match Runner.prepare spec with
@@ -356,7 +456,11 @@ let check_spec ?(geometries = default_geometries) spec =
                    in
                    check_counters ~where config stats trace
                    @ check_baseline_energy ~where config stats
-                   @ check_oracle ~where config stats ~graph ~layout ~trace)
+                   @ check_oracle ~where config stats ~graph ~layout ~trace
+                   (* probed rerun doubles the cell's cost: first
+                      geometry only *)
+                   @ (if i = 0 then check_probe ~where prepared config stats
+                      else []))
                  ok
              @ check_cross ~where:gname stats_only)
            geometries)

@@ -23,7 +23,13 @@
       layouts (way-placement changes placement, never execution);
       way-memoization (under round-robin — blind link follows skip LRU
       touches by design) and way-prediction (any policy) must not
-      change a single hit/miss decision relative to the baseline.
+      change a single hit/miss decision relative to the baseline;
+    - {b probe invariance} — rerunning a cell with a
+      {!Wp_obs.Sampler} attached leaves the statistics bit-identical
+      ({!Wp_sim.Stats.equal}), and the sampler's window sums reproduce
+      them: every mirrored counter exactly, retired instructions and
+      final cycle count exactly, cumulative per-bucket energy
+      bit-for-bit.
 
     A failing seed is reproducible from its number alone and is
     shrunk with {!Progen.minimize} before reporting. *)

@@ -31,6 +31,7 @@ module Energy = Wp_energy
 module Pipeline = Wp_pipeline
 module Workloads = Wp_workloads
 module Sim = Wp_sim
+module Obs = Wp_obs
 module Check = Wp_check
 module Area = Area
 module Serial = Serial

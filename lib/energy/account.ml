@@ -4,14 +4,51 @@ type t = {
   mutable dcache : float;
   mutable memory : float;
   mutable core : float;
+  mutable probe : Wp_obs.Probe.t option;
 }
 
-let create () = { icache = 0.; itlb = 0.; dcache = 0.; memory = 0.; core = 0. }
-let add_icache t e = t.icache <- t.icache +. e
-let add_itlb t e = t.itlb <- t.itlb +. e
-let add_dcache t e = t.dcache <- t.dcache +. e
-let add_memory t e = t.memory <- t.memory +. e
-let add_core t e = t.core <- t.core +. e
+let create () =
+  {
+    icache = 0.;
+    itlb = 0.;
+    dcache = 0.;
+    memory = 0.;
+    core = 0.;
+    probe = None;
+  }
+
+let set_probe t probe = t.probe <- probe
+
+let add_icache t e =
+  t.icache <- t.icache +. e;
+  match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Energy { bucket = Icache; pj = e })
+
+let add_itlb t e =
+  t.itlb <- t.itlb +. e;
+  match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Energy { bucket = Itlb; pj = e })
+
+let add_dcache t e =
+  t.dcache <- t.dcache +. e;
+  match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Energy { bucket = Dcache; pj = e })
+
+let add_memory t e =
+  t.memory <- t.memory +. e;
+  match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Energy { bucket = Memory; pj = e })
+
+let add_core t e =
+  t.core <- t.core +. e;
+  match t.probe with
+  | None -> ()
+  | Some p -> p (Wp_obs.Probe.Energy { bucket = Core; pj = e })
+
 let icache_pj t = t.icache
 let itlb_pj t = t.itlb
 let dcache_pj t = t.dcache

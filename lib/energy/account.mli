@@ -8,6 +8,13 @@
 type t
 
 val create : unit -> t
+
+val set_probe : t -> Wp_obs.Probe.t option -> unit
+(** Attach (or with [None], detach) an observer: every subsequent
+    [add_*] call emits a matching [Probe.Energy] event, in addition
+    order, so an attached sampler's cumulative per-bucket totals stay
+    bit-identical to this account.  Never affects the totals. *)
+
 val add_icache : t -> float -> unit
 val add_itlb : t -> float -> unit
 val add_dcache : t -> float -> unit

@@ -4,15 +4,17 @@ type t = {
   mutable cycles : int;
   mutable instructions : int;
   mutable mispredicts : int;
+  probe : Wp_obs.Probe.t option;
 }
 
-let create ?(btb_entries = 128) ?(mispredict_penalty = 4) () =
+let create ?(btb_entries = 128) ?(mispredict_penalty = 4) ?probe () =
   {
     btb = Btb.create ~entries:btb_entries;
     mispredict_penalty;
     cycles = 0;
     instructions = 0;
     mispredicts = 0;
+    probe;
   }
 
 let retire t ~pc ~opcode ~fetch_stall ~dmem_stall ~taken =
@@ -33,7 +35,11 @@ let retire t ~pc ~opcode ~fetch_stall ~dmem_stall ~taken =
         0
   in
   t.cycles <- t.cycles + 1 + fetch_stall + dmem_stall + exec_extra + branch_penalty;
-  t.instructions <- t.instructions + 1
+  t.instructions <- t.instructions + 1;
+  match t.probe with
+  | None -> ()
+  | Some p ->
+      p (Wp_obs.Probe.Retire { cycles = t.cycles; instrs = t.instructions })
 
 let cycles t = t.cycles
 let instructions t = t.instructions

@@ -13,8 +13,12 @@
 
 type t
 
-val create : ?btb_entries:int -> ?mispredict_penalty:int -> unit -> t
-(** Defaults: 128-entry BTB, 4-cycle mispredict penalty. *)
+val create :
+  ?btb_entries:int -> ?mispredict_penalty:int -> ?probe:Wp_obs.Probe.t ->
+  unit -> t
+(** Defaults: 128-entry BTB, 4-cycle mispredict penalty.  [probe]
+    observes one cumulative [Retire] event per retired instruction —
+    the sampler's clock; pure observation. *)
 
 val retire :
   t ->

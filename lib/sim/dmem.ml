@@ -6,10 +6,13 @@ type t = {
   memory_latency : int;
   tlb_walk_latency : int;
   memory_access_pj : float;
+  probe : Wp_obs.Probe.t option;
 }
 
-let create (config : Config.t) =
+let create ?probe (config : Config.t) =
   {
+    (* The D-cache's own CAM gets no probe: [Tag_search]/[Line_fill]
+       events are an I-side signal (the ways-enabled distribution). *)
     cache =
       Wp_cache.Cam_cache.create config.dcache ~replacement:config.replacement;
     tlb =
@@ -22,6 +25,7 @@ let create (config : Config.t) =
     memory_latency = config.memory_latency;
     tlb_walk_latency = config.tlb_walk_latency;
     memory_access_pj = config.energy.Wp_energy.Params.memory_access_pj;
+    probe;
   }
 
 let access t (stats : Stats.t) addr ~write:_ =
@@ -33,11 +37,16 @@ let access t (stats : Stats.t) addr ~write:_ =
     if tlb_res.Wp_tlb.Tlb.hit then 0
     else begin
       stats.dtlb_misses <- stats.dtlb_misses + 1;
+      (match t.probe with None -> () | Some p -> p Wp_obs.Probe.Dtlb_miss);
       Wp_energy.Account.add_memory account t.memory_access_pj;
       t.tlb_walk_latency
     end
   in
   let outcome = Wp_cache.Cam_cache.lookup_full t.cache addr in
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      p (Wp_obs.Probe.Dcache_access { miss = not outcome.Wp_cache.Cam_cache.hit }));
   Wp_energy.Account.add_dcache account
     (Wp_energy.Cam_energy.tag_search t.energies
        ~ways:outcome.Wp_cache.Cam_cache.ways_precharged);

@@ -8,7 +8,9 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?probe:Wp_obs.Probe.t -> Config.t -> t
+(** [probe] observes one [Dcache_access] event per access plus
+    [Dtlb_miss] events; pure observation. *)
 
 val access : t -> Stats.t -> Wp_isa.Addr.t -> write:bool -> int
 (** Perform the access, charge D-cache/D-TLB/memory energy and update

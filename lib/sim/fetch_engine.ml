@@ -26,12 +26,13 @@ type t = {
   drowsy : Drowsy.t option;
   leakage_enabled : bool;
   energy_params : Params.t;
+  probe : Wp_obs.Probe.t option;
   mutable prev_addr : Wp_isa.Addr.t;  (** -1 = no context *)
   mutable prev_set : int;
   mutable prev_way : int;
 }
 
-let create (config : Config.t) ~code_base =
+let create ?probe (config : Config.t) ~code_base =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Fetch_engine.create: " ^ msg));
@@ -39,21 +40,24 @@ let create (config : Config.t) ~code_base =
     match config.scheme with
     | Config.Baseline ->
         B_baseline
-          (Cam_cache.create config.icache ~replacement:config.replacement)
+          (Cam_cache.create ?probe config.icache ~replacement:config.replacement)
     | Config.Way_placement { area_bytes } ->
         B_way_placement
           {
-            cache = Cam_cache.create config.icache ~replacement:config.replacement;
+            cache =
+              Cam_cache.create ?probe config.icache
+                ~replacement:config.replacement;
             hint = Wp_tlb.Way_hint.create ();
             area_bytes;
           }
     | Config.Way_memoization ->
         B_way_memo
-          (Way_memo.create ~invalidation:config.memo_invalidation config.icache
-             ~replacement:config.replacement)
+          (Way_memo.create ~invalidation:config.memo_invalidation ?probe
+             config.icache ~replacement:config.replacement)
     | Config.Way_prediction ->
         B_way_predict
-          (Way_predict.create config.icache ~replacement:config.replacement)
+          (Way_predict.create ?probe config.icache
+             ~replacement:config.replacement)
     | Config.Filter_cache { l0_bytes } ->
         let l0 =
           Geometry.make ~size_bytes:l0_bytes ~assoc:1
@@ -61,8 +65,10 @@ let create (config : Config.t) ~code_base =
         in
         B_filter
           {
-            filter = Filter_cache.create ~l0;
-            l1 = Cam_cache.create config.icache ~replacement:config.replacement;
+            filter = Filter_cache.create ?probe ~l0 ();
+            l1 =
+              Cam_cache.create ?probe config.icache
+                ~replacement:config.replacement;
             l0_energies = Cam_energy.of_geometry config.energy l0;
           }
   in
@@ -83,10 +89,11 @@ let create (config : Config.t) ~code_base =
     code_base;
     drowsy =
       Option.map
-        (fun window -> Drowsy.create config.icache ~window)
+        (fun window -> Drowsy.create ?probe config.icache ~window)
         config.drowsy_window_fetches;
     leakage_enabled = config.leakage_enabled;
     energy_params = config.energy;
+    probe;
     prev_addr = -1;
     prev_set = -1;
     prev_way = -1;
@@ -127,6 +134,7 @@ let translate t (stats : Stats.t) addr =
   if res.Wp_tlb.Tlb.hit then (0, res.Wp_tlb.Tlb.way_placed)
   else begin
     stats.itlb_misses <- stats.itlb_misses + 1;
+    (match t.probe with None -> () | Some p -> p Wp_obs.Probe.Itlb_miss);
     Account.add_memory stats.account t.memory_access_pj;
     (t.tlb_walk_latency, res.Wp_tlb.Tlb.way_placed)
   end
@@ -138,6 +146,12 @@ let full_access t (stats : Stats.t) cache addr ~fill_policy =
   stats.full_fetches <- stats.full_fetches + 1;
   let outcome = Cam_cache.lookup_full cache addr in
   stats.tag_comparisons <- stats.tag_comparisons + outcome.Cam_cache.tag_comparisons;
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      p (Wp_obs.Probe.Fetch Full);
+      p (Wp_obs.Probe.Tag_comparisons outcome.Cam_cache.tag_comparisons);
+      p (Wp_obs.Probe.Icache_access { hit = outcome.Cam_cache.hit }));
   charge_icache stats
     (Cam_energy.tag_search t.energies ~ways:outcome.Cam_cache.ways_precharged);
   charge_icache stats t.energies.Cam_energy.data_word_pj;
@@ -161,6 +175,12 @@ let way_placed_access t (stats : Stats.t) cache addr =
   let way = Geometry.way_of_addr t.geometry addr in
   let outcome = Cam_cache.lookup_way cache addr ~way in
   stats.tag_comparisons <- stats.tag_comparisons + outcome.Cam_cache.tag_comparisons;
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      p (Wp_obs.Probe.Fetch Way_placed);
+      p (Wp_obs.Probe.Tag_comparisons outcome.Cam_cache.tag_comparisons);
+      p (Wp_obs.Probe.Icache_access { hit = outcome.Cam_cache.hit }));
   charge_icache stats (Cam_energy.tag_search t.energies ~ways:1);
   charge_icache stats t.energies.Cam_energy.data_word_pj;
   let set = Geometry.set_index t.geometry addr in
@@ -182,6 +202,14 @@ let memo_access t (stats : Stats.t) memo addr =
   if r.Way_memo.link_followed then
     stats.link_follows <- stats.link_follows + 1
   else stats.full_fetches <- stats.full_fetches + 1;
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      p
+        (Wp_obs.Probe.Fetch
+           (if r.Way_memo.link_followed then Link_follow else Full));
+      p (Wp_obs.Probe.Tag_comparisons r.Way_memo.tag_comparisons);
+      p (Wp_obs.Probe.Icache_access { hit = r.Way_memo.hit }));
   if r.Way_memo.link_written then stats.link_writes <- stats.link_writes + 1;
   stats.links_invalidated <-
     stats.links_invalidated + r.Way_memo.links_invalidated;
@@ -208,6 +236,12 @@ let waypred_access t (stats : Stats.t) predictor addr =
   stats.full_fetches <- stats.full_fetches + 1;
   let r = Way_predict.access predictor addr in
   stats.tag_comparisons <- stats.tag_comparisons + r.Way_predict.tag_comparisons;
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      p (Wp_obs.Probe.Fetch Full);
+      p (Wp_obs.Probe.Tag_comparisons r.Way_predict.tag_comparisons);
+      p (Wp_obs.Probe.Icache_access { hit = r.Way_predict.hit }));
   if r.Way_predict.predicted_correctly then
     stats.waypred_correct <- stats.waypred_correct + 1
   else stats.waypred_wrong <- stats.waypred_wrong + 1;
@@ -239,10 +273,19 @@ let filter_access t (stats : Stats.t) filter l1 l0_energies addr =
     (Cam_energy.tag_search l0_energies ~ways:r.Filter_cache.l0_tag_comparisons);
   charge_icache stats l0_energies.Cam_energy.data_word_pj;
   stats.tag_comparisons <- stats.tag_comparisons + r.Filter_cache.l0_tag_comparisons;
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      p (Wp_obs.Probe.Tag_comparisons r.Filter_cache.l0_tag_comparisons));
   if r.Filter_cache.l0_hit then begin
     stats.l0_hits <- stats.l0_hits + 1;
     stats.full_fetches <- stats.full_fetches + 1;
     stats.icache_hits <- stats.icache_hits + 1;
+    (match t.probe with
+    | None -> ()
+    | Some p ->
+        p (Wp_obs.Probe.Fetch Full);
+        p (Wp_obs.Probe.Icache_access { hit = true }));
     0
   end
   else begin
@@ -264,6 +307,9 @@ let fetch t (stats : Stats.t) addr =
   let stall =
     if elide then begin
       stats.same_line_fetches <- stats.same_line_fetches + 1;
+      (match t.probe with
+      | None -> ()
+      | Some p -> p (Wp_obs.Probe.Fetch Same_line));
       (match t.backend with
       | B_way_memo memo ->
           Way_memo.note_same_line memo addr;
@@ -297,15 +343,24 @@ let fetch t (stats : Stats.t) addr =
             match Wp_tlb.Way_hint.resolve hint ~actual:way_placed with
             | Wp_tlb.Way_hint.Correct_way_placed ->
                 stats.hint_correct_wp <- stats.hint_correct_wp + 1;
+                (match t.probe with
+                | None -> ()
+                | Some p -> p (Wp_obs.Probe.Hint Correct_wp));
                 way_placed_access t stats cache addr
             | Wp_tlb.Way_hint.Correct_normal ->
                 stats.hint_correct_normal <- stats.hint_correct_normal + 1;
+                (match t.probe with
+                | None -> ()
+                | Some p -> p (Wp_obs.Probe.Hint Correct_normal));
                 full_access t stats cache addr
                   ~fill_policy:Cam_cache.Victim_by_policy
             | Wp_tlb.Way_hint.Missed_saving ->
                 (* Way-placed page accessed with the wide path; the
                    fill must still respect the designated way. *)
                 stats.hint_missed_saving <- stats.hint_missed_saving + 1;
+                (match t.probe with
+                | None -> ()
+                | Some p -> p (Wp_obs.Probe.Hint Missed_saving));
                 full_access t stats cache addr
                   ~fill_policy:
                     (Cam_cache.Forced_way (Geometry.way_of_addr t.geometry addr))
@@ -314,6 +369,11 @@ let fetch t (stats : Stats.t) addr =
                    penalty cycle plus the probe energy (Section 4.1). *)
                 stats.hint_reaccess <- stats.hint_reaccess + 1;
                 stats.tag_comparisons <- stats.tag_comparisons + 1;
+                (match t.probe with
+                | None -> ()
+                | Some p ->
+                    p (Wp_obs.Probe.Hint Reaccess);
+                    p (Wp_obs.Probe.Tag_comparisons 1));
                 charge_icache stats (Cam_energy.tag_search t.energies ~ways:1);
                 1
                 + full_access t stats cache addr
@@ -336,6 +396,7 @@ let reset_stream t =
   | B_baseline _ | B_way_predict _ | B_filter _ -> ()
 
 let flush t =
+  (match t.probe with None -> () | Some p -> p Wp_obs.Probe.Flush);
   Wp_tlb.Tlb.flush t.tlb;
   (match t.backend with
   | B_baseline cache -> Cam_cache.flush cache
@@ -360,6 +421,11 @@ let resize_area t ~area_bytes =
   | B_way_placement wp ->
       if area_bytes <= 0 then
         invalid_arg "Fetch_engine.resize_area: area must be positive";
+      (match t.probe with
+      | None -> ()
+      | Some p ->
+          p (Wp_obs.Probe.Resize { area_bytes });
+          p Wp_obs.Probe.Flush);
       wp.area_bytes <- area_bytes;
       Wp_tlb.Tlb.flush t.tlb;
       Cam_cache.flush wp.cache;

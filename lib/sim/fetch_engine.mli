@@ -19,8 +19,13 @@
 
 type t
 
-val create : Config.t -> code_base:Wp_isa.Addr.t -> t
-(** @raise Invalid_argument if the configuration fails
+val create : ?probe:Wp_obs.Probe.t -> Config.t -> code_base:Wp_isa.Addr.t -> t
+(** [probe] observes every fetch-path event (fetch kinds, hits/misses,
+    tag comparisons, CAM searches, hint outcomes, TLB misses, resizes,
+    flushes) at the exact sites where the corresponding {!Stats.t}
+    counters are bumped; simulation results are bit-identical with or
+    without it.
+    @raise Invalid_argument if the configuration fails
     {!Config.validate}. *)
 
 val fetch : t -> Stats.t -> Wp_isa.Addr.t -> int

@@ -26,3 +26,82 @@ let write_csv ~path ~header ~rows =
           output_string oc (csv_line header);
           List.iter (fun row -> output_string oc (csv_line row)) rows);
       Ok ()
+
+(* --- JSON ---------------------------------------------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else if Float.is_finite f then Printf.sprintf "%.12g" f
+  else "null" (* NaN/inf have no JSON encoding *)
+
+let rec buffer_json buf = function
+  | Jnull -> Buffer.add_string buf "null"
+  | Jbool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Jint i -> Buffer.add_string buf (string_of_int i)
+  | Jfloat f -> Buffer.add_string buf (json_float f)
+  | Jstring s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+  | Jlist items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          buffer_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Jobj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (json_escape key);
+          Buffer.add_string buf "\":";
+          buffer_json buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  buffer_json buf j;
+  Buffer.contents buf
+
+let write_json ~path j =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (json_to_string j);
+          output_char oc '\n');
+      Ok ()

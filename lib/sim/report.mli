@@ -1,9 +1,11 @@
-(** Result emission for the sweep harness: RFC-4180 CSV.
+(** Result emission for the sweep harness: RFC-4180 CSV and JSON.
 
     The CLI's [sweep --csv] used to interpolate fields with [%s],
     silently producing an unparseable file the day a field grows a
     comma; this module owns the quoting rules and the file I/O so the
-    behaviour is testable without running the binary. *)
+    behaviour is testable without running the binary.  The JSON side
+    serves [sweep --json] and the Chrome-trace exporter
+    ({!Timeline}). *)
 
 val csv_field : string -> string
 (** Quote a field if (and only if) it contains a comma, a double
@@ -21,3 +23,25 @@ val write_csv :
 (** Write a header plus rows to [path].  An unwritable path (missing
     directory, permission, ...) is reported as [Error message] — never
     an exception — so callers exit cleanly with a diagnostic. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal: quotes,
+    backslashes, and control characters (RFC 8259). *)
+
+val json_to_string : json -> string
+(** Compact (single-line) rendering.  Floats print as [%.12g] with a
+    trailing [.0] for integral values; non-finite floats render as
+    [null] (they have no JSON encoding). *)
+
+val write_json : path:string -> json -> (unit, string) result
+(** Write the rendered value plus a trailing newline to [path]; errors
+    are reported like {!write_csv}. *)

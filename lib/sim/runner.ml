@@ -28,9 +28,24 @@ let layout_for prepared (config : Config.t) =
   | Config.Filter_cache _ ->
       prepared.original_layout
 
-let run_scheme prepared config =
-  Simulator.run ~config ~program:prepared.program
-    ~layout:(layout_for prepared config) ~trace:prepared.trace_large
+let run_scheme ?probe prepared config =
+  let program = prepared.program in
+  let layout = layout_for prepared config in
+  let trace = prepared.trace_large in
+  match probe with
+  | None -> Simulator.run ~config ~program ~layout ~trace
+  | Some probe ->
+      Simulator.run_probed ~probe ~schedule:[] ~config ~program ~layout ~trace
+
+let run_timeline ?(schedule = []) ?window_cycles prepared config =
+  let sampler = Wp_obs.Sampler.create ?window_cycles () in
+  let stats =
+    Simulator.run_probed
+      ~probe:(Wp_obs.Sampler.probe sampler)
+      ~schedule ~config ~program:prepared.program
+      ~layout:(layout_for prepared config) ~trace:prepared.trace_large
+  in
+  (stats, Wp_obs.Sampler.finish sampler)
 
 type comparison = {
   baseline : Stats.t;

@@ -17,9 +17,21 @@ type prepared = {
 val prepare : Wp_workloads.Spec.t -> prepared
 (** Everything scheme-independent, computed once per benchmark. *)
 
-val run_scheme : prepared -> Config.t -> Stats.t
+val run_scheme : ?probe:Wp_obs.Probe.t -> prepared -> Config.t -> Stats.t
 (** Evaluate one configuration on the prepared benchmark (picks the
-    layout that matches the scheme). *)
+    layout that matches the scheme).  [probe] observes the run's event
+    stream; results are bit-identical with or without it. *)
+
+val run_timeline :
+  ?schedule:(int * int) list ->
+  ?window_cycles:int ->
+  prepared ->
+  Config.t ->
+  Stats.t * Wp_obs.Sampler.window list
+(** Like {!run_scheme} with an attached {!Wp_obs.Sampler}: returns the
+    final statistics plus the windowed timeline.  [schedule] is passed
+    to {!Simulator.run_with_resizes} (default empty).  The window sums
+    reproduce the final statistics exactly — see {!Wp_obs.Sampler}. *)
 
 type comparison = {
   baseline : Stats.t;

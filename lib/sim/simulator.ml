@@ -2,7 +2,7 @@ open Wp_cfg
 
 let code_base = 0x0001_0000
 
-let run_with_resizes ~schedule:resize_schedule ~(config : Config.t)
+let run_impl ~probe ~schedule:resize_schedule ~(config : Config.t)
     ~(program : Wp_workloads.Codegen.t) ~layout
     ~(trace : Wp_workloads.Tracer.trace) =
   (let rec ascending = function
@@ -15,11 +15,12 @@ let run_with_resizes ~schedule:resize_schedule ~(config : Config.t)
    ascending resize_schedule);
   let graph = program.Wp_workloads.Codegen.graph in
   let stats = Stats.create () in
-  let engine = Fetch_engine.create config ~code_base in
-  let dmem = Dmem.create config in
+  Wp_energy.Account.set_probe stats.Stats.account probe;
+  let engine = Fetch_engine.create ?probe config ~code_base in
+  let dmem = Dmem.create ?probe config in
   let core =
     Wp_pipeline.Core_model.create ~btb_entries:config.btb_entries
-      ~mispredict_penalty:config.mispredict_penalty ()
+      ~mispredict_penalty:config.mispredict_penalty ?probe ()
   in
   let data =
     Data_stream.create ~seed:(program.Wp_workloads.Codegen.spec.Wp_workloads.Spec.seed lxor 0xDA7A)
@@ -78,7 +79,16 @@ let run_with_resizes ~schedule:resize_schedule ~(config : Config.t)
   Wp_energy.Account.add_core stats.Stats.account
     (config.energy.Wp_energy.Params.core_rest_pj_per_cycle
     *. float_of_int stats.Stats.cycles);
+  (* The stats outlive this run; don't let them keep emitting into a
+     sampler that considers the run finished. *)
+  Wp_energy.Account.set_probe stats.Stats.account None;
   stats
 
+let run_probed ~probe ~schedule ~config ~program ~layout ~trace =
+  run_impl ~probe:(Some probe) ~schedule ~config ~program ~layout ~trace
+
+let run_with_resizes ~schedule ~config ~program ~layout ~trace =
+  run_impl ~probe:None ~schedule ~config ~program ~layout ~trace
+
 let run ~config ~program ~layout ~trace =
-  run_with_resizes ~schedule:[] ~config ~program ~layout ~trace
+  run_impl ~probe:None ~schedule:[] ~config ~program ~layout ~trace

@@ -33,3 +33,17 @@ val run_with_resizes :
     configurations.
     @raise Invalid_argument if the config is invalid, the schedule is
     not ascending, or the scheme is not way-placement. *)
+
+val run_probed :
+  probe:Wp_obs.Probe.t ->
+  schedule:(int * int) list ->
+  config:Config.t ->
+  program:Wp_workloads.Codegen.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  Stats.t
+(** {!run_with_resizes} with an attached probe observing the run's
+    full event stream (see {!Wp_obs.Probe}); attach a
+    {!Wp_obs.Sampler} to build a timeline.  Results are bit-identical
+    with or without a probe — an invariant the differential fuzzer
+    checks across the scheme grid.  [schedule] may be empty. *)

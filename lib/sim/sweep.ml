@@ -261,6 +261,15 @@ let already_cached t job =
   Mutex.unlock t.tables_lock;
   match cell with Some { value = Some _; _ } -> true | _ -> false
 
+(* Timelines are not memoised: a sampler observes one specific run, so
+   the job is re-simulated with a probe attached.  The prepared
+   benchmark is shared with the stats cache, and the stats returned
+   here are bit-identical to [stats t job] — the probe-invariance the
+   differential fuzzer locks in. *)
+let timeline ?schedule ?window_cycles t job =
+  Runner.run_timeline ?schedule ?window_cycles (prepared t job.benchmark)
+    job.config
+
 let run_batch t jobs =
   let todo =
     List.filter (fun job -> not (already_cached t job)) (dedup jobs)

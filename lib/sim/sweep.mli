@@ -101,6 +101,17 @@ val stats : t -> job -> Stats.t
 val completed : t -> int
 (** Number of distinct jobs simulated so far (cache size). *)
 
+val timeline :
+  ?schedule:(int * int) list ->
+  ?window_cycles:int ->
+  t ->
+  job ->
+  Stats.t * Wp_obs.Sampler.window list
+(** {!Runner.run_timeline} on the engine's memoised prepared benchmark:
+    any sweep cell can emit a windowed timeline.  The run itself is not
+    cached (a sampler observes one specific run), but its stats are
+    bit-identical to {!stats} of the same job. *)
+
 val run_batch : t -> job list -> Stats.t list
 (** Deduplicate [jobs], simulate every not-yet-cached one on the
     worker pool, and return the stats of [jobs] {e in input order}

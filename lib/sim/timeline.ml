@@ -1,0 +1,132 @@
+module Sampler = Wp_obs.Sampler
+module Probe = Wp_obs.Probe
+
+(* --- RFC-4180 timeline CSV ----------------------------------------- *)
+
+let csv_header =
+  [ "window"; "start_cycle"; "end_cycle"; "cycles"; "retired"; "ipc"; "fetches" ]
+  @ List.map Sampler.Counter.name Sampler.Counter.all
+  @ [ "ways_enabled" ]
+  @ List.map (fun b -> Probe.bucket_name b ^ "_pj") Probe.buckets
+  @ [ "total_pj"; "markers" ]
+
+let ways_field (w : Sampler.window) =
+  w.Sampler.ways_hist
+  |> List.map (fun (ways, n) -> Printf.sprintf "%d:%d" ways n)
+  |> String.concat " "
+
+let markers_field (w : Sampler.window) =
+  w.Sampler.markers
+  |> List.map (function
+       | Sampler.Resize { cycle; area_bytes } ->
+           Printf.sprintf "resize@%d=%dB" cycle area_bytes
+       | Sampler.Flush { cycle } -> Printf.sprintf "flush@%d" cycle)
+  |> String.concat " "
+
+let csv_row (w : Sampler.window) =
+  let total_pj = Array.fold_left ( +. ) 0.0 w.Sampler.energy_pj in
+  [
+    string_of_int w.Sampler.index;
+    string_of_int w.Sampler.start_cycle;
+    string_of_int w.Sampler.end_cycle;
+    string_of_int (Sampler.cycles w);
+    string_of_int w.Sampler.retired;
+    Printf.sprintf "%.4f" (Sampler.ipc w);
+    string_of_int (Sampler.fetches w);
+  ]
+  @ List.map
+      (fun c -> string_of_int (Sampler.get w c))
+      Sampler.Counter.all
+  @ [ ways_field w ]
+  @ List.map
+      (fun b -> Printf.sprintf "%.6f" w.Sampler.energy_pj.(Probe.bucket_index b))
+      Probe.buckets
+  @ [ Printf.sprintf "%.6f" total_pj; markers_field w ]
+
+let csv_rows windows = List.map csv_row windows
+
+let write_csv ~path windows =
+  Report.write_csv ~path ~header:csv_header ~rows:(csv_rows windows)
+
+(* --- Chrome trace-event JSON (chrome://tracing, Perfetto) ---------- *)
+
+let pid = 1
+let tid = 1
+
+let counter_event ~name ~ts value =
+  Report.Jobj
+    [
+      ("name", Report.Jstring name);
+      ("ph", Report.Jstring "C");
+      ("ts", Report.Jint ts);
+      ("pid", Report.Jint pid);
+      ("args", Report.Jobj [ ("value", value) ]);
+    ]
+
+let instant_event ~name ~ts args =
+  Report.Jobj
+    [
+      ("name", Report.Jstring name);
+      ("ph", Report.Jstring "i");
+      ("ts", Report.Jint ts);
+      ("pid", Report.Jint pid);
+      ("tid", Report.Jint tid);
+      ("s", Report.Jstring "g");
+      ("args", Report.Jobj args);
+    ]
+
+let metadata_event ~name arg =
+  Report.Jobj
+    [
+      ("name", Report.Jstring name);
+      ("ph", Report.Jstring "M");
+      ("ts", Report.Jint 0);
+      ("pid", Report.Jint pid);
+      ("tid", Report.Jint tid);
+      ("args", Report.Jobj [ ("name", Report.Jstring arg) ]);
+    ]
+
+let window_events (w : Sampler.window) =
+  let ts = w.Sampler.start_cycle in
+  let counters =
+    List.map
+      (fun b ->
+        counter_event
+          ~name:(Probe.bucket_name b ^ "_pj")
+          ~ts
+          (Report.Jfloat w.Sampler.energy_pj.(Probe.bucket_index b)))
+      Probe.buckets
+    @ [
+        counter_event ~name:"ipc" ~ts (Report.Jfloat (Sampler.ipc w));
+        counter_event ~name:"fetches" ~ts
+          (Report.Jint (Sampler.fetches w));
+        counter_event ~name:"icache_misses" ~ts
+          (Report.Jint (Sampler.get w Sampler.Counter.Icache_misses));
+      ]
+  in
+  (* Markers are chronological and bounded by the window's cycle span,
+     so appending them keeps the whole stream's timestamps monotone. *)
+  let markers =
+    List.map
+      (function
+        | Sampler.Resize { cycle; area_bytes } ->
+            instant_event ~name:"resize" ~ts:cycle
+              [ ("area_bytes", Report.Jint area_bytes) ]
+        | Sampler.Flush { cycle } -> instant_event ~name:"flush" ~ts:cycle [])
+      w.Sampler.markers
+  in
+  counters @ markers
+
+let chrome_trace ?(process_name = "wayplace-sim") windows =
+  let events =
+    (metadata_event ~name:"process_name" process_name
+    :: List.concat_map window_events windows)
+  in
+  Report.Jobj
+    [
+      ("traceEvents", Report.Jlist events);
+      ("displayTimeUnit", Report.Jstring "ns");
+    ]
+
+let write_chrome ?process_name ~path windows =
+  Report.write_json ~path (chrome_trace ?process_name windows)

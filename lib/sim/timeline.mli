@@ -1,0 +1,36 @@
+(** Timeline export: one row/track per sampler window.
+
+    Two formats over the same {!Wp_obs.Sampler.window} list:
+
+    - an RFC-4180 CSV (via {!Report}) with one row per window — cycle
+      span, retired instructions, IPC, every counter delta, the
+      ways-enabled distribution ("[ways:searches]" pairs), per-bucket
+      energy and resize/flush markers;
+    - a Chrome trace-event JSON file loadable in [chrome://tracing] or
+      Perfetto: counter tracks ([ph = "C"]) per energy bucket plus IPC,
+      fetches and misses, sampled at each window's start cycle, and
+      global instant events ([ph = "i"]) for resizes and flushes.
+      Timestamps are cycles (the trace's logical microsecond).
+
+    Summing the CSV's counter or energy columns reproduces the run's
+    final [Stats.t] — the sampler's conservation law. *)
+
+val csv_header : string list
+
+val csv_rows : Wp_obs.Sampler.window list -> string list list
+
+val write_csv :
+  path:string -> Wp_obs.Sampler.window list -> (unit, string) result
+
+val chrome_trace :
+  ?process_name:string -> Wp_obs.Sampler.window list -> Report.json
+(** The trace-event object ([{"traceEvents": [...]}]).  Every event
+    carries the required [ph]/[ts]/[pid] fields and timestamps are
+    non-decreasing in stream order.  [process_name] defaults to
+    ["wayplace-sim"]. *)
+
+val write_chrome :
+  ?process_name:string ->
+  path:string ->
+  Wp_obs.Sampler.window list ->
+  (unit, string) result

@@ -479,13 +479,13 @@ module Filter = Wayplace.Cache.Filter_cache
 
 let test_filter_requires_direct_mapped () =
   Alcotest.(check bool) "assoc > 1 rejected" true
-    (match Filter.create ~l0:small with
+    (match Filter.create ~l0:small () with
     | (_ : Filter.t) -> false
     | exception Invalid_argument _ -> true)
 
 let test_filter_hit_miss () =
   let l0 = Geometry.make ~size_bytes:64 ~assoc:1 ~line_bytes:8 in
-  let f = Filter.create ~l0 in
+  let f = Filter.create ~l0 () in
   let miss = Filter.access f 0x14 in
   Alcotest.(check bool) "cold miss" false miss.Filter.l0_hit;
   Alcotest.(check int) "miss penalty" 1 miss.Filter.penalty_cycles;
@@ -496,7 +496,7 @@ let test_filter_hit_miss () =
 
 let test_filter_conflict () =
   let l0 = Geometry.make ~size_bytes:64 ~assoc:1 ~line_bytes:8 in
-  let f = Filter.create ~l0 in
+  let f = Filter.create ~l0 () in
   ignore (Filter.access f 0x00);
   (* 0x40 maps to the same direct-mapped slot and evicts 0x00. *)
   ignore (Filter.access f 0x40);
@@ -505,7 +505,7 @@ let test_filter_conflict () =
 
 let test_filter_flush () =
   let l0 = Geometry.make ~size_bytes:64 ~assoc:1 ~line_bytes:8 in
-  let f = Filter.create ~l0 in
+  let f = Filter.create ~l0 () in
   ignore (Filter.access f 0x14);
   Filter.flush f;
   let r = Filter.access f 0x14 in

@@ -62,6 +62,77 @@ let test_write_csv_unwritable_path () =
    end-to-end by the differential fuzz smoke step in CI, and at the lib
    level here. *)
 
+(* --- JSON: the [sweep --json] and Chrome-trace serialisation --- *)
+
+let test_json_escape () =
+  let check input expected =
+    Alcotest.(check string) (Printf.sprintf "escape %S" input) expected
+      (Report.json_escape input)
+  in
+  check "plain" "plain";
+  check "" "";
+  check "say \"hi\"" "say \\\"hi\\\"";
+  check "back\\slash" "back\\\\slash";
+  check "two\nlines" "two\\nlines";
+  check "cr\rhere" "cr\\rhere";
+  check "tab\there" "tab\\there";
+  check "bell\007" "bell\\u0007";
+  check "nul\000byte" "nul\\u0000byte";
+  (* high bytes pass through untouched (the emitter is encoding-
+     agnostic; strings here are ASCII anyway) *)
+  check "caf\xc3\xa9" "caf\xc3\xa9"
+
+let test_json_to_string () =
+  let open Report in
+  let check name j expected =
+    Alcotest.(check string) name expected (json_to_string j)
+  in
+  check "null" Jnull "null";
+  check "true" (Jbool true) "true";
+  check "false" (Jbool false) "false";
+  check "int" (Jint (-42)) "-42";
+  check "integral float keeps a decimal point" (Jfloat 2.0) "2.0";
+  check "fractional float" (Jfloat 0.25) "0.25";
+  check "nan has no JSON encoding" (Jfloat Float.nan) "null";
+  check "infinity has no JSON encoding" (Jfloat Float.infinity) "null";
+  check "string is escaped and quoted" (Jstring "a\"b") "\"a\\\"b\"";
+  check "empty list" (Jlist []) "[]";
+  check "empty object" (Jobj []) "{}";
+  check "list" (Jlist [ Jint 1; Jnull; Jbool false ]) "[1,null,false]";
+  check "object keys are escaped"
+    (Jobj [ ("a", Jint 1); ("b\"c", Jstring "x") ])
+    "{\"a\":1,\"b\\\"c\":\"x\"}";
+  check "nesting"
+    (Jobj [ ("rows", Jlist [ Jobj [ ("ed", Jfloat 0.5) ] ]) ])
+    "{\"rows\":[{\"ed\":0.5}]}"
+
+let test_write_json_roundtrip () =
+  let path = Filename.temp_file "wayplace_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let j =
+        Report.Jobj
+          [
+            ("benchmark", Report.Jstring "crc");
+            ("energy", Report.Jfloat 0.4072);
+          ]
+      in
+      match Report.write_json ~path j with
+      | Error msg -> Alcotest.failf "write failed: %s" msg
+      | Ok () ->
+          Alcotest.(check string) "exact bytes"
+            "{\"benchmark\":\"crc\",\"energy\":0.4072}\n" (read_file path))
+
+let test_write_json_unwritable_path () =
+  match
+    Report.write_json ~path:"/nonexistent-dir/deeper/out.json" Report.Jnull
+  with
+  | Error msg ->
+      Alcotest.(check bool) "diagnostic not empty" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "writing into a missing directory succeeded"
+
 let () =
   Alcotest.run "report"
     [
@@ -73,5 +144,14 @@ let () =
             test_write_csv_roundtrip;
           Alcotest.test_case "unwritable path is a clean error" `Quick
             test_write_csv_unwritable_path;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "string escaping" `Quick test_json_escape;
+          Alcotest.test_case "rendering" `Quick test_json_to_string;
+          Alcotest.test_case "write + read back" `Quick
+            test_write_json_roundtrip;
+          Alcotest.test_case "unwritable path is a clean error" `Quick
+            test_write_json_unwritable_path;
         ] );
     ]

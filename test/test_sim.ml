@@ -387,6 +387,48 @@ let test_resize_schedule_runs () =
   Alcotest.(check bool) "flush caused extra misses" true
     (stats.Stats.icache_misses >= static.Stats.icache_misses)
 
+let run_tiny_with_resizes prep ~schedule =
+  Simulator.run_with_resizes ~schedule
+    ~config:(Config.xscale wp16)
+    ~program:prep.Runner.program ~layout:prep.Runner.placed_layout
+    ~trace:prep.Runner.trace_large
+
+let test_resize_schedule_empty () =
+  let prep = Runner.prepare Mibench.tiny in
+  let plain = Runner.run_scheme prep (Config.xscale wp16) in
+  let resized = run_tiny_with_resizes prep ~schedule:[] in
+  Alcotest.(check bool) "empty schedule is bit-identical to run" true
+    (Stats.equal plain resized)
+
+let test_resize_schedule_at_index_zero () =
+  (* A resize before the first block is the same machine as one built
+     with that area from the start: the flush hits cold caches. *)
+  let prep = Runner.prepare Mibench.tiny in
+  let resized = run_tiny_with_resizes prep ~schedule:[ (0, 2048) ] in
+  let static =
+    Simulator.run
+      ~config:(Config.xscale (Config.Way_placement { area_bytes = 2048 }))
+      ~program:prep.Runner.program ~layout:prep.Runner.placed_layout
+      ~trace:prep.Runner.trace_large
+  in
+  Alcotest.(check bool) "equals a machine born with the new area" true
+    (Stats.equal resized static)
+
+let test_resize_schedule_beyond_trace () =
+  let prep = Runner.prepare Mibench.tiny in
+  let n = Array.length prep.Runner.trace_large.Tracer.blocks in
+  let plain = Runner.run_scheme prep (Config.xscale wp16) in
+  let resized = run_tiny_with_resizes prep ~schedule:[ (n + 100, 1024) ] in
+  Alcotest.(check bool) "never-reached resize is bit-identical" true
+    (Stats.equal plain resized)
+
+let test_resize_schedule_duplicate_index () =
+  let prep = Runner.prepare Mibench.tiny in
+  Alcotest.(check bool) "back-to-back resizes at one index rejected" true
+    (match run_tiny_with_resizes prep ~schedule:[ (5, 1024); (5, 2048) ] with
+    | (_ : Stats.t) -> false
+    | exception Invalid_argument _ -> true)
+
 (* --- Simulator --- *)
 
 let prepare name = Runner.prepare (Mibench.find name)
@@ -493,6 +535,10 @@ let () =
           Alcotest.test_case "resize flushes" `Quick test_resize_flushes;
           Alcotest.test_case "resize schedule validation" `Quick test_resize_schedule_validation;
           Alcotest.test_case "resize schedule runs" `Quick test_resize_schedule_runs;
+          Alcotest.test_case "resize schedule: empty" `Quick test_resize_schedule_empty;
+          Alcotest.test_case "resize schedule: index 0" `Quick test_resize_schedule_at_index_zero;
+          Alcotest.test_case "resize schedule: beyond trace" `Quick test_resize_schedule_beyond_trace;
+          Alcotest.test_case "resize schedule: duplicate index" `Quick test_resize_schedule_duplicate_index;
           Alcotest.test_case "memo data overhead" `Quick test_wm_same_line_uses_memo_factor;
           Alcotest.test_case "filter same-line uses L0 energy" `Quick
             test_filter_same_line_charges_l0;
