@@ -501,6 +501,323 @@ let timeline_cmd benchmark scheme area size ways line window csv_out chrome_out
       Format.eprintf "error: %s@." msg;
       1
 
+(* --- lint: static verifier + abstract I-cache analysis --- *)
+
+module Lint = Wayplace.Lint
+
+let lint_static_arg =
+  let doc =
+    "Also run the abstract must/may I-cache analysis per geometry and \
+     cross-check it against a baseline LRU simulation (static coverage vs. \
+     measured hit rate, soundness violations)."
+  in
+  Arg.(value & flag & info [ "static" ] ~doc)
+
+let strict_arg =
+  let doc = "Exit 2 when warnings are present (errors always exit 3)." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let lint_json_arg =
+  let doc = "Write the findings and static summaries to this JSON file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let lint_csv_arg =
+  let doc = "Write the findings to this CSV file (RFC 4180)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+(* One benchmark's lint results: geometry-independent well-formedness
+   findings on both layouts, the placement contract per geometry on the
+   placed layout, and (with --static) the abstract-analysis summary and
+   soundness cross-check per geometry on the placed layout. *)
+type lint_static_row = {
+  ls_geometry : string;
+  ls_summary : Lint.Abstract_icache.summary;
+  ls_counts : Lint.Soundness.counts;
+  ls_violations : string list;
+  ls_loops : int;
+  ls_loops_fit : int;
+}
+
+let lint_benchmark ~geometries ~area_kb ~static name =
+  let spec = Wayplace.Workloads.Mibench.find name in
+  let prep = Wayplace.Sim.Runner.prepare spec in
+  let program = prep.Wayplace.Sim.Runner.program in
+  let graph = program.Wayplace.Workloads.Codegen.graph in
+  let original = prep.Wayplace.Sim.Runner.original_layout in
+  let placed = prep.Wayplace.Sim.Runner.placed_layout in
+  let findings =
+    List.map (fun f -> ("original", "-", f)) (Lint.Wf_lint.check graph original)
+    @ List.map (fun f -> ("placed", "-", f)) (Lint.Wf_lint.check graph placed)
+    @ List.concat_map
+        (fun geometry ->
+          let params =
+            {
+              Lint.Contract.geometry;
+              page_bytes = 1024;
+              area_bytes = area_kb * 1024;
+              code_base = Wayplace.Sim.Simulator.code_base;
+            }
+          in
+          List.map
+            (fun f ->
+              ("placed", Wayplace.Cache.Geometry.to_string geometry, f))
+            (Lint.Contract.check graph placed params))
+        geometries
+  in
+  let statics =
+    if not static then []
+    else
+      List.map
+        (fun geometry ->
+          let r =
+            Lint.Soundness.check ~geometry ~program ~layout:placed
+              ~trace:prep.Wayplace.Sim.Runner.trace_large ()
+          in
+          let loops = Lint.Abstract_icache.loop_pressures r.Lint.Soundness.analysis in
+          {
+            ls_geometry = Wayplace.Cache.Geometry.to_string geometry;
+            ls_summary = Lint.Abstract_icache.summary r.Lint.Soundness.analysis;
+            ls_counts = r.Lint.Soundness.counts;
+            ls_violations = r.Lint.Soundness.violations;
+            ls_loops = List.length loops;
+            ls_loops_fit =
+              List.length
+                (List.filter
+                   (fun l -> l.Lint.Abstract_icache.fits)
+                   loops);
+          })
+        geometries
+  in
+  (findings, statics)
+
+let lint_json results =
+  Report.Jobj
+    [
+      ( "benchmarks",
+        Report.Jlist
+          (List.map
+             (fun (name, findings, statics) ->
+               Report.Jobj
+                 [
+                   ("benchmark", Report.Jstring name);
+                   ( "findings",
+                     Report.Jlist
+                       (List.map
+                          (fun (layout, geometry, (f : Lint.Finding.t)) ->
+                            Report.Jobj
+                              [
+                                ("layout", Report.Jstring layout);
+                                ("geometry", Report.Jstring geometry);
+                                ( "severity",
+                                  Report.Jstring
+                                    (Lint.Finding.severity_name
+                                       f.Lint.Finding.severity) );
+                                ("code", Report.Jstring f.Lint.Finding.code);
+                                ( "block",
+                                  match f.Lint.Finding.block with
+                                  | Some b -> Report.Jint b
+                                  | None -> Report.Jnull );
+                                ( "addr",
+                                  match f.Lint.Finding.addr with
+                                  | Some a -> Report.Jint a
+                                  | None -> Report.Jnull );
+                                ("message", Report.Jstring f.Lint.Finding.message);
+                              ])
+                          findings) );
+                   ( "static",
+                     Report.Jlist
+                       (List.map
+                          (fun r ->
+                            let s = r.ls_summary in
+                            let c = r.ls_counts in
+                            Report.Jobj
+                              [
+                                ("geometry", Report.Jstring r.ls_geometry);
+                                ("sites", Report.Jint s.Lint.Abstract_icache.sites);
+                                ( "must_hit",
+                                  Report.Jint s.Lint.Abstract_icache.must_hit );
+                                ( "must_miss",
+                                  Report.Jint s.Lint.Abstract_icache.must_miss );
+                                ( "unknown",
+                                  Report.Jint s.Lint.Abstract_icache.unknown );
+                                ( "accesses",
+                                  Report.Jint c.Lint.Soundness.accesses );
+                                ("hits", Report.Jint c.Lint.Soundness.hits);
+                                ("misses", Report.Jint c.Lint.Soundness.misses);
+                                ( "coverage",
+                                  Report.Jfloat (Lint.Soundness.coverage c) );
+                                ("loops", Report.Jint r.ls_loops);
+                                ("loops_fit", Report.Jint r.ls_loops_fit);
+                                ( "violations",
+                                  Report.Jlist
+                                    (List.map
+                                       (fun v -> Report.Jstring v)
+                                       r.ls_violations) );
+                              ])
+                          statics) );
+                 ])
+             results) );
+    ]
+
+let lint_cmd benchmarks sizes ways line area static json_out csv_out strict =
+  let ( let* ) = Result.bind in
+  let result =
+    let* benchmarks =
+      match benchmarks with
+      | "all" -> Ok Wayplace.Workloads.Mibench.names
+      | names ->
+          List.fold_left
+            (fun acc name ->
+              let* acc = acc in
+              let name = String.trim name in
+              let* _spec = find_spec name in
+              Ok (name :: acc))
+            (Ok []) (comma_list names)
+          |> Result.map List.rev
+    in
+    let* sizes = parse_int_list ~what:"cache size" sizes in
+    let* ways = parse_int_list ~what:"associativity" ways in
+    let* geometries =
+      List.fold_left
+        (fun acc size_kb ->
+          List.fold_left
+            (fun acc assoc ->
+              let* acc = acc in
+              match
+                Wayplace.Cache.Geometry.make ~size_bytes:(size_kb * 1024)
+                  ~assoc ~line_bytes:line
+              with
+              | g -> Ok (g :: acc)
+              | exception Invalid_argument msg -> Error msg)
+            acc ways)
+        (Ok []) sizes
+      |> Result.map List.rev
+    in
+    let* results =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          match lint_benchmark ~geometries ~area_kb:area ~static name with
+          | findings, statics -> Ok ((name, findings, statics) :: acc)
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "%s: %s" name msg))
+        (Ok []) benchmarks
+      |> Result.map List.rev
+    in
+    let all_findings =
+      List.concat_map (fun (_, fs, _) -> List.map (fun (_, _, f) -> f) fs)
+        results
+    in
+    let soundness_violations =
+      List.concat_map
+        (fun (name, _, statics) ->
+          List.concat_map
+            (fun r ->
+              List.map
+                (fun v -> Printf.sprintf "%s @ %s: %s" name r.ls_geometry v)
+                r.ls_violations)
+            statics)
+        results
+    in
+    List.iter
+      (fun (name, findings, statics) ->
+        let fs = List.map (fun (_, _, f) -> f) findings in
+        Printf.printf "%s: %d error(s), %d warning(s), %d finding(s)\n" name
+          (List.length (Lint.Finding.errors fs))
+          (List.length (Lint.Finding.warnings fs))
+          (List.length fs);
+        List.iter
+          (fun (layout, geometry, f) ->
+            Format.printf "  [%s%s] %a@." layout
+              (if geometry = "-" then "" else " @ " ^ geometry)
+              Lint.Finding.pp f)
+          findings;
+        List.iter
+          (fun r ->
+            let s = r.ls_summary in
+            let c = r.ls_counts in
+            Printf.printf
+              "  static @ %s: %d sites: %d must-hit, %d must-miss, %d \
+               unknown; %d/%d loops fit\n"
+              r.ls_geometry s.Lint.Abstract_icache.sites
+              s.Lint.Abstract_icache.must_hit s.Lint.Abstract_icache.must_miss
+              s.Lint.Abstract_icache.unknown r.ls_loops_fit r.ls_loops;
+            Printf.printf
+              "  dynamic @ %s: %d accesses, hit rate %.2f%%, static coverage \
+               %.2f%%, soundness %s\n"
+              r.ls_geometry c.Lint.Soundness.accesses
+              (if c.Lint.Soundness.accesses = 0 then 0.0
+               else
+                 100.0
+                 *. float_of_int c.Lint.Soundness.hits
+                 /. float_of_int c.Lint.Soundness.accesses)
+              (100.0 *. Lint.Soundness.coverage c)
+              (if r.ls_violations = [] then "OK"
+               else Printf.sprintf "%d VIOLATION(S)" (List.length r.ls_violations));
+            List.iter (fun v -> Printf.printf "    ! %s\n" v) r.ls_violations)
+          statics)
+      results;
+    let* () =
+      match csv_out with
+      | None -> Ok ()
+      | Some path ->
+          let rows =
+            List.concat_map
+              (fun (name, findings, _) ->
+                List.map
+                  (fun (layout, geometry, (f : Lint.Finding.t)) ->
+                    [
+                      name;
+                      layout;
+                      geometry;
+                      Lint.Finding.severity_name f.Lint.Finding.severity;
+                      f.Lint.Finding.code;
+                      (match f.Lint.Finding.block with
+                      | Some b -> string_of_int b
+                      | None -> "");
+                      (match f.Lint.Finding.addr with
+                      | Some a -> Printf.sprintf "0x%x" a
+                      | None -> "");
+                      f.Lint.Finding.message;
+                    ])
+                  findings)
+              results
+          in
+          let* () =
+            Report.write_csv ~path
+              ~header:
+                [
+                  "benchmark"; "layout"; "geometry"; "severity"; "code";
+                  "block"; "addr"; "message";
+                ]
+              ~rows
+          in
+          Printf.printf "wrote %s\n%!" path;
+          Ok ()
+    in
+    let* () =
+      match json_out with
+      | None -> Ok ()
+      | Some path ->
+          let* () = Report.write_json ~path (lint_json results) in
+          Printf.printf "wrote %s\n%!" path;
+          Ok ()
+    in
+    let code = Lint.Finding.exit_code ~strict all_findings in
+    let code = if soundness_violations <> [] then 3 else code in
+    if code = 0 then
+      Printf.printf "lint: clean (%d benchmark(s), %d geometr%s)\n"
+        (List.length benchmarks)
+        (List.length geometries)
+        (if List.length geometries = 1 then "y" else "ies");
+    Ok code
+  in
+  match result with
+  | Ok code -> code
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
 let profile_arg =
   let doc = "Load the training profile from this file instead of rerunning." in
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
@@ -679,6 +996,18 @@ let cmds =
            "Differentially test the simulator on generated programs (oracle \
             cache, conservation laws, metamorphic scheme equalities)")
       Term.(const fuzz_cmd $ seed_arg $ count_arg $ jobs_arg $ quiet_arg);
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Statically verify laid-out binaries: well-formedness (WF codes), \
+            the way-placement contract per geometry (CT codes), and with \
+            $(b,--static) the abstract must/may I-cache classification \
+            cross-checked against the simulator.  Exits 3 on errors, 2 on \
+            warnings under --strict, 0 otherwise.")
+      Term.(
+        const lint_cmd $ sweep_benchmarks_arg $ sweep_sizes_arg
+        $ sweep_ways_arg $ line_arg $ area_arg $ lint_static_arg
+        $ lint_json_arg $ lint_csv_arg $ strict_arg);
     Cmd.v
       (Cmd.info "layout" ~doc:"Show the way-placement layout of a benchmark")
       Term.(const layout_cmd $ benchmark_arg $ profile_arg $ output_arg);

@@ -404,6 +404,39 @@ let check_probe ~where prepared (config : Config.t) (s : Stats.t) =
       !v
 
 (* ------------------------------------------------------------------ *)
+(* Static-analysis cross-checks (PR 4): a generator that emits an
+   ill-formed binary is itself a bug, and the abstract must/may
+   classification must agree with the simulated probe stream on every
+   program the fuzzer produces. *)
+
+let check_lint ~where graph layout =
+  match Wp_lint.Wf_lint.check graph layout with
+  | exception exn ->
+      [ Printf.sprintf "%s: lint raised: %s" where (Printexc.to_string exn) ]
+  | findings ->
+      List.map
+        (fun f -> Printf.sprintf "%s: %s" where (Format.asprintf "%a" Wp_lint.Finding.pp f))
+        (Wp_lint.Finding.errors findings)
+
+let check_contract ~where graph layout params =
+  match Wp_lint.Contract.check graph layout params with
+  | exception exn ->
+      [ Printf.sprintf "%s: contract check raised: %s" where (Printexc.to_string exn) ]
+  | findings ->
+      List.map
+        (fun f -> Printf.sprintf "%s: %s" where (Format.asprintf "%a" Wp_lint.Finding.pp f))
+        (Wp_lint.Finding.errors findings)
+
+let check_soundness ~where ~geometry ~program ~layout ~trace =
+  match Wp_lint.Soundness.check ~geometry ~program ~layout ~trace () with
+  | exception exn ->
+      [
+        Printf.sprintf "%s: soundness check raised: %s" where
+          (Printexc.to_string exn);
+      ]
+  | r -> List.map (fun v -> where ^ ": " ^ v) r.Wp_lint.Soundness.violations
+
+(* ------------------------------------------------------------------ *)
 
 let check_spec ?(geometries = default_geometries) spec =
   match Runner.prepare spec with
@@ -412,7 +445,9 @@ let check_spec ?(geometries = default_geometries) spec =
   | prepared ->
       let graph = prepared.Runner.program.Wp_workloads.Codegen.graph in
       let trace = prepared.Runner.trace_large in
-      List.concat
+      check_lint ~where:"lint original" graph prepared.Runner.original_layout
+      @ check_lint ~where:"lint placed" graph prepared.Runner.placed_layout
+      @ List.concat
         (List.mapi
            (fun i geometry ->
              let gname = Geometry.to_string geometry in
@@ -462,7 +497,30 @@ let check_spec ?(geometries = default_geometries) spec =
                    @ (if i = 0 then check_probe ~where prepared config stats
                       else []))
                  ok
-             @ check_cross ~where:gname stats_only)
+             @ check_cross ~where:gname stats_only
+             (* static-vs-dynamic: the must/may classification against
+                the probe stream, on the original layout each geometry
+                and additionally on the placed layout (plus the
+                placement contract) for the first one *)
+             @ check_soundness
+                 ~where:(Printf.sprintf "soundness @ %s" gname)
+                 ~geometry ~program:prepared.Runner.program
+                 ~layout:prepared.Runner.original_layout ~trace
+             @ (if i = 0 then
+                  check_soundness
+                    ~where:(Printf.sprintf "soundness placed @ %s" gname)
+                    ~geometry ~program:prepared.Runner.program
+                    ~layout:prepared.Runner.placed_layout ~trace
+                  @ check_contract
+                      ~where:(Printf.sprintf "contract placed @ %s" gname)
+                      graph prepared.Runner.placed_layout
+                      {
+                        Wp_lint.Contract.geometry;
+                        page_bytes = 1024;
+                        area_bytes = 2048;
+                        code_base = Wp_sim.Simulator.code_base;
+                      }
+                else []))
            geometries)
 
 let check_seed ?geometries seed = check_spec ?geometries (Progen.spec_of_seed seed)

@@ -106,7 +106,11 @@ let choose_victim t ~set =
                     else best)
               None resident
           in
-          (match best with Some l -> l.way | None -> assert false)
+          (match best with
+          | Some l -> l.way
+          | None ->
+              invalid_arg
+                "Oracle_cache.victim: LRU scan over an empty resident list")
     end
 
 let fill t addr policy =

@@ -9,6 +9,7 @@ module Workloads = Wp_workloads
 module Sim = Wp_sim
 module Obs = Wp_obs
 module Check = Wp_check
+module Lint = Wp_lint
 module Area = Area
 module Serial = Serial
 

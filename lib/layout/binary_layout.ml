@@ -40,7 +40,12 @@ let of_order graph ~base order =
 
 let base t = t.base
 let code_size_bytes t = t.code_size
-let block_start t id = t.starts.(id)
+
+let block_start t id =
+  if id < 0 || id >= Array.length t.starts then
+    invalid_arg
+      (Printf.sprintf "Binary_layout.block_start: unknown block B%d" id);
+  t.starts.(id)
 
 let instr_addr t id i =
   let size = t.sizes.(id) in
@@ -51,7 +56,11 @@ let instr_addr t id i =
   t.starts.(id) + offset
 
 let order t = t.order
-let position t id = t.positions.(id)
+
+let position t id =
+  if id < 0 || id >= Array.length t.positions then
+    invalid_arg (Printf.sprintf "Binary_layout.position: unknown block B%d" id);
+  t.positions.(id)
 
 let block_at t addr =
   if addr < t.base || addr >= t.base + t.code_size then None

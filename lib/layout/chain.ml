@@ -13,7 +13,7 @@ let length t = List.length t.blocks
 let first t =
   match t.blocks with
   | id :: _ -> id
-  | [] -> assert false (* excluded by [make] *)
+  | [] -> invalid_arg "Chain.first: empty chain (excluded by make)"
 
 let compare_by_weight a b =
   match compare b.weight a.weight with

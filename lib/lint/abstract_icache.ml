@@ -1,0 +1,351 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Addr = Wp_isa.Addr
+module Layout = Wp_layout.Binary_layout
+module Geometry = Wp_cache.Geometry
+
+type classification = Must_hit | Must_miss | Unknown | Elided | Unreachable
+
+type summary = {
+  blocks : int;
+  reachable_blocks : int;
+  sites : int;
+  must_hit : int;
+  must_miss : int;
+  unknown : int;
+}
+
+type loop_pressure = {
+  func : int;
+  header : Basic_block.id;
+  loop_blocks : int;
+  distinct_lines : int;
+  max_set_pressure : int;
+  fits : bool;
+}
+
+type t = {
+  geometry : Geometry.t;
+  classes : classification array array;  (** per block, per instruction *)
+  summary : summary;
+  loops : loop_pressure list;
+}
+
+let classification_name = function
+  | Must_hit -> "must-hit"
+  | Must_miss -> "must-miss"
+  | Unknown -> "unknown"
+  | Elided -> "elided"
+  | Unreachable -> "unreachable"
+
+(* Abstract state: one byte per cache line of the text section, holding
+   min(LRU age, assoc).  [must] ages are upper bounds (age < assoc =>
+   guaranteed resident); [may] ages are lower bounds (age = assoc =>
+   guaranteed absent).  See Ferdinand & Wilhelm, "Efficient and precise
+   cache behavior prediction for real-time systems". *)
+
+let instr_bytes = Wp_isa.Instr.size_bytes
+
+let analyze ?(elision = true) ~graph ~layout ~geometry () =
+  let assoc = geometry.Geometry.assoc in
+  if assoc >= 255 then
+    invalid_arg
+      (Printf.sprintf "Abstract_icache.analyze: assoc %d overflows byte ages"
+         assoc);
+  let base = Layout.base layout in
+  let code_size = Layout.code_size_bytes layout in
+  let shift = Addr.log2 geometry.Geometry.line_bytes in
+  let base_line = base asr shift in
+  let nlines =
+    if code_size = 0 then 0
+    else ((base + code_size - 1) asr shift) - base_line + 1
+  in
+  let line_of addr = (addr asr shift) - base_line in
+  let set_of_line = Array.make (max nlines 1) 0 in
+  for l = 0 to nlines - 1 do
+    set_of_line.(l) <- Geometry.set_index geometry ((l + base_line) lsl shift)
+  done;
+  let mates =
+    let by_set = Hashtbl.create 64 in
+    for l = nlines - 1 downto 0 do
+      let s = set_of_line.(l) in
+      Hashtbl.replace by_set s
+        (l :: Option.value ~default:[] (Hashtbl.find_opt by_set s))
+    done;
+    Array.init (max nlines 1) (fun l ->
+        Array.of_list
+          (Option.value ~default:[] (Hashtbl.find_opt by_set set_of_line.(l))))
+  in
+  let cold () = Bytes.make (max nlines 1) (Char.chr (min assoc 255)) in
+  let access must may l =
+    let a_must = Bytes.get_uint8 must l in
+    (* must: lines younger than l's old upper bound age by one *)
+    Array.iter
+      (fun m ->
+        if m <> l then begin
+          let am = Bytes.get_uint8 must m in
+          if am < a_must then Bytes.set_uint8 must m (min assoc (am + 1))
+        end)
+      mates.(l);
+    Bytes.set_uint8 must l 0;
+    (* may: ages shift only on a definite miss; on a possible hit the
+       lower bounds stay valid unchanged *)
+    let a_may = Bytes.get_uint8 may l in
+    if a_may >= assoc then
+      Array.iter
+        (fun m ->
+          if m <> l then begin
+            let am = Bytes.get_uint8 may m in
+            if am < assoc then Bytes.set_uint8 may m (min assoc (am + 1))
+          end)
+        mates.(l);
+    Bytes.set_uint8 may l 0
+  in
+  let join_must acc s =
+    for l = 0 to Bytes.length acc - 1 do
+      let a = Bytes.get_uint8 acc l and b = Bytes.get_uint8 s l in
+      if b > a then Bytes.set_uint8 acc l b
+    done
+  in
+  let join_may acc s =
+    for l = 0 to Bytes.length acc - 1 do
+      let a = Bytes.get_uint8 acc l and b = Bytes.get_uint8 s l in
+      if b < a then Bytes.set_uint8 acc l b
+    done
+  in
+  let n = Icfg.num_blocks graph in
+  let entry = Icfg.entry graph in
+  let flow = Flow.compute graph in
+  (* Line-leading access sites of each block: instruction indices that
+     start a new cache line (index 0 always does). *)
+  let sites_of =
+    Array.init n (fun id ->
+        let b = Icfg.block graph id in
+        let start = Layout.block_start layout id in
+        let k = Basic_block.size_instrs b in
+        let acc = ref [] in
+        for i = k - 1 downto 0 do
+          let a = start + (i * instr_bytes) in
+          if i = 0 || not (Geometry.same_line geometry a (a - instr_bytes))
+          then acc := (i, line_of a) :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let first_addr id = Layout.block_start layout id in
+  let last_addr id =
+    let b = Icfg.block graph id in
+    Layout.block_start layout id
+    + ((Basic_block.size_instrs b - 1) * instr_bytes)
+  in
+  let edge_elides p b =
+    elision && Geometry.same_line geometry (last_addr p) (first_addr b)
+  in
+  let out_must : Bytes.t option array = Array.make n None in
+  let out_may : Bytes.t option array = Array.make n None in
+  (* Join of predecessor contributions with the first access already
+     applied on non-eliding edges (plus the cold start for the entry);
+     [None] while no predecessor has been reached. *)
+  let in_after_first b =
+    let acc = ref None in
+    let contribute must may =
+      match !acc with
+      | None -> acc := Some (must, may)
+      | Some (am, ay) ->
+          join_must am must;
+          join_may ay may
+    in
+    let l0 = snd sites_of.(b).(0) in
+    if b = entry then begin
+      let must = cold () and may = cold () in
+      access must may l0;
+      contribute must may
+    end;
+    List.iter
+      (fun (p, _kind) ->
+        match (out_must.(p), out_may.(p)) with
+        | Some pm, Some py ->
+            let must = Bytes.copy pm and may = Bytes.copy py in
+            if not (edge_elides p b) then access must may l0;
+            contribute must may
+        | _ -> ())
+      (Flow.predecessors flow b);
+    !acc
+  in
+  let transfer_rest b must may =
+    let sites = sites_of.(b) in
+    for k = 1 to Array.length sites - 1 do
+      access must may (snd sites.(k))
+    done
+  in
+  if nlines > 0 then begin
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let push b =
+      if not queued.(b) then begin
+        queued.(b) <- true;
+        Queue.add b queue
+      end
+    in
+    push entry;
+    while not (Queue.is_empty queue) do
+      let b = Queue.pop queue in
+      queued.(b) <- false;
+      match in_after_first b with
+      | None -> ()
+      | Some (must, may) ->
+          transfer_rest b must may;
+          let changed =
+            match (out_must.(b), out_may.(b)) with
+            | Some om, Some oy ->
+                not (Bytes.equal om must && Bytes.equal oy may)
+            | _ -> true
+          in
+          if changed then begin
+            out_must.(b) <- Some must;
+            out_may.(b) <- Some may;
+            List.iter
+              (fun (s : Flow.succ) -> push s.dst)
+              (Flow.successors flow b)
+          end
+    done
+  end;
+  (* Classification pass over the fixpoint. *)
+  let classify_line must may l =
+    if Bytes.get_uint8 must l < assoc then Must_hit
+    else if Bytes.get_uint8 may l >= assoc then Must_miss
+    else Unknown
+  in
+  let classes =
+    Array.init n (fun b ->
+        let k = Basic_block.size_instrs (Icfg.block graph b) in
+        if out_must.(b) = None then Array.make k Unreachable
+        else begin
+          let cls =
+            Array.make k (if elision then Elided else Must_hit)
+          in
+          let sites = sites_of.(b) in
+          let i0, l0 = sites.(0) in
+          (* Site 0 classifies over the join of pre-access states of
+             the edges that actually access (non-eliding ones, plus
+             the cold start for the entry). *)
+          let pre = ref None in
+          let contribute must may =
+            match !pre with
+            | None -> pre := Some (Bytes.copy must, Bytes.copy may)
+            | Some (am, ay) ->
+                join_must am must;
+                join_may ay may
+          in
+          if b = entry then begin
+            let c = cold () in
+            contribute c c
+          end;
+          List.iter
+            (fun (p, _) ->
+              match (out_must.(p), out_may.(p)) with
+              | Some pm, Some py when not (edge_elides p b) ->
+                  contribute pm py
+              | _ -> ())
+            (Flow.predecessors flow b);
+          (match !pre with
+          | None -> cls.(i0) <- Elided (* every incoming edge elides *)
+          | Some (must, may) -> cls.(i0) <- classify_line must may l0);
+          (match in_after_first b with
+          | None -> ()
+          | Some (must, may) ->
+              for s = 1 to Array.length sites - 1 do
+                let i, l = sites.(s) in
+                cls.(i) <- classify_line must may l;
+                access must may l
+              done);
+          cls
+        end)
+  in
+  let summary =
+    let reachable_blocks =
+      Array.fold_left
+        (fun acc o -> if o = None then acc else acc + 1)
+        0 out_must
+    in
+    let mh = ref 0 and mm = ref 0 and unk = ref 0 in
+    Array.iter
+      (Array.iter (function
+        | Must_hit -> incr mh
+        | Must_miss -> incr mm
+        | Unknown -> incr unk
+        | Elided | Unreachable -> ()))
+      classes;
+    {
+      blocks = n;
+      reachable_blocks;
+      sites = !mh + !mm + !unk;
+      must_hit = !mh;
+      must_miss = !mm;
+      unknown = !unk;
+    }
+  in
+  let loops =
+    Array.to_list (Icfg.funcs graph)
+    |> List.concat_map (fun (f : Wp_cfg.Func.t) ->
+           Wp_cfg.Analysis.natural_loops graph ~entry:f.entry
+           |> List.map (fun (l : Wp_cfg.Analysis.loop) ->
+                  let lines = Hashtbl.create 16 in
+                  List.iter
+                    (fun id ->
+                      let start = Layout.block_start layout id in
+                      let size =
+                        Basic_block.size_bytes (Icfg.block graph id)
+                      in
+                      let a = ref (Geometry.line_base geometry start) in
+                      while !a < start + size do
+                        Hashtbl.replace lines (line_of !a) ();
+                        a := !a + geometry.Geometry.line_bytes
+                      done)
+                    l.blocks;
+                  let per_set = Hashtbl.create 16 in
+                  Hashtbl.iter
+                    (fun l () ->
+                      let s = set_of_line.(l) in
+                      Hashtbl.replace per_set s
+                        (1
+                        + Option.value ~default:0 (Hashtbl.find_opt per_set s)))
+                    lines;
+                  let max_set =
+                    Hashtbl.fold (fun _ c acc -> max c acc) per_set 0
+                  in
+                  {
+                    func = f.id;
+                    header = l.header;
+                    loop_blocks = List.length l.blocks;
+                    distinct_lines = Hashtbl.length lines;
+                    max_set_pressure = max_set;
+                    fits = max_set <= assoc;
+                  }))
+  in
+  { geometry; classes; summary; loops }
+
+let classify t ~block ~instr =
+  if block < 0 || block >= Array.length t.classes then
+    invalid_arg (Printf.sprintf "Abstract_icache.classify: block %d" block);
+  let cls = t.classes.(block) in
+  if instr < 0 || instr >= Array.length cls then
+    invalid_arg
+      (Printf.sprintf "Abstract_icache.classify: instr %d of block %d" instr
+         block);
+  cls.(instr)
+
+let summary t = t.summary
+let loop_pressures t = t.loops
+let geometry t = t.geometry
+
+let pp_summary ppf t =
+  let s = t.summary in
+  Format.fprintf ppf
+    "@[<v>geometry %s: %d/%d blocks reachable, %d access sites:@ %d must-hit \
+     (%.1f%%), %d must-miss, %d unknown; %d loops (%d fit their ways)@]"
+    (Geometry.to_string t.geometry)
+    s.reachable_blocks s.blocks s.sites s.must_hit
+    (if s.sites = 0 then 0.0
+     else 100.0 *. float_of_int s.must_hit /. float_of_int s.sites)
+    s.must_miss s.unknown (List.length t.loops)
+    (List.length (List.filter (fun l -> l.fits) t.loops))

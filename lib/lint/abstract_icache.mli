@@ -1,0 +1,74 @@
+(** Abstract I-cache analysis: fixpoint must/may classification of
+    every static line access, per cache geometry.
+
+    Classic abstract-interpretation cache analysis in the style of
+    Ferdinand & Wilhelm: the {e must} state tracks an upper bound on
+    every line's LRU age (join = pointwise max), the {e may} state a
+    lower bound (join = pointwise min).  An access whose must-age is
+    below the associativity is a guaranteed hit on every execution; an
+    access absent from the may state is a guaranteed miss.
+
+    The analysis walks the same flow edges as the trace walker
+    ({!Flow}), including synthetic return and restart edges, and
+    models the fetch engine's same-line elision exactly: an elided
+    fetch does not touch the cache, and whether a block's {e first}
+    fetch is elided is a static property of each incoming edge (the
+    predecessor's last-instruction line vs. this block's first line).
+    Accesses therefore collapse to {e line-leading} instruction sites.
+
+    Soundness requires true LRU replacement; the classification is not
+    valid for the XScale default round-robin policy, so the soundness
+    cross-check ({!Soundness}) pins the simulator to [Lru]. *)
+
+type classification =
+  | Must_hit  (** hits on every execution reaching it *)
+  | Must_miss  (** misses on every execution reaching it *)
+  | Unknown
+  | Elided  (** never performs a cache access (same-line elision) *)
+  | Unreachable  (** no walker path from the entry reaches the block *)
+
+type summary = {
+  blocks : int;
+  reachable_blocks : int;
+  sites : int;  (** classified (non-elided) static access sites *)
+  must_hit : int;
+  must_miss : int;
+  unknown : int;
+}
+
+type loop_pressure = {
+  func : int;
+  header : Wp_cfg.Basic_block.id;
+  loop_blocks : int;
+  distinct_lines : int;  (** cache lines the loop body touches *)
+  max_set_pressure : int;  (** lines mapping to the busiest set *)
+  fits : bool;  (** [max_set_pressure <= assoc]: steady-state all-hit *)
+}
+
+type t
+
+val analyze :
+  ?elision:bool ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  geometry:Wp_cache.Geometry.t ->
+  unit ->
+  t
+(** [elision] defaults to [true] (the fetch engine's default).
+    @raise Invalid_argument if the geometry's associativity does not
+    fit the byte-packed age representation (assoc >= 255). *)
+
+val classify : t -> block:Wp_cfg.Basic_block.id -> instr:int -> classification
+(** Classification of the fetch of instruction [instr] of [block].
+    Non-line-leading instructions are [Elided] (or [Must_hit] when the
+    analysis ran with [elision:false]); a line-leading site whose every
+    incoming edge elides is [Elided]. *)
+
+val summary : t -> summary
+
+val loop_pressures : t -> loop_pressure list
+(** Way-pressure of every natural loop, all functions. *)
+
+val geometry : t -> Wp_cache.Geometry.t
+val classification_name : classification -> string
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Addr = Wp_isa.Addr
+module Layout = Wp_layout.Binary_layout
+module Geometry = Wp_cache.Geometry
+
+type params = {
+  geometry : Geometry.t;
+  page_bytes : int;
+  area_bytes : int;
+  code_base : Wp_isa.Addr.t;
+}
+
+let check graph layout { geometry; page_bytes; area_bytes; code_base } =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let base = Layout.base layout in
+  let code_size = Layout.code_size_bytes layout in
+  let line = geometry.line_bytes in
+  if base <> code_base then
+    add
+      (Finding.v ~code:"CT006" ~addr:base
+         (Format.asprintf "layout base %a but the machine maps code at %a"
+            Addr.pp base Addr.pp code_base));
+  if page_bytes <= 0 || not (Addr.is_power_of_two page_bytes) then
+    add
+      (Finding.v ~code:"CT007"
+         (Printf.sprintf "page size %d B is not a positive power of two"
+            page_bytes))
+  else if base mod page_bytes <> 0 then
+    add
+      (Finding.v ~code:"CT007" ~addr:base
+         (Format.asprintf "text base %a is not %d B page-aligned" Addr.pp base
+            page_bytes));
+  if area_bytes <= 0 || (page_bytes > 0 && area_bytes mod page_bytes <> 0) then
+    add
+      (Finding.v ~code:"CT001"
+         (Printf.sprintf
+            "way-placement area of %d B is not a positive multiple of the %d \
+             B page"
+            area_bytes page_bytes));
+  let boundary = base + area_bytes in
+  let boundary_in_text = boundary > base && boundary < base + code_size in
+  (* The WP TLB bit flips at [boundary]; a cache line holding addresses
+     on both sides sees an inconsistent bit. *)
+  if boundary_in_text && boundary mod line <> 0 then
+    add
+      (Finding.v ~code:"CT002"
+         ~addr:(Geometry.line_base geometry boundary)
+         (Format.asprintf
+            "line at %a spans the WP area boundary %a: its page WP bits \
+             disagree"
+            Addr.pp
+            (Geometry.line_base geometry boundary)
+            Addr.pp boundary));
+  let span = Geometry.way_span_bytes geometry in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let start = Layout.block_start layout b.id in
+      let size = Basic_block.size_bytes b in
+      if boundary_in_text && start < boundary && start + size > boundary then
+        add
+          (Finding.v ~code:"CT003" ~block:b.id ~addr:start
+             (Format.asprintf
+                "block %d [%a, %a) straddles the WP area boundary %a" b.id
+                Addr.pp start Addr.pp (start + size) Addr.pp boundary));
+      if
+        start >= base
+        && start + size <= boundary
+        && start / span <> (start + size - 1) / span
+      then
+        add
+          (Finding.v ~code:"CT004" ~block:b.id ~addr:start
+             (Printf.sprintf
+                "block %d spans designated ways %d..%d inside the WP area"
+                b.id
+                (Geometry.way_of_addr geometry start)
+                (Geometry.way_of_addr geometry (start + size - 1)))))
+    (Icfg.blocks graph);
+  (* Two area lines designated to the same (set, way) evict each other
+     on every alternation — a conflict the placer is meant to avoid. *)
+  let slots = Hashtbl.create 64 in
+  let limit = min boundary (base + code_size) in
+  let a = ref (Geometry.line_base geometry base) in
+  while !a < limit do
+    let key = (Geometry.set_index geometry !a, Geometry.way_of_addr geometry !a) in
+    Hashtbl.replace slots key
+      (!a :: Option.value ~default:[] (Hashtbl.find_opt slots key));
+    a := !a + line
+  done;
+  Hashtbl.iter
+    (fun (set, way) lines ->
+      match List.rev lines with
+      | first :: _ :: _ ->
+          add
+            (Finding.v ~code:"CT005" ~addr:first
+               (Format.asprintf
+                  "%d WP-area lines compete for set %d way %d (first at %a)"
+                  (List.length lines) set way Addr.pp first))
+      | _ -> ())
+    slots;
+  List.stable_sort Finding.compare !findings

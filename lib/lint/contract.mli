@@ -1,0 +1,21 @@
+(** Placement-contract checker (codes [CT001]–[CT007]).
+
+    Verifies the way-placement pass's contract for one target geometry:
+    the OS maps the first [area_bytes] of the text section (a positive
+    page multiple) with the per-page WP TLB bit set; inside that area
+    every cache line's designated way is the low tag bits of its
+    address, so a line must not span the area boundary, hot blocks
+    should not straddle it, and no two area lines should compete for
+    the same (set, way) slot — a statically predictable conflict the
+    paper's greedy chain packing is meant to avoid. *)
+
+type params = {
+  geometry : Wp_cache.Geometry.t;
+  page_bytes : int;
+  area_bytes : int;  (** way-placement area size, from the text base *)
+  code_base : Wp_isa.Addr.t;  (** where the machine maps the text section *)
+}
+
+val check :
+  Wp_cfg.Icfg.t -> Wp_layout.Binary_layout.t -> params -> Finding.t list
+(** Findings sorted most severe first. *)

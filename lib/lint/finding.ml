@@ -1,0 +1,100 @@
+type severity = Info | Warning | Error
+
+type t = {
+  code : string;
+  severity : severity;
+  block : Wp_cfg.Basic_block.id option;
+  addr : Wp_isa.Addr.t option;
+  message : string;
+}
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+(* Well-formedness (WF), placement-contract (CT) codes.  Codes are
+   stable: tests, CI greps and README all reference them by name. *)
+let registry =
+  [
+    ("WF001", Error, "encoded transfer target lies outside the text section");
+    ("WF002", Error, "block placed at a non-4-byte-aligned address");
+    ("WF003", Error, "two blocks overlap in the placed image");
+    ("WF004", Error, "gap between consecutively placed blocks (unaccounted padding)");
+    ("WF005", Error, "fallthrough edge inconsistent with address order");
+    ("WF006", Warning, "block unreachable from the program entry");
+    ("WF007", Error, "call without a continuation block or callee target");
+    ("WF008", Warning, "called function has no return block");
+    ("WF009", Error, "image size disagrees with the layout's code size");
+    ("WF010", Error, "encoded transfer target disagrees with successor placement");
+    ("WF011", Error, "instruction word does not decode");
+    ("WF012", Warning, "fallthrough/taken edge crosses a function boundary");
+    ("WF013", Error, "decoded instruction disagrees with the CFG instruction");
+    ("CT001", Error, "way-placement area is not a positive multiple of the page size");
+    ("CT002", Error, "cache line spans the area boundary: per-page WP TLB bit inconsistent");
+    ("CT003", Warning, "block straddles the way-placement area boundary");
+    ("CT004", Info, "block inside the area spans more than one designated way");
+    ("CT005", Warning, "two area lines compete for the same (set, designated way) slot");
+    ("CT006", Error, "layout base disagrees with the machine's code base");
+    ("CT007", Error, "page size/base invalid: per-page WP TLB bit ill-defined");
+  ]
+
+let describe code =
+  List.find_map
+    (fun (c, _, d) -> if String.equal c code then Some d else None)
+    registry
+
+let severity_of_code code =
+  match
+    List.find_map
+      (fun (c, s, _) -> if String.equal c code then Some s else None)
+      registry
+  with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Finding.v: unregistered code %S" code)
+
+let v ~code ?block ?addr message =
+  { code; severity = severity_of_code code; block; addr; message }
+
+let compare a b =
+  let c = Int.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = Option.compare Int.compare a.block b.block in
+      if c <> 0 then c else Option.compare Int.compare a.addr b.addr
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let warnings fs = List.filter (fun f -> f.severity = Warning) fs
+
+let max_severity = function
+  | [] -> None
+  | fs ->
+      Some
+        (List.fold_left
+           (fun acc f ->
+             if severity_rank f.severity > severity_rank acc then f.severity
+             else acc)
+           Info fs)
+
+let exit_code ?(strict = false) fs =
+  match max_severity fs with
+  | Some Error -> 3
+  | Some Warning when strict -> 2
+  | _ -> 0
+
+let pp ppf f =
+  let loc =
+    match (f.block, f.addr) with
+    | Some b, Some a -> Format.asprintf " [block %d at %a]" b Wp_isa.Addr.pp a
+    | Some b, None -> Printf.sprintf " [block %d]" b
+    | None, Some a -> Format.asprintf " [%a]" Wp_isa.Addr.pp a
+    | None, None -> ""
+  in
+  Format.fprintf ppf "%s %s%s: %s"
+    (severity_name f.severity)
+    f.code loc f.message

@@ -1,0 +1,52 @@
+(** Lint findings: one diagnosed defect of a laid-out binary.
+
+    Every finding carries a {e stable} code (tests and CI grep for
+    them), a severity, an optional location (block and/or address) and
+    a human-readable message.  The full code vocabulary lives in
+    {!registry} so documentation, tests and the CLI can enumerate it
+    without chasing emission sites. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  code : string;  (** stable finding code, e.g. ["WF003"] *)
+  severity : severity;
+  block : Wp_cfg.Basic_block.id option;
+  addr : Wp_isa.Addr.t option;
+  message : string;
+}
+
+val v :
+  code:string ->
+  ?block:Wp_cfg.Basic_block.id ->
+  ?addr:Wp_isa.Addr.t ->
+  string ->
+  t
+(** Build a finding; the severity is looked up in {!registry}.
+    @raise Invalid_argument on an unregistered code. *)
+
+val severity_name : severity -> string
+val severity_rank : severity -> int
+(** [Info] 0, [Warning] 1, [Error] 2. *)
+
+val compare : t -> t -> int
+(** Most severe first; ties by code, then block, then address. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val max_severity : t list -> severity option
+
+val exit_code : ?strict:bool -> t list -> int
+(** Severity-based process exit code for the [lint] subcommand:
+    [3] when any error-severity finding is present, else [2] when
+    [strict] (default false) and a warning is present, else [0].
+    Info findings never affect the exit code. *)
+
+val registry : (string * severity * string) list
+(** Every finding code with its severity and one-line description —
+    the single source of truth for README's code table. *)
+
+val describe : string -> string option
+(** Description of a registered code. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Opcode = Wp_isa.Opcode
+
+type kind = Fallthrough | Taken | Call | Return | Restart
+
+type succ = { dst : Basic_block.id; kind : kind }
+
+type t = {
+  succs : succ list array;
+  preds : (Basic_block.id * kind) list array;
+  entry : Basic_block.id;
+}
+
+let kind_to_string = function
+  | Fallthrough -> "fallthrough"
+  | Taken -> "taken"
+  | Call -> "call"
+  | Return -> "return"
+  | Restart -> "restart"
+
+let compute graph =
+  let n = Icfg.num_blocks graph in
+  let entry = Icfg.entry graph in
+  let succs = Array.make n [] in
+  (* Function owning each entry block, and per-function call-site
+     continuations, for the synthetic return edges. *)
+  let entry_func = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Wp_cfg.Func.t) -> Hashtbl.replace entry_func f.entry f.id)
+    (Icfg.funcs graph);
+  let conts : (int, Basic_block.id list) Hashtbl.t = Hashtbl.create 16 in
+  let entry_function = (Icfg.block graph entry).func in
+  (* A fallthrough or taken edge crossing functions breaks the call
+     stack discipline the walker assumes; fall back to fully
+     conservative return/restart edges in that case. *)
+  let irregular = ref false in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      List.iter
+        (fun (e : Wp_cfg.Edge.t) ->
+          match e.kind with
+          | Fallthrough | Taken ->
+              if (Icfg.block graph e.dst).func <> b.func then irregular := true
+          | Call_to -> ())
+        (Icfg.successors graph b.id))
+    (Icfg.blocks graph);
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let id = b.id in
+      let ft = Icfg.fallthrough_succ graph id in
+      let taken = Icfg.taken_succ graph id in
+      let restart = { dst = entry; kind = Restart } in
+      let out =
+        match Basic_block.terminator b with
+        | Branch -> (
+            match (taken, ft) with
+            | Some t, Some f ->
+                [ { dst = t; kind = Taken }; { dst = f; kind = Fallthrough } ]
+            | Some t, None -> [ { dst = t; kind = Taken }; restart ]
+            | None, Some f -> [ { dst = f; kind = Fallthrough }; restart ]
+            | None, None -> [ restart ])
+        | Jump -> (
+            match taken with
+            | Some t -> [ { dst = t; kind = Taken } ]
+            | None -> [ restart ])
+        | Call -> (
+            match (Icfg.call_target graph id, ft) with
+            | Some callee, Some cont ->
+                (match Hashtbl.find_opt entry_func callee with
+                | Some f ->
+                    Hashtbl.replace conts f
+                      (cont
+                      :: Option.value ~default:[] (Hashtbl.find_opt conts f))
+                | None -> irregular := true);
+                [ { dst = callee; kind = Call } ]
+            | _ ->
+                (* The walker cannot continue: the program restarts. *)
+                [ restart ])
+        | Return -> [] (* filled below, once all call sites are known *)
+        | _ -> (
+            match ft with
+            | Some f -> [ { dst = f; kind = Fallthrough } ]
+            | None -> [ restart ])
+      in
+      succs.(id) <- out)
+    (Icfg.blocks graph);
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      if Basic_block.terminator b = Opcode.Return then begin
+        let f = b.func in
+        let continuations =
+          if !irregular then
+            Hashtbl.fold (fun _ cs acc -> cs @ acc) conts []
+          else Option.value ~default:[] (Hashtbl.find_opt conts f)
+        in
+        let rets =
+          List.map (fun c -> { dst = c; kind = Return }) continuations
+        in
+        let out =
+          if f = entry_function || !irregular then
+            { dst = entry; kind = Restart } :: rets
+          else rets
+        in
+        succs.(b.id) <- out
+      end)
+    (Icfg.blocks graph);
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src out ->
+      List.iter (fun { dst; kind } -> preds.(dst) <- (src, kind) :: preds.(dst)) out)
+    succs;
+  { succs; preds; entry }
+
+let successors t id = t.succs.(id)
+let predecessors t id = t.preds.(id)
+
+let reachable t =
+  let n = Array.length t.succs in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(t.entry) <- true;
+  Queue.add t.entry q;
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    List.iter
+      (fun { dst; _ } ->
+        if not seen.(dst) then begin
+          seen.(dst) <- true;
+          Queue.add dst q
+        end)
+      t.succs.(b)
+  done;
+  seen

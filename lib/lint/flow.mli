@@ -1,0 +1,32 @@
+(** Flow edges as the trace walker actually takes them.
+
+    {!Wp_cfg.Icfg} materialises fallthrough/taken/call edges only; the
+    walker in [Wp_workloads.Tracer] additionally follows {e return}
+    edges (popping its call stack to the continuation of the matching
+    call site) and {e restart} edges (a finished program re-enters the
+    entry block with a cleared stack).  The abstract I-cache analysis
+    and the reachability lint must see exactly those edges, so this
+    module reconstructs them context-insensitively: a return block of
+    function [f] flows to the continuation of {e every} call site
+    targeting [f]. *)
+
+type kind = Fallthrough | Taken | Call | Return | Restart
+
+type succ = { dst : Wp_cfg.Basic_block.id; kind : kind }
+
+type t
+
+val compute : Wp_cfg.Icfg.t -> t
+
+val successors : t -> Wp_cfg.Basic_block.id -> succ list
+(** Every block the walker can fetch next after executing the given
+    block's last instruction. *)
+
+val predecessors : t -> Wp_cfg.Basic_block.id -> (Wp_cfg.Basic_block.id * kind) list
+
+val reachable : t -> bool array
+(** Per-block: reachable from the program entry along walker edges.
+    A call continuation is only reachable if the callee can actually
+    return (or the block has another incoming path). *)
+
+val kind_to_string : kind -> string

@@ -1,0 +1,48 @@
+(** Static-vs-dynamic soundness cross-check.
+
+    Runs the {!Abstract_icache} classification and a baseline LRU
+    simulation of the same program/layout/trace side by side, and
+    correlates the simulator's probe stream with the static
+    classification on the fly: a statically guaranteed-hit access must
+    never miss, a guaranteed-miss access must never hit, an elided or
+    unreachable site must never perform a cache access, and the
+    engine's same-line elision decisions must match the static
+    prediction fetch for fetch.
+
+    The simulator is pinned to [Lru] replacement — the must/may
+    analysis is unsound for the XScale's default round-robin policy —
+    and to the [Baseline] scheme, whose probe stream carries exactly
+    one [Icache_access] per non-elided fetch. *)
+
+type counts = {
+  fetches : int;
+  elided : int;  (** same-line fetches: no cache access performed *)
+  accesses : int;  (** non-elided fetches = [Icache_access] events *)
+  must_hit_accesses : int;
+  must_miss_accesses : int;
+  unknown_accesses : int;
+  hits : int;
+  misses : int;
+}
+
+type result = {
+  violations : string list;  (** empty = sound (capped, with a tail note) *)
+  counts : counts;
+  analysis : Abstract_icache.t;
+}
+
+val check :
+  ?geometry:Wp_cache.Geometry.t ->
+  ?elision:bool ->
+  program:Wp_workloads.Codegen.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  unit ->
+  result
+(** [geometry] defaults to the XScale 32KB/32way/32B I-cache;
+    [elision] (default [true]) toggles same-line elision in both the
+    analysis and the simulator. *)
+
+val coverage : counts -> float
+(** Fraction of dynamic (non-elided) accesses statically classified
+    (must-hit or must-miss); 0 when there are no accesses. *)

@@ -1,0 +1,227 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Addr = Wp_isa.Addr
+module Layout = Wp_layout.Binary_layout
+module Image = Wp_layout.Binary_image
+
+type entry = { block : Basic_block.id; start : Addr.t; size_bytes : int }
+
+let table_of_layout graph layout =
+  Array.map
+    (fun id ->
+      {
+        block = id;
+        start = Layout.block_start layout id;
+        size_bytes = Basic_block.size_bytes (Icfg.block graph id);
+      })
+    (Layout.order layout)
+
+let check_table ~base ~code_size table =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let cursor = ref base in
+  Array.iter
+    (fun { block; start; size_bytes } ->
+      if start land (Wp_isa.Instr.size_bytes - 1) <> 0 then
+        add
+          (Finding.v ~code:"WF002" ~block ~addr:start
+             (Format.asprintf "block %d placed at unaligned %a" block Addr.pp
+                start));
+      if start < !cursor then
+        add
+          (Finding.v ~code:"WF003" ~block ~addr:start
+             (Format.asprintf
+                "block %d at %a overlaps the previous block (ends at %a)"
+                block Addr.pp start Addr.pp !cursor))
+      else if start > !cursor then
+        add
+          (Finding.v ~code:"WF004" ~block ~addr:start
+             (Format.asprintf "%d-byte gap before block %d at %a"
+                (start - !cursor) block Addr.pp start));
+      cursor := start + size_bytes)
+    table;
+  let packed = !cursor - base in
+  if packed <> code_size then
+    add
+      (Finding.v ~code:"WF009" ~addr:base
+         (Printf.sprintf "placed blocks span %d B but the layout claims %d B"
+            packed code_size));
+  List.rev !findings
+
+let check_fallthrough graph table =
+  let ends = Hashtbl.create (Array.length table) in
+  Array.iter
+    (fun { block; start; size_bytes } ->
+      Hashtbl.replace ends block (start, start + size_bytes))
+    table;
+  let findings = ref [] in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      match Icfg.fallthrough_succ graph b.id with
+      | None -> ()
+      | Some dst -> (
+          match (Hashtbl.find_opt ends b.id, Hashtbl.find_opt ends dst) with
+          | Some (_, src_end), Some (dst_start, _) when dst_start <> src_end ->
+              findings :=
+                Finding.v ~code:"WF005" ~block:b.id ~addr:src_end
+                  (Format.asprintf
+                     "fallthrough %d->%d: successor placed at %a, not at the \
+                      source's end %a"
+                     b.id dst Addr.pp dst_start Addr.pp src_end)
+                :: !findings
+          | _ -> ()))
+    (Icfg.blocks graph);
+  List.rev !findings
+
+let check_graph graph =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let flow = Flow.compute graph in
+  let reach = Flow.reachable flow in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      if not reach.(b.id) then
+        add
+          (Finding.v ~code:"WF006" ~block:b.id
+             (Printf.sprintf "block %d is unreachable from the entry" b.id)))
+    (Icfg.blocks graph);
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      if Basic_block.terminator b = Wp_isa.Opcode.Call then begin
+        let target = Icfg.call_target graph b.id in
+        let cont = Icfg.fallthrough_succ graph b.id in
+        if target = None || cont = None then
+          add
+            (Finding.v ~code:"WF007" ~block:b.id
+               (Printf.sprintf "call in block %d lacks a %s" b.id
+                  (if target = None then "callee target"
+                   else "continuation block")))
+      end;
+      List.iter
+        (fun (e : Wp_cfg.Edge.t) ->
+          match e.kind with
+          | Fallthrough | Taken ->
+              if (Icfg.block graph e.dst).func <> b.func then
+                add
+                  (Finding.v ~code:"WF012" ~block:b.id
+                     (Printf.sprintf "%s edge %d->%d crosses functions %d->%d"
+                        (Wp_cfg.Edge.kind_to_string e.kind)
+                        b.id e.dst b.func (Icfg.block graph e.dst).func))
+          | Call_to -> ())
+        (Icfg.successors graph b.id))
+    (Icfg.blocks graph);
+  (* Called functions must be able to return, or their continuations
+     are dead and the call site never completes. *)
+  let called = Hashtbl.create 8 in
+  Array.iter
+    (fun (f : Wp_cfg.Func.t) ->
+      Array.iter
+        (fun (b : Basic_block.t) ->
+          match Icfg.call_target graph b.id with
+          | Some target when target = f.entry -> Hashtbl.replace called f.id b.id
+          | _ -> ())
+        (Icfg.blocks graph))
+    (Icfg.funcs graph);
+  Array.iter
+    (fun (f : Wp_cfg.Func.t) ->
+      match Hashtbl.find_opt called f.id with
+      | None -> ()
+      | Some _ ->
+          let returns =
+            List.exists
+              (fun id ->
+                Basic_block.terminator (Icfg.block graph id)
+                = Wp_isa.Opcode.Return)
+              f.blocks
+          in
+          if not returns then
+            add
+              (Finding.v ~code:"WF008" ~block:f.entry
+                 (Printf.sprintf "called function %d (%s) has no return block"
+                    f.id f.name)))
+    (Icfg.funcs graph);
+  List.rev !findings
+
+let check_image graph layout image =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let base = Layout.base layout in
+  let code_size = Layout.code_size_bytes layout in
+  if Bytes.length image <> code_size then
+    add
+      (Finding.v ~code:"WF009" ~addr:base
+         (Printf.sprintf "image is %d B but the layout emits %d B"
+            (Bytes.length image) code_size));
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let n = Basic_block.size_instrs b in
+      let expected_target =
+        match Basic_block.terminator b with
+        | Branch | Jump ->
+            Option.map (Layout.block_start layout) (Icfg.taken_succ graph b.id)
+        | Call ->
+            Option.map (Layout.block_start layout) (Icfg.call_target graph b.id)
+        | _ -> None
+      in
+      for i = 0 to n - 1 do
+        let addr = Layout.instr_addr layout b.id i in
+        if addr >= base && addr + Wp_isa.Instr.size_bytes <= base + Bytes.length image
+        then
+          match Image.decode_at graph layout image addr with
+          | Error msg ->
+              add
+                (Finding.v ~code:"WF011" ~block:b.id ~addr
+                   (Format.asprintf "word at %a does not decode: %s" Addr.pp
+                      addr msg))
+          | Ok (instr, target) ->
+              if not (Wp_isa.Instr.equal instr b.instrs.(i)) then
+                add
+                  (Finding.v ~code:"WF013" ~block:b.id ~addr
+                     (Format.asprintf
+                        "decoded %a at %a but the CFG holds %a" Wp_isa.Instr.pp
+                        instr Addr.pp addr Wp_isa.Instr.pp b.instrs.(i)));
+              if i = n - 1 then (
+                match target with
+                | Some t when t < base || t >= base + code_size ->
+                    add
+                      (Finding.v ~code:"WF001" ~block:b.id ~addr
+                         (Format.asprintf
+                            "transfer at %a targets %a, outside the text \
+                             section [%a, %a)"
+                            Addr.pp addr Addr.pp t Addr.pp base Addr.pp
+                            (base + code_size)))
+                | Some t when t land (Wp_isa.Instr.size_bytes - 1) <> 0 ->
+                    add
+                      (Finding.v ~code:"WF002" ~block:b.id ~addr
+                         (Format.asprintf "transfer at %a targets unaligned %a"
+                            Addr.pp addr Addr.pp t))
+                | target ->
+                    if target <> expected_target then
+                      add
+                        (Finding.v ~code:"WF010" ~block:b.id ~addr
+                           (Format.asprintf
+                              "link field at %a holds %s but the successor is \
+                               placed at %s"
+                              Addr.pp addr
+                              (match target with
+                              | Some t -> Format.asprintf "%a" Addr.pp t
+                              | None -> "no target")
+                              (match expected_target with
+                              | Some t -> Format.asprintf "%a" Addr.pp t
+                              | None -> "no target"))))
+      done)
+    (Icfg.blocks graph);
+  List.rev !findings
+
+let check ?image graph layout =
+  let image =
+    match image with Some i -> i | None -> Image.emit graph layout
+  in
+  let table = table_of_layout graph layout in
+  List.stable_sort Finding.compare
+    (check_graph graph
+    @ check_table ~base:(Layout.base layout)
+        ~code_size:(Layout.code_size_bytes layout)
+        table
+    @ check_fallthrough graph table
+    @ check_image graph layout image)

@@ -1,0 +1,50 @@
+(** Well-formedness lint over an ICFG, a placed layout and the emitted
+    binary image (codes [WF001]–[WF013], see {!Finding.registry}).
+
+    The checks are split so tests can feed hand-crafted {e invalid}
+    inputs that the constructive APIs ({!Wp_layout.Binary_layout.of_order},
+    {!Wp_cfg.Icfg.Builder.finish}) would refuse to build: a placement
+    {!entry} table stands in for a layout, and a patched [bytes] image
+    stands in for {!Wp_layout.Binary_image.emit} output. *)
+
+type entry = {
+  block : Wp_cfg.Basic_block.id;
+  start : Wp_isa.Addr.t;
+  size_bytes : int;
+}
+(** One placed block, in placement order. *)
+
+val table_of_layout :
+  Wp_cfg.Icfg.t -> Wp_layout.Binary_layout.t -> entry array
+
+val check_table :
+  base:Wp_isa.Addr.t -> code_size:int -> entry array -> Finding.t list
+(** Packing invariants: alignment ([WF002]), overlap ([WF003]), gaps
+    ([WF004]), total size ([WF009]). *)
+
+val check_fallthrough : Wp_cfg.Icfg.t -> entry array -> Finding.t list
+(** Every fallthrough edge's destination starts exactly where its
+    source ends ([WF005]). *)
+
+val check_graph : Wp_cfg.Icfg.t -> Finding.t list
+(** Graph-only checks: unreachable blocks ([WF006]), calls without a
+    target or continuation ([WF007]), called functions that never
+    return ([WF008]), cross-function fallthrough/taken edges
+    ([WF012]). *)
+
+val check_image :
+  Wp_cfg.Icfg.t -> Wp_layout.Binary_layout.t -> bytes -> Finding.t list
+(** Decode every instruction word of [image] and compare against the
+    CFG: undecodable words ([WF011]), instruction mismatches ([WF013]),
+    out-of-range transfer targets ([WF001]), targets disagreeing with
+    the successor's placed start — i.e. a stale link field ([WF010]),
+    image length vs. layout code size ([WF009]). *)
+
+val check :
+  ?image:bytes ->
+  Wp_cfg.Icfg.t ->
+  Wp_layout.Binary_layout.t ->
+  Finding.t list
+(** All of the above; [image] defaults to
+    [Wp_layout.Binary_image.emit graph layout].  Findings are sorted
+    most severe first. *)

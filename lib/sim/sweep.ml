@@ -138,7 +138,11 @@ module Pool = struct
     (match batch.failure with Some exn -> raise exn | None -> ());
     Array.to_list
       (Array.map
-         (function Some v -> v | None -> assert false)
+         (function
+           | Some v -> v
+           | None ->
+               invalid_arg
+                 "Sweep.Pool: worker pool drained with an unfilled result slot")
          batch.results)
 end
 

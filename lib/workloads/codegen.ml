@@ -82,7 +82,8 @@ type fn_state = {
 }
 
 let fresh st ~body ~term ~prob =
-  assert (Array.length body > 0);
+  if Array.length body = 0 then
+    invalid_arg "Codegen.fresh: empty block body";
   let idx = st.nblks in
   st.blks <- { body; term } :: st.blks;
   st.probs <- prob :: st.probs;
@@ -418,7 +419,11 @@ let generate spec =
   Array.iteri
     (fun func_id (blks, _) ->
       let fid = Icfg.Builder.add_func builder ~name:(Printf.sprintf "f%d" func_id) in
-      assert (fid = func_id);
+      if fid <> func_id then
+        invalid_arg
+          (Printf.sprintf
+             "Codegen.generate: builder assigned function id %d, expected %d"
+             fid func_id);
       Array.iteri
         (fun local (b : blk) ->
           let gid = Icfg.Builder.add_block builder ~func:func_id b.body in

@@ -1,0 +1,640 @@
+(* Tests for the static verifier: finding registry, well-formedness
+   lint over hand-crafted bad binaries, the placement-contract checker,
+   walker-accurate flow edges, the abstract I-cache must/may analysis
+   and the static-vs-dynamic soundness cross-check. *)
+
+module Isa = Wayplace.Isa
+module Icfg = Wayplace.Cfg.Icfg
+module Edge = Wayplace.Cfg.Edge
+module Binary_layout = Wayplace.Layout.Binary_layout
+module Binary_image = Wayplace.Layout.Binary_image
+module Geometry = Wayplace.Cache.Geometry
+module Simulator = Wayplace.Sim.Simulator
+module Finding = Wayplace.Lint.Finding
+module Wf_lint = Wayplace.Lint.Wf_lint
+module Contract = Wayplace.Lint.Contract
+module Flow = Wayplace.Lint.Flow
+module Abstract_icache = Wayplace.Lint.Abstract_icache
+module Soundness = Wayplace.Lint.Soundness
+module Spec = Wayplace.Workloads.Spec
+module Codegen = Wayplace.Workloads.Codegen
+module Tracer = Wayplace.Workloads.Tracer
+
+let alu = Isa.Instr.alu Isa.Opcode.Add
+let branch = Isa.Instr.branch
+let jump = Isa.Instr.jump
+let call = Isa.Instr.call
+let ret = Isa.Instr.return
+let base = Simulator.code_base
+
+let codes findings = List.map (fun (f : Finding.t) -> f.Finding.code) findings
+
+let count code findings =
+  List.length (List.filter (fun (f : Finding.t) -> f.code = code) findings)
+
+let check_codes name expected findings =
+  Alcotest.(check (list string)) name expected
+    (List.sort compare (codes findings))
+
+(* A spec for hand-built programs; only consulted for fields the
+   simulator needs (no loads/stores in the kernels below). *)
+let dummy_spec name : Spec.t =
+  {
+    name;
+    seed = 1;
+    num_funcs = 1;
+    blocks_per_func_min = 1;
+    blocks_per_func_max = 8;
+    instrs_per_block_min = 1;
+    instrs_per_block_max = 8;
+    max_loop_depth = 1;
+    avg_loop_trips = 4;
+    hot_func_fraction = 1.0;
+    hot_call_bias = 0.5;
+    if_taken_bias = 0.5;
+    mem_ratio = 0.0;
+    mac_ratio = 0.0;
+    data_working_set_bytes = 1024;
+    trace_blocks_large = 100;
+    trace_blocks_small = 50;
+  }
+
+let program_of name graph : Codegen.t =
+  {
+    spec = dummy_spec name;
+    graph;
+    taken_prob = Array.make (Icfg.num_blocks graph) 0.5;
+    hot_funcs = Array.make (Icfg.num_funcs graph) true;
+  }
+
+let original_layout graph = Wayplace.original_layout graph
+
+(* --- Finding registry and exit codes --- *)
+
+let test_registry () =
+  let codes = List.map (fun (c, _, _) -> c) Finding.registry in
+  Alcotest.(check int) "codes unique" (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun c ->
+      match Finding.describe c with
+      | Some d -> Alcotest.(check bool) (c ^ " described") true (d <> "")
+      | None -> Alcotest.failf "%s has no description" c)
+    codes;
+  Alcotest.(check (option string)) "unknown code" None (Finding.describe "XX999")
+
+let test_finding_v_unregistered () =
+  match Finding.v ~code:"XX999" "nope" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_exit_codes () =
+  let warning = Finding.v ~code:"WF006" "w" in
+  let error = Finding.v ~code:"WF003" "e" in
+  let info = Finding.v ~code:"CT004" "i" in
+  Alcotest.(check int) "empty" 0 (Finding.exit_code []);
+  Alcotest.(check int) "info only" 0 (Finding.exit_code [ info ]);
+  Alcotest.(check int) "warning lax" 0 (Finding.exit_code [ warning ]);
+  Alcotest.(check int) "warning strict" 2
+    (Finding.exit_code ~strict:true [ warning; info ]);
+  Alcotest.(check int) "error" 3 (Finding.exit_code [ warning; error ]);
+  Alcotest.(check int) "error strict" 3
+    (Finding.exit_code ~strict:true [ error ])
+
+let test_severity_order () =
+  let w = Finding.v ~code:"WF006" "w" in
+  let e = Finding.v ~code:"WF003" "e" in
+  Alcotest.(check bool) "errors first" true (Finding.compare e w < 0);
+  Alcotest.(check (option string)) "max severity" (Some "error")
+    (Option.map Finding.severity_name (Finding.max_severity [ w; e ]))
+
+(* --- Well-formedness: hand-crafted placement tables --- *)
+
+let entry block start size_bytes : Wf_lint.entry =
+  { block; start; size_bytes }
+
+let test_wf_unaligned () =
+  let findings =
+    Wf_lint.check_table ~base:(base + 1) ~code_size:8 [| entry 0 (base + 1) 8 |]
+  in
+  check_codes "unaligned start" [ "WF002" ] findings
+
+let test_wf_overlap () =
+  let findings =
+    Wf_lint.check_table ~base ~code_size:20
+      [| entry 0 base 16; entry 1 (base + 12) 8 |]
+  in
+  check_codes "overlapping placement" [ "WF003" ] findings
+
+let test_wf_gap () =
+  let findings =
+    Wf_lint.check_table ~base ~code_size:32
+      [| entry 0 base 16; entry 1 (base + 24) 8 |]
+  in
+  check_codes "gap between blocks" [ "WF004" ] findings
+
+let test_wf_size_mismatch () =
+  let findings =
+    Wf_lint.check_table ~base ~code_size:24 [| entry 0 base 16 |]
+  in
+  check_codes "size mismatch" [ "WF009" ] findings
+
+let test_wf_fallthrough_order () =
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let a = Icfg.Builder.add_block b ~func:f0 [| alu |] in
+  let c = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge b ~src:a ~dst:c Edge.Fallthrough;
+  let graph = Icfg.Builder.finish b in
+  let findings =
+    Wf_lint.check_fallthrough graph [| entry a base 4; entry c (base + 12) 4 |]
+  in
+  check_codes "fallthrough not adjacent" [ "WF005" ] findings
+
+(* --- Well-formedness: graph checks --- *)
+
+let test_wf_unreachable () =
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let a = Icfg.Builder.add_block b ~func:f0 [| jump |] in
+  let dead = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge b ~src:a ~dst:a Edge.Taken;
+  let graph = Icfg.Builder.finish b in
+  let findings = Wf_lint.check_graph graph in
+  check_codes "unreachable block" [ "WF006" ] findings;
+  Alcotest.(check (option int)) "points at the dead block" (Some dead)
+    (List.nth findings 0).Finding.block
+
+let test_wf_no_return () =
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let f1 = Icfg.Builder.add_func b ~name:"spin" in
+  let a = Icfg.Builder.add_block b ~func:f0 [| call |] in
+  let c = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  let l = Icfg.Builder.add_block b ~func:f1 [| jump |] in
+  Icfg.Builder.add_edge b ~src:a ~dst:l Edge.Call_to;
+  Icfg.Builder.add_edge b ~src:a ~dst:c Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:l ~dst:l Edge.Taken;
+  let graph = Icfg.Builder.finish b in
+  let findings = Wf_lint.check_graph graph in
+  (* The callee never returns, so the continuation is also dead. *)
+  Alcotest.(check int) "no-return callee" 1 (count "WF008" findings);
+  Alcotest.(check int) "dead continuation" 1 (count "WF006" findings);
+  Alcotest.(check int) "nothing else" 2 (List.length findings)
+
+let test_wf_cross_function_edge () =
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let f1 = Icfg.Builder.add_func b ~name:"other" in
+  let a = Icfg.Builder.add_block b ~func:f0 [| alu |] in
+  let l = Icfg.Builder.add_block b ~func:f1 [| ret |] in
+  Icfg.Builder.add_edge b ~src:a ~dst:l Edge.Fallthrough;
+  let graph = Icfg.Builder.finish b in
+  check_codes "cross-function fallthrough" [ "WF012" ]
+    (Wf_lint.check_graph graph)
+
+(* --- A small thrashing kernel: five blocks, one 16-byte line each.
+
+     a (4 alu) -ft-> b (4 alu) -ft-> d (4 alu) -ft-> e (3 alu, branch)
+     e -taken-> a, e -ft-> f (ret)
+
+   On a 32 B direct-mapped cache with 16 B lines (2 sets), set 0 holds
+   the lines of a, d and f and set 1 those of b and e: every line is
+   evicted before its next use, so every access is a guaranteed miss. *)
+
+let thrash_kernel () =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let a = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let b = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let d = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let e = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; branch |] in
+  let f = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge bld ~src:a ~dst:b Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:b ~dst:d Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:d ~dst:e Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:e ~dst:a Edge.Taken;
+  Icfg.Builder.add_edge bld ~src:e ~dst:f Edge.Fallthrough;
+  let graph = Icfg.Builder.finish bld in
+  (graph, original_layout graph, (a, b, d, e, f))
+
+let thrash_geometry = Geometry.make ~size_bytes:32 ~assoc:1 ~line_bytes:16
+
+(* Two loop passes, an exit, one restart and a final pass:
+   every adjacent pair is a walker edge of the kernel. *)
+let thrash_trace (a, b, d, e, f) : Tracer.trace =
+  { blocks = [| a; b; d; e; a; b; d; e; f; a; b; d; e; f |];
+    dynamic_instrs = 50;
+    restarts = 1 }
+
+let test_wf_clean_kernel () =
+  let graph, layout, _ = thrash_kernel () in
+  Alcotest.(check (list string)) "no findings" []
+    (codes (Wf_lint.check graph layout))
+
+(* --- Well-formedness: patched binary images --- *)
+
+let patched_image graph layout ~offset word =
+  let image = Binary_image.emit graph layout in
+  Bytes.set_int32_le image offset word;
+  image
+
+(* e's branch is the 16th instruction word (offset 0x3c). *)
+let branch_offset = 0x3c
+
+let test_wf_stale_link_field () =
+  let graph, layout, _ = thrash_kernel () in
+  let word =
+    Isa.Encode.instruction_word branch ~pc:(base + branch_offset)
+      ~target:(Some (base + 4))
+  in
+  let image = patched_image graph layout ~offset:branch_offset word in
+  check_codes "stale link field" [ "WF010" ]
+    (Wf_lint.check_image graph layout image)
+
+let test_wf_target_out_of_range () =
+  let graph, layout, _ = thrash_kernel () in
+  let word =
+    Isa.Encode.instruction_word branch ~pc:(base + branch_offset)
+      ~target:(Some (base + 0x8000))
+  in
+  let image = patched_image graph layout ~offset:branch_offset word in
+  check_codes "out-of-range branch" [ "WF001" ]
+    (Wf_lint.check_image graph layout image)
+
+let test_wf_undecodable () =
+  let graph, layout, _ = thrash_kernel () in
+  let image = patched_image graph layout ~offset:0 0xFC000000l in
+  check_codes "undecodable word" [ "WF011" ]
+    (Wf_lint.check_image graph layout image)
+
+let test_wf_instr_mismatch () =
+  let graph, layout, _ = thrash_kernel () in
+  let word = Isa.Encode.instruction_word Isa.Instr.mac ~pc:base ~target:None in
+  let image = patched_image graph layout ~offset:0 word in
+  check_codes "image disagrees with CFG" [ "WF013" ]
+    (Wf_lint.check_image graph layout image)
+
+(* --- Placement contract --- *)
+
+let xscale_icache = (Wayplace.Sim.Config.xscale Wayplace.Sim.Config.Baseline).icache
+
+let params geometry ~page ~area : Contract.params =
+  { geometry; page_bytes = page; area_bytes = area; code_base = base }
+
+let test_ct_clean () =
+  let graph, layout, _ = thrash_kernel () in
+  Alcotest.(check (list string)) "no findings" []
+    (codes (Contract.check graph layout (params xscale_icache ~page:1024 ~area:2048)))
+
+let test_ct_area_not_page_multiple () =
+  let graph, layout, _ = thrash_kernel () in
+  check_codes "area not a page multiple" [ "CT001" ]
+    (Contract.check graph layout (params xscale_icache ~page:1024 ~area:1536))
+
+let test_ct_stale_tlb_bit () =
+  (* An 8 B page with 16 B lines puts the WP-bit flip mid-line: the
+     line at 0x10010 has pages with disagreeing WP bits, and block b
+     straddles the boundary. *)
+  let graph, layout, _ = thrash_kernel () in
+  let findings =
+    Contract.check graph layout (params thrash_geometry ~page:8 ~area:24)
+  in
+  Alcotest.(check int) "line spans the WP boundary" 1 (count "CT002" findings);
+  Alcotest.(check int) "block straddles the boundary" 1 (count "CT003" findings);
+  Alcotest.(check int) "nothing else" 2 (List.length findings)
+
+let single_loop_block_graph n_instrs =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let body = Array.append (Array.make (n_instrs - 1) alu) [| jump |] in
+  let a = Icfg.Builder.add_block bld ~func:f0 body in
+  Icfg.Builder.add_edge bld ~src:a ~dst:a Edge.Taken;
+  Icfg.Builder.finish bld
+
+let test_ct_block_spans_ways () =
+  (* 32 B / 2-way / 16 B lines: the way span is 16 B, so a 32 B block
+     inside the area necessarily spans two designated ways. *)
+  let graph = single_loop_block_graph 8 in
+  let layout = original_layout graph in
+  let geometry = Geometry.make ~size_bytes:32 ~assoc:2 ~line_bytes:16 in
+  check_codes "block split across ways" [ "CT004" ]
+    (Contract.check graph layout (params geometry ~page:8 ~area:32))
+
+let test_ct_slot_competition () =
+  (* Three lines in a 2-way area: tags 0x1000, 0x1001, 0x1002 designate
+     ways 0, 1, 0 — two area lines compete for (set 0, way 0). *)
+  let graph = single_loop_block_graph 12 in
+  let layout = original_layout graph in
+  let geometry = Geometry.make ~size_bytes:32 ~assoc:2 ~line_bytes:16 in
+  let findings = Contract.check graph layout (params geometry ~page:16 ~area:48) in
+  Alcotest.(check int) "slot competition" 1 (count "CT005" findings);
+  Alcotest.(check int) "spanning block (info)" 1 (count "CT004" findings);
+  Alcotest.(check int) "nothing else" 2 (List.length findings)
+
+let test_ct_base_mismatch () =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let a = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  ignore a;
+  let graph = Icfg.Builder.finish bld in
+  let layout =
+    Binary_layout.of_order graph ~base:0x20000 [| 0 |]
+  in
+  check_codes "layout base off contract" [ "CT006" ]
+    (Contract.check graph layout (params xscale_icache ~page:1024 ~area:1024))
+
+let test_ct_bad_page_size () =
+  let graph, layout, _ = thrash_kernel () in
+  check_codes "page size not a power of two" [ "CT007" ]
+    (Contract.check graph layout (params xscale_icache ~page:1000 ~area:2000))
+
+(* --- Flow: return and restart edges --- *)
+
+let test_flow_edges () =
+  (* Same two-function shape as the layout tests:
+     b0 -ft-> b1 call(f1) -ft-> b2 branch(taken b4) -ft-> b3 ret; b4 ret
+     f1: b5 -ft-> b6 ret *)
+  let b = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func b ~name:"main" in
+  let f1 = Icfg.Builder.add_func b ~name:"callee" in
+  let b0 = Icfg.Builder.add_block b ~func:f0 [| alu; alu |] in
+  let b1 = Icfg.Builder.add_block b ~func:f0 [| call |] in
+  let b2 = Icfg.Builder.add_block b ~func:f0 [| branch |] in
+  let b3 = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  let b4 = Icfg.Builder.add_block b ~func:f0 [| ret |] in
+  let b5 = Icfg.Builder.add_block b ~func:f1 [| alu |] in
+  let b6 = Icfg.Builder.add_block b ~func:f1 [| ret |] in
+  Icfg.Builder.add_edge b ~src:b0 ~dst:b1 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b5 Edge.Call_to;
+  Icfg.Builder.add_edge b ~src:b1 ~dst:b2 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b4 Edge.Taken;
+  Icfg.Builder.add_edge b ~src:b2 ~dst:b3 Edge.Fallthrough;
+  Icfg.Builder.add_edge b ~src:b5 ~dst:b6 Edge.Fallthrough;
+  let graph = Icfg.Builder.finish b in
+  let flow = Flow.compute graph in
+  let succ_pairs id =
+    List.sort compare
+      (List.map
+         (fun (s : Flow.succ) -> (s.dst, Flow.kind_to_string s.kind))
+         (Flow.successors flow id))
+  in
+  Alcotest.(check (list (pair int string)))
+    "call goes to the callee only"
+    [ (b5, "call") ]
+    (succ_pairs b1);
+  Alcotest.(check (list (pair int string)))
+    "callee return resumes at the continuation"
+    [ (b2, "return") ]
+    (succ_pairs b6);
+  Alcotest.(check (list (pair int string)))
+    "entry-function return restarts the program"
+    [ (b0, "restart") ]
+    (succ_pairs b3);
+  Alcotest.(check (list bool)) "all blocks reachable"
+    [ true; true; true; true; true; true; true ]
+    (Array.to_list (Flow.reachable flow))
+
+(* --- Abstract I-cache analysis --- *)
+
+let test_abstract_must_miss () =
+  let graph, layout, (a, b, d, e, f) = thrash_kernel () in
+  let t =
+    Abstract_icache.analyze ~graph ~layout ~geometry:thrash_geometry ()
+  in
+  let cls id = Abstract_icache.classify t ~block:id ~instr:0 in
+  List.iter
+    (fun id ->
+      Alcotest.(check string)
+        (Printf.sprintf "B%d site 0" id)
+        "must-miss"
+        (Abstract_icache.classification_name (cls id)))
+    [ a; b; d; e; f ];
+  Alcotest.(check string) "mid-line fetch elided" "elided"
+    (Abstract_icache.classification_name
+       (Abstract_icache.classify t ~block:a ~instr:1));
+  let s = Abstract_icache.summary t in
+  Alcotest.(check int) "blocks" 5 s.blocks;
+  Alcotest.(check int) "reachable" 5 s.reachable_blocks;
+  Alcotest.(check int) "sites" 5 s.sites;
+  Alcotest.(check int) "must-miss sites" 5 s.must_miss;
+  Alcotest.(check int) "must-hit sites" 0 s.must_hit;
+  Alcotest.(check int) "unknown sites" 0 s.unknown
+
+let test_abstract_no_elision () =
+  let graph, layout, (a, _, _, _, _) = thrash_kernel () in
+  let t =
+    Abstract_icache.analyze ~elision:false ~graph ~layout
+      ~geometry:thrash_geometry ()
+  in
+  (* Without elision a mid-line fetch re-accesses its just-filled
+     line: a guaranteed hit. *)
+  Alcotest.(check string) "mid-line fetch hits" "must-hit"
+    (Abstract_icache.classification_name
+       (Abstract_icache.classify t ~block:a ~instr:1))
+
+let test_abstract_loop_pressure () =
+  let graph, layout, (a, _, _, _, _) = thrash_kernel () in
+  let t =
+    Abstract_icache.analyze ~graph ~layout ~geometry:thrash_geometry ()
+  in
+  match Abstract_icache.loop_pressures t with
+  | [ l ] ->
+      Alcotest.(check int) "header" a l.header;
+      Alcotest.(check int) "loop blocks" 4 l.loop_blocks;
+      Alcotest.(check int) "distinct lines" 4 l.distinct_lines;
+      Alcotest.(check int) "max set pressure" 2 l.max_set_pressure;
+      Alcotest.(check bool) "does not fit one way" false l.fits
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+(* --- A guaranteed-hit kernel: two 16 B lines on a 4-way cache.
+
+     p (2 alu) -ft-> a (2 alu) -ft-> b (alu, branch); b -taken-> a,
+     b -ft-> c (ret)
+
+   p and a share the line at 0x10000, b and c the line at 0x10010.
+   The p->a fetch is elided (same line), so the only access to a's
+   site comes from the b->a back edge — by then the line is resident:
+   a is a static guaranteed hit.  c's only incoming edge elides. *)
+
+let hit_kernel () =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let p = Icfg.Builder.add_block bld ~func:f0 [| alu; alu |] in
+  let a = Icfg.Builder.add_block bld ~func:f0 [| alu; alu |] in
+  let b = Icfg.Builder.add_block bld ~func:f0 [| alu; branch |] in
+  let c = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge bld ~src:p ~dst:a Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:a ~dst:b Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:b ~dst:a Edge.Taken;
+  Icfg.Builder.add_edge bld ~src:b ~dst:c Edge.Fallthrough;
+  let graph = Icfg.Builder.finish bld in
+  (graph, original_layout graph, (p, a, b, c))
+
+let hit_geometry = Geometry.make ~size_bytes:128 ~assoc:4 ~line_bytes:16
+
+let hit_trace (p, a, b, c) : Tracer.trace =
+  { blocks = [| p; a; b; a; b; c; p; a; b; c |];
+    dynamic_instrs = 18;
+    restarts = 1 }
+
+let test_abstract_must_hit () =
+  let graph, layout, (p, a, b, c) = hit_kernel () in
+  let t = Abstract_icache.analyze ~graph ~layout ~geometry:hit_geometry () in
+  let name id =
+    Abstract_icache.classification_name
+      (Abstract_icache.classify t ~block:id ~instr:0)
+  in
+  Alcotest.(check string) "back-edge target is a guaranteed hit" "must-hit"
+    (name a);
+  Alcotest.(check string) "entry is unknown (cold start vs restart)" "unknown"
+    (name p);
+  Alcotest.(check string) "loop body head is unknown (first trip misses)"
+    "unknown" (name b);
+  Alcotest.(check string) "every edge into c elides" "elided" (name c);
+  let s = Abstract_icache.summary t in
+  Alcotest.(check int) "sites" 3 s.sites;
+  Alcotest.(check int) "must-hit sites" 1 s.must_hit;
+  Alcotest.(check int) "must-miss sites" 0 s.must_miss;
+  match Abstract_icache.loop_pressures t with
+  | [ l ] ->
+      Alcotest.(check int) "loop fits header" a l.header;
+      Alcotest.(check int) "two lines" 2 l.distinct_lines;
+      Alcotest.(check int) "one line per set" 1 l.max_set_pressure;
+      Alcotest.(check bool) "fits" true l.fits
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+let test_abstract_unreachable () =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let a = Icfg.Builder.add_block bld ~func:f0 [| jump |] in
+  let dead = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge bld ~src:a ~dst:a Edge.Taken;
+  let graph = Icfg.Builder.finish bld in
+  let layout = original_layout graph in
+  let t = Abstract_icache.analyze ~graph ~layout ~geometry:thrash_geometry () in
+  Alcotest.(check string) "dead block" "unreachable"
+    (Abstract_icache.classification_name
+       (Abstract_icache.classify t ~block:dead ~instr:0));
+  Alcotest.(check int) "reachable count" 1
+    (Abstract_icache.summary t).reachable_blocks
+
+(* --- Soundness cross-check --- *)
+
+let test_soundness_thrash () =
+  let graph, layout, ids = thrash_kernel () in
+  let program = program_of "thrash" graph in
+  let r =
+    Soundness.check ~geometry:thrash_geometry ~program ~layout
+      ~trace:(thrash_trace ids) ()
+  in
+  Alcotest.(check (list string)) "sound" [] r.violations;
+  Alcotest.(check int) "fetches" 50 r.counts.fetches;
+  Alcotest.(check int) "accesses" 14 r.counts.accesses;
+  Alcotest.(check int) "elided" 36 r.counts.elided;
+  Alcotest.(check int) "all accesses must-miss" 14 r.counts.must_miss_accesses;
+  Alcotest.(check int) "hits" 0 r.counts.hits;
+  Alcotest.(check int) "misses" 14 r.counts.misses;
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (Soundness.coverage r.counts)
+
+let test_soundness_must_hit () =
+  let graph, layout, ids = hit_kernel () in
+  let program = program_of "hit" graph in
+  let r =
+    Soundness.check ~geometry:hit_geometry ~program ~layout
+      ~trace:(hit_trace ids) ()
+  in
+  Alcotest.(check (list string)) "sound" [] r.violations;
+  Alcotest.(check int) "fetches" 18 r.counts.fetches;
+  Alcotest.(check int) "accesses" 6 r.counts.accesses;
+  Alcotest.(check int) "elided" 12 r.counts.elided;
+  Alcotest.(check int) "must-hit accesses" 1 r.counts.must_hit_accesses;
+  Alcotest.(check int) "unknown accesses" 5 r.counts.unknown_accesses;
+  Alcotest.(check int) "hits" 4 r.counts.hits;
+  Alcotest.(check int) "misses" 2 r.counts.misses
+
+let test_soundness_mibench () =
+  (* End-to-end on a real generated workload: profile-guided layout,
+     evaluation trace, XScale default geometry. *)
+  let program = Codegen.generate (Wayplace.Workloads.Mibench.find "crc") in
+  let trace, profile =
+    Tracer.trace_and_profile program Tracer.Large
+  in
+  let compiled = Wayplace.compile program.graph profile in
+  let r =
+    Soundness.check ~program ~layout:compiled.Wayplace.layout ~trace ()
+  in
+  Alcotest.(check (list string)) "sound on crc" [] r.violations;
+  Alcotest.(check bool) "classified something" true
+    (r.counts.must_hit_accesses > 0)
+
+let test_coverage_empty () =
+  let c : Soundness.counts =
+    {
+      fetches = 0;
+      elided = 0;
+      accesses = 0;
+      must_hit_accesses = 0;
+      must_miss_accesses = 0;
+      unknown_accesses = 0;
+      hits = 0;
+      misses = 0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "no accesses" 0.0 (Soundness.coverage c)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "finding",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "unregistered code" `Quick test_finding_v_unregistered;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "severity order" `Quick test_severity_order;
+        ] );
+      ( "wf_lint",
+        [
+          Alcotest.test_case "unaligned" `Quick test_wf_unaligned;
+          Alcotest.test_case "overlap" `Quick test_wf_overlap;
+          Alcotest.test_case "gap" `Quick test_wf_gap;
+          Alcotest.test_case "size mismatch" `Quick test_wf_size_mismatch;
+          Alcotest.test_case "fallthrough order" `Quick test_wf_fallthrough_order;
+          Alcotest.test_case "unreachable" `Quick test_wf_unreachable;
+          Alcotest.test_case "no-return callee" `Quick test_wf_no_return;
+          Alcotest.test_case "cross-function edge" `Quick test_wf_cross_function_edge;
+          Alcotest.test_case "clean kernel" `Quick test_wf_clean_kernel;
+          Alcotest.test_case "stale link field" `Quick test_wf_stale_link_field;
+          Alcotest.test_case "target out of range" `Quick test_wf_target_out_of_range;
+          Alcotest.test_case "undecodable word" `Quick test_wf_undecodable;
+          Alcotest.test_case "instr mismatch" `Quick test_wf_instr_mismatch;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "clean" `Quick test_ct_clean;
+          Alcotest.test_case "area not page multiple" `Quick test_ct_area_not_page_multiple;
+          Alcotest.test_case "stale TLB bit" `Quick test_ct_stale_tlb_bit;
+          Alcotest.test_case "block spans ways" `Quick test_ct_block_spans_ways;
+          Alcotest.test_case "slot competition" `Quick test_ct_slot_competition;
+          Alcotest.test_case "base mismatch" `Quick test_ct_base_mismatch;
+          Alcotest.test_case "bad page size" `Quick test_ct_bad_page_size;
+        ] );
+      ( "flow",
+        [ Alcotest.test_case "return and restart edges" `Quick test_flow_edges ] );
+      ( "abstract_icache",
+        [
+          Alcotest.test_case "must-miss kernel" `Quick test_abstract_must_miss;
+          Alcotest.test_case "no elision" `Quick test_abstract_no_elision;
+          Alcotest.test_case "loop pressure" `Quick test_abstract_loop_pressure;
+          Alcotest.test_case "must-hit kernel" `Quick test_abstract_must_hit;
+          Alcotest.test_case "unreachable" `Quick test_abstract_unreachable;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "thrash kernel" `Quick test_soundness_thrash;
+          Alcotest.test_case "must-hit kernel" `Quick test_soundness_must_hit;
+          Alcotest.test_case "mibench crc" `Quick test_soundness_mibench;
+          Alcotest.test_case "empty coverage" `Quick test_coverage_empty;
+        ] );
+    ]
