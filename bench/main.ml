@@ -529,6 +529,229 @@ let csv () =
        fig6_sizes)
 
 (* ------------------------------------------------------------------ *)
+(* perf: simulator throughput per workload x scheme, with optional     *)
+(* machine-readable JSON (BENCH_sim.json) so the trajectory is         *)
+(* tracked PR-over-PR.  Runs are timed sequentially on one domain for  *)
+(* stable numbers; --repeat N reports the median of N runs.            *)
+
+let perf_json = ref None
+let perf_repeat = ref 3
+let perf_benchmarks = ref None
+let perf_reference = ref false
+
+let perf_schemes =
+  [
+    Config.Baseline;
+    wp 16;
+    Config.Way_memoization;
+    Config.Way_prediction;
+    Config.Filter_cache { l0_bytes = 512 };
+  ]
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "median: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let nth i = List.nth sorted i in
+      if n mod 2 = 1 then nth (n / 2)
+      else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+type perf_row = {
+  pr_benchmark : string;
+  pr_scheme : string;
+  pr_path : string;  (** "fast" or "reference" *)
+  pr_instrs : int;
+  pr_wall_s : float;
+}
+
+let pr_ips r = float_of_int r.pr_instrs /. r.pr_wall_s
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let stats = f () in
+  (Unix.gettimeofday () -. t0, stats)
+
+let perf_rows () =
+  let benchmarks =
+    match !perf_benchmarks with None -> suite | Some names -> names
+  in
+  let repeat = max 1 !perf_repeat in
+  List.concat_map
+    (fun name ->
+      let prepared = Runner.prepare (Mibench.find name) in
+      List.concat_map
+        (fun scheme ->
+          let config = Config.xscale scheme in
+          let one pr_path run =
+            let samples = List.init repeat (fun _ -> time_run run) in
+            let _, stats = List.hd samples in
+            {
+              pr_benchmark = name;
+              pr_scheme = Config.scheme_name scheme;
+              pr_path;
+              pr_instrs = stats.Stats.retired_instrs;
+              pr_wall_s = median (List.map fst samples);
+            }
+          in
+          let fast = one "fast" (fun () -> Runner.run_scheme prepared config) in
+          if not !perf_reference then [ fast ]
+          else
+            [
+              fast;
+              one "reference" (fun () ->
+                  Simulator.run_reference ~config ~program:prepared.Runner.program
+                    ~layout:(Runner.layout_for prepared config)
+                    ~trace:prepared.Runner.trace_large);
+            ])
+        perf_schemes)
+    benchmarks
+
+let write_perf_json path rows =
+  let esc = Wayplace.Sim.Report.json_escape in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema\": \"wayplace-bench-sim/1\",\n";
+      Printf.fprintf oc "  \"generated_by\": \"bench/main.exe perf\",\n";
+      Printf.fprintf oc
+        "  \"host\": {\"hostname\": \"%s\", \"os\": \"%s\", \
+         \"recommended_domains\": %d, \"timing_domains\": 1},\n"
+        (esc (Unix.gethostname ()))
+        (esc Sys.os_type)
+        (Domain.recommended_domain_count ());
+      Printf.fprintf oc "  \"repeat\": %d,\n" (max 1 !perf_repeat);
+      Printf.fprintf oc "  \"results\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"benchmark\": \"%s\", \"scheme\": \"%s\", \"path\": \
+             \"%s\", \"instrs\": %d, \"wall_s\": %.6f, \"instrs_per_sec\": \
+             %.6g}%s\n"
+            (esc r.pr_benchmark) (esc r.pr_scheme) (esc r.pr_path) r.pr_instrs
+            r.pr_wall_s (pr_ips r)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "  wrote %s\n%!" path
+
+let perf () =
+  header
+    (Printf.sprintf
+       "Simulator throughput (sequential, median of %d run%s)"
+       (max 1 !perf_repeat)
+       (if max 1 !perf_repeat = 1 then "" else "s"));
+  let rows = perf_rows () in
+  Printf.printf "%-12s %-22s %-10s %12s %10s %14s\n" "benchmark" "scheme"
+    "path" "instrs" "wall s" "instrs/sec";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %-22s %-10s %12d %10.4f %14.4g\n" r.pr_benchmark
+        r.pr_scheme r.pr_path r.pr_instrs r.pr_wall_s (pr_ips r))
+    rows;
+  let total_instrs =
+    List.fold_left (fun acc r -> acc + r.pr_instrs) 0
+      (List.filter (fun r -> r.pr_path = "fast") rows)
+  and total_wall =
+    List.fold_left (fun acc r -> acc +. r.pr_wall_s) 0.0
+      (List.filter (fun r -> r.pr_path = "fast") rows)
+  in
+  if total_wall > 0.0 then
+    Printf.printf "%-12s %-22s %-10s %12d %10.4f %14.4g\n" "suite" "(all)"
+      "fast" total_instrs total_wall
+      (float_of_int total_instrs /. total_wall);
+  (match !perf_json with None -> () | Some path -> write_perf_json path rows);
+  Printf.printf "%!"
+
+(* Soft comparison of two perf JSON files (CI: warn, don't fail).
+   Parses only the line-oriented format [write_perf_json] emits. *)
+
+let parse_perf_file path =
+  let ic = open_in path in
+  let rows = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          let field key =
+            (* "key": <stringvalue|number> *)
+            let pat = Printf.sprintf "\"%s\": " key in
+            match
+              String.index_opt line '{' (* results lines only *)
+            with
+            | None -> None
+            | Some _ ->
+                let plen = String.length pat in
+                let rec find i =
+                  if i + plen > String.length line then None
+                  else if String.sub line i plen = pat then Some (i + plen)
+                  else find (i + 1)
+                in
+                Option.map
+                  (fun start ->
+                    let stop = ref start in
+                    while
+                      !stop < String.length line
+                      && not (List.mem line.[!stop] [ ','; '}' ])
+                    do
+                      incr stop
+                    done;
+                    String.trim (String.sub line start (!stop - start)))
+                  (find 0)
+          in
+          let unquote s =
+            let s = String.trim s in
+            if String.length s >= 2 && s.[0] = '"' then
+              String.sub s 1 (String.length s - 2)
+            else s
+          in
+          match (field "benchmark", field "scheme", field "path",
+                 field "instrs_per_sec")
+          with
+          | Some b, Some s, Some p, Some ips ->
+              rows :=
+                ((unquote b, unquote s, unquote p), float_of_string ips)
+                :: !rows
+          | _ -> ()
+        done
+      with End_of_file -> ());
+  List.rev !rows
+
+let perf_compare baseline_path new_path =
+  let baseline = parse_perf_file baseline_path in
+  let fresh = parse_perf_file new_path in
+  let regressions = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (key, new_ips) ->
+      match List.assoc_opt key baseline with
+      | None -> ()
+      | Some old_ips when old_ips <= 0.0 -> ()
+      | Some old_ips ->
+          incr compared;
+          let ratio = new_ips /. old_ips in
+          let b, s, p = key in
+          if ratio < 0.70 then begin
+            incr regressions;
+            Printf.printf
+              "::warning::perf regression %s x %s (%s): %.3g -> %.3g \
+               instrs/sec (%.0f%%)\n"
+              b s p old_ips new_ips (100.0 *. ratio)
+          end
+          else
+            Printf.printf "ok %s x %s (%s): %.3g -> %.3g (%.0f%%)\n" b s p
+              old_ips new_ips (100.0 *. ratio))
+    fresh;
+  Printf.printf
+    "[perf-compare] %d rows compared, %d regression%s beyond 30%% (soft: \
+     never fails the build)\n%!"
+    !compared !regressions
+    (if !regressions = 1 then "" else "s")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core data structures.              *)
 
 let micro () =
@@ -619,13 +842,25 @@ let experiments =
     ("ext-drowsy", ext_drowsy_jobs, ext_drowsy);
     ("csv", csv_jobs, csv);
     ("micro", no_jobs, micro);
+    ("perf", no_jobs, perf);
   ]
+
+(* perf times fresh sequential runs, so it is opt-in rather than part
+   of the default "run everything" set. *)
+let default_experiments =
+  List.filter (fun (id, _, _) -> id <> "perf") experiments
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [-j N] [EXPERIMENT...]\n\
-     \  -j, --jobs N   simulate on N worker domains (default %d; 1 = sequential)\n\
-     \  list           print the experiment ids and exit\n"
+     \  -j, --jobs N     simulate on N worker domains (default %d; 1 = sequential)\n\
+     \  list             print the experiment ids and exit\n\
+     perf options (experiment 'perf' is opt-in, excluded from the default set):\n\
+     \  --json PATH      write machine-readable results (BENCH_sim.json)\n\
+     \  --repeat N       median of N timed runs per cell (default 3)\n\
+     \  --bench A,B,..   restrict perf to these workloads (default: full suite)\n\
+     \  --ref            also time the per-instruction reference path\n\
+     perf-compare OLD NEW  soft-compare two perf JSON files (warn >30%% slower)\n"
     (Sweep.default_workers ())
 
 let () =
@@ -645,6 +880,45 @@ let () =
         Printf.eprintf "-j needs a worker count\n";
         usage ();
         exit 1
+    | "--json" :: path :: rest ->
+        perf_json := Some path;
+        parse ids rest
+    | "--repeat" :: v :: rest -> begin
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            perf_repeat := n;
+            parse ids rest
+        | Some _ | None ->
+            Printf.eprintf "bad repeat count %S\n" v;
+            usage ();
+            exit 1
+      end
+    | "--bench" :: v :: rest ->
+        let names = String.split_on_char ',' v in
+        List.iter
+          (fun n ->
+            if not (List.mem n suite) then begin
+              Printf.eprintf "unknown benchmark %S (known: %s)\n" n
+                (String.concat ", " suite);
+              exit 1
+            end)
+          names;
+        perf_benchmarks := Some names;
+        parse ids rest
+    | "--ref" :: rest ->
+        perf_reference := true;
+        parse ids rest
+    | [ ("--json" | "--repeat" | "--bench") as flag ] ->
+        Printf.eprintf "%s needs an argument\n" flag;
+        usage ();
+        exit 1
+    | "perf-compare" :: old_path :: new_path :: _ ->
+        perf_compare old_path new_path;
+        exit 0
+    | "perf-compare" :: _ ->
+        Printf.eprintf "perf-compare needs OLD and NEW json paths\n";
+        usage ();
+        exit 1
     | ("-h" | "--help") :: _ ->
         usage ();
         exit 0
@@ -655,7 +929,7 @@ let () =
   in
   let requested =
     match parse [] (List.tl (Array.to_list Sys.argv)) with
-    | [] -> List.map (fun (id, _, _) -> id) experiments
+    | [] -> List.map (fun (id, _, _) -> id) default_experiments
     | ids -> ids
   in
   let lookup id =

@@ -38,10 +38,39 @@ val lookup_full : t -> Wp_isa.Addr.t -> outcome
 (** Normal access: search every way of the address's set
     ([assoc] comparisons, [assoc] precharges). *)
 
+val lookup_full_way : t -> Wp_isa.Addr.t -> int
+(** Allocation-free twin of {!lookup_full} for the per-fetch simulator
+    paths: identical cache-state and probe effects, but returns just
+    the hit way ([-1] on a miss).  [tag_comparisons] and
+    [ways_precharged] are implied (both [assoc]). *)
+
+val lookup_line_run : t -> Wp_isa.Addr.t -> n:int -> outcome
+(** [n] back-to-back {!lookup_full} accesses to one {e already
+    resident} line, charged in a single call: the outcome aggregates
+    the run ([tag_comparisons] and [ways_precharged] are [n * assoc]),
+    [n] [Tag_search] probe events are emitted, and the replacement
+    state is left exactly as [n] successive [lookup_full] calls would
+    leave it.  The batched fetch path uses this for same-line streaks
+    when tag elision is disabled.
+    @raise Invalid_argument if [n <= 0] or the line is not resident. *)
+
+val lookup_line_run_way : t -> Wp_isa.Addr.t -> n:int -> int
+(** Allocation-free twin of {!lookup_line_run}: identical cache-state
+    and probe effects, returns just the resident way
+    ([tag_comparisons] and [ways_precharged] are implied, [n * assoc]
+    each).
+    @raise Invalid_argument if [n <= 0] or the line is not resident. *)
+
 val lookup_way : t -> Wp_isa.Addr.t -> way:int -> outcome
 (** Way-placement access: probe a single way (1 comparison,
     1 precharge).  A line resident in a {e different} way is
     deliberately not found — mirroring the hardware. *)
+
+val lookup_way_hit : t -> Wp_isa.Addr.t -> way:int -> bool
+(** Allocation-free twin of {!lookup_way}: identical cache-state and
+    probe effects, returns just the hit bit (1 comparison and
+    1 precharge are implied).
+    @raise Invalid_argument if [way] is out of range. *)
 
 val fill : t -> Wp_isa.Addr.t -> fill_policy -> int * eviction option
 (** Install the line for [addr]; returns the way used and the evicted
@@ -49,8 +78,18 @@ val fill : t -> Wp_isa.Addr.t -> fill_policy -> int * eviction option
     no-op returning its way (no eviction).
     @raise Invalid_argument if a forced way is out of range. *)
 
+val fill_absent : t -> Wp_isa.Addr.t -> fill_policy -> int * eviction option
+(** {!fill} for a line the caller has just observed to miss: skips the
+    redundant residence scan.  Behaviour is identical to [fill] {e only
+    when the line is absent} — the miss-path callers invoke it directly
+    after a failed lookup, with no intervening cache operation. *)
+
 val probe : t -> Wp_isa.Addr.t -> int option
 (** Side-effect-free residence check (for tests and assertions). *)
+
+val resident_way : t -> Wp_isa.Addr.t -> int
+(** {!probe} without the option: the resident way, or [-1].  For
+    assertions on per-fetch paths where the option would allocate. *)
 
 val invalidate : t -> set:int -> way:int -> unit
 val flush : t -> unit

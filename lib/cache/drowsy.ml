@@ -28,8 +28,11 @@ let note_access t ~now ~set ~way =
     if last < 0 then true (* first touch: the line was asleep *)
     else begin
       let gap = now - last in
-      (* The line stayed awake for min(gap, window) of the gap. *)
-      t.accounted_awake <- t.accounted_awake +. float_of_int (min gap t.window);
+      (* The line stayed awake for min(gap, window) of the gap — int
+         comparison, not Stdlib.min (polymorphic compare) on this
+         per-access path. *)
+      let awake = if gap < t.window then gap else t.window in
+      t.accounted_awake <- t.accounted_awake +. float_of_int awake;
       gap > t.window
     end
   in
@@ -43,7 +46,10 @@ let awake_line_ticks t ~now =
   let tail = ref 0.0 in
   Array.iter
     (fun last ->
-      if last >= 0 then tail := !tail +. float_of_int (min (now - last) t.window))
+      if last >= 0 then begin
+        let gap = now - last in
+        tail := !tail +. float_of_int (if gap < t.window then gap else t.window)
+      end)
     t.last_access;
   t.accounted_awake +. !tail
 

@@ -21,7 +21,7 @@ let access t addr =
   if outcome.Cam_cache.hit then
     { l0_hit = true; l0_tag_comparisons = 1; penalty_cycles = 0 }
   else begin
-    ignore (Cam_cache.fill t.l0 addr Cam_cache.Victim_by_policy);
+    ignore (Cam_cache.fill_absent t.l0 addr Cam_cache.Victim_by_policy);
     { l0_hit = false; l0_tag_comparisons = 1; penalty_cycles = 1 }
   end
 

@@ -1,4 +1,19 @@
-type t = { size_bytes : int; assoc : int; line_bytes : int }
+type t = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+  (* Derived address-split constants, cached by [make]: the per-access
+     helpers below run on every simulated fetch and data reference, so
+     they must be shift/mask on precomputed fields, not log2/division
+     recomputed per call. *)
+  cached_sets : int;
+  cached_offset_bits : int;
+  cached_set_bits : int;
+  cached_set_mask : int;  (** [cached_sets - 1] *)
+  cached_tag_shift : int;  (** [offset_bits + set_bits] *)
+  cached_line_mask : int;  (** [lnot (line_bytes - 1)] *)
+  cached_instr_shift : int;  (** [log2 Instr.size_bytes] *)
+}
 
 let address_bits = 32
 
@@ -10,21 +25,35 @@ let make ~size_bytes ~assoc ~line_bytes =
     invalid_arg "Geometry.make: line smaller than one instruction";
   if size_bytes < assoc * line_bytes then
     invalid_arg "Geometry.make: fewer lines than ways";
-  { size_bytes; assoc; line_bytes }
+  let cached_sets = size_bytes / (assoc * line_bytes) in
+  let cached_offset_bits = Wp_isa.Addr.log2 line_bytes in
+  let cached_set_bits = Wp_isa.Addr.log2 cached_sets in
+  {
+    size_bytes;
+    assoc;
+    line_bytes;
+    cached_sets;
+    cached_offset_bits;
+    cached_set_bits;
+    cached_set_mask = cached_sets - 1;
+    cached_tag_shift = cached_offset_bits + cached_set_bits;
+    cached_line_mask = lnot (line_bytes - 1);
+    cached_instr_shift = Wp_isa.Addr.log2 Wp_isa.Instr.size_bytes;
+  }
 
-let sets t = t.size_bytes / (t.assoc * t.line_bytes)
+let sets t = t.cached_sets
 let lines t = t.size_bytes / t.line_bytes
-let offset_bits t = Wp_isa.Addr.log2 t.line_bytes
-let set_bits t = Wp_isa.Addr.log2 (sets t)
+let offset_bits t = t.cached_offset_bits
+let set_bits t = t.cached_set_bits
 let tag_bits t = address_bits - offset_bits t - set_bits t
 let way_bits t = Wp_isa.Addr.log2 t.assoc
-let set_index t addr = (addr lsr offset_bits t) land (sets t - 1)
-let tag_of t addr = addr lsr (offset_bits t + set_bits t)
-let line_base t addr = addr land lnot (t.line_bytes - 1)
-let same_line t a b = line_base t a = line_base t b
+let set_index t addr = (addr lsr t.cached_offset_bits) land t.cached_set_mask
+let tag_of t addr = addr lsr t.cached_tag_shift
+let line_base t addr = addr land t.cached_line_mask
+let same_line t a b = a land t.cached_line_mask = b land t.cached_line_mask
 let way_select t ~tag = tag land (t.assoc - 1)
 let way_of_addr t addr = way_select t ~tag:(tag_of t addr)
-let instr_slot t addr = (addr land (t.line_bytes - 1)) / Wp_isa.Instr.size_bytes
+let instr_slot t addr = (addr land (t.line_bytes - 1)) lsr t.cached_instr_shift
 let slots_per_line t = t.line_bytes / Wp_isa.Instr.size_bytes
 let way_span_bytes t = sets t * t.line_bytes
 

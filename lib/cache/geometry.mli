@@ -7,7 +7,18 @@
     inside the sub-bank with the least-significant bits of the tag
     (paper Section 4.2). *)
 
-type t = private { size_bytes : int; assoc : int; line_bytes : int }
+type t = private {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+  cached_sets : int;  (** internal: derived constants cached by {!make} *)
+  cached_offset_bits : int;  (** internal *)
+  cached_set_bits : int;  (** internal *)
+  cached_set_mask : int;  (** internal *)
+  cached_tag_shift : int;  (** internal *)
+  cached_line_mask : int;  (** internal *)
+  cached_instr_shift : int;  (** internal *)
+}
 
 val make : size_bytes:int -> assoc:int -> line_bytes:int -> t
 (** @raise Invalid_argument unless all three are powers of two, the

@@ -105,21 +105,25 @@ let write_link t ~src_set ~src_way ~slot ~target_line ~target_way =
   match t.probe with None -> () | Some p -> p Wp_obs.Probe.Link_write
 
 (* The link slot a fetch consults: the next-line link for sequential
-   crossings, the previous instruction's slot for taken transfers. *)
+   crossings, the previous instruction's slot for taken transfers.
+   [-1] when there is no stream context (int-encoded: this runs per
+   fetch, where an option would allocate). *)
 let source_slot t addr =
-  if t.last_addr < 0 then None
-  else if addr = t.last_addr + Wp_isa.Instr.size_bytes then Some (t.nslots - 1)
-  else Some (Geometry.instr_slot (geometry t) t.last_addr)
+  if t.last_addr < 0 then -1
+  else if addr = t.last_addr + Wp_isa.Instr.size_bytes then t.nslots - 1
+  else Geometry.instr_slot (geometry t) t.last_addr
 
 let full_path t addr ~slot =
   let g = geometry t in
   let set = Geometry.set_index g addr in
-  let outcome = Cam_cache.lookup_full t.cache addr in
-  let hit = outcome.Cam_cache.hit in
+  let hit_way = Cam_cache.lookup_full_way t.cache addr in
+  let hit = hit_way >= 0 in
   let way, filled, links_invalidated =
-    if hit then (outcome.Cam_cache.way, false, 0)
+    if hit then (hit_way, false, 0)
     else begin
-      let way, evicted = Cam_cache.fill t.cache addr Cam_cache.Victim_by_policy in
+      let way, evicted =
+        Cam_cache.fill_absent t.cache addr Cam_cache.Victim_by_policy
+      in
       let inv =
         match (t.invalidation, evicted) with
         | _, None -> 0
@@ -136,21 +140,22 @@ let full_path t addr ~slot =
     end
   in
   let link_written =
-    match slot with
-    | Some s when t.last_set >= 0 ->
-        write_link t ~src_set:t.last_set ~src_way:t.last_way ~slot:s
-          ~target_line:(Geometry.line_base g addr) ~target_way:way;
-        true
-    | Some _ | None -> false
+    if slot >= 0 && t.last_set >= 0 then begin
+      write_link t ~src_set:t.last_set ~src_way:t.last_way ~slot
+        ~target_line:(Geometry.line_base g addr) ~target_way:way;
+      true
+    end
+    else false
   in
   t.last_addr <- addr;
   t.last_set <- set;
   t.last_way <- way;
+  let assoc = g.Geometry.assoc in
   {
     hit;
     filled;
-    tag_comparisons = outcome.Cam_cache.tag_comparisons;
-    ways_precharged = outcome.Cam_cache.ways_precharged;
+    tag_comparisons = assoc;
+    ways_precharged = assoc;
     link_followed = false;
     link_written;
     links_invalidated;
@@ -158,46 +163,45 @@ let full_path t addr ~slot =
 
 let fetch t addr =
   let g = geometry t in
-  match source_slot t addr with
-  | None -> full_path t addr ~slot:None
-  | Some slot ->
-      let li = link_index t ~set:t.last_set ~way:t.last_way ~slot in
-      let target_line = Geometry.line_base g addr in
-      if t.link_valid.(li) && t.link_target.(li) = target_line then begin
-        (* Blind link follow: zero tag comparisons, zero precharges.
-           Link invalidation on eviction guarantees residence. *)
-        let way = t.link_way.(li) in
-        let set = Geometry.set_index g addr in
-        (* Link invalidation on eviction is what makes the blind
-           follow sound; check it without allocating a comparison
-           witness, and fail loudly enough to debug if it ever
-           breaks. *)
-        (match Cam_cache.probe t.cache addr with
-        | Some w when w = way -> ()
-        | resident ->
-            invalid_arg
-              (Printf.sprintf
-                 "Way_memo.fetch: link (set %d, way %d, slot %d) names way %d \
-                  for address 0x%x, but the line is %s — residence invariant \
-                  broken"
-                 t.last_set t.last_way slot way addr
-                 (match resident with
-                 | None -> "not resident"
-                 | Some w -> Printf.sprintf "resident in way %d" w)));
-        t.last_addr <- addr;
-        t.last_set <- set;
-        t.last_way <- way;
-        {
-          hit = true;
-          filled = false;
-          tag_comparisons = 0;
-          ways_precharged = 0;
-          link_followed = true;
-          link_written = false;
-          links_invalidated = 0;
-        }
-      end
-      else full_path t addr ~slot:(Some slot)
+  let slot = source_slot t addr in
+  if slot < 0 then full_path t addr ~slot
+  else begin
+    let li = link_index t ~set:t.last_set ~way:t.last_way ~slot in
+    let target_line = Geometry.line_base g addr in
+    if t.link_valid.(li) && t.link_target.(li) = target_line then begin
+      (* Blind link follow: zero tag comparisons, zero precharges.
+         Link invalidation on eviction guarantees residence. *)
+      let way = t.link_way.(li) in
+      let set = Geometry.set_index g addr in
+      (* Link invalidation on eviction is what makes the blind
+         follow sound; check it without allocating a comparison
+         witness, and fail loudly enough to debug if it ever
+         breaks. *)
+      let resident = Cam_cache.resident_way t.cache addr in
+      if resident <> way then
+        invalid_arg
+          (Printf.sprintf
+             "Way_memo.fetch: link (set %d, way %d, slot %d) names way %d \
+              for address 0x%x, but the line is %s — residence invariant \
+              broken"
+             t.last_set t.last_way slot way addr
+             (if resident < 0 then "not resident"
+              else Printf.sprintf "resident in way %d" resident));
+      t.last_addr <- addr;
+      t.last_set <- set;
+      t.last_way <- way;
+      {
+        hit = true;
+        filled = false;
+        tag_comparisons = 0;
+        ways_precharged = 0;
+        link_followed = true;
+        link_written = false;
+        links_invalidated = 0;
+      }
+    end
+    else full_path t addr ~slot
+  end
 
 let note_same_line t addr =
   if t.last_addr < 0 || not (Geometry.same_line (geometry t) addr t.last_addr)

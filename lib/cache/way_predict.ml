@@ -63,7 +63,7 @@ let access t addr =
           ~way:second.Cam_cache.way
       else begin
         let way, _evicted =
-          Cam_cache.fill t.cache addr Cam_cache.Victim_by_policy
+          Cam_cache.fill_absent t.cache addr Cam_cache.Victim_by_policy
         in
         finish ~hit:false ~predicted_correctly:false ~filled:true
           ~tag_comparisons:(1 + remaining) ~first_probe_ways:1
@@ -82,7 +82,7 @@ let access t addr =
         ~penalty_cycles:1 ~way:outcome.Cam_cache.way
     else begin
       let way, _evicted =
-        Cam_cache.fill t.cache addr Cam_cache.Victim_by_policy
+        Cam_cache.fill_absent t.cache addr Cam_cache.Victim_by_policy
       in
       finish ~hit:false ~predicted_correctly:false ~filled:true
         ~tag_comparisons:assoc ~first_probe_ways:0 ~second_probe_ways:assoc

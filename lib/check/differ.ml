@@ -403,6 +403,30 @@ let check_probe ~where prepared (config : Config.t) (s : Stats.t) =
         Wp_obs.Probe.buckets;
       !v
 
+(* The tentpole invariant of the block-batched fast path: for every
+   cell of the grid, re-running the cell through the per-instruction
+   reference loop must reproduce the fast-path statistics exactly —
+   every counter and every energy bucket bit-for-bit
+   ([Stats.equal]). *)
+let check_fastpath ~where prepared (config : Config.t) (fast : Stats.t) =
+  let trace = prepared.Runner.trace_large in
+  match
+    Wp_sim.Simulator.run_compiled ~reference_only:true ~config ~trace
+      (Runner.compiled_for prepared config)
+  with
+  | exception exn ->
+      [
+        Printf.sprintf "%s: reference run raised: %s" where
+          (Printexc.to_string exn);
+      ]
+  | reference ->
+      if Stats.equal fast reference then []
+      else
+        [
+          Printf.sprintf "%s: fast path diverges from reference: %s" where
+            (Format.asprintf "%a" Stats.pp_diff (fast, reference));
+        ]
+
 (* ------------------------------------------------------------------ *)
 (* Static-analysis cross-checks (PR 4): a generator that emits an
    ill-formed binary is itself a bug, and the abstract must/may
@@ -490,6 +514,7 @@ let check_spec ?(geometries = default_geometries) spec =
                      | _ -> prepared.Runner.original_layout
                    in
                    check_counters ~where config stats trace
+                   @ check_fastpath ~where prepared config stats
                    @ check_baseline_energy ~where config stats
                    @ check_oracle ~where config stats ~graph ~layout ~trace
                    (* probed rerun doubles the cell's cost: first

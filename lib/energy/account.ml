@@ -1,67 +1,82 @@
+(* Buckets live in a flat float array so the hot [add_*] calls mutate an
+   unboxed cell: a [mutable float] field in this (mixed) record would
+   box a fresh float on every addition — measurable on the simulator's
+   per-fetch charge path.  Indices follow the bucket order of
+   [Wp_obs.Probe]. *)
 type t = {
-  mutable icache : float;
-  mutable itlb : float;
-  mutable dcache : float;
-  mutable memory : float;
-  mutable core : float;
+  buckets : float array;  (** icache, itlb, dcache, memory, core *)
   mutable probe : Wp_obs.Probe.t option;
 }
 
-let create () =
-  {
-    icache = 0.;
-    itlb = 0.;
-    dcache = 0.;
-    memory = 0.;
-    core = 0.;
-    probe = None;
-  }
+let icache_i = 0
+let itlb_i = 1
+let dcache_i = 2
+let memory_i = 3
+let core_i = 4
 
+let create () = { buckets = Array.make 5 0.; probe = None }
 let set_probe t probe = t.probe <- probe
 
 let add_icache t e =
-  t.icache <- t.icache +. e;
+  t.buckets.(icache_i) <- t.buckets.(icache_i) +. e;
   match t.probe with
   | None -> ()
   | Some p -> p (Wp_obs.Probe.Energy { bucket = Icache; pj = e })
 
+let add_icache_run t e ~n =
+  (* Repeated adds of the same constant, in order: bit-identical to
+     calling [add_icache] [n] times, with the probe match hoisted. *)
+  match t.probe with
+  | None ->
+      for _ = 1 to n do
+        t.buckets.(icache_i) <- t.buckets.(icache_i) +. e
+      done
+  | Some p ->
+      for _ = 1 to n do
+        t.buckets.(icache_i) <- t.buckets.(icache_i) +. e;
+        p (Wp_obs.Probe.Energy { bucket = Icache; pj = e })
+      done
+
 let add_itlb t e =
-  t.itlb <- t.itlb +. e;
+  t.buckets.(itlb_i) <- t.buckets.(itlb_i) +. e;
   match t.probe with
   | None -> ()
   | Some p -> p (Wp_obs.Probe.Energy { bucket = Itlb; pj = e })
 
 let add_dcache t e =
-  t.dcache <- t.dcache +. e;
+  t.buckets.(dcache_i) <- t.buckets.(dcache_i) +. e;
   match t.probe with
   | None -> ()
   | Some p -> p (Wp_obs.Probe.Energy { bucket = Dcache; pj = e })
 
 let add_memory t e =
-  t.memory <- t.memory +. e;
+  t.buckets.(memory_i) <- t.buckets.(memory_i) +. e;
   match t.probe with
   | None -> ()
   | Some p -> p (Wp_obs.Probe.Energy { bucket = Memory; pj = e })
 
 let add_core t e =
-  t.core <- t.core +. e;
+  t.buckets.(core_i) <- t.buckets.(core_i) +. e;
   match t.probe with
   | None -> ()
   | Some p -> p (Wp_obs.Probe.Energy { bucket = Core; pj = e })
 
-let icache_pj t = t.icache
-let itlb_pj t = t.itlb
-let dcache_pj t = t.dcache
-let memory_pj t = t.memory
-let core_pj t = t.core
-let total_pj t = t.icache +. t.itlb +. t.dcache +. t.memory +. t.core
+let icache_pj t = t.buckets.(icache_i)
+let itlb_pj t = t.buckets.(itlb_i)
+let dcache_pj t = t.buckets.(dcache_i)
+let memory_pj t = t.buckets.(memory_i)
+let core_pj t = t.buckets.(core_i)
+
+let total_pj t =
+  t.buckets.(icache_i) +. t.buckets.(itlb_i) +. t.buckets.(dcache_i)
+  +. t.buckets.(memory_i) +. t.buckets.(core_i)
 
 let icache_share t =
   let total = total_pj t in
-  if total <= 0.0 then 0.0 else t.icache /. total
+  if total <= 0.0 then 0.0 else t.buckets.(icache_i) /. total
 
 let pp ppf t =
   Format.fprintf ppf
     "E[pJ]: icache=%.0f itlb=%.0f dcache=%.0f mem=%.0f core=%.0f (icache %.1f%%)"
-    t.icache t.itlb t.dcache t.memory t.core
+    (icache_pj t) (itlb_pj t) (dcache_pj t) (memory_pj t) (core_pj t)
     (100.0 *. icache_share t)

@@ -16,6 +16,13 @@ val set_probe : t -> Wp_obs.Probe.t option -> unit
     bit-identical to this account.  Never affects the totals. *)
 
 val add_icache : t -> float -> unit
+
+val add_icache_run : t -> float -> n:int -> unit
+(** [add_icache_run t e ~n] is bit-identical to calling
+    [add_icache t e] [n] times (same accumulation order, same probe
+    events) with the per-call dispatch hoisted out of the loop — the
+    batched fetch path's bulk charge. *)
+
 val add_itlb : t -> float -> unit
 val add_dcache : t -> float -> unit
 val add_memory : t -> float -> unit

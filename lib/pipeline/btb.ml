@@ -1,5 +1,7 @@
 type t = {
   entries : int;
+  instr_shift : int;  (** log2 of the instruction size *)
+  entries_shift : int;  (** log2 of [entries] *)
   tags : int array;
   counters : int array;  (** 0..3; >=2 predicts taken *)
   valid : bool array;
@@ -10,13 +12,17 @@ let create ~entries =
     invalid_arg "Btb.create: entries must be a positive power of two";
   {
     entries;
+    (* PCs are non-negative, so the per-branch index/tag divisions are
+       shifts on these precomputed counts. *)
+    instr_shift = Wp_isa.Addr.log2 Wp_isa.Instr.size_bytes;
+    entries_shift = Wp_isa.Addr.log2 entries;
     tags = Array.make entries 0;
     counters = Array.make entries 0;
     valid = Array.make entries false;
   }
 
-let slot t pc = (pc / Wp_isa.Instr.size_bytes) land (t.entries - 1)
-let tag t pc = pc / Wp_isa.Instr.size_bytes / t.entries
+let slot t pc = (pc lsr t.instr_shift) land (t.entries - 1)
+let tag t pc = pc lsr (t.instr_shift + t.entries_shift)
 
 let predict_taken t pc =
   let i = slot t pc in
@@ -24,9 +30,15 @@ let predict_taken t pc =
 
 let update t pc ~taken =
   let i = slot t pc in
-  if t.valid.(i) && t.tags.(i) = tag t pc then
+  if t.valid.(i) && t.tags.(i) = tag t pc then begin
+    (* Saturating 2-bit counter; int comparisons, since Stdlib.min/max
+       are polymorphic-compare calls on this per-branch path. *)
+    let c = t.counters.(i) in
     t.counters.(i) <-
-      (if taken then min 3 (t.counters.(i) + 1) else max 0 (t.counters.(i) - 1))
+      (if taken then if c >= 3 then 3 else c + 1
+       else if c <= 0 then 0
+       else c - 1)
+  end
   else if taken then begin
     (* Allocate on taken branches only, as BTBs do. *)
     t.valid.(i) <- true;

@@ -1,0 +1,150 @@
+open Wp_cfg
+
+type mem_op = {
+  pos : int;
+  write : bool;
+  locality : Wp_isa.Instr.data_locality;
+}
+
+type block_info = {
+  start : Wp_isa.Addr.t;
+  n_instrs : int;
+  term_branch : bool;
+  term_pc : Wp_isa.Addr.t;
+  taken_succ : int;
+  mem : mem_op array;
+}
+
+type plan_block = { runs : int array; run_cycles : int array }
+type plan = plan_block array
+
+type t = {
+  program : Wp_workloads.Codegen.t;
+  layout : Wp_layout.Binary_layout.t;
+  starts : int array;
+  bodies : Wp_isa.Instr.t array array;
+  taken_succs : int array;
+  info : block_info array;
+  plans_lock : Mutex.t;
+  mutable plans : (int * plan) list;
+      (** one entry per distinct [line_bytes] seen; tiny in practice *)
+}
+
+let make ~(program : Wp_workloads.Codegen.t) ~layout =
+  let graph = program.Wp_workloads.Codegen.graph in
+  let n = Icfg.num_blocks graph in
+  let starts =
+    Array.init n (fun id -> Wp_layout.Binary_layout.block_start layout id)
+  in
+  let bodies = Array.init n (fun id -> (Icfg.block graph id).Basic_block.instrs) in
+  let taken_succs =
+    Array.init n (fun id ->
+        match Icfg.taken_succ graph id with Some b -> b | None -> -1)
+  in
+  let info =
+    Array.init n (fun id ->
+        let body = bodies.(id) in
+        let nb = Array.length body in
+        let mem =
+          let acc = ref [] in
+          for i = nb - 1 downto 0 do
+            let instr = body.(i) in
+            match instr.Wp_isa.Instr.opcode with
+            | Wp_isa.Opcode.Load ->
+                acc :=
+                  { pos = i; write = false; locality = instr.Wp_isa.Instr.locality }
+                  :: !acc
+            | Wp_isa.Opcode.Store ->
+                acc :=
+                  { pos = i; write = true; locality = instr.Wp_isa.Instr.locality }
+                  :: !acc
+            | Wp_isa.Opcode.Alu _ | Mac | Branch | Jump | Call | Return | Nop ->
+                ()
+          done;
+          Array.of_list !acc
+        in
+        let start = starts.(id) in
+        {
+          start;
+          n_instrs = nb;
+          term_branch =
+            nb > 0 && body.(nb - 1).Wp_isa.Instr.opcode = Wp_isa.Opcode.Branch;
+          term_pc = start + ((nb - 1) * Wp_isa.Instr.size_bytes);
+          taken_succ = taken_succs.(id);
+          mem;
+        })
+  in
+  {
+    program;
+    layout;
+    starts;
+    bodies;
+    taken_succs;
+    info;
+    plans_lock = Mutex.create ();
+    plans = [];
+  }
+
+let program t = t.program
+let layout t = t.layout
+let starts t = t.starts
+let bodies t = t.bodies
+let taken_succs t = t.taken_succs
+let info t = t.info
+
+let matches t ~program ~layout = t.program == program && t.layout == layout
+
+(* Split each block into maximal same-line runs: consecutive pcs whose
+   line base is unchanged.  [run_cycles] pre-sums the per-instruction
+   execute latencies of the run (the core model's [1 + exec_extra]
+   term), so the replay loop adds one int per run instead of one per
+   instruction. *)
+let compute_plan t ~line_bytes =
+  let mask = lnot (line_bytes - 1) in
+  Array.init (Array.length t.info) (fun id ->
+      let body = t.bodies.(id) in
+      let nb = Array.length body in
+      if nb = 0 then { runs = [||]; run_cycles = [||] }
+      else begin
+        let start = t.starts.(id) in
+        let runs = ref [] and cycles = ref [] in
+        let line = ref (start land mask) in
+        let len = ref 0 and cyc = ref 0 in
+        for i = 0 to nb - 1 do
+          let pc = start + (i * Wp_isa.Instr.size_bytes) in
+          let l = pc land mask in
+          if l <> !line then begin
+            runs := !len :: !runs;
+            cycles := !cyc :: !cycles;
+            line := l;
+            len := 0;
+            cyc := 0
+          end;
+          incr len;
+          cyc :=
+            !cyc + Wp_isa.Opcode.execute_latency body.(i).Wp_isa.Instr.opcode
+        done;
+        runs := !len :: !runs;
+        cycles := !cyc :: !cycles;
+        {
+          runs = Array.of_list (List.rev !runs);
+          run_cycles = Array.of_list (List.rev !cycles);
+        }
+      end)
+
+let plan t ~line_bytes =
+  if line_bytes <= 0 || line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Compiled_trace.plan: line_bytes must be a positive power of two";
+  (* Prepared benchmarks are shared across sweep/fuzzer domains, so the
+     per-line-size memo is guarded. *)
+  Mutex.lock t.plans_lock;
+  let p =
+    match List.assoc_opt line_bytes t.plans with
+    | Some p -> p
+    | None ->
+        let p = compute_plan t ~line_bytes in
+        t.plans <- (line_bytes, p) :: t.plans;
+        p
+  in
+  Mutex.unlock t.plans_lock;
+  p

@@ -29,10 +29,17 @@ let next t locality =
       t.stride_cursor <- (t.stride_cursor + stride) mod stride_window;
       a
   | Wp_isa.Instr.Random_within ws ->
-      let window =
-        if Wp_workloads.Rng.bool t.rng ~p:0.95 then min ws hot_random_window
-        else min ws cold_random_window
-      in
-      let words = max 1 (window / 4) in
+      (* One fused draw: the bool picks the hot or cold window, the int
+         indexes it — same RNG sequence and addresses as the two-call
+         form, without its per-access call and boxing costs.  The
+         min/max are spelled out as int comparisons: Stdlib.min is a
+         polymorphic-compare call here, several times the price of the
+         draw itself. *)
+      let hot_w = if ws < hot_random_window then ws else hot_random_window in
+      let cold_w = if ws < cold_random_window then ws else cold_random_window in
+      let hot_words = if hot_w >= 4 then hot_w / 4 else 1 in
+      let cold_words = if cold_w >= 4 then cold_w / 4 else 1 in
       base_address + seq_window + stride_window
-      + (Wp_workloads.Rng.int t.rng words * 4)
+      + (Wp_workloads.Rng.bool_then_int t.rng ~p:0.95 ~if_true:hot_words
+           ~if_false:cold_words
+        * 4)

@@ -7,9 +7,18 @@ type t = {
   tlb_walk_latency : int;
   memory_access_pj : float;
   probe : Wp_obs.Probe.t option;
+  (* Hot per-access constants: [Cam_energy.t] is an all-float record,
+     so reading its fields boxes a float per access; these fields are
+     boxed once at creation (mixed record) and free to read. *)
+  tag_full_pj : float;
+  dw_pj : float;
+  fill_pj : float;
 }
 
+let no_wp _ = false
+
 let create ?probe (config : Config.t) =
+  let energies = Wp_energy.Cam_energy.of_geometry config.energy config.dcache in
   {
     (* The D-cache's own CAM gets no probe: [Tag_search]/[Line_fill]
        events are an I-side signal (the ways-enabled distribution). *)
@@ -18,7 +27,7 @@ let create ?probe (config : Config.t) =
     tlb =
       Wp_tlb.Tlb.create ~entries:config.dtlb_entries
         ~page_bytes:config.page_bytes;
-    energies = Wp_energy.Cam_energy.of_geometry config.energy config.dcache;
+    energies;
     tlb_lookup_pj =
       Wp_energy.Cam_energy.tlb_lookup_pj config.energy
         ~entries:config.dtlb_entries ~page_bytes:config.page_bytes;
@@ -26,15 +35,20 @@ let create ?probe (config : Config.t) =
     tlb_walk_latency = config.tlb_walk_latency;
     memory_access_pj = config.energy.Wp_energy.Params.memory_access_pj;
     probe;
+    tag_full_pj =
+      Wp_energy.Cam_energy.tag_search energies
+        ~ways:config.dcache.Wp_cache.Geometry.assoc;
+    dw_pj = energies.Wp_energy.Cam_energy.data_word_pj;
+    fill_pj = energies.Wp_energy.Cam_energy.line_fill_pj;
   }
 
 let access t (stats : Stats.t) addr ~write:_ =
   stats.dcache_accesses <- stats.dcache_accesses + 1;
   let account = stats.account in
   Wp_energy.Account.add_dcache account t.tlb_lookup_pj;
-  let tlb_res = Wp_tlb.Tlb.lookup t.tlb addr ~wp_bit_of_page:(fun _ -> false) in
+  let tlb_bits = Wp_tlb.Tlb.lookup_bits t.tlb addr ~wp_bit_of_page:no_wp in
   let tlb_stall =
-    if tlb_res.Wp_tlb.Tlb.hit then 0
+    if tlb_bits land 1 = 1 then 0
     else begin
       stats.dtlb_misses <- stats.dtlb_misses + 1;
       (match t.probe with None -> () | Some p -> p Wp_obs.Probe.Dtlb_miss);
@@ -42,24 +56,21 @@ let access t (stats : Stats.t) addr ~write:_ =
       t.tlb_walk_latency
     end
   in
-  let outcome = Wp_cache.Cam_cache.lookup_full t.cache addr in
+  let hit_way = Wp_cache.Cam_cache.lookup_full_way t.cache addr in
   (match t.probe with
   | None -> ()
-  | Some p ->
-      p (Wp_obs.Probe.Dcache_access { miss = not outcome.Wp_cache.Cam_cache.hit }));
-  Wp_energy.Account.add_dcache account
-    (Wp_energy.Cam_energy.tag_search t.energies
-       ~ways:outcome.Wp_cache.Cam_cache.ways_precharged);
-  Wp_energy.Account.add_dcache account t.energies.Wp_energy.Cam_energy.data_word_pj;
+  | Some p -> p (Wp_obs.Probe.Dcache_access { miss = hit_way < 0 }));
+  Wp_energy.Account.add_dcache account t.tag_full_pj;
+  Wp_energy.Account.add_dcache account t.dw_pj;
   let miss_stall =
-    if outcome.Wp_cache.Cam_cache.hit then 0
+    if hit_way >= 0 then 0
     else begin
       stats.dcache_misses <- stats.dcache_misses + 1;
       let _way, _evicted =
-        Wp_cache.Cam_cache.fill t.cache addr Wp_cache.Cam_cache.Victim_by_policy
+        Wp_cache.Cam_cache.fill_absent t.cache addr
+          Wp_cache.Cam_cache.Victim_by_policy
       in
-      Wp_energy.Account.add_dcache account
-        t.energies.Wp_energy.Cam_energy.line_fill_pj;
+      Wp_energy.Account.add_dcache account t.fill_pj;
       Wp_energy.Account.add_memory account t.memory_access_pj;
       t.memory_latency
     end

@@ -27,6 +27,24 @@ type t = {
   leakage_enabled : bool;
   energy_params : Params.t;
   probe : Wp_obs.Probe.t option;
+  (* Hot per-fetch constants, precomputed at creation.  [Cam_energy.t]
+     is an all-float record, so reading a field from it (or calling
+     [tag_search]) boxes a fresh float on every fetch; this record is
+     mixed, so its float fields stay boxed once and reads are free.
+     Values are computed with the exact expressions the per-call code
+     used, so every charge stays bit-identical. *)
+  tag_full_pj : float;  (** [tag_search ~ways:assoc] *)
+  tag_one_pj : float;  (** [tag_search ~ways:1] *)
+  dw_pj : float;  (** data word *)
+  memo_dw_pj : float;  (** data word scaled by the memo overhead *)
+  memo_fill_pj : float;  (** line fill scaled by the memo overhead *)
+  fill_pj : float;
+  link_write_pj : float;
+  l0_tag_one_pj : float;  (** filter L0 [tag_search ~ways:1]; 0 otherwise *)
+  l0_dw_pj : float;  (** filter L0 data word; 0 otherwise *)
+  drowsy_wake_pj : float;
+  wp_bit_of_page : Wp_isa.Addr.t -> bool;
+      (** hoisted so [translate] doesn't allocate a closure per call *)
   mutable prev_addr : Wp_isa.Addr.t;  (** -1 = no context *)
   mutable prev_set : int;
   mutable prev_way : int;
@@ -72,13 +90,19 @@ let create ?probe (config : Config.t) ~code_base =
             l0_energies = Cam_energy.of_geometry config.energy l0;
           }
   in
+  let energies = Cam_energy.of_geometry config.energy config.icache in
+  let l0_energies =
+    match backend with
+    | B_filter { l0_energies; _ } -> Some l0_energies
+    | B_baseline _ | B_way_placement _ | B_way_memo _ | B_way_predict _ -> None
+  in
   {
     backend;
     tlb =
       Wp_tlb.Tlb.create ~entries:config.itlb_entries
         ~page_bytes:config.page_bytes;
     geometry = config.icache;
-    energies = Cam_energy.of_geometry config.energy config.icache;
+    energies;
     tlb_lookup_pj =
       Cam_energy.tlb_lookup_pj config.energy ~entries:config.itlb_entries
         ~page_bytes:config.page_bytes;
@@ -94,6 +118,31 @@ let create ?probe (config : Config.t) ~code_base =
     leakage_enabled = config.leakage_enabled;
     energy_params = config.energy;
     probe;
+    tag_full_pj =
+      Cam_energy.tag_search energies ~ways:config.icache.Geometry.assoc;
+    tag_one_pj = Cam_energy.tag_search energies ~ways:1;
+    dw_pj = energies.Cam_energy.data_word_pj;
+    memo_dw_pj =
+      energies.Cam_energy.data_word_pj *. energies.Cam_energy.memo_data_factor;
+    memo_fill_pj =
+      energies.Cam_energy.line_fill_pj *. energies.Cam_energy.memo_data_factor;
+    fill_pj = energies.Cam_energy.line_fill_pj;
+    link_write_pj = energies.Cam_energy.link_write_pj;
+    l0_tag_one_pj =
+      (match l0_energies with
+      | Some e -> Cam_energy.tag_search e ~ways:1
+      | None -> 0.0);
+    l0_dw_pj =
+      (match l0_energies with
+      | Some e -> e.Cam_energy.data_word_pj
+      | None -> 0.0);
+    drowsy_wake_pj = config.energy.Params.drowsy_wake_pj;
+    wp_bit_of_page =
+      (match backend with
+      | B_way_placement wp ->
+          fun page -> page >= code_base && page - code_base < wp.area_bytes
+      | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ ->
+          fun _ -> false);
     prev_addr = -1;
     prev_set = -1;
     prev_way = -1;
@@ -107,6 +156,15 @@ let way_placed_addr t addr =
 
 let charge_icache stats pj = Account.add_icache stats.Stats.account pj
 
+(* Tag-search energy for a variable way count, answered from the
+   precomputed (already-boxed) constants when possible.  The fallback
+   is the same [tag_search] product, so the value is identical either
+   way. *)
+let tag_pj t ~ways =
+  if ways = 1 then t.tag_one_pj
+  else if ways = t.geometry.Geometry.assoc then t.tag_full_pj
+  else Cam_energy.tag_search t.energies ~ways
+
 (* Drowsy bookkeeping: touching a line keeps it awake; touching a
    sleeping line costs a wake-up (energy + one cycle).  Returns the
    extra stall. *)
@@ -118,25 +176,27 @@ let note_line t (stats : Stats.t) ~set ~way =
   | Some d ->
       if Drowsy.note_access d ~now:stats.fetches ~set ~way then begin
         stats.drowsy_wakes <- stats.drowsy_wakes + 1;
-        charge_icache stats t.energy_params.Params.drowsy_wake_pj;
+        charge_icache stats t.drowsy_wake_pj;
         1
       end
       else 0
 
-(* I-TLB access: every non-same-line fetch translates.  Returns the
-   walk stall and the way-placement bit. *)
+(* I-TLB access: every non-same-line fetch translates.  The result is
+   int-encoded — bit 0 is the way-placement bit, the remaining bits the
+   walk stall — so the hot path allocates neither a record nor a
+   tuple. *)
 let translate t (stats : Stats.t) addr =
   Account.add_itlb stats.account t.tlb_lookup_pj;
-  let res =
-    Wp_tlb.Tlb.lookup t.tlb addr ~wp_bit_of_page:(fun page ->
-        way_placed_addr t page)
+  let bits =
+    Wp_tlb.Tlb.lookup_bits t.tlb addr ~wp_bit_of_page:t.wp_bit_of_page
   in
-  if res.Wp_tlb.Tlb.hit then (0, res.Wp_tlb.Tlb.way_placed)
+  let wp = (bits lsr 1) land 1 in
+  if bits land 1 = 1 then wp
   else begin
     stats.itlb_misses <- stats.itlb_misses + 1;
     (match t.probe with None -> () | Some p -> p Wp_obs.Probe.Itlb_miss);
     Account.add_memory stats.account t.memory_access_pj;
-    (t.tlb_walk_latency, res.Wp_tlb.Tlb.way_placed)
+    (t.tlb_walk_latency lsl 1) lor wp
   end
 
 (* A full-width access on the plain CAM cache, shared by the baseline
@@ -144,26 +204,30 @@ let translate t (stats : Stats.t) addr =
    way-placement-area lines always land in their designated way. *)
 let full_access t (stats : Stats.t) cache addr ~fill_policy =
   stats.full_fetches <- stats.full_fetches + 1;
-  let outcome = Cam_cache.lookup_full cache addr in
-  stats.tag_comparisons <- stats.tag_comparisons + outcome.Cam_cache.tag_comparisons;
+  (* [lookup_full] performs [assoc] comparisons over [assoc] precharged
+     ways whether it hits or not, so the outcome record carries nothing
+     the constants below don't — the way-returning twin avoids the
+     allocation. *)
+  let hit_way = Cam_cache.lookup_full_way cache addr in
+  let assoc = t.geometry.Geometry.assoc in
+  stats.tag_comparisons <- stats.tag_comparisons + assoc;
   (match t.probe with
   | None -> ()
   | Some p ->
       p (Wp_obs.Probe.Fetch Full);
-      p (Wp_obs.Probe.Tag_comparisons outcome.Cam_cache.tag_comparisons);
-      p (Wp_obs.Probe.Icache_access { hit = outcome.Cam_cache.hit }));
-  charge_icache stats
-    (Cam_energy.tag_search t.energies ~ways:outcome.Cam_cache.ways_precharged);
-  charge_icache stats t.energies.Cam_energy.data_word_pj;
+      p (Wp_obs.Probe.Tag_comparisons assoc);
+      p (Wp_obs.Probe.Icache_access { hit = hit_way >= 0 }));
+  charge_icache stats t.tag_full_pj;
+  charge_icache stats t.dw_pj;
   let set = Geometry.set_index t.geometry addr in
-  if outcome.Cam_cache.hit then begin
+  if hit_way >= 0 then begin
     stats.icache_hits <- stats.icache_hits + 1;
-    note_line t stats ~set ~way:outcome.Cam_cache.way
+    note_line t stats ~set ~way:hit_way
   end
   else begin
     stats.icache_misses <- stats.icache_misses + 1;
-    let way, _evicted = Cam_cache.fill cache addr fill_policy in
-    charge_icache stats t.energies.Cam_energy.line_fill_pj;
+    let way, _evicted = Cam_cache.fill_absent cache addr fill_policy in
+    charge_icache stats t.fill_pj;
     Account.add_memory stats.account t.memory_access_pj;
     t.memory_latency + note_line t stats ~set ~way
   end
@@ -173,25 +237,25 @@ let full_access t (stats : Stats.t) cache addr ~fill_policy =
 let way_placed_access t (stats : Stats.t) cache addr =
   stats.wp_fetches <- stats.wp_fetches + 1;
   let way = Geometry.way_of_addr t.geometry addr in
-  let outcome = Cam_cache.lookup_way cache addr ~way in
-  stats.tag_comparisons <- stats.tag_comparisons + outcome.Cam_cache.tag_comparisons;
+  let hit = Cam_cache.lookup_way_hit cache addr ~way in
+  stats.tag_comparisons <- stats.tag_comparisons + 1;
   (match t.probe with
   | None -> ()
   | Some p ->
       p (Wp_obs.Probe.Fetch Way_placed);
-      p (Wp_obs.Probe.Tag_comparisons outcome.Cam_cache.tag_comparisons);
-      p (Wp_obs.Probe.Icache_access { hit = outcome.Cam_cache.hit }));
-  charge_icache stats (Cam_energy.tag_search t.energies ~ways:1);
-  charge_icache stats t.energies.Cam_energy.data_word_pj;
+      p (Wp_obs.Probe.Tag_comparisons 1);
+      p (Wp_obs.Probe.Icache_access { hit }));
+  charge_icache stats t.tag_one_pj;
+  charge_icache stats t.dw_pj;
   let set = Geometry.set_index t.geometry addr in
-  if outcome.Cam_cache.hit then begin
+  if hit then begin
     stats.icache_hits <- stats.icache_hits + 1;
     note_line t stats ~set ~way
   end
   else begin
     stats.icache_misses <- stats.icache_misses + 1;
     let _way, _evicted = Cam_cache.fill cache addr (Cam_cache.Forced_way way) in
-    charge_icache stats t.energies.Cam_energy.line_fill_pj;
+    charge_icache stats t.fill_pj;
     Account.add_memory stats.account t.memory_access_pj;
     t.memory_latency + note_line t stats ~set ~way
   end
@@ -213,19 +277,16 @@ let memo_access t (stats : Stats.t) memo addr =
   if r.Way_memo.link_written then stats.link_writes <- stats.link_writes + 1;
   stats.links_invalidated <-
     stats.links_invalidated + r.Way_memo.links_invalidated;
-  let factor = t.energies.Cam_energy.memo_data_factor in
-  charge_icache stats
-    (Cam_energy.tag_search t.energies ~ways:r.Way_memo.ways_precharged);
-  charge_icache stats (t.energies.Cam_energy.data_word_pj *. factor);
-  if r.Way_memo.link_written then
-    charge_icache stats t.energies.Cam_energy.link_write_pj;
+  charge_icache stats (tag_pj t ~ways:r.Way_memo.ways_precharged);
+  charge_icache stats t.memo_dw_pj;
+  if r.Way_memo.link_written then charge_icache stats t.link_write_pj;
   if r.Way_memo.hit then begin
     stats.icache_hits <- stats.icache_hits + 1;
     0
   end
   else begin
     stats.icache_misses <- stats.icache_misses + 1;
-    charge_icache stats (t.energies.Cam_energy.line_fill_pj *. factor);
+    charge_icache stats t.memo_fill_pj;
     Account.add_memory stats.account t.memory_access_pj;
     t.memory_latency
   end
@@ -246,21 +307,27 @@ let waypred_access t (stats : Stats.t) predictor addr =
     stats.waypred_correct <- stats.waypred_correct + 1
   else stats.waypred_wrong <- stats.waypred_wrong + 1;
   charge_icache stats
-    (Cam_energy.tag_search t.energies
+    (tag_pj t
        ~ways:(r.Way_predict.first_probe_ways + r.Way_predict.second_probe_ways));
   (* The predicted way's data is read speculatively; a mispredict reads
      the correct way again. *)
+  let data_reads =
+    let n =
+      r.Way_predict.first_probe_ways
+      + if r.Way_predict.predicted_correctly then 0 else 1
+    in
+    if n < 1 then 1 else n
+  in
   charge_icache stats
-    (t.energies.Cam_energy.data_word_pj
-    *. float_of_int (max 1 (r.Way_predict.first_probe_ways
-                            + if r.Way_predict.predicted_correctly then 0 else 1)));
+    (if data_reads = 1 then t.dw_pj
+     else t.dw_pj *. float_of_int data_reads);
   if r.Way_predict.hit then begin
     stats.icache_hits <- stats.icache_hits + 1;
     r.Way_predict.penalty_cycles
   end
   else begin
     stats.icache_misses <- stats.icache_misses + 1;
-    charge_icache stats t.energies.Cam_energy.line_fill_pj;
+    charge_icache stats t.fill_pj;
     Account.add_memory stats.account t.memory_access_pj;
     r.Way_predict.penalty_cycles + t.memory_latency
   end
@@ -270,8 +337,9 @@ let waypred_access t (stats : Stats.t) predictor addr =
 let filter_access t (stats : Stats.t) filter l1 l0_energies addr =
   let r = Filter_cache.access filter addr in
   charge_icache stats
-    (Cam_energy.tag_search l0_energies ~ways:r.Filter_cache.l0_tag_comparisons);
-  charge_icache stats l0_energies.Cam_energy.data_word_pj;
+    (if r.Filter_cache.l0_tag_comparisons = 1 then t.l0_tag_one_pj
+     else Cam_energy.tag_search l0_energies ~ways:r.Filter_cache.l0_tag_comparisons);
+  charge_icache stats t.l0_dw_pj;
   stats.tag_comparisons <- stats.tag_comparisons + r.Filter_cache.l0_tag_comparisons;
   (match t.probe with
   | None -> ()
@@ -313,23 +381,23 @@ let fetch t (stats : Stats.t) addr =
       (match t.backend with
       | B_way_memo memo ->
           Way_memo.note_same_line memo addr;
-          charge_icache stats
-            (t.energies.Cam_energy.data_word_pj
-            *. t.energies.Cam_energy.memo_data_factor)
-      | B_filter { l0_energies; _ } ->
+          charge_icache stats t.memo_dw_pj
+      | B_filter _ ->
           (* The previous fetch left this line resident in the L0
              (either it hit there or the miss refilled it), so the
              sequential word streams from the L0 array — charging the
              L1's much larger data read would overbill the scheme. *)
-          charge_icache stats l0_energies.Cam_energy.data_word_pj
+          charge_icache stats t.l0_dw_pj
       | B_way_placement _ | B_baseline _ | B_way_predict _ ->
-          charge_icache stats t.energies.Cam_energy.data_word_pj);
+          charge_icache stats t.dw_pj);
       if t.prev_set >= 0 then
         ignore (note_line t stats ~set:t.prev_set ~way:t.prev_way);
       0
     end
     else begin
-      let tlb_stall, way_placed = translate t stats addr in
+      let tr = translate t stats addr in
+      let tlb_stall = tr lsr 1 in
+      let way_placed = tr land 1 = 1 in
       let access_stall =
         match t.backend with
         | B_baseline cache ->
@@ -385,6 +453,130 @@ let fetch t (stats : Stats.t) addr =
   in
   t.prev_addr <- addr;
   stall
+
+(* Batched fetch of one same-line run.
+
+   The head instruction goes through the generic [fetch] (it may cross
+   a line, miss, walk the TLB, resolve a hint...).  After it, the
+   remaining [n - 1] fetches of the run are by construction same-line
+   with their predecessor, so their effects are replicated wholesale:
+
+   - elision on: each tail fetch charges one data word (scheme-scaled)
+     and pokes the drowsy/memo stream state — constants and counter
+     bumps, batched below in the reference accumulation order;
+   - elision off (baseline): each tail fetch is a full TLB hit plus a
+     full CAM hit on the line the head just made resident —
+     [Cam_cache.lookup_line_run] collapses the replacement touches and
+     the per-fetch energy is replayed add-for-add;
+   - every other elision-off backend (and any probed engine) falls back
+     to [n - 1] generic [fetch] calls, which are the definition.
+
+   The result is bit-identical [Stats.t] to [n] successive [fetch]
+   calls — the fast-vs-reference invariant the differ enforces. *)
+let fetch_run t (stats : Stats.t) addr ~n =
+  if n <= 0 then invalid_arg "Fetch_engine.fetch_run: n must be positive";
+  let generic_tail m =
+    let s = ref 0 in
+    for j = 1 to m do
+      s := !s + fetch t stats (addr + (j * Wp_isa.Instr.size_bytes))
+    done;
+    !s
+  in
+  match t.probe with
+  | Some _ -> fetch t stats addr + generic_tail (n - 1)
+  | None ->
+      let head_stall = fetch t stats addr in
+      let m = n - 1 in
+      if m = 0 then head_stall
+      else if t.same_line_elision then begin
+        let last = addr + (m * Wp_isa.Instr.size_bytes) in
+        stats.fetches <- stats.fetches + m;
+        stats.same_line_fetches <- stats.same_line_fetches + m;
+        let elided_pj =
+          match t.backend with
+          | B_way_memo _ -> t.memo_dw_pj
+          | B_filter _ -> t.l0_dw_pj
+          | B_baseline _ | B_way_placement _ | B_way_predict _ -> t.dw_pj
+        in
+        let stall_extra =
+          match t.drowsy with
+          | Some d when t.prev_set >= 0 ->
+              (* Interleave data-word and (possible) wake charges
+                 per fetch so the icache-bucket add order matches the
+                 reference exactly.  With back-to-back accesses the gap
+                 is 1 <= window, so wakes cannot actually fire here —
+                 the branch mirrors [note_line] for fidelity. *)
+              let base = stats.fetches - m in
+              let extra = ref 0 in
+              for j = 1 to m do
+                charge_icache stats elided_pj;
+                if
+                  Drowsy.note_access d ~now:(base + j) ~set:t.prev_set
+                    ~way:t.prev_way
+                then begin
+                  stats.drowsy_wakes <- stats.drowsy_wakes + 1;
+                  charge_icache stats t.drowsy_wake_pj;
+                  incr extra
+                end
+              done;
+              !extra
+          | Some _ | None ->
+              Account.add_icache_run stats.Stats.account elided_pj ~n:m;
+              0
+        in
+        (* The memo stream advances to the run's last address — the same
+           state [m] successive [note_same_line] calls leave. *)
+        (match t.backend with
+        | B_way_memo memo -> Way_memo.note_same_line memo last
+        | B_baseline _ | B_way_placement _ | B_way_predict _ | B_filter _ -> ());
+        t.prev_addr <- last;
+        head_stall + stall_extra
+      end
+      else begin
+        match t.backend with
+        | B_baseline cache ->
+            let last = addr + (m * Wp_isa.Instr.size_bytes) in
+            stats.fetches <- stats.fetches + m;
+            stats.full_fetches <- stats.full_fetches + m;
+            stats.icache_hits <- stats.icache_hits + m;
+            let way = Cam_cache.lookup_line_run_way cache last ~n:m in
+            stats.tag_comparisons <-
+              stats.tag_comparisons + (m * t.geometry.Geometry.assoc);
+            for _ = 1 to m do
+              Account.add_itlb stats.account t.tlb_lookup_pj
+            done;
+            let tag_one = t.tag_full_pj in
+            let dw = t.dw_pj in
+            let set = Geometry.set_index t.geometry last in
+            let stall_extra =
+              match t.drowsy with
+              | Some d ->
+                  let base = stats.fetches - m in
+                  let extra = ref 0 in
+                  for j = 1 to m do
+                    charge_icache stats tag_one;
+                    charge_icache stats dw;
+                    if Drowsy.note_access d ~now:(base + j) ~set ~way then begin
+                      stats.drowsy_wakes <- stats.drowsy_wakes + 1;
+                      charge_icache stats t.drowsy_wake_pj;
+                      incr extra
+                    end
+                  done;
+                  !extra
+              | None ->
+                  for _ = 1 to m do
+                    charge_icache stats tag_one;
+                    charge_icache stats dw
+                  done;
+                  0
+            in
+            t.prev_set <- set;
+            t.prev_way <- way;
+            t.prev_addr <- last;
+            head_stall + stall_extra
+        | B_way_placement _ | B_way_memo _ | B_way_predict _ | B_filter _ ->
+            head_stall + generic_tail m
+      end
 
 let reset_stream t =
   t.prev_addr <- -1;

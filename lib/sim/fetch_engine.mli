@@ -32,6 +32,17 @@ val fetch : t -> Stats.t -> Wp_isa.Addr.t -> int
 (** Fetch one instruction; returns the stall in cycles beyond the base
     fetch cycle (0 on an undisturbed hit). *)
 
+val fetch_run : t -> Stats.t -> Wp_isa.Addr.t -> n:int -> int
+(** Fetch [n] consecutive instructions starting at [addr], {e all
+    within one cache line} (the caller — a {!Compiled_trace} plan —
+    guarantees this); returns the summed stall.  Bit-identical
+    {!Stats.t} effects to [n] successive {!fetch} calls: the head goes
+    through the generic path, the same-line tail is batched per scheme
+    (or falls back to per-fetch calls where batching has no specialised
+    form).  Probed engines always take the per-fetch fallback, so the
+    event stream is unchanged too.
+    @raise Invalid_argument if [n <= 0]. *)
+
 val reset_stream : t -> unit
 (** Forget the previous-fetch context (used at simulation start and by
     tests); cache contents are preserved. *)

@@ -4,6 +4,8 @@ type prepared = {
   trace_large : Wp_workloads.Tracer.trace;
   original_layout : Wp_layout.Binary_layout.t;
   placed_layout : Wp_layout.Binary_layout.t;
+  compiled_original : Compiled_trace.t;
+  compiled_placed : Compiled_trace.t;
 }
 
 let prepare spec =
@@ -19,7 +21,15 @@ let prepare spec =
     Wp_layout.Binary_layout.of_order graph ~base
       (Wp_layout.Placer.place graph profile_small)
   in
-  { program; profile_small; trace_large; original_layout; placed_layout }
+  {
+    program;
+    profile_small;
+    trace_large;
+    original_layout;
+    placed_layout;
+    compiled_original = Compiled_trace.make ~program ~layout:original_layout;
+    compiled_placed = Compiled_trace.make ~program ~layout:placed_layout;
+  }
 
 let layout_for prepared (config : Config.t) =
   match config.scheme with
@@ -28,22 +38,24 @@ let layout_for prepared (config : Config.t) =
   | Config.Filter_cache _ ->
       prepared.original_layout
 
+let compiled_for prepared (config : Config.t) =
+  match config.scheme with
+  | Config.Way_placement _ -> prepared.compiled_placed
+  | Config.Baseline | Config.Way_memoization | Config.Way_prediction
+  | Config.Filter_cache _ ->
+      prepared.compiled_original
+
 let run_scheme ?probe prepared config =
-  let program = prepared.program in
-  let layout = layout_for prepared config in
-  let trace = prepared.trace_large in
-  match probe with
-  | None -> Simulator.run ~config ~program ~layout ~trace
-  | Some probe ->
-      Simulator.run_probed ~probe ~schedule:[] ~config ~program ~layout ~trace
+  Simulator.run_compiled ?probe ~config ~trace:prepared.trace_large
+    (compiled_for prepared config)
 
 let run_timeline ?(schedule = []) ?window_cycles prepared config =
   let sampler = Wp_obs.Sampler.create ?window_cycles () in
   let stats =
-    Simulator.run_probed
+    Simulator.run_compiled
       ~probe:(Wp_obs.Sampler.probe sampler)
-      ~schedule ~config ~program:prepared.program
-      ~layout:(layout_for prepared config) ~trace:prepared.trace_large
+      ~schedule ~config ~trace:prepared.trace_large
+      (compiled_for prepared config)
   in
   (stats, Wp_obs.Sampler.finish sampler)
 

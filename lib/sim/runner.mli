@@ -12,10 +12,24 @@ type prepared = {
   trace_large : Wp_workloads.Tracer.trace;
   original_layout : Wp_layout.Binary_layout.t;
   placed_layout : Wp_layout.Binary_layout.t;
+  compiled_original : Compiled_trace.t;
+      (** precompiled replay tables for [original_layout] *)
+  compiled_placed : Compiled_trace.t;
+      (** precompiled replay tables for [placed_layout] *)
 }
 
 val prepare : Wp_workloads.Spec.t -> prepared
-(** Everything scheme-independent, computed once per benchmark. *)
+(** Everything scheme-independent, computed once per benchmark —
+    including the compiled traces, so repeated runs across schemes and
+    geometries (the sweep engine memoises [prepared]) stop rebuilding
+    the per-block tables. *)
+
+val layout_for : prepared -> Config.t -> Wp_layout.Binary_layout.t
+(** The layout a configuration runs: the reordered (placed) binary for
+    way-placement, the original one for every other scheme. *)
+
+val compiled_for : prepared -> Config.t -> Compiled_trace.t
+(** The compiled trace matching {!layout_for}. *)
 
 val run_scheme : ?probe:Wp_obs.Probe.t -> prepared -> Config.t -> Stats.t
 (** Evaluate one configuration on the prepared benchmark (picks the

@@ -1,38 +1,19 @@
-open Wp_cfg
-
 let code_base = 0x0001_0000
 
-let run_impl ~probe ~schedule:resize_schedule ~(config : Config.t)
-    ~(program : Wp_workloads.Codegen.t) ~layout
-    ~(trace : Wp_workloads.Tracer.trace) =
-  (let rec ascending = function
-     | (a, _) :: ((b, _) :: _ as rest) ->
-         if b <= a then
-           invalid_arg "Simulator.run: resize schedule must be ascending"
-         else ascending rest
-     | [ _ ] | [] -> ()
-   in
-   ascending resize_schedule);
-  let graph = program.Wp_workloads.Codegen.graph in
-  let stats = Stats.create () in
-  Wp_energy.Account.set_probe stats.Stats.account probe;
-  let engine = Fetch_engine.create ?probe config ~code_base in
-  let dmem = Dmem.create ?probe config in
+(* The per-instruction reference loop: fetch, data access, retire — one
+   instruction at a time through the core model.  This is the
+   definition of the machine's behaviour; the fast path below must
+   reproduce its Stats bit-for-bit. *)
+let run_reference_loop ~probe ~resize_schedule ~(config : Config.t) ~compiled
+    ~(trace : Wp_workloads.Tracer.trace) ~(stats : Stats.t) ~engine ~dmem ~data
+    =
   let core =
     Wp_pipeline.Core_model.create ~btb_entries:config.btb_entries
       ~mispredict_penalty:config.mispredict_penalty ?probe ()
   in
-  let data =
-    Data_stream.create ~seed:(program.Wp_workloads.Codegen.spec.Wp_workloads.Spec.seed lxor 0xDA7A)
-  in
-  (* Per-block lookup tables, indexed by block id. *)
-  let n = Icfg.num_blocks graph in
-  let starts = Array.init n (fun id -> Wp_layout.Binary_layout.block_start layout id) in
-  let bodies = Array.init n (fun id -> (Icfg.block graph id).Basic_block.instrs) in
-  let taken_succs =
-    Array.init n (fun id ->
-        match Icfg.taken_succ graph id with Some b -> b | None -> -1)
-  in
+  let starts = Compiled_trace.starts compiled in
+  let bodies = Compiled_trace.bodies compiled in
+  let taken_succs = Compiled_trace.taken_succs compiled in
   let blocks = trace.Wp_workloads.Tracer.blocks in
   let nblocks = Array.length blocks in
   let pending_resizes = ref resize_schedule in
@@ -75,7 +56,99 @@ let run_impl ~probe ~schedule:resize_schedule ~(config : Config.t)
   done;
   stats.Stats.cycles <- Wp_pipeline.Core_model.cycles core;
   Fetch_engine.finalize engine stats ~cycles:stats.Stats.cycles;
-  stats.Stats.retired_instrs <- Wp_pipeline.Core_model.instructions core;
+  stats.Stats.retired_instrs <- Wp_pipeline.Core_model.instructions core
+
+(* The block-batched fast path: same-line runs fetched in one
+   [Fetch_engine.fetch_run] call each, memory ops replayed afterwards in
+   program order, cycles accumulated from the plan's pre-summed execute
+   latencies.  Safe reorderings only: the fetch and data engines share
+   no state, and the one energy bucket both touch (memory) only ever
+   receives the single constant [memory_access_pj], so moving a run's
+   fetch charges ahead of its data charges leaves every bucket's
+   accumulation bit-identical.  Branches exist only as block terminators
+   (Basic_block validates this), so the predictor runs once per block. *)
+let run_fast ~(config : Config.t) ~compiled
+    ~(trace : Wp_workloads.Tracer.trace) ~(stats : Stats.t) ~engine ~dmem ~data
+    =
+  let info = Compiled_trace.info compiled in
+  let plan =
+    Compiled_trace.plan compiled ~line_bytes:config.icache.Wp_cache.Geometry.line_bytes
+  in
+  let btb = Wp_pipeline.Btb.create ~entries:config.btb_entries in
+  let mispredict_penalty = config.mispredict_penalty in
+  let blocks = trace.Wp_workloads.Tracer.blocks in
+  let nblocks = Array.length blocks in
+  let cycles = ref 0 in
+  let instrs = ref 0 in
+  for k = 0 to nblocks - 1 do
+    let id = blocks.(k) in
+    let b = info.(id) in
+    let pb = plan.(id) in
+    let runs = pb.Compiled_trace.runs in
+    let run_cycles = pb.Compiled_trace.run_cycles in
+    let mem = b.Compiled_trace.mem in
+    let n_mem = Array.length mem in
+    let pc = ref b.Compiled_trace.start in
+    let off = ref 0 in
+    let mi = ref 0 in
+    for r = 0 to Array.length runs - 1 do
+      let len = runs.(r) in
+      let fetch_stall = Fetch_engine.fetch_run engine stats !pc ~n:len in
+      cycles := !cycles + run_cycles.(r) + fetch_stall;
+      let run_end = !off + len in
+      while !mi < n_mem && mem.(!mi).Compiled_trace.pos < run_end do
+        let m = mem.(!mi) in
+        cycles :=
+          !cycles
+          + Dmem.access dmem stats
+              (Data_stream.next data m.Compiled_trace.locality)
+              ~write:m.Compiled_trace.write;
+        incr mi
+      done;
+      off := run_end;
+      pc := !pc + (len * Wp_isa.Instr.size_bytes)
+    done;
+    instrs := !instrs + b.Compiled_trace.n_instrs;
+    if b.Compiled_trace.term_branch then begin
+      let taken =
+        k + 1 < nblocks && blocks.(k + 1) = b.Compiled_trace.taken_succ
+      in
+      let predicted =
+        Wp_pipeline.Btb.predict_taken btb b.Compiled_trace.term_pc
+      in
+      Wp_pipeline.Btb.update btb b.Compiled_trace.term_pc ~taken;
+      if predicted <> taken then cycles := !cycles + mispredict_penalty
+    end
+  done;
+  stats.Stats.cycles <- !cycles;
+  Fetch_engine.finalize engine stats ~cycles:!cycles;
+  stats.Stats.retired_instrs <- !instrs
+
+let run_compiled ?probe ?(schedule = []) ?(reference_only = false)
+    ~(config : Config.t) ~(trace : Wp_workloads.Tracer.trace) compiled =
+  let resize_schedule = schedule in
+  (let rec ascending = function
+     | (a, _) :: ((b, _) :: _ as rest) ->
+         if b <= a then
+           invalid_arg "Simulator.run: resize schedule must be ascending"
+         else ascending rest
+     | [ _ ] | [] -> ()
+   in
+   ascending resize_schedule);
+  let program = Compiled_trace.program compiled in
+  let stats = Stats.create () in
+  Wp_energy.Account.set_probe stats.Stats.account probe;
+  let engine = Fetch_engine.create ?probe config ~code_base in
+  let dmem = Dmem.create ?probe config in
+  let data =
+    Data_stream.create ~seed:(program.Wp_workloads.Codegen.spec.Wp_workloads.Spec.seed lxor 0xDA7A)
+  in
+  (match (probe, resize_schedule, reference_only) with
+  | None, [], false ->
+      run_fast ~config ~compiled ~trace ~stats ~engine ~dmem ~data
+  | _ ->
+      run_reference_loop ~probe ~resize_schedule ~config ~compiled ~trace
+        ~stats ~engine ~dmem ~data);
   Wp_energy.Account.add_core stats.Stats.account
     (config.energy.Wp_energy.Params.core_rest_pj_per_cycle
     *. float_of_int stats.Stats.cycles);
@@ -85,10 +158,15 @@ let run_impl ~probe ~schedule:resize_schedule ~(config : Config.t)
   stats
 
 let run_probed ~probe ~schedule ~config ~program ~layout ~trace =
-  run_impl ~probe:(Some probe) ~schedule ~config ~program ~layout ~trace
+  run_compiled ~probe ~schedule ~config ~trace
+    (Compiled_trace.make ~program ~layout)
 
 let run_with_resizes ~schedule ~config ~program ~layout ~trace =
-  run_impl ~probe:None ~schedule ~config ~program ~layout ~trace
+  run_compiled ~schedule ~config ~trace (Compiled_trace.make ~program ~layout)
+
+let run_reference ~config ~program ~layout ~trace =
+  run_compiled ~reference_only:true ~config ~trace
+    (Compiled_trace.make ~program ~layout)
 
 let run ~config ~program ~layout ~trace =
-  run_impl ~probe:None ~schedule:[] ~config ~program ~layout ~trace
+  run_compiled ~config ~trace (Compiled_trace.make ~program ~layout)

@@ -5,10 +5,34 @@
     statistics (counters + energy account + cycles).  The same trace
     replayed under different schemes/configurations yields directly
     comparable runs — the paper's "we always compare equally
-    configured machines" protocol (Section 5). *)
+    configured machines" protocol (Section 5).
+
+    Two interchangeable replay loops exist.  The {e reference path}
+    retires one instruction at a time and is taken whenever a probe is
+    attached, a resize schedule is present, or [reference_only] is
+    requested.  The {e fast path} replays precompiled same-line runs
+    block-batched ({!Compiled_trace}, {!Fetch_engine.fetch_run}) and is
+    taken otherwise.  Both produce exactly equal {!Stats.t}
+    ({!Stats.equal}, bit-identical energy) — an invariant enforced by
+    the differential fuzzer ([Check.Differ]) and [test_fastpath]. *)
 
 val code_base : Wp_isa.Addr.t
 (** Where program text is laid out (0x0001_0000). *)
+
+val run_compiled :
+  ?probe:Wp_obs.Probe.t ->
+  ?schedule:(int * int) list ->
+  ?reference_only:bool ->
+  config:Config.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  Compiled_trace.t ->
+  Stats.t
+(** The general entry point, replaying a precompiled trace (which
+    carries its program and layout).  Defaults: no probe, empty resize
+    schedule, fast path allowed.  The fast path is taken iff no probe
+    is attached, the schedule is empty and [reference_only] is false.
+    @raise Invalid_argument if the config is invalid or the schedule is
+    not ascending. *)
 
 val run :
   config:Config.t ->
@@ -16,7 +40,21 @@ val run :
   layout:Wp_layout.Binary_layout.t ->
   trace:Wp_workloads.Tracer.trace ->
   Stats.t
-(** @raise Invalid_argument if the config is invalid. *)
+(** {!run_compiled} on a freshly compiled trace; takes the fast path.
+    Callers with a {!Runner.prepared} in hand should pass its cached
+    compiled trace to {!run_compiled} instead.
+    @raise Invalid_argument if the config is invalid. *)
+
+val run_reference :
+  config:Config.t ->
+  program:Wp_workloads.Codegen.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  Stats.t
+(** {!run} forced through the per-instruction reference loop, never the
+    block-batched fast path.  The two produce exactly equal {!Stats.t}
+    ({!Stats.equal}) — the invariant the differential fuzzer and
+    [test_fastpath] enforce. *)
 
 val run_with_resizes :
   schedule:(int * int) list ->
@@ -30,7 +68,7 @@ val run_with_resizes :
     that block the way-placement area is resized (paper Section 4.1,
     "even adjusting it during program execution"; the caches are
     flushed at each resize).  Only meaningful for way-placement
-    configurations.
+    configurations.  A non-empty schedule runs the reference path.
     @raise Invalid_argument if the config is invalid, the schedule is
     not ascending, or the scheme is not way-placement. *)
 
@@ -44,6 +82,7 @@ val run_probed :
   Stats.t
 (** {!run_with_resizes} with an attached probe observing the run's
     full event stream (see {!Wp_obs.Probe}); attach a
-    {!Wp_obs.Sampler} to build a timeline.  Results are bit-identical
-    with or without a probe — an invariant the differential fuzzer
-    checks across the scheme grid.  [schedule] may be empty. *)
+    {!Wp_obs.Sampler} to build a timeline.  Probed runs always take the
+    reference path; results are bit-identical with or without a probe —
+    an invariant the differential fuzzer checks across the scheme grid.
+    [schedule] may be empty. *)

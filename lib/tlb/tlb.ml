@@ -1,10 +1,17 @@
 type t = {
   entries : int;
   page_bytes : int;
-  pages : int array;  (** page base address per entry *)
+  page_mask : int;  (** [lnot (page_bytes - 1)]: page base by one mask *)
+  pages : int array;
+      (** page base address per entry; [-1] when invalid, so the scan
+          compares this one array (real page bases are non-negative) *)
   valid : bool array;
   wp_bits : bool array;
   mutable rr_next : int;
+  mutable last_hit : int;
+      (** entry index of the most recent hit/fill, [-1] when unknown — a
+          pure lookup accelerator (fetch streams hit the same page for
+          long stretches); never changes any lookup result. *)
 }
 
 type lookup = { hit : bool; way_placed : bool }
@@ -16,51 +23,71 @@ let create ~entries ~page_bytes =
   {
     entries;
     page_bytes;
-    pages = Array.make entries 0;
+    page_mask = lnot (page_bytes - 1);
+    pages = Array.make entries (-1);
     valid = Array.make entries false;
     wp_bits = Array.make entries false;
     rr_next = 0;
+    last_hit = -1;
   }
 
 let entries t = t.entries
 let page_bytes t = t.page_bytes
-let page_base t addr = Wp_isa.Addr.align_down addr ~alignment:t.page_bytes
+let page_base t addr = addr land t.page_mask
 
 let find t page =
-  let rec go i =
-    if i >= t.entries then None
-    else if t.valid.(i) && t.pages.(i) = page then Some i
-    else go (i + 1)
-  in
-  go 0
+  (* Entries are unique per page (only misses fill), so answering from
+     the memo is the same answer the scan would give.  Returns the
+     entry index or -1 (allocation-free for the per-fetch path). *)
+  let m = t.last_hit in
+  if m >= 0 && t.pages.(m) = page then m
+  else begin
+    let rec go i =
+      if i >= t.entries then -1
+      else if t.pages.(i) = page then i
+      else go (i + 1)
+    in
+    go 0
+  end
 
-let lookup t addr ~wp_bit_of_page =
+(* Int-encoded translate — bit 0 = hit, bit 1 = way-placement bit —
+   so the simulator's per-fetch path allocates nothing. *)
+let lookup_bits t addr ~wp_bit_of_page =
   let page = page_base t addr in
   match find t page with
-  | Some i -> { hit = true; way_placed = t.wp_bits.(i) }
-  | None ->
+  | -1 ->
       let victim =
         let rec invalid i =
-          if i >= t.entries then None
-          else if not t.valid.(i) then Some i
+          if i >= t.entries then -1
+          else if not t.valid.(i) then i
           else invalid (i + 1)
         in
         match invalid 0 with
-        | Some i -> i
-        | None ->
+        | -1 ->
             let i = t.rr_next in
-            t.rr_next <- (i + 1) mod t.entries;
+            t.rr_next <- (if i + 1 = t.entries then 0 else i + 1);
             i
+        | i -> i
       in
       let wp = wp_bit_of_page page in
       t.pages.(victim) <- page;
       t.valid.(victim) <- true;
       t.wp_bits.(victim) <- wp;
-      { hit = false; way_placed = wp }
+      t.last_hit <- victim;
+      if wp then 2 else 0
+  | i ->
+      t.last_hit <- i;
+      if t.wp_bits.(i) then 3 else 1
+
+let lookup t addr ~wp_bit_of_page =
+  let bits = lookup_bits t addr ~wp_bit_of_page in
+  { hit = bits land 1 = 1; way_placed = bits land 2 = 2 }
 
 let flush t =
+  Array.fill t.pages 0 t.entries (-1);
   Array.fill t.valid 0 t.entries false;
-  t.rr_next <- 0
+  t.rr_next <- 0;
+  t.last_hit <- -1
 
 let valid_entries t =
   Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid

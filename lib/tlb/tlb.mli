@@ -30,6 +30,12 @@ val lookup : t -> Wp_isa.Addr.t -> wp_bit_of_page:(Wp_isa.Addr.t -> bool) -> loo
     this is the "stored with existing page permission bits and set by
     the operating system" behaviour of Section 4.1. *)
 
+val lookup_bits :
+  t -> Wp_isa.Addr.t -> wp_bit_of_page:(Wp_isa.Addr.t -> bool) -> int
+(** Allocation-free twin of {!lookup} for the per-fetch simulator path:
+    identical TLB-state effects, result encoded as an int — bit 0 is
+    [hit], bit 1 is [way_placed]. *)
+
 val page_base : t -> Wp_isa.Addr.t -> Wp_isa.Addr.t
 val flush : t -> unit
 (** Required when the OS resizes the way-placement area, so stale

@@ -14,22 +14,73 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
+(* [int] and [float] run once per simulated data access, so the step +
+   mix is open-coded in each: within one function the compiler keeps
+   every Int64 intermediate unboxed, where the [next_int64]/[mix64]
+   call chain would box one at each function boundary.  Same
+   operations, same sequences. *)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   (* Keep 62 random bits: [Int64.to_int] truncates to the native 63-bit
      int, so a 63-bit value could come out negative. *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  let r = Int64.to_int (Int64.shift_right_logical z 2) in
+  (* [r >= 0], so masking equals [mod] for power-of-two bounds — and
+     dodges the hardware divide on the data-stream path, where the
+     bound is variable but almost always a window size. *)
+  if bound land (bound - 1) = 0 then r land (bound - 1) else r mod bound
 
 let int_in t ~min ~max =
   if max < min then invalid_arg "Rng.int_in: max < min";
   min + int t (max - min + 1)
 
 let float t =
-  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits53 = Int64.to_int (Int64.shift_right_logical z 11) in
   float_of_int bits53 *. (1.0 /. 9007199254740992.0)
 
-let bool t ~p = float t < p
+let bool t ~p =
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits53 = Int64.to_int (Int64.shift_right_logical z 11) in
+  float_of_int bits53 *. (1.0 /. 9007199254740992.0) < p
+
+(* One [bool] draw at probability [p] picks between [if_true] and
+   [if_false]; one [int] draw in the chosen bound follows.  Exactly the
+   sequence (and values) of [bool t ~p] then [int t bound], fused into
+   one function so both mixes' Int64 intermediates stay unboxed — this
+   runs once per random-locality data access. *)
+let bool_then_int t ~p ~if_true ~if_false =
+  if if_true <= 0 || if_false <= 0 then
+    invalid_arg "Rng.bool_then_int: bounds must be positive";
+  let s = Int64.add t.state golden_gamma in
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits53 = Int64.to_int (Int64.shift_right_logical z 11) in
+  let bound =
+    if float_of_int bits53 *. (1.0 /. 9007199254740992.0) < p then if_true
+    else if_false
+  in
+  let s = Int64.add s golden_gamma in
+  t.state <- s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let r = Int64.to_int (Int64.shift_right_logical z 2) in
+  if bound land (bound - 1) = 0 then r land (bound - 1) else r mod bound
 
 let split t = { state = mix64 (next_int64 t) }
 

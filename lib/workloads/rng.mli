@@ -25,6 +25,13 @@ val float : t -> float
 val bool : t -> p:float -> bool
 (** True with probability [p]. *)
 
+val bool_then_int : t -> p:float -> if_true:int -> if_false:int -> int
+(** [bool_then_int t ~p ~if_true ~if_false] draws a {!bool} at
+    probability [p] to choose a bound, then an {!int} in that bound —
+    exactly equivalent to the two calls in sequence, fused so the hot
+    data-stream path pays one call and no boxed intermediates.
+    @raise Invalid_argument if either bound is [<= 0]. *)
+
 val split : t -> t
 (** Derive an independent stream (for per-function sub-generators). *)
 

@@ -1,0 +1,171 @@
+(* Fast-path equivalence: the block-batched replay (Compiled_trace +
+   Fetch_engine.fetch_run) must produce Stats bit-identical to the
+   per-instruction reference loop, on every scheme and on kernels
+   crafted to stress the batching boundaries — long same-line streaks,
+   blocks that straddle cache lines, and drowsy wake accounting. *)
+
+module Config = Wayplace.Sim.Config
+module Stats = Wayplace.Sim.Stats
+module Simulator = Wayplace.Sim.Simulator
+module Runner = Wayplace.Sim.Runner
+module Geometry = Wayplace.Cache.Geometry
+module Replacement = Wayplace.Cache.Replacement
+module Mibench = Wayplace.Workloads.Mibench
+module Spec = Wayplace.Workloads.Spec
+
+(* --- hand-crafted kernels ---------------------------------------- *)
+
+let kernel ~name ~seed ~instrs:(imin, imax) ?(funcs = 4) ?(blocks = (2, 5))
+    ?(loop_depth = 2) ?(trips = 9) () =
+  {
+    Spec.name;
+    seed;
+    num_funcs = funcs;
+    blocks_per_func_min = fst blocks;
+    blocks_per_func_max = snd blocks;
+    instrs_per_block_min = imin;
+    instrs_per_block_max = imax;
+    max_loop_depth = loop_depth;
+    avg_loop_trips = trips;
+    hot_func_fraction = 0.5;
+    hot_call_bias = 0.8;
+    if_taken_bias = 0.45;
+    mem_ratio = 0.25;
+    mac_ratio = 0.05;
+    data_working_set_bytes = 8 * 1024;
+    trace_blocks_large = 3_000;
+    trace_blocks_small = 3_000;
+  }
+
+(* Long straight-line blocks: a 32 B line holds 8 instructions, so
+   16-24-instruction blocks are dominated by same-line runs — the case
+   the batched path collapses into single fetch_run calls. *)
+let streaks = kernel ~name:"streaks" ~seed:11 ~instrs:(16, 24) ()
+
+(* Short odd-length blocks keep block starts drifting across line
+   boundaries, so most runs straddle a line edge mid-block. *)
+let straddle =
+  kernel ~name:"straddle" ~seed:12 ~instrs:(1, 3) ~funcs:6 ~blocks:(3, 7) ()
+
+(* Single-instruction blocks: every batched run has length 1 — the
+   degenerate case where batching must still agree on every counter. *)
+let singletons = kernel ~name:"singletons" ~seed:13 ~instrs:(1, 1) ()
+
+let prep_of = Hashtbl.create 8
+
+let prepare spec =
+  match Hashtbl.find_opt prep_of spec.Spec.name with
+  | Some p -> p
+  | None ->
+      let p = Runner.prepare spec in
+      Hashtbl.add prep_of spec.Spec.name p;
+      p
+
+(* --- the invariant ----------------------------------------------- *)
+
+let check_equiv spec config =
+  let prep = prepare spec in
+  (* Fast path: Runner.run_scheme dispatches to the block-batched
+     replay (no probe, no schedule). *)
+  let fast = Runner.run_scheme prep config in
+  let reference =
+    Simulator.run_compiled ~reference_only:true ~config
+      ~trace:prep.Runner.trace_large
+      (Runner.compiled_for prep config)
+  in
+  if not (Stats.equal fast reference) then
+    Alcotest.failf "%s / %s: fast path diverges from reference:@ %a"
+      spec.Spec.name
+      (Config.scheme_name config.Config.scheme)
+      Stats.pp_diff (fast, reference)
+
+let schemes =
+  [
+    Config.Baseline;
+    Config.Way_placement { area_bytes = 2048 };
+    Config.Way_placement { area_bytes = 16 * 1024 };
+    Config.Way_memoization;
+    Config.Way_prediction;
+    Config.Filter_cache { l0_bytes = 512 };
+  ]
+
+let kernels = [ streaks; straddle; singletons; Mibench.tiny ]
+
+(* --- tests ------------------------------------------------------- *)
+
+let test_all_schemes spec () =
+  List.iter (fun s -> check_equiv spec (Config.xscale s)) schemes
+
+(* A small, low-associativity geometry makes conflict misses (and thus
+   mid-run evictions and refills) frequent.  The filter cache's L0 must
+   stay strictly smaller than this L1. *)
+let small_geometry = Geometry.make ~size_bytes:512 ~assoc:4 ~line_bytes:16
+
+let small_schemes =
+  List.map
+    (function
+      | Config.Filter_cache _ -> Config.Filter_cache { l0_bytes = 128 }
+      | s -> s)
+    schemes
+
+let test_small_geometry () =
+  List.iter
+    (fun s ->
+      check_equiv straddle (Config.with_icache (Config.xscale s) small_geometry))
+    small_schemes
+
+let test_lru () =
+  List.iter
+    (fun s ->
+      check_equiv straddle
+        (Config.with_replacement
+           (Config.with_icache (Config.xscale s) small_geometry)
+           Replacement.Lru))
+    small_schemes
+
+let test_elision_off () =
+  (* With elision disabled every instruction of a same-line run pays a
+     full CAM search — the branch of fetch_run that batches whole-width
+     lookups. *)
+  List.iter
+    (fun s ->
+      check_equiv streaks
+        (Config.with_same_line_elision (Config.xscale s) false))
+    schemes
+
+let drowsy_configs =
+  (* Drowsy is only supported for baseline and way-placement; exercise
+     a window small enough that lines fall asleep inside the trace. *)
+  List.concat_map
+    (fun s ->
+      let leak = Config.with_leakage (Config.xscale s) true in
+      [ leak; Config.with_drowsy leak (Some 64) ])
+    [ Config.Baseline; Config.Way_placement { area_bytes = 2048 } ]
+
+let test_drowsy spec () = List.iter (check_equiv spec) drowsy_configs
+
+let () =
+  Alcotest.run "fastpath"
+    [
+      ( "scheme grid",
+        List.map
+          (fun spec ->
+            Alcotest.test_case spec.Spec.name `Quick (test_all_schemes spec))
+          kernels );
+      ( "geometry",
+        [
+          Alcotest.test_case "512B 4-way 16B lines" `Quick test_small_geometry;
+          Alcotest.test_case "LRU replacement" `Quick test_lru;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "same-line elision off" `Quick test_elision_off;
+        ] );
+      ( "drowsy",
+        [
+          Alcotest.test_case "streaks: leakage, drowsy on/off" `Quick
+            (test_drowsy streaks);
+          Alcotest.test_case "straddle: leakage, drowsy on/off" `Quick
+            (test_drowsy straddle);
+        ] );
+    ]
