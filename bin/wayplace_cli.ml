@@ -65,8 +65,34 @@ let config_of ~scheme ~size_kb ~ways ~line =
       Ok (Wayplace.Sim.Config.with_icache (Wayplace.Sim.Config.xscale scheme) geometry)
   | exception Invalid_argument msg -> Error msg
 
-let run_cmd benchmark scheme area size ways line =
+let no_fastforward_arg =
+  let doc =
+    "Disable the steady-state loop fast-forward for this invocation \
+     (results are bit-identical either way; the flag exists for timing \
+     comparisons and debugging)."
+  in
+  Arg.(value & flag & info [ "no-fastforward" ] ~doc)
+
+let ff_stats_arg =
+  let doc =
+    "Print steady-state fast-forward statistics for the scheme run \
+     (periodic regions attempted, converged, iterations and instructions \
+     skipped)."
+  in
+  Arg.(value & flag & info [ "ff-stats" ] ~doc)
+
+let check_ff_arg =
+  let doc =
+    "Self-check: replay the scheme run with fast-forward on, with it off, \
+     and through the per-instruction reference loop, and fail unless all \
+     three produce bit-identical statistics."
+  in
+  Arg.(value & flag & info [ "check-fastforward" ] ~doc)
+
+let run_cmd benchmark scheme area size ways line no_fastforward ff_stats
+    check_ff =
   let ( let* ) = Result.bind in
+  if no_fastforward then Wayplace.Sim.Simulator.set_fastforward_default false;
   let result =
     let* spec = find_spec benchmark in
     let* scheme = parse_scheme scheme area in
@@ -84,7 +110,48 @@ let run_cmd benchmark scheme area size ways line =
       comparison.Wayplace.Sim.Runner.norm_icache_energy
       comparison.Wayplace.Sim.Runner.norm_ed
       comparison.Wayplace.Sim.Runner.norm_cycles;
-    Ok ()
+    (if ff_stats then begin
+       let report = Wayplace.Sim.Steady_state.create_report () in
+       ignore
+         (Wayplace.Sim.Runner.run_scheme ~fastforward:(not no_fastforward)
+            ~ff_report:report prep config);
+       Format.printf
+         "--- fast-forward ---@.regions %d, recorded iterations %d, \
+          converged %d, skipped %d iterations (%d instrs)@."
+         report.Wayplace.Sim.Steady_state.regions
+         report.Wayplace.Sim.Steady_state.recorded_iterations
+         report.Wayplace.Sim.Steady_state.converged
+         report.Wayplace.Sim.Steady_state.skipped_iterations
+         report.Wayplace.Sim.Steady_state.skipped_instrs
+     end);
+    if not check_ff then Ok ()
+    else begin
+      let module Stats = Wayplace.Sim.Stats in
+      let ff_on =
+        Wayplace.Sim.Runner.run_scheme ~fastforward:true prep config
+      in
+      let ff_off =
+        Wayplace.Sim.Runner.run_scheme ~fastforward:false prep config
+      in
+      let reference =
+        Wayplace.Sim.Simulator.run_compiled ~reference_only:true ~config
+          ~trace:prep.Wayplace.Sim.Runner.trace_large
+          (Wayplace.Sim.Runner.compiled_for prep config)
+      in
+      if not (Stats.equal ff_on ff_off) then
+        Error
+          (Format.asprintf "fast-forward diverges from plain fast path:@ %a"
+             Stats.pp_diff (ff_on, ff_off))
+      else if not (Stats.equal ff_on reference) then
+        Error
+          (Format.asprintf "fast path diverges from reference:@ %a"
+             Stats.pp_diff (ff_on, reference))
+      else begin
+        Format.printf
+          "fast-forward self-check passed: on/off/reference bit-identical@.";
+        Ok ()
+      end
+    end
   in
   match result with
   | Ok () -> 0
@@ -210,8 +277,9 @@ let sweep_json rows =
     ]
 
 let sweep_cmd benchmarks schemes areas sizes ways line jobs csv_out json_out
-    quiet =
+    quiet no_fastforward =
   let ( let* ) = Result.bind in
+  if no_fastforward then Wayplace.Sim.Simulator.set_fastforward_default false;
   let result =
     let* benchmarks =
       match benchmarks with
@@ -966,7 +1034,7 @@ let list_cmd () =
 let run_term =
   Term.(
     const run_cmd $ benchmark_arg $ scheme_arg $ area_arg $ size_arg $ ways_arg
-    $ line_arg)
+    $ line_arg $ no_fastforward_arg $ ff_stats_arg $ check_ff_arg)
 
 let cmds =
   [
@@ -979,7 +1047,7 @@ let cmds =
       Term.(
         const sweep_cmd $ sweep_benchmarks_arg $ sweep_schemes_arg
         $ sweep_areas_arg $ sweep_sizes_arg $ sweep_ways_arg $ line_arg
-        $ jobs_arg $ csv_arg $ json_arg $ quiet_arg);
+        $ jobs_arg $ csv_arg $ json_arg $ quiet_arg $ no_fastforward_arg);
     Cmd.v
       (Cmd.info "timeline"
          ~doc:

@@ -262,6 +262,39 @@ let flush t =
   Array.fill t.nvalid 0 (Array.length t.nvalid) 0;
   t.clock <- 0
 
+(* Canonical state fingerprint for the steady-state fast-forward
+   detector.  Everything future behaviour can observe is emitted: tags
+   (with -1 for invalid slots), the per-set MRU accelerator and the
+   round-robin cursor.  The raw [clock]/[last_use] values are not —
+   only their per-set ordering is observable (LRU victim choice
+   compares timestamps), so replacement age is canonicalised to each
+   way's rank within its set.  Two caches with equal fingerprints are
+   bisimilar: every lookup, fill and victim choice behaves identically
+   on both. *)
+let fingerprint t ~add =
+  let assoc = t.geometry.Geometry.assoc in
+  let sets = Geometry.sets t.geometry in
+  Array.iter add t.tags;
+  for set = 0 to sets - 1 do
+    add t.mru.(set);
+    add t.rr_next.(set)
+  done;
+  match t.replacement with
+  | Replacement.Round_robin -> ()
+  | Replacement.Lru ->
+      for set = 0 to sets - 1 do
+        let base = set * assoc in
+        for way = 0 to assoc - 1 do
+          let lw = t.last_use.(base + way) in
+          let rank = ref 0 in
+          for v = 0 to assoc - 1 do
+            let lv = t.last_use.(base + v) in
+            if lv < lw || (lv = lw && v < way) then incr rank
+          done;
+          add !rank
+        done
+      done
+
 let valid_lines t =
   Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid
 

@@ -97,4 +97,13 @@ val valid_lines : t -> int
 val resident_tags : t -> set:int -> (int * int) list
 (** [(way, tag)] pairs of valid lines in a set, ascending way order. *)
 
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Emit a canonical fingerprint of the cache state: tags ([-1] for
+    invalid slots), per-set MRU and round-robin cursors, and — under
+    LRU — each way's age {e rank} within its set rather than its raw
+    timestamp (only the ordering is observable, via victim choice).
+    Equal fingerprints imply bisimilar caches: every subsequent lookup,
+    fill and victim choice behaves identically.  Used by the
+    steady-state fast-forward detector. *)
+
 val pp : Format.formatter -> t -> unit

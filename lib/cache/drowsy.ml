@@ -4,6 +4,11 @@ type t = {
   last_access : int array;  (** -1 = never accessed (always drowsy) *)
   mutable accounted_awake : float;
       (** awake line-ticks accumulated for completed inter-access gaps *)
+  mutable recorder : (int -> unit) option;
+      (** observes every awake increment (the integer tick count whose
+          [float_of_int] is added to [accounted_awake]), in order — the
+          fast-forward engine records one iteration's increments and
+          replays them with {!replay_awake} *)
   probe : Wp_obs.Probe.t option;
 }
 
@@ -14,10 +19,12 @@ let create ?probe geometry ~window =
     window;
     last_access = Array.make (Geometry.lines geometry) (-1);
     accounted_awake = 0.0;
+    recorder = None;
     probe;
   }
 
 let window t = t.window
+let set_recorder t r = t.recorder <- r
 let index t ~set ~way = (set * t.geometry.Geometry.assoc) + way
 
 let note_access t ~now ~set ~way =
@@ -33,6 +40,7 @@ let note_access t ~now ~set ~way =
          per-access path. *)
       let awake = if gap < t.window then gap else t.window in
       t.accounted_awake <- t.accounted_awake +. float_of_int awake;
+      (match t.recorder with None -> () | Some r -> r awake);
       gap > t.window
     end
   in
@@ -55,6 +63,51 @@ let awake_line_ticks t ~now =
 
 let total_line_ticks t ~now =
   float_of_int (Geometry.lines t.geometry) *. float_of_int now
+
+(* Canonical fingerprint of the wake state at tick [now]: each line's
+   inter-access gap, capped at [window + 1].  Gaps at most [window]
+   behave distinctly (they determine the next awake increment), while
+   every gap beyond the window is behaviourally identical — the line is
+   asleep, the next touch wakes it and credits exactly [window] awake
+   ticks — so all of them canonicalise to the same value.  [-1] marks a
+   never-touched line.  [accounted_awake] is a write-only accumulator
+   (read only at finalisation) and is deliberately excluded. *)
+let fingerprint t ~now ~add =
+  let cap = t.window + 1 in
+  Array.iter
+    (fun last ->
+      if last < 0 then add (-1)
+      else begin
+        let gap = now - last in
+        add (if gap < cap then gap else cap)
+      end)
+    t.last_access
+
+(* After fast-forwarding, shift the raw timestamp of every line touched
+   since tick [since] forward by [delta]: those lines would have been
+   re-touched at the same relative position in the last skipped
+   iteration, so this makes the raw state exactly equal to a full
+   replay's.  Untouched lines keep their timestamps (a replay would not
+   have touched them either). *)
+let advance_touched t ~since ~delta =
+  let a = t.last_access in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) >= since then a.(i) <- a.(i) + delta
+  done
+
+(* Replay [iters] repetitions of a recorded iteration's awake
+   increments, in recorded order — bit-identical to the float additions
+   [note_access] would have performed. *)
+let replay_awake t a ~len ~iters =
+  if len > 0 then begin
+    let acc = ref t.accounted_awake in
+    for _ = 1 to iters do
+      for j = 0 to len - 1 do
+        acc := !acc +. float_of_int (Array.unsafe_get a j)
+      done
+    done;
+    t.accounted_awake <- !acc
+  end
 
 let reset t =
   Array.fill t.last_access 0 (Array.length t.last_access) (-1);

@@ -31,4 +31,30 @@ val awake_line_ticks : t -> now:int -> float
 val total_line_ticks : t -> now:int -> float
 (** [lines x now]. *)
 
+val set_recorder : t -> (int -> unit) option -> unit
+(** Install (or clear) an observer of every awake increment: the
+    integer tick count whose [float_of_int] each access adds to the
+    awake accumulator, delivered in accumulation order.  The
+    fast-forward engine records one loop iteration's increments and
+    replays them with {!replay_awake}. *)
+
+val fingerprint : t -> now:int -> add:(int -> unit) -> unit
+(** Emit a canonical fingerprint of the wake state at tick [now]: each
+    line's inter-access gap capped at [window + 1] ([-1] for a
+    never-touched line).  All gaps beyond the window are behaviourally
+    identical (asleep; next touch wakes and credits [window] ticks), so
+    they share one canonical value.  Equal fingerprints imply identical
+    future wake decisions and awake increments. *)
+
+val advance_touched : t -> since:int -> delta:int -> unit
+(** Shift the timestamp of every line touched at or after tick [since]
+    forward by [delta] ticks — the fast-forward materialisation step
+    that makes the raw state equal to a full replay's. *)
+
+val replay_awake : t -> int array -> len:int -> iters:int -> unit
+(** [replay_awake t a ~len ~iters] adds [iters] repetitions of the
+    recorded awake increments [a.(0 .. len-1)] to the awake
+    accumulator, in order — bit-identical to the additions the
+    equivalent {!note_access} calls would have performed. *)
+
 val reset : t -> unit

@@ -25,4 +25,8 @@ let access t addr =
     { l0_hit = false; l0_tag_comparisons = 1; penalty_cycles = 1 }
   end
 
+(* Canonical fingerprint: the L0 contents (the backing L1 is owned and
+   fingerprinted by the fetch engine). *)
+let fingerprint t ~add = Cam_cache.fingerprint t.l0 ~add
+
 let flush t = Cam_cache.flush t.l0

@@ -29,3 +29,8 @@ val access : t -> Wp_isa.Addr.t -> result
     caller performs and charges the L1 access). *)
 
 val flush : t -> unit
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical state fingerprint of the L0 contents for the
+    steady-state fast-forward detector (the backing L1 is owned and
+    fingerprinted by the fetch engine). *)

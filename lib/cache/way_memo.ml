@@ -219,5 +219,26 @@ let flush t =
   Array.iter (fun r -> r := []) t.backrefs;
   reset_stream t
 
+(* Canonical fingerprint: inner CAM state, the link table (one packed
+   int per link: [way lsl 32 lor target] when valid — injective, both
+   fields are small non-negatives — and -1 otherwise) and the
+   previous-fetch context.  The link table dominates snapshot size, so
+   it is packed to halve fast-forward fingerprint cost.  Backrefs are
+   deliberately excluded: every valid link pointing at a line is in
+   that line's backref list (writes append, and clears invalidate
+   first), and stale extra entries — links since redirected — are
+   filtered on use, so backref differences beyond the valid link set
+   are behaviourally unobservable. *)
+let fingerprint t ~add =
+  Cam_cache.fingerprint t.cache ~add;
+  for li = 0 to Array.length t.link_valid - 1 do
+    if t.link_valid.(li) then
+      add ((t.link_way.(li) lsl 32) lor t.link_target.(li))
+    else add (-1)
+  done;
+  add t.last_addr;
+  add t.last_set;
+  add t.last_way
+
 let valid_links t =
   Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.link_valid

@@ -83,3 +83,8 @@ val data_overhead_fraction : Geometry.t -> float
 
 val valid_links : t -> int
 (** Number of currently valid links (for tests). *)
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical state fingerprint (inner CAM, link table, previous-fetch
+    context) for the steady-state fast-forward detector; equal
+    fingerprints imply identical future behaviour. *)

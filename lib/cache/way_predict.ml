@@ -90,6 +90,13 @@ let access t addr =
     end
   end
 
+(* Canonical fingerprint: inner CAM plus the per-set predictions.  The
+   prediction table holds small way indices, so raw values are already
+   canonical. *)
+let fingerprint t ~add =
+  Cam_cache.fingerprint t.cache ~add;
+  Array.iter add t.mru
+
 let flush t =
   Cam_cache.flush t.cache;
   Array.fill t.mru 0 (Array.length t.mru) (-1)

@@ -33,3 +33,7 @@ val access : t -> Wp_isa.Addr.t -> result
 val flush : t -> unit
 val mru_way : t -> set:int -> int option
 (** Current prediction for a set (for tests). *)
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical state fingerprint (inner CAM + prediction table) for the
+    steady-state fast-forward detector. *)

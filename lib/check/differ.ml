@@ -404,28 +404,53 @@ let check_probe ~where prepared (config : Config.t) (s : Stats.t) =
       !v
 
 (* The tentpole invariant of the block-batched fast path: for every
-   cell of the grid, re-running the cell through the per-instruction
-   reference loop must reproduce the fast-path statistics exactly —
-   every counter and every energy bucket bit-for-bit
-   ([Stats.equal]). *)
+   cell of the grid, three replays must produce exactly equal
+   statistics — every counter and every energy bucket bit-for-bit
+   ([Stats.equal]).  [fast] is the cell's own run (fast path with
+   steady-state fast-forward at its default, normally on); it is
+   checked against a fast-path run with fast-forward forced off and
+   against the per-instruction reference loop, so a fuzz failure
+   distinguishes a fast-forward bug from a fast-path bug. *)
 let check_fastpath ~where prepared (config : Config.t) (fast : Stats.t) =
   let trace = prepared.Runner.trace_large in
-  match
-    Wp_sim.Simulator.run_compiled ~reference_only:true ~config ~trace
-      (Runner.compiled_for prepared config)
-  with
-  | exception exn ->
-      [
-        Printf.sprintf "%s: reference run raised: %s" where
-          (Printexc.to_string exn);
-      ]
-  | reference ->
-      if Stats.equal fast reference then []
-      else
+  let compiled = Runner.compiled_for prepared config in
+  let no_ff =
+    match
+      Wp_sim.Simulator.run_compiled ~fastforward:false ~config ~trace compiled
+    with
+    | exception exn ->
         [
-          Printf.sprintf "%s: fast path diverges from reference: %s" where
-            (Format.asprintf "%a" Stats.pp_diff (fast, reference));
+          Printf.sprintf "%s: fast run (no fast-forward) raised: %s" where
+            (Printexc.to_string exn);
         ]
+    | plain ->
+        if Stats.equal fast plain then []
+        else
+          [
+            Printf.sprintf
+              "%s: fast-forward diverges from plain fast path: %s" where
+              (Format.asprintf "%a" Stats.pp_diff (fast, plain));
+          ]
+  in
+  let vs_reference =
+    match
+      Wp_sim.Simulator.run_compiled ~reference_only:true ~config ~trace
+        compiled
+    with
+    | exception exn ->
+        [
+          Printf.sprintf "%s: reference run raised: %s" where
+            (Printexc.to_string exn);
+        ]
+    | reference ->
+        if Stats.equal fast reference then []
+        else
+          [
+            Printf.sprintf "%s: fast path diverges from reference: %s" where
+              (Format.asprintf "%a" Stats.pp_diff (fast, reference));
+          ]
+  in
+  no_ff @ vs_reference
 
 (* ------------------------------------------------------------------ *)
 (* Static-analysis cross-checks (PR 4): a generator that emits an

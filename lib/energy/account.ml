@@ -61,6 +61,30 @@ let add_core t e =
   | None -> ()
   | Some p -> p (Wp_obs.Probe.Energy { bucket = Core; pj = e })
 
+let replay t ~charges ~lens ~iters =
+  if Array.length charges <> 5 || Array.length lens <> 5 then
+    invalid_arg "Account.replay: five buckets expected";
+  if t.probe <> None then invalid_arg "Account.replay: probe attached";
+  (* [iters] repetitions of each bucket's recorded charge sequence, in
+     recorded order.  Buckets are independent accumulators, so per-bucket
+     order is enough for bit-identity with re-running the [add_*] calls;
+     the local accumulator performs the same float additions in the same
+     order as the per-call bucket updates would. *)
+  for b = 0 to 4 do
+    let seq = charges.(b) in
+    let len = lens.(b) in
+    if len > 0 then begin
+      if len > Array.length seq then invalid_arg "Account.replay: bad length";
+      let acc = ref t.buckets.(b) in
+      for _ = 1 to iters do
+        for j = 0 to len - 1 do
+          acc := !acc +. Array.unsafe_get seq j
+        done
+      done;
+      t.buckets.(b) <- !acc
+    end
+  done
+
 let icache_pj t = t.buckets.(icache_i)
 let itlb_pj t = t.buckets.(itlb_i)
 let dcache_pj t = t.buckets.(dcache_i)

@@ -28,6 +28,17 @@ val add_dcache : t -> float -> unit
 val add_memory : t -> float -> unit
 val add_core : t -> float -> unit
 
+val replay : t -> charges:float array array -> lens:int array -> iters:int -> unit
+(** [replay t ~charges ~lens ~iters] adds [iters] repetitions of a
+    recorded charge sequence to each bucket: [charges.(b).(0 ..
+    lens.(b)-1)] in recorded order, with buckets in the order of
+    {!Wp_obs.Probe.buckets}.  Buckets are independent accumulators, so
+    this is bit-identical to re-running the [add_*] calls that produced
+    the recording.  The fast-forward engine records one loop iteration
+    through a probe and replays the skipped iterations here.
+    @raise Invalid_argument if a probe is attached (events would be
+    lost) or the arrays are malformed. *)
+
 val icache_pj : t -> float
 val itlb_pj : t -> float
 val dcache_pj : t -> float

@@ -48,6 +48,21 @@ let update t pc ~taken =
 
 let entries t = t.entries
 
+(* Canonical fingerprint for the steady-state fast-forward detector:
+   tag and counter per valid entry, -1/-1 when invalid (stale tags and
+   counters of invalidated entries are unreachable). *)
+let fingerprint t ~add =
+  for i = 0 to t.entries - 1 do
+    if t.valid.(i) then begin
+      add t.tags.(i);
+      add t.counters.(i)
+    end
+    else begin
+      add (-1);
+      add (-1)
+    end
+  done
+
 let reset t =
   Array.fill t.valid 0 t.entries false;
   Array.fill t.counters 0 t.entries 0

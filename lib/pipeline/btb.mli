@@ -15,3 +15,7 @@ val predict_taken : t -> Wp_isa.Addr.t -> bool
 val update : t -> Wp_isa.Addr.t -> taken:bool -> unit
 val entries : t -> int
 val reset : t -> unit
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical state fingerprint (valid entries' tags and counters) for
+    the steady-state fast-forward detector. *)

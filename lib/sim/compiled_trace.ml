@@ -13,6 +13,9 @@ type block_info = {
   term_pc : Wp_isa.Addr.t;
   taken_succ : int;
   mem : mem_op array;
+  seq_bytes : int;
+  stride_bytes : int;
+  n_random : int;
 }
 
 type plan_block = { runs : int array; run_cycles : int array }
@@ -64,6 +67,19 @@ let make ~(program : Wp_workloads.Codegen.t) ~layout =
           Array.of_list !acc
         in
         let start = starts.(id) in
+        (* Per-block data-stream advance totals, for the fast-forward
+           detector's loop pre-filter: sequential accesses move the
+           stream cursor 4 bytes each, strided accesses by their
+           stride, random accesses draw from the RNG. *)
+        let seq_bytes = ref 0 and stride_bytes = ref 0 and n_random = ref 0 in
+        Array.iter
+          (fun m ->
+            match m.locality with
+            | Wp_isa.Instr.No_data -> ()
+            | Wp_isa.Instr.Sequential -> seq_bytes := !seq_bytes + 4
+            | Wp_isa.Instr.Strided s -> stride_bytes := !stride_bytes + s
+            | Wp_isa.Instr.Random_within _ -> incr n_random)
+          mem;
         {
           start;
           n_instrs = nb;
@@ -72,6 +88,9 @@ let make ~(program : Wp_workloads.Codegen.t) ~layout =
           term_pc = start + ((nb - 1) * Wp_isa.Instr.size_bytes);
           taken_succ = taken_succs.(id);
           mem;
+          seq_bytes = !seq_bytes;
+          stride_bytes = !stride_bytes;
+          n_random = !n_random;
         })
   in
   {
@@ -136,15 +155,24 @@ let plan t ~line_bytes =
   if line_bytes <= 0 || line_bytes land (line_bytes - 1) <> 0 then
     invalid_arg "Compiled_trace.plan: line_bytes must be a positive power of two";
   (* Prepared benchmarks are shared across sweep/fuzzer domains, so the
-     per-line-size memo is guarded. *)
-  Mutex.lock t.plans_lock;
-  let p =
-    match List.assoc_opt line_bytes t.plans with
-    | Some p -> p
-    | None ->
-        let p = compute_plan t ~line_bytes in
-        t.plans <- (line_bytes, p) :: t.plans;
-        p
+     per-line-size memo is guarded.  The lock is held only around list
+     reads/writes, under [Fun.protect] so no exception can leave it
+     locked, and never across [compute_plan]: the plan is a pure
+     function of [(t, line_bytes)], so two domains racing the first
+     call may both compute it, and the re-check under the lock dedups
+     them — the first insert wins and both callers return the same
+     (structurally identical, now shared) plan. *)
+  let locked f =
+    Mutex.lock t.plans_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.plans_lock) f
   in
-  Mutex.unlock t.plans_lock;
-  p
+  match locked (fun () -> List.assoc_opt line_bytes t.plans) with
+  | Some p -> p
+  | None ->
+      let p = compute_plan t ~line_bytes in
+      locked (fun () ->
+          match List.assoc_opt line_bytes t.plans with
+          | Some existing -> existing
+          | None ->
+              t.plans <- (line_bytes, p) :: t.plans;
+              p)

@@ -28,6 +28,9 @@ type block_info = {
   term_pc : Wp_isa.Addr.t;  (** pc of the terminator *)
   taken_succ : int;  (** taken successor block id, [-1] if none *)
   mem : mem_op array;  (** loads/stores in program order *)
+  seq_bytes : int;  (** data-stream sequential-cursor advance, bytes *)
+  stride_bytes : int;  (** data-stream strided-cursor advance, bytes *)
+  n_random : int;  (** random-locality accesses (RNG draws) *)
 }
 
 type plan_block = {
@@ -66,6 +69,9 @@ val info : t -> block_info array
 
 val plan : t -> line_bytes:int -> plan
 (** The micro-trace plan for one line size, computed on first request
-    and memoised (thread-safe).
+    and memoised (thread-safe; exception-safe — the memo lock is never
+    held across the computation).  Domains racing the first request for
+    one line size may each compute the plan, but the memo dedups the
+    inserts: all callers get the same shared plan.
     @raise Invalid_argument unless [line_bytes] is a positive power of
     two. *)

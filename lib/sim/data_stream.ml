@@ -43,3 +43,24 @@ let next t locality =
       + (Wp_workloads.Rng.bool_then_int t.rng ~p:0.95 ~if_true:hot_words
            ~if_false:cold_words
         * 4)
+
+(* Canonical stream-state fingerprint for the steady-state detector:
+   both cursors and the RNG state.  The RNG state strictly advances per
+   draw, so any loop containing a random-locality access never
+   fingerprints equal — the conservative veto the detector relies on. *)
+let fingerprint t ~add =
+  add t.seq_cursor;
+  add t.stride_cursor;
+  Wp_workloads.Rng.fingerprint t.rng ~add
+
+(* Whether one loop iteration's accesses leave the cursors exactly where
+   they started: the sequential cursor advances 4 bytes per access
+   modulo its window, the strided cursor by each access's stride modulo
+   its window, so per-iteration totals that are multiples of the window
+   return both cursors to their entry values.  Random accesses advance
+   the RNG and can never be invariant.  This is only a cheap pre-filter
+   for the detector — actual convergence is always established by
+   fingerprint equality, never assumed from this. *)
+let advance_invariant ~seq_bytes ~stride_bytes ~n_random =
+  n_random = 0 && seq_bytes mod seq_window = 0
+  && stride_bytes mod stride_window = 0

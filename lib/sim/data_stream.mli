@@ -15,3 +15,16 @@ val base_address : Wp_isa.Addr.t
 
 val next : t -> Wp_isa.Instr.data_locality -> Wp_isa.Addr.t
 (** @raise Invalid_argument on [No_data]. *)
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical stream-state fingerprint (cursors + RNG state) for the
+    steady-state fast-forward detector.  The RNG state strictly
+    advances per draw, so loops with random-locality accesses never
+    fingerprint equal — the conservative veto the detector needs. *)
+
+val advance_invariant : seq_bytes:int -> stride_bytes:int -> n_random:int -> bool
+(** Whether a loop iteration with the given per-iteration access totals
+    returns both cursors to their entry values (and draws no random
+    numbers).  A cheap pre-filter for the detector; convergence is
+    always established by fingerprint equality, never assumed from
+    this. *)

@@ -80,3 +80,9 @@ let access t (stats : Stats.t) addr ~write:_ =
 let flush t =
   Wp_cache.Cam_cache.flush t.cache;
   Wp_tlb.Tlb.flush t.tlb
+
+(* Canonical fingerprint of the data side (D-cache + D-TLB) for the
+   steady-state fast-forward detector. *)
+let fingerprint t ~add =
+  Wp_cache.Cam_cache.fingerprint t.cache ~add;
+  Wp_tlb.Tlb.fingerprint t.tlb ~add

@@ -17,3 +17,7 @@ val access : t -> Stats.t -> Wp_isa.Addr.t -> write:bool -> int
     counters; returns the pipeline stall in cycles. *)
 
 val flush : t -> unit
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical state fingerprint (D-cache + D-TLB) for the steady-state
+    fast-forward detector. *)

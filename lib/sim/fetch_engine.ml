@@ -628,6 +628,54 @@ let resize_area t ~area_bytes =
   | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ ->
       invalid_arg "Fetch_engine.resize_area: not a way-placement config"
 
+(* Canonical machine-state fingerprint for the steady-state
+   fast-forward detector: a backend discriminant, the scheme-specific
+   cache state, the way-placement area and hint, the I-TLB, the drowsy
+   wake state (relative to [now], the current fetch count) and the
+   previous-fetch stream context.  Equal fingerprints at two trace
+   positions with identical upcoming block patterns imply identical
+   future behaviour — counters, stalls and every energy charge. *)
+let fingerprint t ~now ~add =
+  (match t.backend with
+  | B_baseline cache ->
+      add 0;
+      Cam_cache.fingerprint cache ~add
+  | B_way_placement { cache; hint; area_bytes } ->
+      add 1;
+      add area_bytes;
+      add (if Wp_tlb.Way_hint.predict hint then 1 else 0);
+      Cam_cache.fingerprint cache ~add
+  | B_way_memo memo ->
+      add 2;
+      Way_memo.fingerprint memo ~add
+  | B_way_predict predictor ->
+      add 3;
+      Way_predict.fingerprint predictor ~add
+  | B_filter { filter; l1; l0_energies = _ } ->
+      add 4;
+      Filter_cache.fingerprint filter ~add;
+      Cam_cache.fingerprint l1 ~add);
+  Wp_tlb.Tlb.fingerprint t.tlb ~add;
+  (match t.drowsy with None -> () | Some d -> Drowsy.fingerprint d ~now ~add);
+  add t.prev_addr;
+  add t.prev_set;
+  add t.prev_way
+
+(* Drowsy passthroughs for the fast-forward engine; no-ops without a
+   drowsy policy. *)
+let set_drowsy_recorder t r =
+  match t.drowsy with None -> () | Some d -> Drowsy.set_recorder d r
+
+let drowsy_advance_touched t ~since ~delta =
+  match t.drowsy with
+  | None -> ()
+  | Some d -> Drowsy.advance_touched d ~since ~delta
+
+let drowsy_replay_awake t a ~len ~iters =
+  match t.drowsy with
+  | None -> ()
+  | Some d -> Drowsy.replay_awake d a ~len ~iters
+
 (* End-of-run leakage: line-ticks are counted in fetches and rescaled
    to cycles; without a drowsy policy every line leaks at the awake
    rate for the whole run. *)

@@ -59,6 +59,26 @@ val resize_area : t -> area_bytes:int -> unit
     @raise Invalid_argument on non-way-placement configurations or a
     non-positive size. *)
 
+val fingerprint : t -> now:int -> add:(int -> unit) -> unit
+(** Emit a canonical fingerprint of the whole fetch path (scheme
+    caches, way-placement area + hint, I-TLB, drowsy wake state at
+    fetch-tick [now], previous-fetch context) for the steady-state
+    fast-forward detector.  Equal fingerprints at two points with
+    identical upcoming fetch sequences imply identical future counters,
+    stalls and energy charges. *)
+
+val set_drowsy_recorder : t -> (int -> unit) option -> unit
+(** Install (or clear) the drowsy awake-increment recorder
+    ({!Wp_cache.Drowsy.set_recorder}); a no-op without a drowsy
+    policy. *)
+
+val drowsy_advance_touched : t -> since:int -> delta:int -> unit
+(** {!Wp_cache.Drowsy.advance_touched} on the drowsy state, if any —
+    the fast-forward materialisation step. *)
+
+val drowsy_replay_awake : t -> int array -> len:int -> iters:int -> unit
+(** {!Wp_cache.Drowsy.replay_awake} on the drowsy state, if any. *)
+
 val finalize : t -> Stats.t -> cycles:int -> unit
 (** Charge end-of-run leakage energy (a no-op unless the configuration
     enabled leakage accounting). *)

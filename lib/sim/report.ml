@@ -105,3 +105,82 @@ let write_json ~path j =
           output_string oc (json_to_string j);
           output_char oc '\n');
       Ok ()
+
+(* --- perf-row reader ----------------------------------------------- *)
+
+(* A deliberately line-oriented reader for the BENCH_sim.json files the
+   bench harness writes: one result object per line.  It must never
+   take CI down over a stale artifact — an unreadable file is an
+   [Error], and any malformed row (truncated line, missing field,
+   unparseable number) is counted and dropped rather than raised on. *)
+
+let find_sub ~pat s =
+  let plen = String.length pat and slen = String.length s in
+  let rec go i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then Some (i + plen)
+    else go (i + 1)
+  in
+  go 0
+
+(* The value after ["key":], whitespace-tolerant: a quoted string
+   (escapes respected) or a bare scalar ending at [,] / [}] / [\]]. *)
+let json_field_of_line line key =
+  match find_sub ~pat:(Printf.sprintf "\"%s\":" key) line with
+  | None -> None
+  | Some start ->
+      let n = String.length line in
+      let i = ref start in
+      while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+      if !i >= n then None
+      else if line.[!i] = '"' then begin
+        let stop = ref (!i + 1) in
+        while
+          !stop < n && not (line.[!stop] = '"' && line.[!stop - 1] <> '\\')
+        do
+          incr stop
+        done;
+        if !stop >= n then None (* unterminated string: truncated line *)
+        else Some (String.sub line (!i + 1) (!stop - !i - 1))
+      end
+      else begin
+        let stop = ref !i in
+        while
+          !stop < n && not (List.mem line.[!stop] [ ','; '}'; ']'; ' ' ])
+        do
+          incr stop
+        done;
+        if !stop = !i then None else Some (String.sub line !i (!stop - !i))
+      end
+
+let parse_perf_rows path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rows = ref [] and skipped = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               (* Only lines claiming to be result rows count; anything
+                  else (header, host block, braces) is structure. *)
+               match find_sub ~pat:"\"instrs_per_sec\"" line with
+               | None -> ()
+               | Some _ -> (
+                   let field = json_field_of_line line in
+                   match
+                     ( field "benchmark",
+                       field "scheme",
+                       field "path",
+                       Option.bind (field "instrs_per_sec")
+                         float_of_string_opt )
+                   with
+                   | Some b, Some s, Some p, Some ips when Float.is_finite ips
+                     ->
+                       rows := ((b, s, p), ips) :: !rows
+                   | _ -> incr skipped)
+             done
+           with End_of_file -> ());
+          Ok (List.rev !rows, !skipped))

@@ -45,3 +45,15 @@ val json_to_string : json -> string
 val write_json : path:string -> json -> (unit, string) result
 (** Write the rendered value plus a trailing newline to [path]; errors
     are reported like {!write_csv}. *)
+
+val parse_perf_rows :
+  string -> (((string * string * string) * float) list * int, string) result
+(** Read a [BENCH_sim.json] perf file (the line-oriented format the
+    bench harness writes: one result object per line) and return its
+    [((benchmark, scheme, path), instrs_per_sec)] rows in file order,
+    plus the number of malformed result lines that were skipped
+    (truncated mid-object, missing fields, unparseable or non-finite
+    numbers).  Tolerant by design — a stale or corrupt perf artifact
+    must degrade to a warning, not fail CI: only an unreadable file is
+    an [Error]; a file with no recognisable rows is [Ok ([], n)] and
+    the caller decides how loudly to complain. *)

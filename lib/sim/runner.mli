@@ -31,10 +31,18 @@ val layout_for : prepared -> Config.t -> Wp_layout.Binary_layout.t
 val compiled_for : prepared -> Config.t -> Compiled_trace.t
 (** The compiled trace matching {!layout_for}. *)
 
-val run_scheme : ?probe:Wp_obs.Probe.t -> prepared -> Config.t -> Stats.t
+val run_scheme :
+  ?probe:Wp_obs.Probe.t ->
+  ?fastforward:bool ->
+  ?ff_report:Steady_state.report ->
+  prepared ->
+  Config.t ->
+  Stats.t
 (** Evaluate one configuration on the prepared benchmark (picks the
     layout that matches the scheme).  [probe] observes the run's event
-    stream; results are bit-identical with or without it. *)
+    stream; results are bit-identical with or without it.
+    [fastforward] / [ff_report] forward to {!Simulator.run_compiled} —
+    results are bit-identical with fast-forward on or off too. *)
 
 val run_timeline :
   ?schedule:(int * int) list ->

@@ -1,5 +1,13 @@
 let code_base = 0x0001_0000
 
+(* Fast-forward is on by default: it is bit-identical to full replay
+   (the differ and fuzz corpus enforce this), so there is no
+   fidelity-vs-speed trade.  The CLI's [--no-fastforward] escape hatch
+   and the differential tests flip this; an [Atomic.t] because prepared
+   benchmarks run from many domains. *)
+let fastforward_default = Atomic.make true
+let set_fastforward_default b = Atomic.set fastforward_default b
+
 (* The per-instruction reference loop: fetch, data access, retire — one
    instruction at a time through the core model.  This is the
    definition of the machine's behaviour; the fast path below must
@@ -69,7 +77,7 @@ let run_reference_loop ~probe ~resize_schedule ~(config : Config.t) ~compiled
    (Basic_block validates this), so the predictor runs once per block. *)
 let run_fast ~(config : Config.t) ~compiled
     ~(trace : Wp_workloads.Tracer.trace) ~(stats : Stats.t) ~engine ~dmem ~data
-    =
+    ~ff =
   let info = Compiled_trace.info compiled in
   let plan =
     Compiled_trace.plan compiled ~line_bytes:config.icache.Wp_cache.Geometry.line_bytes
@@ -80,7 +88,9 @@ let run_fast ~(config : Config.t) ~compiled
   let nblocks = Array.length blocks in
   let cycles = ref 0 in
   let instrs = ref 0 in
-  for k = 0 to nblocks - 1 do
+  (* One trace position: the unit both the plain loop and the
+     fast-forward driver execute. *)
+  let exec_block k =
     let id = blocks.(k) in
     let b = info.(id) in
     let pb = plan.(id) in
@@ -119,12 +129,70 @@ let run_fast ~(config : Config.t) ~compiled
       Wp_pipeline.Btb.update btb b.Compiled_trace.term_pc ~taken;
       if predicted <> taken then cycles := !cycles + mispredict_penalty
     end
-  done;
+  in
+  (match ff with
+  | None ->
+      for k = 0 to nblocks - 1 do
+        exec_block k
+      done
+  | Some (policy, report) ->
+      let ctx =
+        {
+          Steady_state.policy;
+          report;
+          stats;
+          blocks;
+          n_ids = Array.length info;
+          n_instrs_of = (fun id -> info.(id).Compiled_trace.n_instrs);
+          stream_invariant =
+            (fun ~start ~period ->
+              let seq = ref 0 and stride = ref 0 and rand = ref 0 in
+              for j = start to start + period - 1 do
+                let b = info.(blocks.(j)) in
+                seq := !seq + b.Compiled_trace.seq_bytes;
+                stride := !stride + b.Compiled_trace.stride_bytes;
+                rand := !rand + b.Compiled_trace.n_random
+              done;
+              Data_stream.advance_invariant ~seq_bytes:!seq
+                ~stride_bytes:!stride ~n_random:!rand);
+          fingerprint =
+            (fun ~start ~period ~add ->
+              Fetch_engine.fingerprint engine ~now:stats.Stats.fetches ~add;
+              (* A pattern with no memory operations at all never calls
+                 into the data side: its state is neither read nor
+                 written across the region, so it cannot distinguish
+                 boundaries — leave it out of the snapshot (the
+                 dominant cost for pure-compute loops). *)
+              let period_mem = ref 0 in
+              for j = start to start + period - 1 do
+                period_mem :=
+                  !period_mem
+                  + Array.length info.(blocks.(j)).Compiled_trace.mem
+              done;
+              if !period_mem > 0 then begin
+                Dmem.fingerprint dmem ~add;
+                Data_stream.fingerprint data ~add
+              end;
+              Wp_pipeline.Btb.fingerprint btb ~add);
+          exec = exec_block;
+          set_awake_recorder = Fetch_engine.set_drowsy_recorder engine;
+          drowsy_advance =
+            (fun ~since ~delta ->
+              Fetch_engine.drowsy_advance_touched engine ~since ~delta);
+          drowsy_replay =
+            (fun a ~len ~iters ->
+              Fetch_engine.drowsy_replay_awake engine a ~len ~iters);
+          cycles;
+          instrs;
+        }
+      in
+      Steady_state.run ctx);
   stats.Stats.cycles <- !cycles;
   Fetch_engine.finalize engine stats ~cycles:!cycles;
   stats.Stats.retired_instrs <- !instrs
 
 let run_compiled ?probe ?(schedule = []) ?(reference_only = false)
+    ?fastforward ?(ff_policy = Steady_state.default_policy) ?ff_report
     ~(config : Config.t) ~(trace : Wp_workloads.Tracer.trace) compiled =
   let resize_schedule = schedule in
   (let rec ascending = function
@@ -145,7 +213,24 @@ let run_compiled ?probe ?(schedule = []) ?(reference_only = false)
   in
   (match (probe, resize_schedule, reference_only) with
   | None, [], false ->
-      run_fast ~config ~compiled ~trace ~stats ~engine ~dmem ~data
+      (* Fast-forward only ever engages here: probes, resize schedules
+         and reference runs all take the per-instruction loop below, so
+         those bail-out conditions are structural. *)
+      let ff_enabled =
+        match fastforward with
+        | Some b -> b
+        | None -> Atomic.get fastforward_default
+      in
+      let ff =
+        if not ff_enabled then None
+        else
+          Some
+            ( ff_policy,
+              match ff_report with
+              | Some r -> r
+              | None -> Steady_state.create_report () )
+      in
+      run_fast ~config ~compiled ~trace ~stats ~engine ~dmem ~data ~ff
   | _ ->
       run_reference_loop ~probe ~resize_schedule ~config ~compiled ~trace
         ~stats ~engine ~dmem ~data);

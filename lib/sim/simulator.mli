@@ -19,10 +19,22 @@
 val code_base : Wp_isa.Addr.t
 (** Where program text is laid out (0x0001_0000). *)
 
+val set_fastforward_default : bool -> unit
+(** Whether fast-path runs engage the steady-state loop fast-forward
+    ({!Steady_state}) when the caller does not pass [?fastforward].
+    Defaults to [true]: fast-forward is bit-identical to full replay
+    (enforced by the differential fuzzer), so there is no
+    fidelity-vs-speed trade.  The CLI's [--no-fastforward] flag and the
+    differential tests flip this; the setting is process-global and
+    atomic. *)
+
 val run_compiled :
   ?probe:Wp_obs.Probe.t ->
   ?schedule:(int * int) list ->
   ?reference_only:bool ->
+  ?fastforward:bool ->
+  ?ff_policy:Steady_state.policy ->
+  ?ff_report:Steady_state.report ->
   config:Config.t ->
   trace:Wp_workloads.Tracer.trace ->
   Compiled_trace.t ->
@@ -31,6 +43,13 @@ val run_compiled :
     carries its program and layout).  Defaults: no probe, empty resize
     schedule, fast path allowed.  The fast path is taken iff no probe
     is attached, the schedule is empty and [reference_only] is false.
+
+    On the fast path, converged hot loops are additionally
+    fast-forwarded ({!Steady_state}) when [fastforward] (default: the
+    {!set_fastforward_default} setting) is true; the result is
+    bit-identical either way.  [ff_policy] tunes the detector;
+    [ff_report], if given, accumulates what the engine skipped.  All
+    three are ignored on the reference path.
     @raise Invalid_argument if the config is invalid or the schedule is
     not ascending. *)
 

@@ -57,6 +57,70 @@ let create () =
     account = Wp_energy.Account.create ();
   }
 
+(* Integer-counter snapshots for the fast-forward engine: counters are
+   pure sums, so [k] skipped loop iterations contribute exactly [k]
+   times the recorded iteration's delta.  The array order here and in
+   [add_scaled_delta] must match; both enumerate the mutable int fields
+   in declaration order. *)
+let snapshot_ints t =
+  [|
+    t.fetches;
+    t.same_line_fetches;
+    t.wp_fetches;
+    t.full_fetches;
+    t.icache_hits;
+    t.icache_misses;
+    t.tag_comparisons;
+    t.hint_correct_wp;
+    t.hint_correct_normal;
+    t.hint_missed_saving;
+    t.hint_reaccess;
+    t.waypred_correct;
+    t.waypred_wrong;
+    t.l0_hits;
+    t.l0_misses;
+    t.drowsy_wakes;
+    t.link_follows;
+    t.link_writes;
+    t.links_invalidated;
+    t.itlb_misses;
+    t.dtlb_misses;
+    t.dcache_accesses;
+    t.dcache_misses;
+    t.cycles;
+    t.retired_instrs;
+  |]
+
+let add_scaled_delta t ~before ~after ~times =
+  if Array.length before <> 25 || Array.length after <> 25 then
+    invalid_arg "Stats.add_scaled_delta: snapshots must come from snapshot_ints";
+  let d i = times * (after.(i) - before.(i)) in
+  t.fetches <- t.fetches + d 0;
+  t.same_line_fetches <- t.same_line_fetches + d 1;
+  t.wp_fetches <- t.wp_fetches + d 2;
+  t.full_fetches <- t.full_fetches + d 3;
+  t.icache_hits <- t.icache_hits + d 4;
+  t.icache_misses <- t.icache_misses + d 5;
+  t.tag_comparisons <- t.tag_comparisons + d 6;
+  t.hint_correct_wp <- t.hint_correct_wp + d 7;
+  t.hint_correct_normal <- t.hint_correct_normal + d 8;
+  t.hint_missed_saving <- t.hint_missed_saving + d 9;
+  t.hint_reaccess <- t.hint_reaccess + d 10;
+  t.waypred_correct <- t.waypred_correct + d 11;
+  t.waypred_wrong <- t.waypred_wrong + d 12;
+  t.l0_hits <- t.l0_hits + d 13;
+  t.l0_misses <- t.l0_misses + d 14;
+  t.drowsy_wakes <- t.drowsy_wakes + d 15;
+  t.link_follows <- t.link_follows + d 16;
+  t.link_writes <- t.link_writes + d 17;
+  t.links_invalidated <- t.links_invalidated + d 18;
+  t.itlb_misses <- t.itlb_misses + d 19;
+  t.dtlb_misses <- t.dtlb_misses + d 20;
+  t.dcache_accesses <- t.dcache_accesses + d 21;
+  t.dcache_misses <- t.dcache_misses + d 22;
+  t.cycles <- t.cycles + d 23;
+  t.retired_instrs <- t.retired_instrs + d 24
+
 let icache_energy_pj t = Wp_energy.Account.icache_pj t.account
 let total_energy_pj t = Wp_energy.Account.total_pj t.account
 

@@ -47,6 +47,20 @@ val hint_accuracy : t -> float
 (** Correct hints over all non-same-line fetches (1.0 when the hint was
     never consulted). *)
 
+val snapshot_ints : t -> int array
+(** All integer counters, in a fixed order understood by
+    {!add_scaled_delta}.  The fast-forward engine snapshots the
+    counters around one recorded loop iteration and scales the delta by
+    the number of skipped iterations. *)
+
+val add_scaled_delta : t -> before:int array -> after:int array -> times:int -> unit
+(** [add_scaled_delta t ~before ~after ~times] adds
+    [times * (after - before)] to every integer counter, where the two
+    snapshots come from {!snapshot_ints}.  Counters are pure sums, so
+    this is exactly what [times] repetitions of the recorded iteration
+    would have accumulated.
+    @raise Invalid_argument on snapshots of the wrong length. *)
+
 val equal : t -> t -> bool
 (** Field-by-field equality over every counter and every energy bucket.
     Floats are compared exactly ([Float.equal], no tolerance): two runs

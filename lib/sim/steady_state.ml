@@ -1,0 +1,311 @@
+(* Steady-state loop fast-forward (ROADMAP: "the next 10-100x").
+
+   Hot loops reach cache steady state within a few iterations — the
+   dominant-block observation.  Once the machine state at two
+   consecutive iteration boundaries of a periodic trace region is
+   equal, every remaining in-pattern iteration must reproduce the
+   recorded iteration exactly: the trace is the only input, and the
+   canonical fingerprint covers everything future behaviour can
+   observe.  The engine therefore multiplies the recorded iteration's
+   effects by the remaining repetition count instead of replaying them.
+
+   Bit-identity is preserved by replaying each effect in its own
+   domain:
+   - integer counters are pure sums — snapshot deltas scaled by the
+     repetition count ({!Stats.add_scaled_delta});
+   - energy buckets are order-sensitive float accumulators — the
+     recorded iteration's per-bucket charge sequences are re-added in
+     recorded order ({!Wp_energy.Account.replay});
+   - the drowsy awake accumulator likewise replays its recorded
+     integer increments in order, and touched lines' raw timestamps
+     are advanced to exactly where a full replay would leave them.
+
+   Bail-out is structural or checked: the engine only runs on the
+   probe-less, schedule-less fast path (probes and resize schedules
+   force the reference loop); drowsy timers, stream cursors and RNG
+   state are part of the fingerprint, so any cross-iteration
+   interaction simply never fingerprints equal and the region is
+   replayed normally. *)
+
+type policy = {
+  max_period_blocks : int;
+  min_skip_instrs : int;
+  max_attempts : int;
+  snapshot_budget : int;
+}
+
+let default_policy =
+  {
+    max_period_blocks = 1024;
+    min_skip_instrs = 2000;
+    max_attempts = 24;
+    snapshot_budget = 8192;
+  }
+
+type report = {
+  mutable regions : int;
+  mutable recorded_iterations : int;
+  mutable converged : int;
+  mutable skipped_iterations : int;
+  mutable skipped_instrs : int;
+}
+
+let create_report () =
+  {
+    regions = 0;
+    recorded_iterations = 0;
+    converged = 0;
+    skipped_iterations = 0;
+    skipped_instrs = 0;
+  }
+
+type ctx = {
+  policy : policy;
+  report : report;
+  stats : Stats.t;
+  blocks : int array;
+  n_ids : int;
+  n_instrs_of : int -> int;
+  stream_invariant : start:int -> period:int -> bool;
+  fingerprint : start:int -> period:int -> add:(int -> unit) -> unit;
+  exec : int -> unit;
+  set_awake_recorder : (int -> unit) option -> unit;
+  drowsy_advance : since:int -> delta:int -> unit;
+  drowsy_replay : int array -> len:int -> iters:int -> unit;
+  cycles : int ref;
+  instrs : int ref;
+}
+
+(* Growable int/float buffers; reused across attempts so steady
+   operation allocates nothing per snapshot. *)
+type ibuf = { mutable ia : int array; mutable ilen : int }
+type fbuf = { mutable fa : float array; mutable flen : int }
+
+let ibuf_create n = { ia = Array.make n 0; ilen = 0 }
+let ibuf_clear b = b.ilen <- 0
+
+let ibuf_push b x =
+  let n = Array.length b.ia in
+  if b.ilen = n then begin
+    let a = Array.make (2 * n) 0 in
+    Array.blit b.ia 0 a 0 n;
+    b.ia <- a
+  end;
+  Array.unsafe_set b.ia b.ilen x;
+  b.ilen <- b.ilen + 1
+
+let ibuf_equal x y =
+  x.ilen = y.ilen
+  &&
+  let rec go i =
+    i >= x.ilen
+    || (Array.unsafe_get x.ia i = Array.unsafe_get y.ia i && go (i + 1))
+  in
+  go 0
+
+let fbuf_create n = { fa = Array.make n 0.0; flen = 0 }
+let fbuf_clear b = b.flen <- 0
+
+let fbuf_push b x =
+  let n = Array.length b.fa in
+  if b.flen = n then begin
+    let a = Array.make (2 * n) 0.0 in
+    Array.blit b.fa 0 a 0 n;
+    b.fa <- a
+  end;
+  Array.unsafe_set b.fa b.flen x;
+  b.flen <- b.flen + 1
+
+let run ctx =
+  let pol = ctx.policy in
+  let rep = ctx.report in
+  let blocks = ctx.blocks in
+  let nblocks = Array.length blocks in
+  let last_pos = Array.make ctx.n_ids (-1) in
+  (* Patterns proven stream-variant (their data accesses move the
+     cursors or draw from the RNG, so no iteration can ever converge),
+     remembered as the last rejected period per anchor block id — a
+     flat array consulted {e before} the O(period) segment
+     verification, so a hot mem-heavy loop pays the scan once, not
+     once per iteration (that scan was a 25% tax on loop-free
+     mem-heavy benchmarks, which attempt nothing yet detect
+     everywhere).  An id rejected at one period and re-candidate at
+     another merely re-scans; a forgotten verdict merely re-derives
+     it — never a correctness question.  Two slots per id: nested
+     loops make one anchor alternate between its inner and outer
+     period, and a single slot thrashes. *)
+  let rejected_p1 = Array.make ctx.n_ids (-1) in
+  let rejected_p2 = Array.make ctx.n_ids (-1) in
+  let snap_a = ref (ibuf_create 4096) in
+  let snap_b = ref (ibuf_create 4096) in
+  let awake = ibuf_create 64 in
+  let charges = Array.init 5 (fun _ -> fbuf_create 64) in
+  let budget = ref pol.snapshot_budget in
+  (* Last observed fingerprint length: lets the detector pre-gate
+     candidate regions too small to repay even one snapshot without
+     paying for that snapshot to find out (way-memoization's link
+     table makes its snapshots ~10x a plain CAM's).  Starts at 0 so
+     the first region always measures. *)
+  let snap_len_hint = ref 0 in
+  let next_attempt = ref 0 in
+  let k = ref 0 in
+
+  let record_probe ev =
+    match ev with
+    | Wp_obs.Probe.Energy { bucket; pj } ->
+        fbuf_push charges.(Wp_obs.Probe.bucket_index bucket) pj
+    | _ -> ()
+  in
+  let take_snapshot buf ~start ~period =
+    decr budget;
+    ibuf_clear buf;
+    ctx.fingerprint ~start ~period ~add:(fun x -> ibuf_push buf x)
+  in
+  (* Execute the block at the cursor, maintaining the last-position
+     table the period detector reads. *)
+  let step () =
+    let kk = !k in
+    last_pos.(blocks.(kk)) <- kk;
+    ctx.exec kk;
+    k := kk + 1
+  in
+
+  (* The trace repeats with period [p] over [kk, je).  Execute
+     iterations, recording each one's effects, until two consecutive
+     boundary fingerprints are equal; then skip the remaining
+     repetitions arithmetically.  Iterations are only recorded (and
+     only skipped) while a {e full} period plus its terminator's
+     lookahead stays inside the pattern: the last block of an
+     iteration starting at [s] reads [blocks.(s + p)] to resolve its
+     branch, so [s + p < je] is required — the final partial stretch
+     is always executed normally. *)
+  let attempt ~p ~je ~skippable =
+    rep.regions <- rep.regions + 1;
+    (* All of a region's snapshots describe one period of the same
+       pattern; scan it from the region start (always in bounds — the
+       attempt threshold guarantees at least two full periods before
+       [je]), not from the moving boundary. *)
+    let start = !k in
+    take_snapshot !snap_a ~start ~period:p;
+    snap_len_hint := !snap_a.ilen;
+    let converged = ref false in
+    (* Cost gate, now that the fingerprint's actual size is known:
+       convergence takes two snapshots at minimum and each one scans
+       this many words, so a region whose whole skippable stretch is
+       smaller than its own fingerprint is overhead, not speedup
+       (schemes differ by 10x in snapshot size — way-memoization's
+       link table dwarfs a plain CAM). *)
+    let exhausted = ref (skippable < pol.min_skip_instrs + !snap_a.ilen) in
+    let attempts = ref 0 in
+    while (not !converged) && not !exhausted do
+      if !k + p >= je || !attempts >= pol.max_attempts || !budget <= 0 then
+        exhausted := true
+      else begin
+        incr attempts;
+        rep.recorded_iterations <- rep.recorded_iterations + 1;
+        Array.iter fbuf_clear charges;
+        ibuf_clear awake;
+        let ints_before = Stats.snapshot_ints ctx.stats in
+        let fetches_before = ctx.stats.Stats.fetches in
+        let cyc_before = !(ctx.cycles) in
+        let ins_before = !(ctx.instrs) in
+        Wp_energy.Account.set_probe ctx.stats.Stats.account (Some record_probe);
+        ctx.set_awake_recorder (Some (fun aw -> ibuf_push awake aw));
+        for _ = 1 to p do
+          step ()
+        done;
+        Wp_energy.Account.set_probe ctx.stats.Stats.account None;
+        ctx.set_awake_recorder None;
+        take_snapshot !snap_b ~start ~period:p;
+        if ibuf_equal !snap_a !snap_b then begin
+          converged := true;
+          rep.converged <- rep.converged + 1;
+          let n_rem = (je - 1 - !k) / p in
+          if n_rem > 0 then begin
+            let ints_after = Stats.snapshot_ints ctx.stats in
+            let fetches_after = ctx.stats.Stats.fetches in
+            let cyc_after = !(ctx.cycles) in
+            let ins_after = !(ctx.instrs) in
+            ctx.drowsy_advance ~since:fetches_before
+              ~delta:(n_rem * (fetches_after - fetches_before));
+            ctx.drowsy_replay awake.ia ~len:awake.ilen ~iters:n_rem;
+            Wp_energy.Account.replay ctx.stats.Stats.account
+              ~charges:(Array.map (fun c -> c.fa) charges)
+              ~lens:(Array.map (fun c -> c.flen) charges)
+              ~iters:n_rem;
+            Stats.add_scaled_delta ctx.stats ~before:ints_before
+              ~after:ints_after ~times:n_rem;
+            ctx.cycles := cyc_after + (n_rem * (cyc_after - cyc_before));
+            ctx.instrs := ins_after + (n_rem * (ins_after - ins_before));
+            rep.skipped_iterations <- rep.skipped_iterations + n_rem;
+            rep.skipped_instrs <-
+              rep.skipped_instrs + (n_rem * (ins_after - ins_before));
+            k := !k + (n_rem * p)
+          end
+        end
+        else begin
+          (* Not converged yet: compare the next pair of boundaries. *)
+          let t = !snap_a in
+          snap_a := !snap_b;
+          snap_b := t
+        end
+      end
+    done
+  in
+
+  let max_p = pol.max_period_blocks in
+  while !k < nblocks do
+    let kk = !k in
+    if !budget > 0 && kk >= !next_attempt then begin
+      let id = blocks.(kk) in
+      let prev = last_pos.(id) in
+      if prev >= 0 then begin
+        let p = kk - prev in
+        if
+          p <= max_p
+          && kk + p <= nblocks
+          && rejected_p1.(id) <> p
+          && rejected_p2.(id) <> p
+        then begin
+          (* Candidate period from the block's previous occurrence:
+             verify [kk, kk+p) repeats [kk-p, kk). *)
+          let ok = ref true in
+          let j = ref 0 in
+          while !ok && !j < p do
+            if blocks.(kk + !j) <> blocks.(prev + !j) then ok := false
+            else incr j
+          done;
+          if !ok then begin
+            if not (ctx.stream_invariant ~start:kk ~period:p) then
+              (* Stream-variant patterns can never converge (the RNG
+                 or cursors move every iteration); cache the verdict
+                 but leave [next_attempt] alone, so attemptable inner
+                 loops inside this region still get their chance. *)
+            begin
+              rejected_p2.(id) <- rejected_p1.(id);
+              rejected_p1.(id) <- p
+            end
+            else begin
+              let je = ref (kk + p) in
+              while !je < nblocks && blocks.(!je) = blocks.(!je - p) do
+                incr je
+              done;
+              let je = !je in
+              let p_instrs = ref 0 in
+              for j2 = kk to kk + p - 1 do
+                p_instrs := !p_instrs + ctx.n_instrs_of blocks.(j2)
+              done;
+              let total_iters = (je - kk) / p in
+              let skippable = (total_iters - 1) * !p_instrs in
+              if skippable >= pol.min_skip_instrs + !snap_len_hint then
+                attempt ~p ~je ~skippable;
+              (* Attempted or too small either way: this region is
+                 settled, don't re-detect inside it. *)
+              next_attempt := je
+            end
+          end
+        end
+      end
+    end;
+    if !k = kk then step ()
+  done

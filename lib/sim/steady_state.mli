@@ -1,0 +1,76 @@
+(** Steady-state loop fast-forward for the block-batched fast path.
+
+    Hot loops reach cache steady state within a few iterations (the
+    dominant-block observation).  During replay the engine detects
+    periodic trace regions, records one full iteration's effects once
+    the canonical machine-state fingerprint is equal at two consecutive
+    iteration boundaries, and then multiplies those effects by the
+    remaining repetition count instead of replaying them — arithmetic
+    instead of simulation, while staying bit-identical to the reference
+    loop (integer counters scale as sums; order-sensitive float
+    accumulators replay their recorded charge sequences in order).
+
+    Bail-out conditions: the engine exists only on the probe-less,
+    schedule-less fast path (probes and resize schedules force the
+    reference loop upstream); within it, a region is simply replayed
+    normally when fingerprints never match (e.g. RNG-drawing data
+    accesses or drowsy timers that break iteration symmetry), when the
+    candidate pattern is stream-variant, or when the attempt/snapshot
+    budgets run out. *)
+
+type policy = {
+  max_period_blocks : int;  (** longest loop body considered, in trace blocks *)
+  min_skip_instrs : int;
+      (** minimum instructions a region could skip to be worth an attempt *)
+  max_attempts : int;  (** recorded iterations per region before giving up *)
+  snapshot_budget : int;
+      (** fingerprint snapshots per run before detection shuts off —
+          bounds detector overhead on pathological traces *)
+}
+
+val default_policy : policy
+
+type report = {
+  mutable regions : int;  (** periodic regions attempted *)
+  mutable recorded_iterations : int;  (** iterations executed under recording *)
+  mutable converged : int;  (** regions that reached a converged iteration *)
+  mutable skipped_iterations : int;
+  mutable skipped_instrs : int;  (** dynamic instructions fast-forwarded *)
+}
+
+val create_report : unit -> report
+
+type ctx = {
+  policy : policy;
+  report : report;
+  stats : Stats.t;
+  blocks : int array;  (** the block trace being replayed *)
+  n_ids : int;  (** number of distinct block ids (array bound) *)
+  n_instrs_of : int -> int;  (** instructions in a block, by id *)
+  stream_invariant : start:int -> period:int -> bool;
+      (** cheap pre-filter: whether one iteration of the candidate
+          pattern leaves the data stream where it started (see
+          {!Data_stream.advance_invariant}); convergence is still only
+          ever established by fingerprint equality *)
+  fingerprint : start:int -> period:int -> add:(int -> unit) -> unit;
+      (** canonical fingerprint, at the current point, of the machine
+          state one iteration of the pattern at [blocks.(start ..
+          start+period)] can observe or modify — state provably
+          untouched by the pattern (e.g. the whole data-memory side of
+          a pure-compute loop) may be excluded.  [start] is always the
+          region's first boundary, so the scanned window is identical
+          across a region's snapshots *)
+  exec : int -> unit;  (** execute the block at a trace position *)
+  set_awake_recorder : (int -> unit) option -> unit;
+      (** drowsy awake-increment recorder hook (no-op if not drowsy) *)
+  drowsy_advance : since:int -> delta:int -> unit;
+  drowsy_replay : int array -> len:int -> iters:int -> unit;
+  cycles : int ref;  (** the replay loop's cycle accumulator *)
+  instrs : int ref;  (** the replay loop's retired-instruction counter *)
+}
+
+val run : ctx -> unit
+(** Drive the whole trace through [ctx.exec], fast-forwarding converged
+    periodic regions.  On return every trace position has been either
+    executed or skipped-with-exact-effects; [ctx.report] describes
+    which. *)

@@ -67,30 +67,45 @@ module Pool = struct
     loop ()
 
   (* Drain completion events on the submitting domain until every
-     worker has exited, emitting progress in completion order. *)
+     worker has exited, emitting progress in completion order.  Events
+     are collected under the lock but progress callbacks run with it
+     released: a raising (or merely slow) callback must never leave
+     [queue_lock] held — workers block on it in [take]/[run_one], so
+     that would deadlock the whole pool.  A callback exception is
+     recorded as the batch failure (stopping the cursor, like a job
+     failure) and the pump keeps draining until the workers exit, so
+     [map] still joins every domain before re-raising. *)
   let pump progress batch ~nworkers =
     let total = Array.length batch.items in
     let emitted = ref 0 in
-    Mutex.lock batch.queue_lock;
+    let callback_failed = ref false in
     let rec drain () =
-      (match List.rev batch.finished with
-      | [] -> ()
-      | events ->
-          batch.finished <- [];
-          List.iter
-            (fun (item, seconds) ->
-              incr emitted;
-              match progress with
-              | None -> ()
-              | Some f -> f item ~seconds ~completed:!emitted ~total)
-            events);
-      if batch.exited < nworkers then begin
-        Condition.wait batch.completion batch.queue_lock;
-        drain ()
-      end
+      Mutex.lock batch.queue_lock;
+      while batch.finished = [] && batch.exited < nworkers do
+        Condition.wait batch.completion batch.queue_lock
+      done;
+      let events = List.rev batch.finished in
+      batch.finished <- [];
+      let all_exited = batch.exited >= nworkers in
+      Mutex.unlock batch.queue_lock;
+      List.iter
+        (fun (item, seconds) ->
+          incr emitted;
+          match progress with
+          | None -> ()
+          | Some f ->
+              if not !callback_failed then begin
+                try f item ~seconds ~completed:!emitted ~total
+                with exn ->
+                  callback_failed := true;
+                  Mutex.lock batch.queue_lock;
+                  if batch.failure = None then batch.failure <- Some exn;
+                  Mutex.unlock batch.queue_lock
+              end)
+        events;
+      if not all_exited then drain ()
     in
-    drain ();
-    Mutex.unlock batch.queue_lock
+    drain ()
 
   let run_sequential f progress batch =
     let total = Array.length batch.items in

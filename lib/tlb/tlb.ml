@@ -89,6 +89,25 @@ let flush t =
   t.rr_next <- 0;
   t.last_hit <- -1
 
+(* Canonical fingerprint for the steady-state fast-forward detector:
+   page and way-placement bit per valid entry (-1/-1 when invalid —
+   stale [wp_bits] of invalidated entries are unreachable, since the
+   scan matches on [pages] alone), plus the round-robin cursor and the
+   lookup memo. *)
+let fingerprint t ~add =
+  for i = 0 to t.entries - 1 do
+    if t.valid.(i) then begin
+      add t.pages.(i);
+      add (if t.wp_bits.(i) then 1 else 0)
+    end
+    else begin
+      add (-1);
+      add (-1)
+    end
+  done;
+  add t.rr_next;
+  add t.last_hit
+
 let valid_entries t =
   Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid
 

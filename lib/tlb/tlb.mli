@@ -43,3 +43,8 @@ val flush : t -> unit
 
 val valid_entries : t -> int
 val pp : Format.formatter -> t -> unit
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Canonical state fingerprint (valid entries' pages and
+    way-placement bits, round-robin cursor, lookup memo) for the
+    steady-state fast-forward detector. *)

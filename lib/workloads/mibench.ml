@@ -141,9 +141,44 @@ let all =
     fft_inv;
   ]
 
+(* Loop-dominated long-trip-count variants: the steady-state
+   fast-forward showcase.  Pure-compute kernels (mem_ratio 0) with
+   chunky straight-line bodies inside a single tight loop level — the
+   trace is long periodic regions whose iterations touch no data
+   stream, so the fast-forward engine converges after a couple of
+   recorded iterations and skips the rest.  [mem:0.0] matters: any
+   data access moves the stream cursors (or draws from the RNG) every
+   iteration and vetoes fast-forward; these variants model
+   table-free, register-resident inner loops. *)
+let loop_variant ~name ~seed ~funcs ~blocks ~instrs ~taken =
+  make ~name ~seed ~funcs ~blocks ~instrs ~loop_depth:1 ~trips:60
+    ~hot_frac:0.5 ~taken ~mem:0.0 ~mac:0.0 ~ws:64 ~large:600_000 ()
+
+(* In-body if-diamonds draw a fresh side every visit, so a diamond in
+   a hot loop makes almost no two consecutive iterations trace
+   identically, defeating period detection.  [crc_loop] keeps a
+   budget big enough for occasional diamonds (a mixed shape);
+   [adpcm_loop] and [sha_loop] use a 3-4 block budget, below the
+   5-block minimum the generator needs to emit an if, modelling the
+   branch-free unrolled/predicated kernels where steady-state
+   fast-forward shines. *)
+let crc_loop =
+  loop_variant ~name:"crc_loop" ~seed:221 ~funcs:6 ~blocks:(3, 6)
+    ~instrs:(20, 32) ~taken:0.5
+
+let adpcm_loop =
+  loop_variant ~name:"adpcm_loop" ~seed:222 ~funcs:6 ~blocks:(3, 4)
+    ~instrs:(16, 28) ~taken:0.1
+
+let sha_loop =
+  loop_variant ~name:"sha_loop" ~seed:223 ~funcs:6 ~blocks:(3, 4)
+    ~instrs:(48, 72) ~taken:0.9
+
+let loops = [ crc_loop; adpcm_loop; sha_loop ]
+let loop_names = List.map (fun s -> s.Spec.name) loops
 let names = List.map (fun s -> s.Spec.name) all
 
-let find name = List.find (fun s -> s.Spec.name = name) all
+let find name = List.find (fun s -> s.Spec.name = name) (all @ loops)
 
 let tiny =
   make ~name:"tiny" ~seed:7 ~funcs:5 ~blocks:(3, 6) ~instrs:(3, 6)

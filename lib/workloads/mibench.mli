@@ -12,8 +12,18 @@ val all : Spec.t list
 
 val names : string list
 
+val loops : Spec.t list
+(** Loop-dominated long-trip-count variants ([crc_loop], [adpcm_loop],
+    [sha_loop]): pure-compute kernels (no data accesses) with chunky
+    bodies in tight single-level loops — long periodic trace regions
+    the steady-state fast-forward engine can skip.  Not part of {!all}
+    (they are perf/fast-forward fixtures, not paper benchmarks). *)
+
+val loop_names : string list
+
 val find : string -> Spec.t
-(** @raise Not_found for an unknown name. *)
+(** Looks up {!all} and {!loops} by name.
+    @raise Not_found for an unknown name. *)
 
 val tiny : Spec.t
 (** A miniature benchmark for unit tests and the quickstart example:

@@ -91,3 +91,7 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+let fingerprint t ~add =
+  add (Int64.to_int (Int64.shift_right_logical t.state 32));
+  add (Int64.to_int (Int64.logand t.state 0xFFFF_FFFFL))

@@ -37,3 +37,10 @@ val split : t -> t
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates. *)
+
+val fingerprint : t -> add:(int -> unit) -> unit
+(** Emit the generator state (as two ints) — used by the steady-state
+    fast-forward detector, where a state mismatch must veto skipping.
+    The splitmix64 state strictly advances per draw, so a stream that
+    keeps drawing never fingerprints equal — exactly the conservative
+    behaviour wanted. *)

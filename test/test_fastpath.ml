@@ -144,6 +144,60 @@ let drowsy_configs =
 
 let test_drowsy spec () = List.iter (check_equiv spec) drowsy_configs
 
+(* --- plan memo: concurrent first-request dedup -------------------- *)
+
+module Compiled_trace = Wayplace.Sim.Compiled_trace
+
+let test_plan_concurrent_dedup () =
+  (* A fresh compiled trace so this test owns every first [plan]
+     request.  For each line size, domains race the first request; the
+     memo may let several compute, but every caller must get the one
+     plan the first insert won with — physical equality, so later
+     sharing (and the sweep's cross-domain reuse) is real. *)
+  let prep = prepare streaks in
+  let compiled =
+    Compiled_trace.make ~program:prep.Runner.program
+      ~layout:prep.Runner.original_layout
+  in
+  let n = 8 in
+  List.iter
+    (fun line_bytes ->
+      let ready = Atomic.make 0 in
+      let worker () =
+        Atomic.incr ready;
+        while Atomic.get ready < n do
+          Domain.cpu_relax ()
+        done;
+        Compiled_trace.plan compiled ~line_bytes
+      in
+      let plans =
+        List.map Domain.join (List.init n (fun _ -> Domain.spawn worker))
+      in
+      let first = List.hd plans in
+      List.iteri
+        (fun i p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "line %d: domain %d shares the plan" line_bytes i)
+            true (p == first))
+        plans;
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d: later request hits the memo" line_bytes)
+        true
+        (Compiled_trace.plan compiled ~line_bytes == first))
+    [ 16; 32; 64; 128 ]
+
+let test_plan_invalid_line_bytes () =
+  let prep = prepare streaks in
+  let compiled = prep.Runner.compiled_original in
+  List.iter
+    (fun lb ->
+      Alcotest.check_raises
+        (Printf.sprintf "line_bytes %d rejected" lb)
+        (Invalid_argument
+           "Compiled_trace.plan: line_bytes must be a positive power of two")
+        (fun () -> ignore (Compiled_trace.plan compiled ~line_bytes:lb)))
+    [ 0; -32; 48 ]
+
 let () =
   Alcotest.run "fastpath"
     [
@@ -167,5 +221,12 @@ let () =
             (test_drowsy streaks);
           Alcotest.test_case "straddle: leakage, drowsy on/off" `Quick
             (test_drowsy straddle);
+        ] );
+      ( "plan memo",
+        [
+          Alcotest.test_case "concurrent first request dedups" `Quick
+            test_plan_concurrent_dedup;
+          Alcotest.test_case "invalid line size rejected" `Quick
+            test_plan_invalid_line_bytes;
         ] );
     ]

@@ -133,6 +133,87 @@ let test_write_json_unwritable_path () =
         (String.length msg > 0)
   | Ok () -> Alcotest.fail "writing into a missing directory succeeded"
 
+(* --- perf-JSON reader: tolerant by contract --- *)
+
+let with_perf_file content f =
+  let path = Filename.temp_file "wayplace_perf" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content);
+      f path)
+
+let well_formed =
+  {|{
+  "schema": "wayplace-bench-sim/1",
+  "host": {"hostname": "h", "os": "Unix", "recommended_domains": 8, "timing_domains": 1},
+  "repeat": 3,
+  "results": [
+    {"benchmark": "crc", "scheme": "baseline", "path": "fast", "instrs": 100, "wall_s": 0.5, "instrs_per_sec": 200.0},
+    {"benchmark": "crc_loop", "scheme": "way-memoization", "path": "fastforward", "instrs": 100, "wall_s": 0.25, "instrs_per_sec": 4e8}
+  ]
+}|}
+
+let test_parse_perf_rows_well_formed () =
+  with_perf_file well_formed (fun path ->
+      match Report.parse_perf_rows path with
+      | Error msg -> Alcotest.failf "parse failed: %s" msg
+      | Ok (rows, skipped) ->
+          Alcotest.(check int) "no rows skipped" 0 skipped;
+          Alcotest.(check int) "both rows found" 2 (List.length rows);
+          let (b, s, p), ips = List.hd rows in
+          Alcotest.(check string) "benchmark" "crc" b;
+          Alcotest.(check string) "scheme" "baseline" s;
+          Alcotest.(check string) "path" "fast" p;
+          Alcotest.(check (float 0.0)) "throughput" 200.0 ips)
+
+let corrupt =
+  (* Every line mentions instrs_per_sec, so each is a claimed result
+     row; only the first is usable.  The rest exercise: missing
+     field, non-numeric rate, non-finite rate, value truncated away,
+     and an unterminated string from a torn write. *)
+  {|{"benchmark": "ok", "scheme": "baseline", "path": "fast", "instrs_per_sec": 1.5}
+{"scheme": "baseline", "path": "fast", "instrs_per_sec": 2.0}
+{"benchmark": "bad1", "scheme": "baseline", "path": "fast", "instrs_per_sec": "fast"}
+{"benchmark": "bad2", "scheme": "baseline", "path": "fast", "instrs_per_sec": nan}
+{"benchmark": "bad3", "scheme": "baseline", "path": "fast", "instrs_per_sec":
+{"benchmark": "bad4", "scheme": "baseline", "instrs_per_sec": 3.0, "path": "trunc|}
+
+let test_parse_perf_rows_corrupt () =
+  with_perf_file corrupt (fun path ->
+      match Report.parse_perf_rows path with
+      | Error msg -> Alcotest.failf "tolerant reader refused file: %s" msg
+      | Ok (rows, skipped) ->
+          Alcotest.(check int) "good row survives" 1 (List.length rows);
+          let (b, _, _), ips = List.hd rows in
+          Alcotest.(check string) "good row benchmark" "ok" b;
+          Alcotest.(check (float 0.0)) "good row rate" 1.5 ips;
+          Alcotest.(check int) "malformed rows counted" 5 skipped)
+
+let test_parse_perf_rows_empty_and_irrelevant () =
+  with_perf_file "" (fun path ->
+      match Report.parse_perf_rows path with
+      | Error msg -> Alcotest.failf "empty file refused: %s" msg
+      | Ok (rows, skipped) ->
+          Alcotest.(check int) "no rows" 0 (List.length rows);
+          Alcotest.(check int) "nothing skipped" 0 skipped);
+  (* JSON with no result rows at all: structure only, zero skipped. *)
+  with_perf_file "{\n  \"results\": []\n}\n" (fun path ->
+      match Report.parse_perf_rows path with
+      | Error msg -> Alcotest.failf "row-free file refused: %s" msg
+      | Ok (rows, skipped) ->
+          Alcotest.(check int) "no rows" 0 (List.length rows);
+          Alcotest.(check int) "nothing skipped" 0 skipped)
+
+let test_parse_perf_rows_unreadable () =
+  match Report.parse_perf_rows "/nonexistent-dir/deeper/perf.json" with
+  | Error msg ->
+      Alcotest.(check bool) "diagnostic not empty" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "reading a missing file succeeded"
+
 let () =
   Alcotest.run "report"
     [
@@ -153,5 +234,16 @@ let () =
             test_write_json_roundtrip;
           Alcotest.test_case "unwritable path is a clean error" `Quick
             test_write_json_unwritable_path;
+        ] );
+      ( "perf rows",
+        [
+          Alcotest.test_case "well-formed file" `Quick
+            test_parse_perf_rows_well_formed;
+          Alcotest.test_case "corrupt rows are skipped, not fatal" `Quick
+            test_parse_perf_rows_corrupt;
+          Alcotest.test_case "empty and row-free files" `Quick
+            test_parse_perf_rows_empty_and_irrelevant;
+          Alcotest.test_case "unreadable path is a clean error" `Quick
+            test_parse_perf_rows_unreadable;
         ] );
     ]

@@ -1,0 +1,463 @@
+(* Steady-state fast-forward: the detector/replay engine in isolation
+   (synthetic contexts over hand-built traces) plus its integration
+   into the simulator (bit-identity with fast-forward on, off, and the
+   per-instruction reference loop; skip accounting; bail-outs). *)
+
+module Config = Wayplace.Sim.Config
+module Stats = Wayplace.Sim.Stats
+module Simulator = Wayplace.Sim.Simulator
+module Runner = Wayplace.Sim.Runner
+module Steady_state = Wayplace.Sim.Steady_state
+module Geometry = Wayplace.Cache.Geometry
+module Replacement = Wayplace.Cache.Replacement
+module Cam_cache = Wayplace.Cache.Cam_cache
+module Drowsy = Wayplace.Cache.Drowsy
+module Mibench = Wayplace.Workloads.Mibench
+module Spec = Wayplace.Workloads.Spec
+
+(* --- synthetic harness ------------------------------------------- *)
+
+(* A fake machine over a block trace: executing block id [i] costs
+   [i + 1] instructions and cycles, and machine "state" is a single
+   counter that converges to a fixed point per distinct block (so two
+   iterations of any loop leave it equal — every periodic region
+   converges on the first recorded iteration).  The executed-position
+   log lets tests assert exactly which trace positions ran. *)
+type fake = {
+  trace : int array;
+  mutable state : int;
+  executed : int list ref;
+  cycles : int ref;
+  instrs : int ref;
+  stats : Stats.t;
+}
+
+let fake_ctx ?(policy = Steady_state.default_policy)
+    ?(variant = fun ~start:_ ~period:_ -> true) ?(state_converges = true)
+    trace =
+  let f =
+    {
+      trace;
+      state = 0;
+      executed = ref [];
+      cycles = ref 0;
+      instrs = ref 0;
+      stats = Stats.create ();
+    }
+  in
+  let report = Steady_state.create_report () in
+  let ctx =
+    {
+      Steady_state.policy;
+      report;
+      stats = f.stats;
+      blocks = trace;
+      n_ids = 64;
+      n_instrs_of = (fun id -> id + 1);
+      stream_invariant = variant;
+      fingerprint =
+        (fun ~start:_ ~period:_ ~add ->
+          add f.state;
+          add 42);
+      exec =
+        (fun k ->
+          let id = trace.(k) in
+          f.executed := k :: !(f.executed);
+          (* Converging: state snaps to a per-block fixed point.
+             Diverging: state strictly increases, so no two boundary
+             fingerprints are ever equal. *)
+          if state_converges then f.state <- id * 7
+          else f.state <- f.state + 1;
+          f.stats.Stats.fetches <- f.stats.Stats.fetches + id + 1;
+          f.cycles := !(f.cycles) + id + 1;
+          f.instrs := !(f.instrs) + id + 1);
+      set_awake_recorder = (fun _ -> ());
+      drowsy_advance = (fun ~since:_ ~delta:_ -> ());
+      drowsy_replay = (fun _ ~len:_ ~iters:_ -> ());
+      cycles = f.cycles;
+      instrs = f.instrs;
+    }
+  in
+  (f, ctx, report)
+
+let trace_sum trace = Array.fold_left (fun a id -> a + id + 1) 0 trace
+
+(* Policy with a tiny skip threshold so short synthetic loops qualify. *)
+let eager = { Steady_state.default_policy with min_skip_instrs = 4 }
+
+let check_totals name f =
+  (* Whatever was skipped must have been accounted exactly: the
+     instruction and cycle totals equal a plain full replay's. *)
+  let expect = trace_sum f.trace in
+  Alcotest.(check int) (name ^ ": instrs") expect !(f.instrs);
+  Alcotest.(check int) (name ^ ": cycles") expect !(f.cycles);
+  Alcotest.(check int) (name ^ ": fetches") expect f.stats.Stats.fetches
+
+(* A loop body [3; 5] repeated [iters] times, with distinct entry and
+   exit stretches. *)
+let looped iters =
+  Array.concat
+    [
+      [| 9; 8 |];
+      Array.concat (List.init iters (fun _ -> [| 3; 5 |]));
+      [| 7; 6 |];
+    ]
+
+let test_convergent_loop () =
+  let trace = looped 50 in
+  let f, ctx, report = fake_ctx ~policy:eager trace in
+  Steady_state.run ctx;
+  check_totals "loop" f;
+  Alcotest.(check bool) "converged" true (report.Steady_state.converged > 0);
+  Alcotest.(check bool)
+    "skipped most iterations" true
+    (report.Steady_state.skipped_iterations > 40);
+  Alcotest.(check int) "skip accounting"
+    (report.Steady_state.skipped_iterations * 10)
+    report.Steady_state.skipped_instrs;
+  (* The executed positions must be exactly the non-skipped ones, in
+     order and without duplicates. *)
+  let ran = List.rev !(f.executed) in
+  let sorted = List.sort_uniq compare ran in
+  Alcotest.(check bool) "no duplicate positions" true (ran = sorted);
+  Alcotest.(check int) "positions executed"
+    (Array.length trace - (report.Steady_state.skipped_iterations * 2))
+    (List.length ran)
+
+(* Trip counts 0, 1 and 2: below any detectable periodicity, the
+   engine must degrade to a plain replay with zero skips. *)
+let test_tiny_trip_counts () =
+  List.iter
+    (fun iters ->
+      let trace = looped iters in
+      let f, ctx, report = fake_ctx ~policy:eager trace in
+      Steady_state.run ctx;
+      check_totals (Printf.sprintf "trips=%d" iters) f;
+      if iters <= 2 then
+        (* One or two occurrences of the body: nothing worth skipping
+           remains once two boundary snapshots are needed. *)
+        Alcotest.(check int)
+          (Printf.sprintf "trips=%d skips nothing" iters)
+          0 report.Steady_state.skipped_iterations)
+    [ 0; 1; 2; 3 ]
+
+let test_never_converges () =
+  (* Strictly-advancing state (an RNG counter): fingerprints never
+     match, so everything replays and the attempt budget bounds the
+     recording. *)
+  let trace = looped 50 in
+  let f, ctx, report = fake_ctx ~policy:eager ~state_converges:false trace in
+  Steady_state.run ctx;
+  check_totals "divergent" f;
+  Alcotest.(check int) "nothing skipped" 0
+    report.Steady_state.skipped_iterations;
+  Alcotest.(check int) "nothing converged" 0 report.Steady_state.converged;
+  Alcotest.(check int) "all positions ran" (Array.length trace)
+    (List.length !(f.executed))
+
+let test_stream_variant_veto () =
+  let trace = looped 50 in
+  let f, ctx, report =
+    fake_ctx ~policy:eager ~variant:(fun ~start:_ ~period:_ -> false) trace
+  in
+  Steady_state.run ctx;
+  check_totals "vetoed" f;
+  Alcotest.(check int) "no attempts" 0 report.Steady_state.regions;
+  Alcotest.(check int) "nothing skipped" 0
+    report.Steady_state.skipped_iterations
+
+let test_min_skip_threshold () =
+  (* The loop is periodic but too small to be worth an attempt under
+     the default 2000-instruction threshold. *)
+  let trace = looped 20 in
+  let _, ctx, report = fake_ctx trace in
+  Steady_state.run ctx;
+  Alcotest.(check int) "below threshold: no attempts" 0
+    report.Steady_state.regions
+
+let test_non_periodic () =
+  (* A square-free ternary word (morphism 0->012, 1->02, 2->1): block
+     ids repeat constantly, so candidate periods arise everywhere, but
+     no factor XX exists — every segment comparison must fail, no
+     attempt may fire, and the replay must be exact. *)
+  let rec grow w =
+    if List.length w >= 200 then w
+    else
+      grow
+        (List.concat_map
+           (function 0 -> [ 0; 1; 2 ] | 1 -> [ 0; 2 ] | _ -> [ 1 ])
+           w)
+  in
+  let trace = Array.of_list (grow [ 0 ]) in
+  let f, ctx, report = fake_ctx ~policy:eager trace in
+  Steady_state.run ctx;
+  check_totals "square-free" f;
+  Alcotest.(check int) "no attempts" 0 report.Steady_state.regions;
+  Alcotest.(check int) "nothing skipped" 0
+    report.Steady_state.skipped_iterations
+
+let test_snapshot_budget () =
+  (* A budget of zero shuts detection off entirely. *)
+  let trace = looped 50 in
+  let f, ctx, report =
+    fake_ctx ~policy:{ eager with Steady_state.snapshot_budget = 0 } trace
+  in
+  Steady_state.run ctx;
+  check_totals "no budget" f;
+  Alcotest.(check int) "no attempts" 0 report.Steady_state.regions
+
+(* --- fingerprint collision resistance ---------------------------- *)
+
+let geo = Geometry.make ~size_bytes:1024 ~assoc:4 ~line_bytes:32
+
+let fp_of f =
+  let b = Buffer.create 256 in
+  f ~add:(fun x -> Buffer.add_string b (string_of_int x ^ ","));
+  Buffer.contents b
+
+let test_cam_fingerprint_distinct () =
+  (* Two caches differing only in which lines are resident must not
+     fingerprint equal (fast-forwarding across that difference would
+     replay the wrong hit/miss sequence). *)
+  let c1 = Cam_cache.create geo ~replacement:Replacement.Round_robin in
+  let c2 = Cam_cache.create geo ~replacement:Replacement.Round_robin in
+  ignore (Cam_cache.fill c1 0x1000 Cam_cache.Victim_by_policy);
+  ignore (Cam_cache.fill c2 0x2000 Cam_cache.Victim_by_policy);
+  Alcotest.(check bool) "different residency -> different fp" false
+    (String.equal
+       (fp_of (Cam_cache.fingerprint c1))
+       (fp_of (Cam_cache.fingerprint c2)));
+  (* Identical fill histories: equal fingerprints. *)
+  let c3 = Cam_cache.create geo ~replacement:Replacement.Round_robin in
+  let c4 = Cam_cache.create geo ~replacement:Replacement.Round_robin in
+  List.iter
+    (fun c ->
+      ignore (Cam_cache.fill c 0x1000 Cam_cache.Victim_by_policy);
+      ignore (Cam_cache.fill c 0x2000 Cam_cache.Victim_by_policy))
+    [ c3; c4 ];
+  Alcotest.(check string) "same state -> same fp"
+    (fp_of (Cam_cache.fingerprint c3))
+    (fp_of (Cam_cache.fingerprint c4))
+
+let test_lru_rank_canonical () =
+  (* Raw LRU timestamps differ after different access histories, but
+     what matters (and what the fingerprint must capture) is the
+     ordering.  Same rank order at different absolute clocks must
+     fingerprint equal; a different victim order must not. *)
+  let mk accesses =
+    let c = Cam_cache.create geo ~replacement:Replacement.Lru in
+    List.iter
+      (fun a ->
+        (match Cam_cache.probe c a with
+        | None -> ignore (Cam_cache.fill c a Cam_cache.Victim_by_policy)
+        | Some _ -> ());
+        ignore (Cam_cache.lookup_full c a))
+      accesses;
+    c
+  in
+  (* Both histories fill the three lines in the same order (same way
+     assignment) and end with recency order 0x3000 > 0x2000 > 0x1000,
+     but the second burns many more clock ticks getting there: the
+     rank canonicalisation must erase the raw timestamps. *)
+  let c1 = mk [ 0x1000; 0x2000; 0x3000 ] in
+  let c2 = mk [ 0x1000; 0x2000; 0x1000; 0x2000; 0x1000; 0x2000; 0x3000 ] in
+  Alcotest.(check string) "same rank order -> same fp"
+    (fp_of (Cam_cache.fingerprint c1))
+    (fp_of (Cam_cache.fingerprint c2));
+  (* Same lines in the same ways, opposite recency: must differ (the
+     next victim choice differs). *)
+  let c3 = mk [ 0x1000; 0x2000; 0x3000; 0x3000; 0x2000; 0x1000 ] in
+  Alcotest.(check bool) "reversed recency -> different fp" false
+    (String.equal
+       (fp_of (Cam_cache.fingerprint c1))
+       (fp_of (Cam_cache.fingerprint c3)))
+
+let test_drowsy_fingerprint () =
+  let mk touches now =
+    let d = Drowsy.create geo ~window:8 in
+    List.iter (fun (t, set, way) -> ignore (Drowsy.note_access d ~now:t ~set ~way)) touches;
+    fp_of (fun ~add -> Drowsy.fingerprint d ~now ~add)
+  in
+  (* Same gaps at different absolute times: equal. *)
+  Alcotest.(check string) "gap-canonical"
+    (mk [ (10, 0, 0); (12, 1, 1) ] 14)
+    (mk [ (100, 0, 0); (102, 1, 1) ] 104);
+  (* Awake line vs drowsy line: different. *)
+  Alcotest.(check bool) "awake vs asleep -> different fp" false
+    (String.equal (mk [ (10, 0, 0) ] 12) (mk [ (10, 0, 0) ] 40));
+  (* Two gaps both beyond the window share one canonical value. *)
+  Alcotest.(check string) "all sleep depths equal"
+    (mk [ (10, 0, 0) ] 30)
+    (mk [ (10, 0, 0) ] 300)
+
+(* --- integration: the simulator with fast-forward ------------------ *)
+
+let loop_kernel =
+  {
+    (Mibench.find "crc_loop") with
+    Spec.name = "crc_loop_test";
+    trace_blocks_large = 40_000;
+    trace_blocks_small = 40_000;
+  }
+
+(* Every instruction a data access: every periodic candidate moves the
+   stream cursors, so the stream-variance veto rejects them all. *)
+let memheavy_kernel =
+  {
+    loop_kernel with
+    Spec.name = "memheavy_loop";
+    seed = 331;
+    mem_ratio = 1.0;
+    instrs_per_block_min = 3;
+    instrs_per_block_max = 6;
+    data_working_set_bytes = 8 * 1024;
+    trace_blocks_large = 20_000;
+    trace_blocks_small = 20_000;
+  }
+
+let prep_of = Hashtbl.create 4
+
+let prepare spec =
+  match Hashtbl.find_opt prep_of spec.Spec.name with
+  | Some p -> p
+  | None ->
+      let p = Runner.prepare spec in
+      Hashtbl.add prep_of spec.Spec.name p;
+      p
+
+let schemes =
+  [
+    Config.Baseline;
+    Config.Way_placement { area_bytes = 2048 };
+    Config.Way_memoization;
+    Config.Way_prediction;
+    Config.Filter_cache { l0_bytes = 512 };
+  ]
+
+(* The tentpole invariant, three ways: fast-forward on, fast-forward
+   off, and the per-instruction reference loop all bit-identical. *)
+let check_three_way spec config =
+  let prep = prepare spec in
+  let report = Steady_state.create_report () in
+  let ff_on = Runner.run_scheme ~fastforward:true ~ff_report:report prep config in
+  let ff_off = Runner.run_scheme ~fastforward:false prep config in
+  let reference =
+    Simulator.run_compiled ~reference_only:true ~config
+      ~trace:prep.Runner.trace_large
+      (Runner.compiled_for prep config)
+  in
+  if not (Stats.equal ff_on ff_off) then
+    Alcotest.failf "%s / %s: fast-forward diverges from plain fast path:@ %a"
+      spec.Spec.name
+      (Config.scheme_name config.Config.scheme)
+      Stats.pp_diff (ff_on, ff_off);
+  if not (Stats.equal ff_on reference) then
+    Alcotest.failf "%s / %s: fast-forward diverges from reference:@ %a"
+      spec.Spec.name
+      (Config.scheme_name config.Config.scheme)
+      Stats.pp_diff (ff_on, reference);
+  report
+
+let test_loop_schemes () =
+  List.iter
+    (fun s ->
+      let config = Config.xscale s in
+      let report = check_three_way loop_kernel config in
+      Alcotest.(check bool)
+        (Config.scheme_name s ^ ": fast-forward engaged")
+        true
+        (report.Steady_state.skipped_instrs > 0))
+    schemes
+
+let test_memheavy_vetoed () =
+  let report = check_three_way memheavy_kernel (Config.xscale Config.Baseline) in
+  Alcotest.(check int) "stream-variant loops skip nothing" 0
+    report.Steady_state.skipped_instrs
+
+let test_drowsy_crossing () =
+  (* A window smaller than one loop iteration's fetch count forces
+     lines asleep and awake across iteration boundaries — the drowsy
+     replay and advance paths must still be bit-identical. *)
+  List.iter
+    (fun window ->
+      let config =
+        Config.with_drowsy
+          (Config.with_leakage (Config.xscale Config.Baseline) true)
+          (Some window)
+      in
+      let report = check_three_way loop_kernel config in
+      if window >= 256 then
+        Alcotest.(check bool)
+          (Printf.sprintf "drowsy window %d: still fast-forwards" window)
+          true
+          (report.Steady_state.skipped_instrs > 0))
+    [ 16; 64; 256; 4096 ]
+
+let test_resize_schedule_bails () =
+  (* Resize schedules force the reference loop, so the fast-forward
+     default must be irrelevant — including a resize index landing
+     exactly where a loop iteration would have been skipped. *)
+  let prep = prepare loop_kernel in
+  let config = Config.xscale (Config.Way_placement { area_bytes = 2048 }) in
+  let schedule = [ (100, 4096); (20_000, 2048) ] in
+  let run () =
+    Simulator.run_with_resizes ~schedule ~config
+      ~program:prep.Runner.program ~layout:prep.Runner.placed_layout
+      ~trace:prep.Runner.trace_large
+  in
+  Simulator.set_fastforward_default false;
+  let off = run () in
+  Simulator.set_fastforward_default true;
+  let on = run () in
+  if not (Stats.equal on off) then
+    Alcotest.failf "resize schedule: default toggle changed stats:@ %a"
+      Stats.pp_diff (on, off)
+
+let test_default_toggle () =
+  (* run_scheme with no explicit argument follows the global default. *)
+  let prep = prepare loop_kernel in
+  let config = Config.xscale Config.Baseline in
+  Simulator.set_fastforward_default false;
+  let off = Runner.run_scheme prep config in
+  Simulator.set_fastforward_default true;
+  let on = Runner.run_scheme prep config in
+  if not (Stats.equal on off) then
+    Alcotest.failf "default toggle changed stats:@ %a" Stats.pp_diff (on, off)
+
+let () =
+  Alcotest.run "steady_state"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "convergent loop" `Quick test_convergent_loop;
+          Alcotest.test_case "trip counts 0/1/2" `Quick test_tiny_trip_counts;
+          Alcotest.test_case "never converges" `Quick test_never_converges;
+          Alcotest.test_case "stream-variant veto" `Quick
+            test_stream_variant_veto;
+          Alcotest.test_case "min-skip threshold" `Quick
+            test_min_skip_threshold;
+          Alcotest.test_case "non-periodic trace" `Quick test_non_periodic;
+          Alcotest.test_case "snapshot budget" `Quick test_snapshot_budget;
+        ] );
+      ( "fingerprints",
+        [
+          Alcotest.test_case "cam residency" `Quick
+            test_cam_fingerprint_distinct;
+          Alcotest.test_case "lru rank canonicalisation" `Quick
+            test_lru_rank_canonical;
+          Alcotest.test_case "drowsy gaps" `Quick test_drowsy_fingerprint;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "loop kernel, all schemes" `Quick
+            test_loop_schemes;
+          Alcotest.test_case "mem-heavy loop vetoed" `Quick
+            test_memheavy_vetoed;
+          Alcotest.test_case "drowsy crossing iterations" `Quick
+            test_drowsy_crossing;
+          Alcotest.test_case "resize schedule bails out" `Quick
+            test_resize_schedule_bails;
+          Alcotest.test_case "global default toggle" `Quick
+            test_default_toggle;
+        ] );
+    ]

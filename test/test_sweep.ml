@@ -155,6 +155,24 @@ let test_progress_reporting () =
 
 (* --- error propagation --- *)
 
+exception Progress_boom
+
+let test_progress_raise_propagates () =
+  (* A progress callback that raises runs on the coordinating thread;
+     the pool must surface the exception to the caller instead of
+     deadlocking on workers still waiting for jobs. *)
+  List.iter
+    (fun workers ->
+      let progress _job ~seconds:_ ~completed ~total:_ =
+        if completed = 2 then raise Progress_boom
+      in
+      let t = Sweep.create ~workers ~progress () in
+      Alcotest.check_raises
+        (Printf.sprintf "progress raise surfaces (workers=%d)" workers)
+        Progress_boom
+        (fun () -> ignore (Sweep.run_batch t small_grid)))
+    [ 1; 3 ]
+
 let test_failure_propagates () =
   List.iter
     (fun workers ->
@@ -186,5 +204,7 @@ let () =
           Alcotest.test_case "prepare memoised" `Quick test_stats_memoises_prepare;
           Alcotest.test_case "progress" `Quick test_progress_reporting;
           Alcotest.test_case "failure propagation" `Quick test_failure_propagates;
+          Alcotest.test_case "raising progress callback" `Quick
+            test_progress_raise_propagates;
         ] );
     ]
