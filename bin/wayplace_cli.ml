@@ -10,6 +10,8 @@
      dune exec bin/wayplace_cli.exe -- layout -b ispell
      dune exec bin/wayplace_cli.exe -- profile -b crc -o crc.profile
      dune exec bin/wayplace_cli.exe -- layout -b crc --profile crc.profile
+     dune exec bin/wayplace_cli.exe -- serve --socket /tmp/wp.sock --store /tmp/wp-store
+     dune exec bin/wayplace_cli.exe -- loadtest --socket /tmp/wp.sock -n 2000 -c 8
      dune exec bin/wayplace_cli.exe -- list *)
 
 open Cmdliner
@@ -886,6 +888,184 @@ let lint_cmd benchmarks sizes ways line area static json_out csv_out strict =
       Format.eprintf "error: %s@." msg;
       1
 
+(* --- serve / loadtest: the placement service --- *)
+
+module Serve = Wayplace.Serve
+
+let socket_arg =
+  let doc = "Listen on (serve) or connect to (loadtest) this Unix socket." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen on (serve) or connect to (loadtest) this TCP port." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "TCP host to bind / connect (with --port)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let endpoint_of ~socket ~port ~host =
+  match (socket, port) with
+  | Some _, Some _ -> Error "use --socket or --port, not both"
+  | Some path, None -> Ok (Serve.Protocol.Unix_socket path)
+  | None, Some port -> Ok (Serve.Protocol.Tcp (host, port))
+  | None, None -> Ok (Serve.Protocol.Unix_socket "wayplace.sock")
+
+let store_arg =
+  let doc =
+    "Persist computed results in this directory (content-addressed; entries \
+     survive restarts and are recomputed if corrupt)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let serve_cmd socket port host store jobs quiet =
+  let ( let* ) = Result.bind in
+  let result =
+    let* endpoint = endpoint_of ~socket ~port ~host in
+    let* daemon = Serve.Daemon.create ?workers:jobs ?store_dir:store ~endpoint () in
+    let stop _ = Serve.Daemon.stop daemon in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    if not quiet then
+      Printf.eprintf "[serve] listening on %s%s\n%!"
+        (Serve.Protocol.endpoint_to_string (Serve.Daemon.endpoint daemon))
+        (match store with
+        | Some d -> Printf.sprintf ", store %s" d
+        | None -> ", memory-only store");
+    Serve.Daemon.run daemon;
+    let s = Serve.Daemon.server_stats daemon in
+    if not quiet then
+      Printf.eprintf
+        "[serve] stopped after %.1fs: %d requests, %d computations, %d memory \
+         hits, %d disk hits, %d coalesced, %d errors\n%!"
+        s.Serve.Protocol.uptime_s s.Serve.Protocol.requests
+        s.Serve.Protocol.computations s.Serve.Protocol.hits_memory
+        s.Serve.Protocol.hits_disk s.Serve.Protocol.coalesced
+        s.Serve.Protocol.errors;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+let loadtest_total_arg =
+  let doc = "Total number of simulation requests to fire." in
+  Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let loadtest_conns_arg =
+  let doc = "Number of client connections." in
+  Arg.(value & opt int 8 & info [ "c"; "connections" ] ~docv:"N" ~doc)
+
+let loadtest_depth_arg =
+  let doc = "Pipelined requests kept in flight per connection." in
+  Arg.(value & opt int 16 & info [ "depth" ] ~docv:"N" ~doc)
+
+let loadtest_verify_arg =
+  let doc =
+    "Set the verify flag on every request (computations are replayed \
+     through the reference loop server-side)."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let expect_hit_arg =
+  let doc =
+    "Fail (exit 1) unless the measured store hit ratio is at least this \
+     value — the CI warm-pass assertion."
+  in
+  Arg.(value & opt (some float) None & info [ "expect-hit-ratio" ] ~docv:"R" ~doc)
+
+let shutdown_after_arg =
+  let doc = "Send a graceful shutdown request to the daemon afterwards." in
+  Arg.(value & flag & info [ "shutdown-after" ] ~doc)
+
+let loadtest_mix ~benchmarks ~schemes ~area ~verify =
+  let ( let* ) = Result.bind in
+  let* benchmarks =
+    match benchmarks with
+    | "all" -> Ok Wayplace.Workloads.Mibench.names
+    | names ->
+        List.fold_left
+          (fun acc name ->
+            let* acc = acc in
+            let name = String.trim name in
+            let* _spec = find_spec name in
+            Ok (name :: acc))
+          (Ok []) (comma_list names)
+        |> Result.map List.rev
+  in
+  let* schemes =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* p = parse_scheme (String.trim s) area in
+        Ok (p :: acc))
+      (Ok []) (comma_list schemes)
+    |> Result.map List.rev
+  in
+  let mix =
+    List.concat_map
+      (fun benchmark ->
+        List.map
+          (fun scheme ->
+            Serve.Protocol.sim_request ~verify ~benchmark ~scheme ())
+          schemes)
+      benchmarks
+  in
+  Ok (Array.of_list mix)
+
+let loadtest_benchmarks_arg =
+  let doc =
+    "Comma-separated benchmark names for the request mix, or $(b,all)."
+  in
+  Arg.(value & opt string "crc,sha" & info [ "b"; "benchmarks" ] ~docv:"NAMES" ~doc)
+
+let loadtest_schemes_arg =
+  let doc = "Comma-separated schemes for the request mix." in
+  Arg.(
+    value
+    & opt string "baseline,wayplace,waymemo"
+    & info [ "s"; "schemes" ] ~docv:"SCHEMES" ~doc)
+
+let loadtest_cmd socket port host total connections depth benchmarks schemes
+    area verify json_out expect_hit shutdown_after quiet =
+  let ( let* ) = Result.bind in
+  let result =
+    let* endpoint = endpoint_of ~socket ~port ~host in
+    let* mix = loadtest_mix ~benchmarks ~schemes ~area ~verify in
+    let spec = { Serve.Loadtest.endpoint; connections; depth; total; mix } in
+    let* r = Serve.Loadtest.run spec in
+    if not quiet then Format.printf "%a@." Serve.Loadtest.pp r;
+    let* () =
+      match json_out with
+      | None -> Ok ()
+      | Some path ->
+          let* () = Report.write_json ~path (Serve.Loadtest.to_json r) in
+          if not quiet then Printf.printf "wrote %s\n%!" path;
+          Ok ()
+    in
+    let* () =
+      if not shutdown_after then Ok ()
+      else
+        let* client = Serve.Client.connect endpoint in
+        let r = Serve.Client.shutdown client in
+        Serve.Client.close client;
+        r
+    in
+    match expect_hit with
+    | Some want when r.Serve.Loadtest.hit_ratio < want ->
+        Error
+          (Printf.sprintf "hit ratio %.3f below expected %.3f"
+             r.Serve.Loadtest.hit_ratio want)
+    | _ -> Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
 let profile_arg =
   let doc = "Load the training profile from this file instead of rerunning." in
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
@@ -1086,6 +1266,29 @@ let cmds =
     Cmd.v
       (Cmd.info "disasm" ~doc:"Print the laid-out binary as a listing")
       Term.(const disasm_cmd $ benchmark_arg $ limit_arg);
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the placement service: a daemon answering simulation \
+            requests over a Unix or TCP socket from a content-addressed \
+            result store, computing misses on a domain pool.  SIGINT/SIGTERM \
+            or a client shutdown request stop it gracefully (accepted work \
+            is drained).")
+      Term.(
+        const serve_cmd $ socket_arg $ port_arg $ host_arg $ store_arg
+        $ jobs_arg $ quiet_arg);
+    Cmd.v
+      (Cmd.info "loadtest"
+         ~doc:
+           "Fire a concurrent mixed-request burst at a running placement \
+            daemon and report latency percentiles, throughput and the store \
+            hit ratio.")
+      Term.(
+        const loadtest_cmd $ socket_arg $ port_arg $ host_arg
+        $ loadtest_total_arg $ loadtest_conns_arg $ loadtest_depth_arg
+        $ loadtest_benchmarks_arg $ loadtest_schemes_arg $ area_arg
+        $ loadtest_verify_arg $ json_arg $ expect_hit_arg $ shutdown_after_arg
+        $ quiet_arg);
     Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
       Term.(const list_cmd $ const ());
   ]

@@ -10,6 +10,7 @@ module Sim = Wp_sim
 module Obs = Wp_obs
 module Check = Wp_check
 module Lint = Wp_lint
+module Serve = Wp_serve
 module Area = Area
 module Serial = Serial
 

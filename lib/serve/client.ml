@@ -1,0 +1,125 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  send_lock : Mutex.t;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect ?(attempts = 40) ?(retry_delay_s = 0.05) endpoint =
+  match P.sockaddr_of_endpoint endpoint with
+  | Error _ as e -> e
+  | Ok addr ->
+      let domain =
+        match addr with
+        | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+        | Unix.ADDR_INET _ -> Unix.PF_INET
+      in
+      let rec attempt n =
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd addr with
+        | () ->
+            Ok
+              {
+                fd;
+                ic = Unix.in_channel_of_descr fd;
+                oc = Unix.out_channel_of_descr fd;
+                send_lock = Mutex.create ();
+                next_id = 1;
+                closed = false;
+              }
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            let retryable =
+              match e with
+              | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN
+              | Unix.ECONNRESET ->
+                  true
+              | _ -> false
+            in
+            if retryable && n > 1 then begin
+              Thread.delay retry_delay_s;
+              attempt (n - 1)
+            end
+            else
+              Error
+                (Printf.sprintf "cannot connect to %s: %s"
+                   (P.endpoint_to_string endpoint)
+                   (Unix.error_message e))
+      in
+      attempt (max 1 attempts)
+
+let close t =
+  Mutex.lock t.send_lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.send_lock;
+  if not was_closed then begin
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t payload =
+  Mutex.lock t.send_lock;
+  match
+    if t.closed then raise (Sys_error "client closed");
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    output_string t.oc (P.request_to_line { P.id; payload });
+    flush t.oc;
+    id
+  with
+  | id ->
+      Mutex.unlock t.send_lock;
+      id
+  | exception e ->
+      Mutex.unlock t.send_lock;
+      raise e
+
+let recv t =
+  match input_line t.ic with
+  | line -> P.response_of_line line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error (Printf.sprintf "connection lost: %s" msg)
+
+let rpc t payload =
+  match send t payload with
+  | exception Sys_error msg -> Error msg
+  | id ->
+      let rec await () =
+        match recv t with
+        | Error _ as e -> e
+        | Ok resp -> if resp.P.id = id then Ok resp.P.reply else await ()
+      in
+      await ()
+
+let ping t =
+  match rpc t P.Ping with
+  | Ok P.Pong -> Ok ()
+  | Ok (P.Error_reply msg) -> Error msg
+  | Ok _ -> Error "unexpected reply to ping"
+  | Error _ as e -> e
+
+let server_stats t =
+  match rpc t P.Server_stats with
+  | Ok (P.Stats_reply s) -> Ok s
+  | Ok (P.Error_reply msg) -> Error msg
+  | Ok _ -> Error "unexpected reply to stats"
+  | Error _ as e -> e
+
+let shutdown t =
+  match rpc t P.Shutdown with
+  | Ok P.Shutting_down -> Ok ()
+  | Ok (P.Error_reply msg) -> Error msg
+  | Ok _ -> Error "unexpected reply to shutdown"
+  | Error _ as e -> e
+
+let sim t sr =
+  match rpc t (P.Sim sr) with
+  | Ok (P.Sim_reply r) -> Ok r
+  | Ok (P.Error_reply msg) -> Error msg
+  | Ok _ -> Error "unexpected reply to sim"
+  | Error _ as e -> e

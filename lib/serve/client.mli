@@ -1,0 +1,43 @@
+(** Blocking client for the placement service.
+
+    One value per connection.  Writes are thread-safe (ids are
+    allocated and lines sent under a lock), reads are not — have a
+    single reader thread per client, or use the synchronous {!rpc}
+    helpers from one thread only.  {!send}/{!recv} expose the
+    pipelined layer the load tester drives: many requests in flight,
+    responses correlated by id. *)
+
+type t
+
+val connect :
+  ?attempts:int -> ?retry_delay_s:float -> Protocol.endpoint -> (t, string) result
+(** Connect, retrying a refused / not-yet-bound endpoint [attempts]
+    times (default 40) every [retry_delay_s] (default 0.05 s) — the
+    daemon may still be binding when a test or CI client starts. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> Protocol.payload -> int
+(** Enqueue one request; returns its id.  Raises [Sys_error] if the
+    connection is gone. *)
+
+val recv : t -> (Protocol.response, string) result
+(** Block for the next response line.  [Error] on a closed connection
+    or an undecodable line. *)
+
+val rpc : t -> Protocol.payload -> (Protocol.reply, string) result
+(** [send] then read until the matching id comes back (single-threaded
+    convenience; interleaved responses for other ids are discarded). *)
+
+(** {1 Typed conveniences} *)
+
+val ping : t -> (unit, string) result
+val server_stats : t -> (Protocol.server_stats, string) result
+
+val shutdown : t -> (unit, string) result
+(** Ask the daemon for a graceful stop; returns once acknowledged. *)
+
+val sim : t -> Protocol.sim_request -> (Protocol.sim_result, string) result
+(** One simulation, synchronously; a server-side [Error_reply] is
+    returned as [Error]. *)

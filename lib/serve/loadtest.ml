@@ -1,0 +1,214 @@
+module P = Protocol
+
+type spec = {
+  endpoint : P.endpoint;
+  connections : int;
+  depth : int;
+  total : int;
+  mix : P.sim_request array;
+}
+
+type result = {
+  sent : int;
+  ok : int;
+  errored : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  concurrency : int;
+  computed : int;
+  hits_memory : int;
+  hits_disk : int;
+  coalesced : int;
+  hit_ratio : float;
+}
+
+type worker_tally = {
+  mutable w_sent : int;
+  mutable w_ok : int;
+  mutable w_errored : int;
+  mutable w_computed : int;
+  mutable w_memory : int;
+  mutable w_disk : int;
+  mutable w_coalesced : int;
+  mutable latencies_ms : float list;
+}
+
+let fresh_tally () =
+  {
+    w_sent = 0;
+    w_ok = 0;
+    w_errored = 0;
+    w_computed = 0;
+    w_memory = 0;
+    w_disk = 0;
+    w_coalesced = 0;
+    latencies_ms = [];
+  }
+
+(* One driver: keep up to [depth] requests in flight, matching
+   responses (possibly out of order) by id. *)
+let drive spec next_index tally client =
+  let inflight : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let mix_len = Array.length spec.mix in
+  let record resp =
+    let sent_at =
+      match Hashtbl.find_opt inflight resp.P.id with
+      | Some at ->
+          Hashtbl.remove inflight resp.P.id;
+          Some at
+      | None -> None
+    in
+    (match sent_at with
+    | Some at ->
+        tally.latencies_ms <-
+          ((Unix.gettimeofday () -. at) *. 1000.) :: tally.latencies_ms
+    | None -> ());
+    match resp.P.reply with
+    | P.Sim_reply r ->
+        tally.w_ok <- tally.w_ok + 1;
+        (match r.P.source with
+        | P.Computed -> tally.w_computed <- tally.w_computed + 1
+        | P.Memory -> tally.w_memory <- tally.w_memory + 1
+        | P.Disk -> tally.w_disk <- tally.w_disk + 1
+        | P.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1)
+    | P.Error_reply _ -> tally.w_errored <- tally.w_errored + 1
+    | P.Pong | P.Stats_reply _ | P.Shutting_down -> tally.w_ok <- tally.w_ok + 1
+  in
+  (* claim the next global request slot; None when the budget is spent *)
+  let claim () =
+    let i = Atomic.fetch_and_add next_index 1 in
+    if i < spec.total then Some spec.mix.(i mod mix_len) else None
+  in
+  let send_one sr =
+    match Client.send client (P.Sim sr) with
+    | id ->
+        Hashtbl.replace inflight id (Unix.gettimeofday ());
+        tally.w_sent <- tally.w_sent + 1;
+        true
+    | exception Sys_error _ -> false
+  in
+  let rec fill budget_left =
+    if budget_left && Hashtbl.length inflight < spec.depth then
+      match claim () with
+      | Some sr -> fill (send_one sr)
+      | None -> false
+    else budget_left
+  in
+  let rec loop budget_left =
+    if Hashtbl.length inflight > 0 then
+      match Client.recv client with
+      | Ok resp ->
+          record resp;
+          loop (fill budget_left)
+      | Error _ ->
+          (* connection lost: everything still in flight is an error *)
+          tally.w_errored <- tally.w_errored + Hashtbl.length inflight;
+          Hashtbl.clear inflight
+    else if budget_left then loop (fill budget_left)
+  in
+  loop (fill true);
+  Client.close client
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let run spec =
+  if Array.length spec.mix = 0 then Error "empty request mix"
+  else if spec.connections < 1 then Error "need at least one connection"
+  else begin
+    let clients =
+      List.init spec.connections (fun _ -> Client.connect spec.endpoint)
+    in
+    let ok_clients =
+      List.filter_map (function Ok c -> Some c | Error _ -> None) clients
+    in
+    match (ok_clients, clients) with
+    | [], Error msg :: _ -> Error msg
+    | [], [] -> Error "need at least one connection"
+    | clients, _ ->
+        let next_index = Atomic.make 0 in
+        let started = Unix.gettimeofday () in
+        let workers =
+          List.map
+            (fun client ->
+              let tally = fresh_tally () in
+              (Thread.create (fun () -> drive spec next_index tally client) (), tally))
+            clients
+        in
+        List.iter (fun (thr, _) -> Thread.join thr) workers;
+        let elapsed_s = Unix.gettimeofday () -. started in
+        let tallies = List.map snd workers in
+        let sum f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+        let sent = sum (fun t -> t.w_sent) in
+        let ok = sum (fun t -> t.w_ok) in
+        let errored = sum (fun t -> t.w_errored) in
+        let computed = sum (fun t -> t.w_computed) in
+        let hits_memory = sum (fun t -> t.w_memory) in
+        let hits_disk = sum (fun t -> t.w_disk) in
+        let coalesced = sum (fun t -> t.w_coalesced) in
+        let latencies =
+          Array.of_list (List.concat_map (fun t -> t.latencies_ms) tallies)
+        in
+        Array.sort compare latencies;
+        Ok
+          {
+            sent;
+            ok;
+            errored;
+            elapsed_s;
+            throughput_rps =
+              (if elapsed_s > 0. then float_of_int ok /. elapsed_s else 0.);
+            p50_ms = percentile latencies 50.;
+            p90_ms = percentile latencies 90.;
+            p99_ms = percentile latencies 99.;
+            max_ms = percentile latencies 100.;
+            concurrency = spec.connections * spec.depth;
+            computed;
+            hits_memory;
+            hits_disk;
+            coalesced;
+            hit_ratio =
+              (if ok > 0 then float_of_int (hits_memory + hits_disk) /. float_of_int ok
+               else 0.);
+          }
+  end
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>requests   %d sent, %d ok, %d errored@,\
+     elapsed    %.2f s (%.0f req/s, concurrency %d)@,\
+     latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f@,\
+     sources    %d computed, %d memory, %d disk, %d coalesced@,\
+     hit ratio  %.3f@]"
+    r.sent r.ok r.errored r.elapsed_s r.throughput_rps r.concurrency r.p50_ms
+    r.p90_ms r.p99_ms r.max_ms r.computed r.hits_memory r.hits_disk r.coalesced
+    r.hit_ratio
+
+let to_json r =
+  let open Wp_sim.Report in
+  Jobj
+    [
+      ("sent", Jint r.sent);
+      ("ok", Jint r.ok);
+      ("errored", Jint r.errored);
+      ("elapsed_s", Jfloat r.elapsed_s);
+      ("throughput_rps", Jfloat r.throughput_rps);
+      ("p50_ms", Jfloat r.p50_ms);
+      ("p90_ms", Jfloat r.p90_ms);
+      ("p99_ms", Jfloat r.p99_ms);
+      ("max_ms", Jfloat r.max_ms);
+      ("concurrency", Jint r.concurrency);
+      ("computed", Jint r.computed);
+      ("hits_memory", Jint r.hits_memory);
+      ("hits_disk", Jint r.hits_disk);
+      ("coalesced", Jint r.coalesced);
+      ("hit_ratio", Jfloat r.hit_ratio);
+    ]

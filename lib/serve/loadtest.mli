@@ -1,0 +1,45 @@
+(** Load-test client: many connections, pipelined requests, latency
+    percentiles.
+
+    Each connection gets one driver thread that keeps up to [depth]
+    requests in flight (send-ahead, then match responses by id), so
+    [connections * depth] requests are concurrently outstanding
+    against the daemon — thousands of in-flight requests from a
+    handful of threads.  Requests are drawn round-robin from [mix];
+    per-response latency is measured send-to-receive and aggregated
+    into percentiles across all connections. *)
+
+type spec = {
+  endpoint : Protocol.endpoint;
+  connections : int;
+  depth : int;  (** max in-flight requests per connection *)
+  total : int;  (** total requests across all connections *)
+  mix : Protocol.sim_request array;  (** drawn round-robin; non-empty *)
+}
+
+type result = {
+  sent : int;
+  ok : int;
+  errored : int;  (** [Error_reply] responses and transport errors *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  concurrency : int;  (** connections * depth *)
+  computed : int;
+  hits_memory : int;
+  hits_disk : int;
+  coalesced : int;
+  hit_ratio : float;
+      (** (memory + disk hits) / successful sim responses; coalesced
+          responses are not hits — they waited for a computation *)
+}
+
+val run : spec -> (result, string) Stdlib.result
+(** [Error] only if no connection could be established or [mix] is
+    empty; per-request failures are counted in [errored]. *)
+
+val pp : Format.formatter -> result -> unit
+val to_json : result -> Wp_sim.Report.json

@@ -1,0 +1,391 @@
+module Report = Wp_sim.Report
+module Config = Wp_sim.Config
+module Stats = Wp_sim.Stats
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_socket path -> Printf.sprintf "unix:%s" path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr_of_endpoint = function
+  | Unix_socket path ->
+      if String.length path = 0 then Error "empty unix socket path"
+      else if String.length path > 100 then
+        Error (Printf.sprintf "unix socket path too long (%d bytes)" (String.length path))
+      else Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+      if port < 0 || port > 0xffff then
+        Error (Printf.sprintf "bad TCP port %d" port)
+      else
+        match Unix.inet_addr_of_string host with
+        | addr -> Ok (Unix.ADDR_INET (addr, port))
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                Error (Printf.sprintf "host %S has no address" host)
+            | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+            | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)))
+
+(* --- requests ------------------------------------------------------- *)
+
+type sim_request = {
+  benchmark : string;
+  scheme : Config.scheme;
+  size_kb : int;
+  ways : int;
+  line_bytes : int;
+  no_cache : bool;
+  verify : bool;
+}
+
+let sim_request ?(size_kb = 32) ?(ways = 32) ?(line_bytes = 32)
+    ?(no_cache = false) ?(verify = false) ~benchmark ~scheme () =
+  { benchmark; scheme; size_kb; ways; line_bytes; no_cache; verify }
+
+type payload = Ping | Server_stats | Shutdown | Sim of sim_request
+type request = { id : int; payload : payload }
+
+let config_of_sim sr =
+  match
+    Wp_cache.Geometry.make ~size_bytes:(sr.size_kb * 1024) ~assoc:sr.ways
+      ~line_bytes:sr.line_bytes
+  with
+  | exception Invalid_argument msg -> Error msg
+  | geometry -> (
+      let config =
+        Config.with_icache (Config.xscale sr.scheme) geometry
+      in
+      match Config.validate config with
+      | Ok () -> Ok config
+      | Error msg -> Error msg)
+
+let scheme_to_string = function
+  | Config.Baseline -> "baseline"
+  | Config.Way_placement _ -> "wayplace"
+  | Config.Way_memoization -> "waymemo"
+  | Config.Way_prediction -> "waypred"
+  | Config.Filter_cache _ -> "filter"
+
+(* --- responses ------------------------------------------------------ *)
+
+type source = Computed | Memory | Disk | Coalesced
+
+let source_name = function
+  | Computed -> "computed"
+  | Memory -> "memory"
+  | Disk -> "disk"
+  | Coalesced -> "coalesced"
+
+let source_of_name = function
+  | "computed" -> Some Computed
+  | "memory" -> Some Memory
+  | "disk" -> Some Disk
+  | "coalesced" -> Some Coalesced
+  | _ -> None
+
+type sim_result = {
+  key : string;
+  source : source;
+  digest : string;
+  cycles : int;
+  retired : int;
+  fetches : int;
+  icache_hits : int;
+  icache_misses : int;
+  icache_energy_pj : float;
+  total_energy_pj : float;
+}
+
+let sim_result_of_stats ~key ~source (stats : Stats.t) =
+  {
+    key;
+    source;
+    digest = Digest.to_hex (Digest.string (Marshal.to_string stats []));
+    cycles = stats.Stats.cycles;
+    retired = stats.Stats.retired_instrs;
+    fetches = stats.Stats.fetches;
+    icache_hits = stats.Stats.icache_hits;
+    icache_misses = stats.Stats.icache_misses;
+    icache_energy_pj = Stats.icache_energy_pj stats;
+    total_energy_pj = Stats.total_energy_pj stats;
+  }
+
+type server_stats = {
+  requests : int;
+  sim_requests : int;
+  computations : int;
+  hits_memory : int;
+  hits_disk : int;
+  coalesced : int;
+  errors : int;
+  store_entries : int;
+  inflight : int;
+  workers : int;
+  uptime_s : float;
+}
+
+type reply =
+  | Pong
+  | Stats_reply of server_stats
+  | Shutting_down
+  | Sim_reply of sim_result
+  | Error_reply of string
+
+type response = { id : int; reply : reply }
+
+(* --- decoding helpers ----------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* A required typed field: absence and a type mismatch are distinct,
+   deliberate error messages — the test battery asserts both. *)
+let field name conv j =
+  match Report.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let field_default name conv ~default j =
+  match Report.member name j with
+  | None -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+(* --- request encoding ----------------------------------------------- *)
+
+let request_to_json { id; payload } =
+  let base = [ ("id", Report.Jint id) ] in
+  match payload with
+  | Ping -> Report.Jobj (base @ [ ("op", Report.Jstring "ping") ])
+  | Server_stats -> Report.Jobj (base @ [ ("op", Report.Jstring "stats") ])
+  | Shutdown -> Report.Jobj (base @ [ ("op", Report.Jstring "shutdown") ])
+  | Sim sr ->
+      let scheme_fields =
+        match sr.scheme with
+        | Config.Way_placement { area_bytes } ->
+            [ ("area_bytes", Report.Jint area_bytes) ]
+        | Config.Filter_cache { l0_bytes } ->
+            [ ("l0_bytes", Report.Jint l0_bytes) ]
+        | Config.Baseline | Config.Way_memoization | Config.Way_prediction ->
+            []
+      in
+      Report.Jobj
+        (base
+        @ [
+            ("op", Report.Jstring "sim");
+            ("benchmark", Report.Jstring sr.benchmark);
+            ("scheme", Report.Jstring (scheme_to_string sr.scheme));
+          ]
+        @ scheme_fields
+        @ [
+            ("size_kb", Report.Jint sr.size_kb);
+            ("ways", Report.Jint sr.ways);
+            ("line_bytes", Report.Jint sr.line_bytes);
+            ("no_cache", Report.Jbool sr.no_cache);
+            ("verify", Report.Jbool sr.verify);
+          ])
+
+let sim_of_json j =
+  let* benchmark = field "benchmark" Report.to_string j in
+  let* scheme_name = field "scheme" Report.to_string j in
+  let* scheme =
+    match scheme_name with
+    | "baseline" -> Ok Config.Baseline
+    | "wayplace" ->
+        let* area_bytes =
+          field_default "area_bytes" Report.to_int ~default:(16 * 1024) j
+        in
+        Ok (Config.Way_placement { area_bytes })
+    | "waymemo" -> Ok Config.Way_memoization
+    | "waypred" -> Ok Config.Way_prediction
+    | "filter" ->
+        let* l0_bytes = field_default "l0_bytes" Report.to_int ~default:512 j in
+        Ok (Config.Filter_cache { l0_bytes })
+    | other -> Error (Printf.sprintf "unknown scheme %S" other)
+  in
+  let* size_kb = field_default "size_kb" Report.to_int ~default:32 j in
+  let* ways = field_default "ways" Report.to_int ~default:32 j in
+  let* line_bytes = field_default "line_bytes" Report.to_int ~default:32 j in
+  let* no_cache = field_default "no_cache" Report.to_bool ~default:false j in
+  let* verify = field_default "verify" Report.to_bool ~default:false j in
+  Ok { benchmark; scheme; size_kb; ways; line_bytes; no_cache; verify }
+
+let request_of_json j =
+  match j with
+  | Report.Jobj _ ->
+      let* id = field_default "id" Report.to_int ~default:0 j in
+      let* op = field "op" Report.to_string j in
+      let* payload =
+        match op with
+        | "ping" -> Ok Ping
+        | "stats" -> Ok Server_stats
+        | "shutdown" -> Ok Shutdown
+        | "sim" ->
+            let* sr = sim_of_json j in
+            Ok (Sim sr)
+        | other -> Error (Printf.sprintf "unknown op %S" other)
+      in
+      Ok { id; payload }
+  | _ -> Error "request is not a JSON object"
+
+(* --- response encoding ---------------------------------------------- *)
+
+let server_stats_to_json s =
+  Report.Jobj
+    [
+      ("requests", Report.Jint s.requests);
+      ("sim_requests", Report.Jint s.sim_requests);
+      ("computations", Report.Jint s.computations);
+      ("hits_memory", Report.Jint s.hits_memory);
+      ("hits_disk", Report.Jint s.hits_disk);
+      ("coalesced", Report.Jint s.coalesced);
+      ("errors", Report.Jint s.errors);
+      ("store_entries", Report.Jint s.store_entries);
+      ("inflight", Report.Jint s.inflight);
+      ("workers", Report.Jint s.workers);
+      ("uptime_s", Report.Jfloat s.uptime_s);
+    ]
+
+let server_stats_of_json j =
+  let* requests = field "requests" Report.to_int j in
+  let* sim_requests = field "sim_requests" Report.to_int j in
+  let* computations = field "computations" Report.to_int j in
+  let* hits_memory = field "hits_memory" Report.to_int j in
+  let* hits_disk = field "hits_disk" Report.to_int j in
+  let* coalesced = field "coalesced" Report.to_int j in
+  let* errors = field "errors" Report.to_int j in
+  let* store_entries = field "store_entries" Report.to_int j in
+  let* inflight = field "inflight" Report.to_int j in
+  let* workers = field "workers" Report.to_int j in
+  let* uptime_s = field "uptime_s" Report.to_float j in
+  Ok
+    {
+      requests;
+      sim_requests;
+      computations;
+      hits_memory;
+      hits_disk;
+      coalesced;
+      errors;
+      store_entries;
+      inflight;
+      workers;
+      uptime_s;
+    }
+
+let sim_result_to_json r =
+  Report.Jobj
+    [
+      ("key", Report.Jstring r.key);
+      ("source", Report.Jstring (source_name r.source));
+      ("digest", Report.Jstring r.digest);
+      ("cycles", Report.Jint r.cycles);
+      ("retired", Report.Jint r.retired);
+      ("fetches", Report.Jint r.fetches);
+      ("icache_hits", Report.Jint r.icache_hits);
+      ("icache_misses", Report.Jint r.icache_misses);
+      ("icache_energy_pj", Report.Jfloat r.icache_energy_pj);
+      ("total_energy_pj", Report.Jfloat r.total_energy_pj);
+    ]
+
+let sim_result_of_json j =
+  let* key = field "key" Report.to_string j in
+  let* source_s = field "source" Report.to_string j in
+  let* source =
+    match source_of_name source_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown source %S" source_s)
+  in
+  let* digest = field "digest" Report.to_string j in
+  let* cycles = field "cycles" Report.to_int j in
+  let* retired = field "retired" Report.to_int j in
+  let* fetches = field "fetches" Report.to_int j in
+  let* icache_hits = field "icache_hits" Report.to_int j in
+  let* icache_misses = field "icache_misses" Report.to_int j in
+  let* icache_energy_pj = field "icache_energy_pj" Report.to_float j in
+  let* total_energy_pj = field "total_energy_pj" Report.to_float j in
+  Ok
+    {
+      key;
+      source;
+      digest;
+      cycles;
+      retired;
+      fetches;
+      icache_hits;
+      icache_misses;
+      icache_energy_pj;
+      total_energy_pj;
+    }
+
+let response_to_json { id; reply } =
+  let base = [ ("id", Report.Jint id) ] in
+  match reply with
+  | Pong -> Report.Jobj (base @ [ ("reply", Report.Jstring "pong") ])
+  | Shutting_down ->
+      Report.Jobj (base @ [ ("reply", Report.Jstring "shutting-down") ])
+  | Stats_reply s ->
+      Report.Jobj
+        (base
+        @ [
+            ("reply", Report.Jstring "server-stats");
+            ("stats", server_stats_to_json s);
+          ])
+  | Sim_reply r ->
+      Report.Jobj
+        (base
+        @ [ ("reply", Report.Jstring "result"); ("result", sim_result_to_json r) ])
+  | Error_reply msg ->
+      Report.Jobj
+        (base @ [ ("reply", Report.Jstring "error"); ("error", Report.Jstring msg) ])
+
+let response_of_json j =
+  match j with
+  | Report.Jobj _ ->
+      let* id = field_default "id" Report.to_int ~default:0 j in
+      let* kind = field "reply" Report.to_string j in
+      let* reply =
+        match kind with
+        | "pong" -> Ok Pong
+        | "shutting-down" -> Ok Shutting_down
+        | "server-stats" ->
+            let* s = field "stats" Option.some j in
+            let* s = server_stats_of_json s in
+            Ok (Stats_reply s)
+        | "result" ->
+            let* r = field "result" Option.some j in
+            let* r = sim_result_of_json r in
+            Ok (Sim_reply r)
+        | "error" ->
+            let* msg = field "error" Report.to_string j in
+            Ok (Error_reply msg)
+        | other -> Error (Printf.sprintf "unknown reply kind %S" other)
+      in
+      Ok { id; reply }
+  | _ -> Error "response is not a JSON object"
+
+(* --- line level ------------------------------------------------------ *)
+
+let request_to_line r = Report.json_to_string (request_to_json r) ^ "\n"
+let response_to_line r = Report.json_to_string (response_to_json r) ^ "\n"
+
+let request_of_line line =
+  let* j = Report.parse line in
+  request_of_json j
+
+let response_of_line line =
+  let* j = Report.parse line in
+  response_of_json j
+
+let id_of_line line =
+  match Report.parse line with
+  | Ok j -> (
+      match Report.member "id" j with
+      | Some (Report.Jint id) -> id
+      | _ -> 0)
+  | Error _ -> 0

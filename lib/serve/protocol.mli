@@ -1,0 +1,147 @@
+(** The placement service's wire vocabulary.
+
+    One request or response per line, each a single JSON object built
+    on {!Wp_sim.Report}'s hand-rolled emitter and parsed back with
+    {!Wp_sim.Report.parse} — the service-level counterpart of the
+    sweep CLI's [--json] output.  Requests name a benchmark and a
+    machine configuration; responses carry a compact result summary
+    plus the MD5 of the marshalled {!Wp_sim.Stats.t}, so a client can
+    assert bit-identity against a locally computed oracle without
+    shipping every counter as text.
+
+    Every decoder returns a clean [Error] on malformed input —
+    truncated JSON, wrong field types, unknown discriminators — and
+    never raises: the daemon feeds it raw client bytes. *)
+
+(** Where the daemon listens / the client connects. *)
+type endpoint =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port (0 = kernel-chosen) *)
+
+val endpoint_to_string : endpoint -> string
+val sockaddr_of_endpoint : endpoint -> (Unix.sockaddr, string) result
+
+(** {1 Requests} *)
+
+type sim_request = {
+  benchmark : string;  (** MiBench name, {!Wp_workloads.Mibench.find} *)
+  scheme : Wp_sim.Config.scheme;
+  size_kb : int;  (** I-cache size *)
+  ways : int;  (** I-cache associativity *)
+  line_bytes : int;
+  no_cache : bool;
+      (** bypass the result store and in-flight coalescing: always run
+          the simulator (the result is still stored) *)
+  verify : bool;
+      (** after computing, replay through the per-instruction
+          reference loop and fail the request unless bit-identical —
+          the differ's fast-path check as a service option.  Only
+          computations triggered by this request are verified; a
+          store hit or coalesced result is returned as-is. *)
+}
+
+val sim_request :
+  ?size_kb:int ->
+  ?ways:int ->
+  ?line_bytes:int ->
+  ?no_cache:bool ->
+  ?verify:bool ->
+  benchmark:string ->
+  scheme:Wp_sim.Config.scheme ->
+  unit ->
+  sim_request
+(** Defaults: the paper's 32 KB / 32-way / 32 B geometry, caching on,
+    verification off. *)
+
+type payload =
+  | Ping
+  | Server_stats  (** counters since startup *)
+  | Shutdown  (** begin a graceful stop: drain, then exit *)
+  | Sim of sim_request
+
+type request = { id : int; payload : payload }
+(** [id] is echoed verbatim in the response — requests may be
+    pipelined and answered out of order. *)
+
+val config_of_sim : sim_request -> (Wp_sim.Config.t, string) result
+(** The {!Wp_sim.Config.t} the request describes (geometry errors and
+    {!Wp_sim.Config.validate} failures reported as [Error]). *)
+
+val scheme_to_string : Wp_sim.Config.scheme -> string
+(** The wire name: baseline, wayplace, waymemo, waypred or filter. *)
+
+(** {1 Responses} *)
+
+(** How a result was obtained. *)
+type source =
+  | Computed  (** this request ran the simulator *)
+  | Memory  (** hot in-memory store hit *)
+  | Disk  (** persisted store hit (now promoted to memory) *)
+  | Coalesced  (** deduplicated onto another request's computation *)
+
+val source_name : source -> string
+
+type sim_result = {
+  key : string;  (** content address of the (program, layout, config) *)
+  source : source;
+  digest : string;  (** MD5 hex of the marshalled {!Wp_sim.Stats.t} *)
+  cycles : int;
+  retired : int;
+  fetches : int;
+  icache_hits : int;
+  icache_misses : int;
+  icache_energy_pj : float;
+  total_energy_pj : float;
+}
+
+val sim_result_of_stats :
+  key:string -> source:source -> Wp_sim.Stats.t -> sim_result
+
+type server_stats = {
+  requests : int;  (** lines accepted (including malformed ones) *)
+  sim_requests : int;
+  computations : int;  (** simulator runs — the memoisation counter *)
+  hits_memory : int;
+  hits_disk : int;
+  coalesced : int;
+  errors : int;  (** requests answered with an error reply *)
+  store_entries : int;  (** hot in-memory entries *)
+  inflight : int;  (** keys currently being computed *)
+  workers : int;  (** executor domains *)
+  uptime_s : float;
+}
+
+type reply =
+  | Pong
+  | Stats_reply of server_stats
+  | Shutting_down
+  | Sim_reply of sim_result
+  | Error_reply of string
+      (** per-request failure: malformed request, unknown benchmark,
+          invalid configuration, or a crashed computation — the
+          connection and the daemon keep going *)
+
+type response = { id : int; reply : reply }
+
+(** {1 Wire encoding} *)
+
+val request_to_json : request -> Wp_sim.Report.json
+val request_of_json : Wp_sim.Report.json -> (request, string) result
+val response_to_json : response -> Wp_sim.Report.json
+val response_of_json : Wp_sim.Report.json -> (response, string) result
+
+val request_to_line : request -> string
+(** Compact JSON plus the terminating newline. *)
+
+val response_to_line : response -> string
+
+val request_of_line : string -> (request, string) result
+(** Parse then decode; both failure modes are the same clean
+    [Error]. *)
+
+val response_of_line : string -> (response, string) result
+
+val id_of_line : string -> int
+(** Best-effort extraction of the [id] of a line that failed to
+    decode, so error replies can still be correlated; [0] when even
+    that is unrecoverable. *)

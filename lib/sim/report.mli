@@ -38,13 +38,39 @@ val json_escape : string -> string
     backslashes, and control characters (RFC 8259). *)
 
 val json_to_string : json -> string
-(** Compact (single-line) rendering.  Floats print as [%.12g] with a
-    trailing [.0] for integral values; non-finite floats render as
-    [null] (they have no JSON encoding). *)
+(** Compact (single-line) rendering.  Floats print with the fewest
+    digits of [%.12g] / [%.15g] / [%.16g] / [%.17g] that parse back to
+    the same double (integral values keep a trailing [.0]), so
+    [parse (json_to_string j) = Ok j] for every value free of
+    non-finite floats; NaN/infinity render as [null] (they have no
+    JSON encoding). *)
 
 val write_json : path:string -> json -> (unit, string) result
 (** Write the rendered value plus a trailing newline to [path]; errors
     are reported like {!write_csv}. *)
+
+val parse : string -> (json, string) result
+(** Strict recursive-descent parser for the grammar {!json_to_string}
+    emits (RFC 8259): the serve protocol's receiving half.  Accepts a
+    single JSON value with surrounding whitespace; strings decode every
+    escape including [\uXXXX] surrogate pairs (to UTF-8); integer
+    literals that fit the native [int] parse as {!Jint}, fractional /
+    exponent / oversized ones as {!Jfloat}.  Every malformed input —
+    truncated text, duplicate object keys, lone surrogates, unescaped
+    control characters, trailing garbage, nesting beyond 512 levels —
+    returns [Error "JSON parse error at offset N: ..."], never raises:
+    the daemon feeds it whatever bytes a client chooses to send. *)
+
+val member : string -> json -> json option
+(** Field of a {!Jobj} ([None] for absent keys or non-objects). *)
+
+val to_int : json -> int option
+val to_float : json -> float option
+(** {!Jfloat} or (widened) {!Jint}. *)
+
+val to_string : json -> string option
+val to_bool : json -> bool option
+val to_list : json -> json list option
 
 val parse_perf_rows :
   string -> (((string * string * string) * float) list * int, string) result

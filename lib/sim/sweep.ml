@@ -159,6 +159,108 @@ module Pool = struct
                invalid_arg
                  "Sweep.Pool: worker pool drained with an unfilled result slot")
          batch.results)
+
+  (* [map]'s all-or-nothing failure contract is right for sweeps (a
+     raising job means the whole grid is suspect) but wrong for a
+     server: there one poisoned request must not take down the
+     batch-mates it happens to share a pool with.  Isolating each
+     item's exception inside the mapped function keeps the cursor
+     moving and every unrelated slot filled. *)
+  let map_result ~workers ?progress f items =
+    map ~workers ?progress
+      (fun item -> try Ok (f item) with exn -> Error exn)
+      items
+
+  (* ---------------------------------------------------------------- *)
+  (* A persistent pool: the daemon-shaped sibling of the one-shot
+     [map].  Domains are spawned once and consume a FIFO of thunks
+     until [shutdown], which drains everything already accepted before
+     joining — the serve daemon's graceful-stop guarantee rests on
+     exactly that property.  A raising task is the submitter's bug;
+     the worker survives it (the exception is swallowed after the
+     optional [on_error] callback), so one bad request never kills the
+     domain serving everyone else. *)
+
+  module Executor = struct
+    type t = {
+      lock : Mutex.t;
+      work_available : Condition.t;
+      queue : (unit -> unit) Queue.t;
+      mutable stopping : bool;
+      mutable running : int;  (** tasks currently executing *)
+      on_error : (exn -> unit) option;
+      mutable domains : unit Domain.t list;
+    }
+
+    let worker t () =
+      let rec loop () =
+        Mutex.lock t.lock;
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.work_available t.lock
+        done;
+        if Queue.is_empty t.queue then begin
+          (* stopping and drained *)
+          Mutex.unlock t.lock;
+          ()
+        end
+        else begin
+          let task = Queue.pop t.queue in
+          t.running <- t.running + 1;
+          Mutex.unlock t.lock;
+          (try task ()
+           with exn -> (
+             match t.on_error with None -> () | Some f -> (try f exn with _ -> ())));
+          Mutex.lock t.lock;
+          t.running <- t.running - 1;
+          Mutex.unlock t.lock;
+          loop ()
+        end
+      in
+      loop ()
+
+    let create ?(workers = Domain.recommended_domain_count ()) ?on_error () =
+      let t =
+        {
+          lock = Mutex.create ();
+          work_available = Condition.create ();
+          queue = Queue.create ();
+          stopping = false;
+          running = 0;
+          on_error;
+          domains = [];
+        }
+      in
+      let workers = max 1 workers in
+      t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+      t
+
+    let workers t = List.length t.domains
+
+    let submit t task =
+      Mutex.lock t.lock;
+      let accepted = not t.stopping in
+      if accepted then begin
+        Queue.push task t.queue;
+        Condition.signal t.work_available
+      end;
+      Mutex.unlock t.lock;
+      accepted
+
+    let pending t =
+      Mutex.lock t.lock;
+      let n = Queue.length t.queue + t.running in
+      Mutex.unlock t.lock;
+      n
+
+    let shutdown t =
+      Mutex.lock t.lock;
+      if not t.stopping then begin
+        t.stopping <- true;
+        Condition.broadcast t.work_available
+      end;
+      Mutex.unlock t.lock;
+      List.iter Domain.join t.domains
+  end
 end
 
 type job = { benchmark : string; config : Config.t }

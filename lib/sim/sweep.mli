@@ -43,7 +43,55 @@ module Pool : sig
       count; 1 runs sequentially on the calling domain).  Results are
       returned in input order; progress fires in completion order.  If
       [f] raises, no further items are started and the first exception
-      is re-raised on the calling domain after the pool drains. *)
+      is re-raised on the calling domain after the pool drains —
+      all-or-nothing by design; items whose [f] completed before the
+      failure are lost from the return value (though side effects,
+      e.g. the sweep engine's memo tables, survive).  The pool itself
+      never deadlocks on a raising job: every worker domain is joined
+      before the exception propagates. *)
+
+  val map_result :
+    workers:int ->
+    ?progress:'a progress ->
+    ('a -> 'b) ->
+    'a list ->
+    ('b, exn) result list
+  (** Per-item error isolation: like {!map} but a raising item becomes
+      its own [Error exn] slot and {e does not} stop the cursor or
+      poison unrelated items — the contract a request-serving batch
+      needs, where one malformed job must not take down its
+      batch-mates.  Never raises from [f]'s failures. *)
+
+  (** A persistent domain pool for open-ended workloads: the serve
+      daemon's scheduler.  Unlike {!map} (one pool per batch), an
+      executor spawns its domains once and consumes submitted thunks
+      until {!Executor.shutdown}, which {e drains} every accepted task
+      before joining — the graceful-stop guarantee that a shutdown
+      mid-burst loses no accepted request. *)
+  module Executor : sig
+    type t
+
+    val create : ?workers:int -> ?on_error:(exn -> unit) -> unit -> t
+    (** [workers] defaults to [Domain.recommended_domain_count ()],
+        clamped to at least 1.  A raising task invokes [on_error] (on
+        the worker domain) and the worker survives; without it the
+        exception is swallowed — an executor task is expected to
+        isolate its own failures. *)
+
+    val workers : t -> int
+
+    val submit : t -> (unit -> unit) -> bool
+    (** Enqueue a task; [false] (task not accepted) once {!shutdown}
+        has begun.  Thread- and domain-safe. *)
+
+    val pending : t -> int
+    (** Tasks queued or currently executing. *)
+
+    val shutdown : t -> unit
+    (** Stop accepting, run everything already accepted, join the
+        domains.  Idempotent from the first caller's perspective;
+        concurrent callers all block until the drain completes. *)
+  end
 end
 
 type job = { benchmark : string; config : Config.t }

@@ -214,6 +214,209 @@ let test_parse_perf_rows_unreadable () =
       Alcotest.(check bool) "diagnostic not empty" true (String.length msg > 0)
   | Ok _ -> Alcotest.fail "reading a missing file succeeded"
 
+(* --- Report.parse: the strict reader, round-trip with the emitter --- *)
+
+(* Float equality by bits: the round-trip property is exactness, not
+   tolerance (and -0.0 must survive). *)
+let rec json_equal a b =
+  match (a, b) with
+  | Report.Jnull, Report.Jnull -> true
+  | Report.Jbool x, Report.Jbool y -> x = y
+  | Report.Jint x, Report.Jint y -> x = y
+  | Report.Jfloat x, Report.Jfloat y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Report.Jstring x, Report.Jstring y -> String.equal x y
+  | Report.Jlist x, Report.Jlist y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Report.Jobj x, Report.Jobj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let check_parse name input expected =
+  match Report.parse input with
+  | Error msg -> Alcotest.failf "%s: parse failed: %s" name msg
+  | Ok got ->
+      if not (json_equal got expected) then
+        Alcotest.failf "%s: parsed %s, expected %s" name
+          (Report.json_to_string got)
+          (Report.json_to_string expected)
+
+let check_parse_fails name input =
+  match Report.parse input with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error mentions the offset" name)
+        true
+        (String.length msg > 0
+        && String.sub msg 0 (min 20 (String.length msg))
+           = "JSON parse error at ")
+  | Ok j ->
+      Alcotest.failf "%s: accepted %S as %s" name input
+        (Report.json_to_string j)
+
+let test_parse_values () =
+  let open Report in
+  check_parse "whitespace everywhere" "  { \"a\" : [ 1 , 2.5 , null ] }  "
+    (Jobj [ ("a", Jlist [ Jint 1; Jfloat 2.5; Jnull ]) ]);
+  check_parse "scalars" "[null,true,false,0,-7,1.5,\"s\"]"
+    (Jlist
+       [ Jnull; Jbool true; Jbool false; Jint 0; Jint (-7); Jfloat 1.5;
+         Jstring "s" ]);
+  check_parse "exponent is a float" "1e3" (Jfloat 1000.0);
+  check_parse "negative zero int" "-0" (Jint 0);
+  check_parse "max_int survives" (string_of_int max_int) (Jint max_int);
+  check_parse "min_int survives" (string_of_int min_int) (Jint min_int);
+  (* an integer literal too big for 63 bits falls back to float rather
+     than overflowing silently *)
+  check_parse "oversized integer literal becomes float"
+    "123456789012345678901234567890" (Jfloat 1.2345678901234568e29);
+  check_parse "empty containers" "[[],{}]" (Jlist [ Jlist []; Jobj [] ])
+
+let test_parse_string_escapes () =
+  let open Report in
+  check_parse "simple escapes" "\"a\\n\\t\\r\\b\\f\\\\\\/\\\"z\""
+    (Jstring "a\n\t\r\b\012\\/\"z");
+  check_parse "unicode escape" "\"\\u0041\\u007a\"" (Jstring "Az");
+  check_parse "nul escape" "\"\\u0000\"" (Jstring "\000");
+  (* two-byte and three-byte UTF-8 *)
+  check_parse "u00e9 is UTF-8 encoded" "\"\\u00e9\"" (Jstring "\xc3\xa9");
+  check_parse "u20ac is UTF-8 encoded" "\"\\u20ac\"" (Jstring "\xe2\x82\xac");
+  (* a surrogate pair decodes to one 4-byte scalar *)
+  check_parse "surrogate pair" "\"\\ud83d\\ude00\""
+    (Jstring "\xf0\x9f\x98\x80");
+  (* raw high bytes pass through, matching the emitter *)
+  check_parse "raw high bytes" "\"caf\xc3\xa9\"" (Jstring "caf\xc3\xa9");
+  check_parse_fails "lone high surrogate" "\"\\ud83d\"";
+  check_parse_fails "lone low surrogate" "\"\\ude00\"";
+  check_parse_fails "truncated unicode escape" "\"\\u00\"";
+  check_parse_fails "unknown escape" "\"\\x41\"";
+  check_parse_fails "raw control char" "\"a\nb\""
+
+let test_parse_malformed () =
+  check_parse_fails "empty input" "";
+  check_parse_fails "blank input" "   ";
+  check_parse_fails "truncated object" "{\"a\":1";
+  check_parse_fails "truncated list" "[1,2";
+  check_parse_fails "truncated string" "\"abc";
+  check_parse_fails "bare keyword prefix" "tru";
+  check_parse_fails "missing colon" "{\"a\" 1}";
+  check_parse_fails "trailing comma in list" "[1,]";
+  check_parse_fails "trailing comma in object" "{\"a\":1,}";
+  check_parse_fails "unquoted key" "{a:1}";
+  check_parse_fails "leading zero" "01";
+  check_parse_fails "leading plus" "+1";
+  check_parse_fails "bare dot" "1.";
+  check_parse_fails "nan literal" "nan";
+  check_parse_fails "trailing garbage" "{} x";
+  check_parse_fails "two values" "1 2";
+  (* duplicate keys are a defect, not a silent last-wins *)
+  (match Report.parse "{\"a\":1,\"b\":2,\"a\":3}" with
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+  | Error msg ->
+      Alcotest.(check bool) "duplicate key named in error" true
+        (String.length msg > 0
+        &&
+        let re = "duplicate key" in
+        let n = String.length msg and m = String.length re in
+        let rec find i = i + m <= n && (String.sub msg i m = re || find (i + 1)) in
+        find 0));
+  (* absurd nesting is a clean error, not a stack overflow *)
+  let deep = String.concat "" (List.init 600 (fun _ -> "[")) in
+  check_parse_fails "absurd nesting" deep
+
+let test_parse_accessors () =
+  let open Report in
+  match parse "{\"i\":3,\"f\":1.5,\"s\":\"x\",\"b\":true,\"l\":[1]}" with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok j ->
+      Alcotest.(check (option int)) "to_int" (Some 3)
+        (Option.bind (member "i" j) to_int);
+      Alcotest.(check (option (float 0.0))) "to_float" (Some 1.5)
+        (Option.bind (member "f" j) to_float);
+      Alcotest.(check (option (float 0.0))) "to_float widens ints" (Some 3.0)
+        (Option.bind (member "i" j) to_float);
+      Alcotest.(check (option string)) "to_string" (Some "x")
+        (Option.bind (member "s" j) to_string);
+      Alcotest.(check (option bool)) "to_bool" (Some true)
+        (Option.bind (member "b" j) to_bool);
+      Alcotest.(check bool) "to_list" true
+        (match Option.bind (member "l" j) to_list with
+        | Some [ Jint 1 ] -> true
+        | _ -> false);
+      Alcotest.(check (option int)) "missing member" None
+        (Option.bind (member "zz" j) to_int);
+      Alcotest.(check (option int)) "wrong type" None
+        (Option.bind (member "s" j) to_int)
+
+(* The generative form of the satellite requirement: parse (emit x) = x
+   for every protocol-expressible value, including floats (the emitter
+   picks the shortest exact decimal form) and strings over the full
+   byte range. *)
+let json_gen =
+  let open QCheck.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_finite f then f else 0.0)
+      (oneof
+         [
+           float;
+           map float_of_int int;
+           oneofl
+             [ 0.0; -0.0; 0.25; 0.1; 1e-300; 4e18; 1.7976931348623157e308;
+               5e-324; 3.141592653589793 ];
+         ])
+  in
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (0 -- 12) in
+  let scalar =
+    oneof
+      [
+        return Report.Jnull;
+        map (fun b -> Report.Jbool b) bool;
+        map (fun i -> Report.Jint i) int;
+        map (fun f -> Report.Jfloat f) finite_float;
+        map (fun s -> Report.Jstring s) any_string;
+      ]
+  in
+  let dedup_keys kvs =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      kvs
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map (fun l -> Report.Jlist l)
+                   (list_size (0 -- 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Report.Jobj (dedup_keys kvs))
+                   (list_size (0 -- 4) (pair any_string (self (n / 2)))) );
+             ])
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:1000 ~name:"parse (emit x) = x"
+    (QCheck.make ~print:Report.json_to_string json_gen)
+    (fun j ->
+      match Report.parse (Report.json_to_string j) with
+      | Ok j' -> json_equal j j'
+      | Error msg ->
+          QCheck.Test.fail_reportf "emitted %s unparseable: %s"
+            (Report.json_to_string j) msg)
+
 let () =
   Alcotest.run "report"
     [
@@ -234,6 +437,15 @@ let () =
             test_write_json_roundtrip;
           Alcotest.test_case "unwritable path is a clean error" `Quick
             test_write_json_unwritable_path;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "values and whitespace" `Quick test_parse_values;
+          Alcotest.test_case "string escapes" `Quick test_parse_string_escapes;
+          Alcotest.test_case "malformed inputs are clean errors" `Quick
+            test_parse_malformed;
+          Alcotest.test_case "accessors" `Quick test_parse_accessors;
+          QCheck_alcotest.to_alcotest roundtrip_prop;
         ] );
       ( "perf rows",
         [

@@ -184,6 +184,91 @@ let test_failure_propagates () =
         (fun () -> ignore (Sweep.run_batch t [ bad ])))
     [ 1; 2 ]
 
+(* --- the pool's error paths and the persistent executor --- *)
+
+exception Job_boom
+
+let test_map_raising_job_no_deadlock () =
+  (* the all-or-nothing contract: a raising job surfaces its exception
+     (after every domain is joined — a deadlock here would hang the
+     test), and completed side effects survive *)
+  List.iter
+    (fun workers ->
+      let completed = Atomic.make 0 in
+      Alcotest.check_raises
+        (Printf.sprintf "job raise surfaces (workers=%d)" workers)
+        Job_boom
+        (fun () ->
+          ignore
+            (Sweep.Pool.map ~workers
+               (fun i ->
+                 if i = 1 then raise Job_boom
+                 else begin
+                   Atomic.incr completed;
+                   i
+                 end)
+               [ 0; 1; 2; 3; 4; 5 ]));
+      (* at least the pre-failure item ran and its effect is visible *)
+      Alcotest.(check bool)
+        (Printf.sprintf "unrelated side effects survive (workers=%d)" workers)
+        true
+        (Atomic.get completed >= 1))
+    [ 1; 3 ]
+
+let test_map_result_isolates_failures () =
+  List.iter
+    (fun workers ->
+      let results =
+        Sweep.Pool.map_result ~workers
+          (fun i -> if i mod 2 = 0 then raise Job_boom else i * 10)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      let describe = function
+        | Ok v -> Printf.sprintf "ok:%d" v
+        | Error Job_boom -> "boom"
+        | Error e -> Printexc.to_string e
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "every item answered (workers=%d)" workers)
+        [ "boom"; "ok:10"; "boom"; "ok:30"; "boom" ]
+        (List.map describe results))
+    [ 1; 4 ]
+
+let test_executor_drains_on_shutdown () =
+  let exec = Sweep.Pool.Executor.create ~workers:2 () in
+  Alcotest.(check int) "workers spawned" 2 (Sweep.Pool.Executor.workers exec);
+  let count = Atomic.make 0 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "submission accepted" true
+      (Sweep.Pool.Executor.submit exec (fun () -> Atomic.incr count))
+  done;
+  Sweep.Pool.Executor.shutdown exec;
+  Alcotest.(check int) "every accepted task ran before shutdown returned" 100
+    (Atomic.get count);
+  Alcotest.(check bool) "submissions refused after shutdown" false
+    (Sweep.Pool.Executor.submit exec (fun () -> Atomic.incr count));
+  Alcotest.(check int) "refused task did not run" 100 (Atomic.get count);
+  (* idempotent *)
+  Sweep.Pool.Executor.shutdown exec
+
+let test_executor_survives_raising_task () =
+  let seen = Atomic.make 0 in
+  let exec =
+    Sweep.Pool.Executor.create ~workers:1
+      ~on_error:(fun _ -> Atomic.incr seen)
+      ()
+  in
+  let count = Atomic.make 0 in
+  ignore (Sweep.Pool.Executor.submit exec (fun () -> raise Job_boom));
+  for _ = 1 to 10 do
+    ignore (Sweep.Pool.Executor.submit exec (fun () -> Atomic.incr count))
+  done;
+  ignore (Sweep.Pool.Executor.submit exec (fun () -> raise Job_boom));
+  Sweep.Pool.Executor.shutdown exec;
+  Alcotest.(check int) "the domain survived both raising tasks" 10
+    (Atomic.get count);
+  Alcotest.(check int) "error callback saw both" 2 (Atomic.get seen)
+
 let () =
   Alcotest.run "sweep"
     [
@@ -206,5 +291,16 @@ let () =
           Alcotest.test_case "failure propagation" `Quick test_failure_propagates;
           Alcotest.test_case "raising progress callback" `Quick
             test_progress_raise_propagates;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "raising job: no deadlock, effects survive" `Quick
+            test_map_raising_job_no_deadlock;
+          Alcotest.test_case "map_result isolates failures" `Quick
+            test_map_result_isolates_failures;
+          Alcotest.test_case "executor drains on shutdown" `Quick
+            test_executor_drains_on_shutdown;
+          Alcotest.test_case "executor survives raising tasks" `Quick
+            test_executor_survives_raising_task;
         ] );
     ]
