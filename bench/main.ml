@@ -480,6 +480,130 @@ let ext_drowsy () =
 %!"
 
 (* ------------------------------------------------------------------ *)
+(* mp: multiprogramming quantum sweep (ROADMAP item 4).                *)
+(* Energy and ED as a function of quantum length x mix composition x   *)
+(* placement coverage; the headline question is how many context       *)
+(* switches per million instructions the way-placement win survives.   *)
+(* A multiprogrammed run is not a (benchmark x config) Sweep job, so   *)
+(* the cells are memoised locally and computed at print time.          *)
+
+module Mp = Wayplace.Mp
+
+let mp_mixes =
+  [
+    ("crc+sha+bitcount", [ "crc"; "sha"; "bitcount" ]);
+    ("susan+cjpeg+patricia", [ "susan_c"; "cjpeg"; "patricia" ]);
+    ("tiff+ispell+rijndael", [ "tiff2bw"; "ispell"; "rijndael_e" ]);
+  ]
+
+let mp_quanta = [ 2_000; 20_000; 200_000; 0 ]
+
+let mp_cache : (string * string * string * int, Mp.Machine.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let mp_run ~label ~names ~coverage ~scheme ~quantum =
+  let key =
+    (label, Mp.Mix.coverage_name coverage, Config.scheme_name scheme, quantum)
+  in
+  match Hashtbl.find_opt mp_cache key with
+  | Some r -> r
+  | None ->
+      let mix =
+        match Mp.Mix.of_names ~coverage names with
+        | Ok m -> m
+        | Error msg -> failwith msg
+      in
+      let config = Config.xscale scheme in
+      let options =
+        { Mp.Machine.default_options with quantum_cycles = quantum }
+      in
+      let r = Mp.Machine.run ~config ~options mix in
+      (* The attribution law the differ also enforces: per-process +
+         system counters sum to the aggregate, integer by integer. *)
+      let agg = Stats.snapshot_ints r.Mp.Machine.aggregate in
+      let sum = Array.make (Array.length agg) 0 in
+      let add s =
+        Array.iteri (fun i v -> sum.(i) <- sum.(i) + v) (Stats.snapshot_ints s)
+      in
+      List.iter (fun p -> add p.Mp.Machine.pr_stats) r.Mp.Machine.processes;
+      add r.Mp.Machine.system;
+      if sum <> agg then
+        failwith (label ^ ": per-process attribution does not sum to aggregate");
+      Hashtbl.replace mp_cache key r;
+      r
+
+(* Normalised against the baseline scheme on the SAME mix at the SAME
+   quantum, so the kernel and switch costs cancel and the number
+   isolates what placement still buys under contention. *)
+let mp_cell ~label ~names ~coverage ~quantum =
+  let base =
+    mp_run ~label ~names ~coverage:Mp.Mix.All_placed ~scheme:Config.Baseline
+      ~quantum
+  in
+  let r = mp_run ~label ~names ~coverage ~scheme:(wp 16) ~quantum in
+  let e =
+    Ed.normalised
+      ~scheme:(Stats.icache_energy_pj r.Mp.Machine.aggregate)
+      ~baseline:(Stats.icache_energy_pj base.Mp.Machine.aggregate)
+  in
+  let ed =
+    Ed.normalised_ed
+      ~scheme_energy_pj:(Stats.total_energy_pj r.Mp.Machine.aggregate)
+      ~scheme_cycles:r.Mp.Machine.aggregate.Stats.cycles
+      ~baseline_energy_pj:(Stats.total_energy_pj base.Mp.Machine.aggregate)
+      ~baseline_cycles:base.Mp.Machine.aggregate.Stats.cycles
+  in
+  (e, ed, r)
+
+let mp_quantum_sweep () =
+  header
+    "Multiprogramming - energy/ED vs quantum x mix x placement coverage\n\
+     (3 processes per mix, interrupt kernel on, shared BTB, round-robin;\n\
+     normalised to the baseline scheme on the same mix at the same\n\
+     quantum, so switch costs cancel)";
+  Printf.printf "%-22s %8s %9s %8s %8s %8s %8s %8s %8s\n" "mix" "quantum"
+    "sw/Minst" "E(all)" "E(half)" "E(none)" "ED(all)" "ED(half)" "ED(none)";
+  List.iter
+    (fun (label, names) ->
+      List.iter
+        (fun quantum ->
+          let e_all, ed_all, r_all =
+            mp_cell ~label ~names ~coverage:Mp.Mix.All_placed ~quantum
+          in
+          let e_half, ed_half, _ =
+            mp_cell ~label ~names ~coverage:Mp.Mix.Half_placed ~quantum
+          in
+          let e_none, ed_none, _ =
+            mp_cell ~label ~names ~coverage:Mp.Mix.None_placed ~quantum
+          in
+          Printf.printf
+            "%-22s %8s %9.1f %7.1f%% %7.1f%% %7.1f%% %8.3f %8.3f %8.3f\n"
+            label
+            (if quantum <= 0 then "inf" else string_of_int quantum)
+            (Mp.Machine.switches_per_million r_all)
+            (pct e_all) (pct e_half) (pct e_none) ed_all ed_half ed_none)
+        mp_quanta)
+    mp_mixes;
+  (* The erosion headline: saving with everything placed, undisturbed
+     vs at the highest switch rate measured. *)
+  List.iter
+    (fun (label, names) ->
+      let e_inf, _, _ =
+        mp_cell ~label ~names ~coverage:Mp.Mix.All_placed ~quantum:0
+      in
+      let e_hot, _, r_hot =
+        mp_cell ~label ~names ~coverage:Mp.Mix.All_placed ~quantum:2_000
+      in
+      Printf.printf
+        "%-22s saving %4.1f%% undisturbed -> %4.1f%% at %.0f switches/M instrs\n"
+        label
+        (pct (1.0 -. e_inf))
+        (pct (1.0 -. e_hot))
+        (Mp.Machine.switches_per_million r_hot))
+    mp_mixes;
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
 (* CSV export: the three figure datasets, one file per figure, for     *)
 (* external plotting.                                                  *)
 
@@ -839,6 +963,7 @@ let experiments =
     ("ablate-profile", ablate_profile_jobs, ablate_profile);
     ("ext-comparators", ext_comparators_jobs, ext_comparators);
     ("ext-drowsy", ext_drowsy_jobs, ext_drowsy);
+    ("mp-quantum", no_jobs, mp_quantum_sweep);
     ("csv", csv_jobs, csv);
     ("micro", no_jobs, micro);
     ("perf", no_jobs, perf);

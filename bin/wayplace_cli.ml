@@ -510,6 +510,7 @@ let marker_to_string = function
   | Sampler.Resize { cycle; area_bytes } ->
       Printf.sprintf "resize@%d=%dB" cycle area_bytes
   | Sampler.Flush { cycle } -> Printf.sprintf "flush@%d" cycle
+  | Sampler.Switch { cycle; next } -> Printf.sprintf "switch@%d=p%d" cycle next
 
 let print_timeline windows =
   Printf.printf "%-6s %10s %10s %8s %6s %8s %8s %12s %s\n" "window" "start"
@@ -888,6 +889,315 @@ let lint_cmd benchmarks sizes ways line area static json_out csv_out strict =
       Format.eprintf "error: %s@." msg;
       1
 
+(* --- mp: multiprogrammed runs --- *)
+
+module Mp = Wayplace.Mp
+
+let mp_mix_arg =
+  let doc =
+    "Process mix: comma-separated benchmark names, or $(b,random:SEED) for \
+     a generated mix (deterministic in the seed)."
+  in
+  Arg.(value & opt string "crc,sha,bitcount" & info [ "mix" ] ~docv:"MIX" ~doc)
+
+let mp_coverage_arg =
+  let doc =
+    "Placement coverage: $(b,all), $(b,half) (every second process), \
+     $(b,none), or $(b,mix) (keep the mix's own flags)."
+  in
+  Arg.(value & opt string "all" & info [ "coverage" ] ~docv:"COV" ~doc)
+
+let mp_quantum_arg =
+  let doc = "Scheduler quantum in cycles; 0 = infinite (run to completion)." in
+  Arg.(value & opt int 50_000 & info [ "q"; "quantum" ] ~docv:"CYCLES" ~doc)
+
+let mp_no_kernel_arg =
+  let doc = "Skip the interrupt-handler kernel at context switches." in
+  Arg.(value & flag & info [ "no-kernel" ] ~doc)
+
+let mp_btb_arg =
+  let doc = "BTB policy at switches: $(b,shared) or $(b,flush)." in
+  Arg.(value & opt string "shared" & info [ "btb" ] ~docv:"POLICY" ~doc)
+
+let mp_drowsy_arg =
+  let doc =
+    "Drowsy policy at switches: $(b,shared) (timestamps rebased onto the \
+     incoming process's clock) or $(b,flush) (every line dropped drowsy)."
+  in
+  Arg.(value & opt string "shared" & info [ "drowsy-policy" ] ~docv:"POLICY" ~doc)
+
+let mp_sched_arg =
+  let doc = "Scheduler: $(b,rr) (round-robin) or $(b,priority)." in
+  Arg.(value & opt string "rr" & info [ "sched" ] ~docv:"POLICY" ~doc)
+
+let mp_verify_arg =
+  let doc =
+    "Self-check (exit 1 on any mismatch): run each process alone under an \
+     infinite quantum without the kernel and assert bit-identity against \
+     the single-process simulator, then replay the whole mix through the \
+     per-instruction reference loop and assert the fast path matches it, \
+     per process and in aggregate."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let mp_json_arg =
+  let doc = "Write the mp result (aggregate + per-process attribution) to this JSON file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let mp_csv_arg =
+  let doc = "Write the per-process attribution table to this CSV file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let parse_mix ~mix ~coverage =
+  let ( let* ) = Result.bind in
+  let* base =
+    let prefix = "random:" in
+    let plen = String.length prefix in
+    if String.length mix > plen && String.sub mix 0 plen = prefix then
+      match
+        int_of_string_opt (String.sub mix plen (String.length mix - plen))
+      with
+      | Some seed -> Ok (Wayplace.Check.Progen.mix_of_seed seed)
+      | None ->
+          Error
+            (Printf.sprintf "bad mix %S: random: needs an integer seed" mix)
+    else
+      Mp.Mix.of_names
+        (comma_list mix |> List.map String.trim
+        |> List.filter (fun s -> s <> ""))
+  in
+  match coverage with
+  | "mix" -> Ok base
+  | c ->
+      let* c = Mp.Mix.coverage_of_string c in
+      Ok (Mp.Mix.apply_coverage c base)
+
+let parse_mp_options ~quantum ~no_kernel ~btb ~drowsy ~sched =
+  let ( let* ) = Result.bind in
+  let* btb_policy =
+    match btb with
+    | "shared" -> Ok Mp.Machine.Btb_shared
+    | "flush" -> Ok Mp.Machine.Btb_flush
+    | s -> Error (Printf.sprintf "unknown BTB policy %S (shared|flush)" s)
+  in
+  let* drowsy_policy =
+    match drowsy with
+    | "shared" -> Ok Mp.Machine.Drowsy_shared
+    | "flush" -> Ok Mp.Machine.Drowsy_flush
+    | s -> Error (Printf.sprintf "unknown drowsy policy %S (shared|flush)" s)
+  in
+  let* sched =
+    match sched with
+    | "rr" | "round-robin" -> Ok Mp.Machine.Round_robin
+    | "priority" -> Ok Mp.Machine.Priority
+    | s -> Error (Printf.sprintf "unknown scheduler %S (rr|priority)" s)
+  in
+  Ok
+    {
+      Mp.Machine.quantum_cycles = quantum;
+      kernel = not no_kernel;
+      btb_policy;
+      drowsy_policy;
+      sched;
+    }
+
+let mp_conservation (r : Mp.Machine.result) =
+  let agg = Sim_stats.snapshot_ints r.Mp.Machine.aggregate in
+  let sum = Array.make (Array.length agg) 0 in
+  let add s =
+    Array.iteri (fun i v -> sum.(i) <- sum.(i) + v) (Sim_stats.snapshot_ints s)
+  in
+  List.iter
+    (fun (p : Mp.Machine.process_result) -> add p.Mp.Machine.pr_stats)
+    r.Mp.Machine.processes;
+  add r.Mp.Machine.system;
+  if sum = agg then Ok ()
+  else Error "per-process + system counters do not sum to the aggregate"
+
+let mp_verify_run ~config ~options mix (fast : Mp.Machine.result) =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc (p : Mp.Mix.proc) ->
+        let* () = acc in
+        let prep = Wayplace.Sim.Runner.prepare p.Mp.Mix.spec in
+        let cell = Wayplace.Sim.Runner.run_scheme prep config in
+        let solo =
+          Mp.Machine.run ~config ~options:Mp.Machine.oracle_options
+            [ { p with Mp.Mix.placed = true } ]
+        in
+        if Sim_stats.equal solo.Mp.Machine.aggregate cell then Ok ()
+        else
+          Error
+            (Format.asprintf
+               "identity oracle failed for %s: mp diverges from \
+                Simulator.run:@ %a"
+               p.Mp.Mix.pname Sim_stats.pp_diff
+               (solo.Mp.Machine.aggregate, cell)))
+      (Ok ()) mix
+  in
+  let refr = Mp.Machine.run ~reference_only:true ~config ~options mix in
+  if not (Sim_stats.equal fast.Mp.Machine.aggregate refr.Mp.Machine.aggregate)
+  then
+    Error
+      (Format.asprintf "mp fast path diverges from the reference loop:@ %a"
+         Sim_stats.pp_diff
+         (fast.Mp.Machine.aggregate, refr.Mp.Machine.aggregate))
+  else if
+    not
+      (List.for_all2
+         (fun (a : Mp.Machine.process_result) (b : Mp.Machine.process_result) ->
+           Sim_stats.equal a.Mp.Machine.pr_stats b.Mp.Machine.pr_stats)
+         fast.Mp.Machine.processes refr.Mp.Machine.processes)
+  then Error "mp fast path diverges from the reference loop on a per-process account"
+  else Ok ()
+
+let mp_process_row (p : Mp.Machine.process_result) =
+  ( p.Mp.Machine.pr_name,
+    p.Mp.Machine.pr_placed,
+    p.Mp.Machine.pr_dispatches,
+    p.Mp.Machine.pr_stats )
+
+let mp_result_json mix options (r : Mp.Machine.result) =
+  let stats_fields (s : Sim_stats.t) =
+    [
+      ("cycles", Report.Jint s.Sim_stats.cycles);
+      ("retired", Report.Jint s.Sim_stats.retired_instrs);
+      ("fetches", Report.Jint s.Sim_stats.fetches);
+      ("icache_energy_pj", Report.Jfloat (Sim_stats.icache_energy_pj s));
+      ("total_energy_pj", Report.Jfloat (Sim_stats.total_energy_pj s));
+    ]
+  in
+  Report.Jobj
+    [
+      ("processes", Report.Jint (List.length mix));
+      ("quantum_cycles", Report.Jint options.Mp.Machine.quantum_cycles);
+      ("switches", Report.Jint r.Mp.Machine.switches);
+      ("kernel_runs", Report.Jint r.Mp.Machine.kernel_runs);
+      ("timer_fires", Report.Jint r.Mp.Machine.timer_fires);
+      ( "switches_per_million",
+        Report.Jfloat (Mp.Machine.switches_per_million r) );
+      ("aggregate", Report.Jobj (stats_fields r.Mp.Machine.aggregate));
+      ("system", Report.Jobj (stats_fields r.Mp.Machine.system));
+      ( "per_process",
+        Report.Jlist
+          (List.map
+             (fun p ->
+               let name, placed, dispatches, s = mp_process_row p in
+               Report.Jobj
+                 ([
+                    ("name", Report.Jstring name);
+                    ("placed", Report.Jbool placed);
+                    ("dispatches", Report.Jint dispatches);
+                  ]
+                 @ stats_fields s))
+             r.Mp.Machine.processes) );
+    ]
+
+let mp_result_csv (r : Mp.Machine.result) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "process,placed,dispatches,retired,cycles,icache_energy_pj,total_energy_pj\n";
+  let row name placed dispatches (s : Sim_stats.t) =
+    Buffer.add_string b
+      (Printf.sprintf "%s,%b,%d,%d,%d,%.6f,%.6f\n" name placed dispatches
+         s.Sim_stats.retired_instrs s.Sim_stats.cycles
+         (Sim_stats.icache_energy_pj s)
+         (Sim_stats.total_energy_pj s))
+  in
+  List.iter
+    (fun p ->
+      let name, placed, dispatches, s = mp_process_row p in
+      row name placed dispatches s)
+    r.Mp.Machine.processes;
+  row "system" false r.Mp.Machine.kernel_runs r.Mp.Machine.system;
+  row "aggregate" false 0 r.Mp.Machine.aggregate;
+  Buffer.contents b
+
+let mp_cmd mix_s coverage quantum no_kernel btb drowsy sched scheme area size
+    ways line window json_out csv_out chrome_out verify =
+  let ( let* ) = Result.bind in
+  let result =
+    let* scheme = parse_scheme scheme area in
+    let* config = config_of ~scheme ~size_kb:size ~ways ~line in
+    let* mix = parse_mix ~mix:mix_s ~coverage in
+    let* options = parse_mp_options ~quantum ~no_kernel ~btb ~drowsy ~sched in
+    let* r =
+      match Mp.Machine.run ~config ~options mix with
+      | r -> Ok r
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* () = mp_conservation r in
+    let* () = if verify then mp_verify_run ~config ~options mix r else Ok () in
+    Format.printf "mix: %a@." Mp.Mix.pp mix;
+    Format.printf "%a@." Wayplace.Sim.Config.pp config;
+    Printf.printf
+      "quantum %s, kernel %s | %d switches (%.1f / M instrs), %d kernel runs, \
+       %d timer fires\n"
+      (if options.Mp.Machine.quantum_cycles <= 0 then "infinite"
+       else string_of_int options.Mp.Machine.quantum_cycles ^ " cycles")
+      (if options.Mp.Machine.kernel then "on" else "off")
+      r.Mp.Machine.switches
+      (Mp.Machine.switches_per_million r)
+      r.Mp.Machine.kernel_runs r.Mp.Machine.timer_fires;
+    Printf.printf "%-12s %-6s %10s %10s %12s %14s %14s\n" "process" "placed"
+      "dispatch" "retired" "cycles" "icache_pj" "total_pj";
+    let row name placed dispatches (s : Sim_stats.t) =
+      Printf.printf "%-12s %-6b %10d %10d %12d %14.1f %14.1f\n" name placed
+        dispatches s.Sim_stats.retired_instrs s.Sim_stats.cycles
+        (Sim_stats.icache_energy_pj s)
+        (Sim_stats.total_energy_pj s)
+    in
+    List.iter
+      (fun p ->
+        let name, placed, dispatches, s = mp_process_row p in
+        row name placed dispatches s)
+      r.Mp.Machine.processes;
+    row "system" false r.Mp.Machine.kernel_runs r.Mp.Machine.system;
+    row "aggregate" false 0 r.Mp.Machine.aggregate;
+    if verify then
+      Printf.printf
+        "verify: identity oracle, fast=reference and conservation all OK\n";
+    let* () =
+      match json_out with
+      | None -> Ok ()
+      | Some path ->
+          let* () = Report.write_json ~path (mp_result_json mix options r) in
+          Printf.printf "wrote %s\n%!" path;
+          Ok ()
+    in
+    let* () =
+      match csv_out with
+      | None -> Ok ()
+      | Some path -> (
+          match
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (mp_result_csv r))
+          with
+          | () ->
+              Printf.printf "wrote %s\n%!" path;
+              Ok ()
+          | exception Sys_error msg -> Error msg)
+    in
+    match chrome_out with
+    | None -> Ok ()
+    | Some path ->
+        let* () = if window > 0 then Ok () else Error "--window must be positive" in
+        let sampler = Sampler.create ~window_cycles:window () in
+        ignore (Mp.Machine.run ~probe:(Sampler.probe sampler) ~config ~options mix);
+        let windows = Sampler.finish sampler in
+        let* () = Wayplace.Sim.Timeline.write_chrome ~path windows in
+        Printf.printf
+          "wrote %s (%d windows, context switches as instant events)\n%!" path
+          (List.length windows);
+        Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
 (* --- serve / loadtest: the placement service --- *)
 
 module Serve = Wayplace.Serve
@@ -980,7 +1290,7 @@ let shutdown_after_arg =
   let doc = "Send a graceful shutdown request to the daemon afterwards." in
   Arg.(value & flag & info [ "shutdown-after" ] ~doc)
 
-let loadtest_mix ~benchmarks ~schemes ~area ~verify =
+let loadtest_mix ~benchmarks ~schemes ~area ~verify ~mp_mixes =
   let ( let* ) = Result.bind in
   let* benchmarks =
     match benchmarks with
@@ -1004,16 +1314,28 @@ let loadtest_mix ~benchmarks ~schemes ~area ~verify =
       (Ok []) (comma_list schemes)
     |> Result.map List.rev
   in
-  let mix =
+  let sims =
     List.concat_map
       (fun benchmark ->
         List.map
           (fun scheme ->
-            Serve.Protocol.sim_request ~verify ~benchmark ~scheme ())
+            Serve.Protocol.Sim
+              (Serve.Protocol.sim_request ~verify ~benchmark ~scheme ()))
           schemes)
       benchmarks
   in
-  Ok (Array.of_list mix)
+  (* each --mp MIX becomes one multiprogrammed request per scheme — a
+     heavier request class in the same round-robin *)
+  let mps =
+    List.concat_map
+      (fun mix ->
+        List.map
+          (fun scheme ->
+            Serve.Protocol.Mp (Serve.Protocol.mp_request ~verify ~mix ~scheme ()))
+          schemes)
+      mp_mixes
+  in
+  Ok (Array.of_list (sims @ mps))
 
 let loadtest_benchmarks_arg =
   let doc =
@@ -1028,12 +1350,20 @@ let loadtest_schemes_arg =
     & opt string "baseline,wayplace,waymemo"
     & info [ "s"; "schemes" ] ~docv:"SCHEMES" ~doc)
 
+let loadtest_mp_arg =
+  let doc =
+    "Add a multiprogrammed request for this process mix (comma-separated \
+     benchmark names or $(b,random:SEED)) to the round-robin, one per \
+     scheme.  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "mp" ] ~docv:"MIX" ~doc)
+
 let loadtest_cmd socket port host total connections depth benchmarks schemes
-    area verify json_out expect_hit shutdown_after quiet =
+    area verify mp_mixes json_out expect_hit shutdown_after quiet =
   let ( let* ) = Result.bind in
   let result =
     let* endpoint = endpoint_of ~socket ~port ~host in
-    let* mix = loadtest_mix ~benchmarks ~schemes ~area ~verify in
+    let* mix = loadtest_mix ~benchmarks ~schemes ~area ~verify ~mp_mixes in
     let spec = { Serve.Loadtest.endpoint; connections; depth; total; mix } in
     let* r = Serve.Loadtest.run spec in
     if not quiet then Format.printf "%a@." Serve.Loadtest.pp r;
@@ -1245,6 +1575,18 @@ let cmds =
             cache, conservation laws, metamorphic scheme equalities)")
       Term.(const fuzz_cmd $ seed_arg $ count_arg $ jobs_arg $ quiet_arg);
     Cmd.v
+      (Cmd.info "mp"
+         ~doc:
+           "Time-slice a mix of processes on one simulated core (shared \
+            caches, I-TLB shootdowns, interrupt kernel) and report \
+            per-process + aggregate energy attribution; $(b,--verify) \
+            asserts the identity oracle and fast=reference bit-identity.")
+      Term.(
+        const mp_cmd $ mp_mix_arg $ mp_coverage_arg $ mp_quantum_arg
+        $ mp_no_kernel_arg $ mp_btb_arg $ mp_drowsy_arg $ mp_sched_arg
+        $ scheme_arg $ area_arg $ size_arg $ ways_arg $ line_arg $ window_arg
+        $ mp_json_arg $ mp_csv_arg $ chrome_arg $ mp_verify_arg);
+    Cmd.v
       (Cmd.info "lint"
          ~doc:
            "Statically verify laid-out binaries: well-formedness (WF codes), \
@@ -1287,8 +1629,8 @@ let cmds =
         const loadtest_cmd $ socket_arg $ port_arg $ host_arg
         $ loadtest_total_arg $ loadtest_conns_arg $ loadtest_depth_arg
         $ loadtest_benchmarks_arg $ loadtest_schemes_arg $ area_arg
-        $ loadtest_verify_arg $ json_arg $ expect_hit_arg $ shutdown_after_arg
-        $ quiet_arg);
+        $ loadtest_verify_arg $ loadtest_mp_arg $ json_arg $ expect_hit_arg
+        $ shutdown_after_arg $ quiet_arg);
     Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
       Term.(const list_cmd $ const ());
   ]

@@ -78,7 +78,9 @@ let () =
                    (function
                      | S.Resize { area_bytes; _ } ->
                          Printf.sprintf "resize to %dKB" (area_bytes / 1024)
-                     | S.Flush _ -> "flush")
+                     | S.Flush _ -> "flush"
+                     | S.Switch { next; _ } ->
+                         Printf.sprintf "switch to p%d" next)
                    ms)
       in
       Format.printf "  window %2d  ipc %5.3f  i-misses %4d%s@." w.S.index

@@ -109,6 +109,51 @@ let replay_awake t a ~len ~iters =
     t.accounted_awake <- !acc
   end
 
+(* Re-express every touched line's timestamp on a new clock so that its
+   inter-access gap — the only behaviourally relevant quantity — is
+   preserved across the handover.  Gaps are first canonicalised to
+   [window + 1] (every larger gap is behaviourally identical: asleep,
+   next touch wakes and credits [window] ticks).  A gap that reaches
+   past the new clock's origin cannot be represented as a non-negative
+   timestamp; the line's completed awake portion is accounted
+   immediately and the line reverts to never-touched, which a
+   subsequent access treats exactly like any other sleeping line. *)
+let rebase t ~old_now ~new_now =
+  let cap = t.window + 1 in
+  let a = t.last_access in
+  for i = 0 to Array.length a - 1 do
+    let last = a.(i) in
+    if last >= 0 then begin
+      let gap = old_now - last in
+      let gap = if gap < cap then gap else cap in
+      let last' = new_now - gap in
+      if last' >= 0 then a.(i) <- last'
+      else begin
+        let awake = if gap < t.window then gap else t.window in
+        t.accounted_awake <- t.accounted_awake +. float_of_int awake;
+        (match t.recorder with None -> () | Some r -> r awake);
+        a.(i) <- -1
+      end
+    end
+  done
+
+(* Put every line to sleep at tick [now]: close each touched line's
+   open awake tail into the accumulator and mark the line
+   never-touched.  Models a policy that drops all lines drowsy at a
+   context switch. *)
+let sleep_all t ~now =
+  let a = t.last_access in
+  for i = 0 to Array.length a - 1 do
+    let last = a.(i) in
+    if last >= 0 then begin
+      let gap = now - last in
+      let awake = if gap < t.window then gap else t.window in
+      t.accounted_awake <- t.accounted_awake +. float_of_int awake;
+      (match t.recorder with None -> () | Some r -> r awake);
+      a.(i) <- -1
+    end
+  done
+
 let reset t =
   Array.fill t.last_access 0 (Array.length t.last_access) (-1);
   t.accounted_awake <- 0.0

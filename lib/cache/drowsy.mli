@@ -57,4 +57,19 @@ val replay_awake : t -> int array -> len:int -> iters:int -> unit
     accumulator, in order — bit-identical to the additions the
     equivalent {!note_access} calls would have performed. *)
 
+val rebase : t -> old_now:int -> new_now:int -> unit
+(** Re-express every touched line's timestamp on a new clock, preserving
+    each line's (canonicalised) inter-access gap: a line last touched
+    [g] ticks before [old_now] behaves, after the call, exactly like a
+    line last touched [g] ticks before [new_now].  Lines whose gap
+    reaches past the new clock's origin have their completed awake
+    portion accounted immediately and revert to never-touched.  The
+    multiprogramming layer calls this when the fetch clock (the charging
+    process's fetch counter) changes at a context switch; a no-op-
+    equivalent when [old_now = new_now]. *)
+
+val sleep_all : t -> now:int -> unit
+(** Close every touched line's open awake tail into the accumulator and
+    drop the whole cache drowsy — the flush-on-switch drowsy policy. *)
+
 val reset : t -> unit

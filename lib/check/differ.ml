@@ -453,6 +453,146 @@ let check_fastpath ~where prepared (config : Config.t) (fast : Stats.t) =
   no_ff @ vs_reference
 
 (* ------------------------------------------------------------------ *)
+(* Multiprogramming checks (PR 8).  Two laws tie the mp machine to the
+   single-process simulator and to itself:
+
+   - identity: a single-process mix under an infinite quantum with no
+     kernel IS the single-process simulator — the aggregate must be
+     [Stats.equal] to the grid cell's own run, bit for bit;
+   - under real time-slicing (finite quantum, kernel, a second
+     process polluting the shared cache), the block-batched mp fast
+     path, the per-instruction mp reference loop and a probed replay
+     all agree exactly, per process and in aggregate, and per-process
+     integer counters sum to the aggregate counter by counter. *)
+
+module Mp = Wp_mp.Machine
+module Mix = Wp_mp.Mix
+
+(* The fixed cache-polluting partner for contention checks: small and
+   loopy, so it revisits its own lines and evicts the fuzz program's. *)
+let mp_partner_spec =
+  {
+    Spec.name = "mp-partner";
+    seed = 0xBEEF;
+    num_funcs = 3;
+    blocks_per_func_min = 2;
+    blocks_per_func_max = 4;
+    instrs_per_block_min = 2;
+    instrs_per_block_max = 5;
+    max_loop_depth = 1;
+    avg_loop_trips = 3;
+    hot_func_fraction = 0.5;
+    hot_call_bias = 0.5;
+    if_taken_bias = 0.5;
+    mem_ratio = 0.2;
+    mac_ratio = 0.1;
+    data_working_set_bytes = 512;
+    trace_blocks_large = 120;
+    trace_blocks_small = 60;
+  }
+
+let check_mp_identity ~where spec (config : Config.t) (cell : Stats.t) =
+  match Mp.run ~config ~options:Mp.oracle_options (Mix.of_specs [ spec ]) with
+  | exception exn ->
+      [
+        Printf.sprintf "%s: mp identity run raised: %s" where
+          (Printexc.to_string exn);
+      ]
+  | r ->
+      if Stats.equal r.Mp.aggregate cell then []
+      else
+        [
+          Printf.sprintf
+            "%s: mp infinite-quantum single-process run diverges from \
+             Simulator.run: %s"
+            where
+            (Format.asprintf "%a" Stats.pp_diff (r.Mp.aggregate, cell));
+        ]
+
+let mp_int_conservation ~where (r : Mp.result) =
+  let sum = Array.map (fun _ -> 0) (Stats.snapshot_ints r.Mp.aggregate) in
+  let add s = Array.iteri (fun i v -> sum.(i) <- sum.(i) + v) (Stats.snapshot_ints s) in
+  List.iter (fun (p : Mp.process_result) -> add p.Mp.pr_stats) r.Mp.processes;
+  add r.Mp.system;
+  if sum = Stats.snapshot_ints r.Mp.aggregate then []
+  else
+    [
+      Printf.sprintf
+        "%s: per-process + system counters do not sum to the mp aggregate"
+        where;
+    ]
+
+let check_mp_mix ~where spec (config : Config.t) =
+  let mix = Mix.of_specs ~coverage:Mix.Half_placed [ spec; mp_partner_spec ] in
+  let options = { Mp.default_options with Mp.quantum_cycles = 4_000 } in
+  match Mp.run ~config ~options mix with
+  | exception exn ->
+      [
+        Printf.sprintf "%s: mp fast run raised: %s" where
+          (Printexc.to_string exn);
+      ]
+  | fast -> (
+      match Mp.run ~reference_only:true ~config ~options mix with
+      | exception exn ->
+          [
+            Printf.sprintf "%s: mp reference run raised: %s" where
+              (Printexc.to_string exn);
+          ]
+      | refr ->
+          let v = ref [] in
+          let fail fmt =
+            Printf.ksprintf (fun msg -> v := (where ^ ": " ^ msg) :: !v) fmt
+          in
+          if not (Stats.equal fast.Mp.aggregate refr.Mp.aggregate) then
+            fail "mp fast path diverges from mp reference: %s"
+              (Format.asprintf "%a" Stats.pp_diff
+                 (fast.Mp.aggregate, refr.Mp.aggregate));
+          List.iteri
+            (fun i (pf : Mp.process_result) ->
+              let pr = List.nth refr.Mp.processes i in
+              if not (Stats.equal pf.Mp.pr_stats pr.Mp.pr_stats) then
+                fail "mp fast path diverges from reference on process %d (%s)"
+                  i pf.Mp.pr_name)
+            fast.Mp.processes;
+          if fast.Mp.switches <> refr.Mp.switches then
+            fail "mp fast path saw %d switches, reference %d" fast.Mp.switches
+              refr.Mp.switches;
+          (* probe invariance: a probed replay (which also forces the
+             reference loop) must not move a single bit, and its switch
+             markers must recount the machine's switches. *)
+          let sampler = Sampler.create ~window_cycles:1024 () in
+          (match Mp.run ~probe:(Sampler.probe sampler) ~config ~options mix with
+          | exception exn -> fail "probed mp run raised: %s" (Printexc.to_string exn)
+          | probed ->
+              let windows = Sampler.finish sampler in
+              if not (Stats.equal probed.Mp.aggregate fast.Mp.aggregate) then
+                fail "probe changed the mp aggregate: %s"
+                  (Format.asprintf "%a" Stats.pp_diff
+                     (probed.Mp.aggregate, fast.Mp.aggregate));
+              let marker_switches =
+                List.fold_left
+                  (fun acc (w : Sampler.window) ->
+                    acc
+                    + List.length
+                        (List.filter
+                           (function Sampler.Switch _ -> true | _ -> false)
+                           w.Sampler.markers))
+                  0 windows
+              in
+              if marker_switches <> probed.Mp.switches then
+                fail "sampler saw %d switch markers, machine reports %d"
+                  marker_switches probed.Mp.switches;
+              let retired =
+                List.fold_left
+                  (fun acc (w : Sampler.window) -> acc + w.Sampler.retired)
+                  0 windows
+              in
+              if retired <> probed.Mp.aggregate.Stats.retired_instrs then
+                fail "mp window retired sum = %d, aggregate says %d" retired
+                  probed.Mp.aggregate.Stats.retired_instrs);
+          !v @ mp_int_conservation ~where fast)
+
+(* ------------------------------------------------------------------ *)
 (* Static-analysis cross-checks (PR 4): a generator that emits an
    ill-formed binary is itself a bug, and the abstract must/may
    classification must agree with the simulated probe stream on every
@@ -545,6 +685,18 @@ let check_spec ?(geometries = default_geometries) spec =
                    (* probed rerun doubles the cell's cost: first
                       geometry only *)
                    @ (if i = 0 then check_probe ~where prepared config stats
+                      else [])
+                   (* the mp identity oracle holds for every cell; the
+                      full time-sliced agreement (fast = reference =
+                      probed, conservation) costs three extra mp runs,
+                      so first geometry, baseline + wayplace only *)
+                   @ (if i = 0 then
+                        check_mp_identity ~where:(where ^ " mp") spec config
+                          stats
+                        @ (if label = "baseline" || label = "wayplace" then
+                             check_mp_mix ~where:(where ^ " mp-mix") spec
+                               config
+                           else [])
                       else []))
                  ok
              @ check_cross ~where:gname stats_only

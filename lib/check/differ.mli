@@ -29,7 +29,15 @@
       ({!Wp_sim.Stats.equal}), and the sampler's window sums reproduce
       them: every mirrored counter exactly, retired instructions and
       final cycle count exactly, cumulative per-bucket energy
-      bit-for-bit.
+      bit-for-bit;
+    - {b multiprogramming laws} — an infinite-quantum, kernel-free
+      single-process {!Wp_mp.Machine} run is [Stats.equal] to the
+      cell's own [Simulator.run] (the mp identity oracle, every cell of
+      the first geometry); under real time-slicing against a fixed
+      cache-polluting partner, the mp fast path, the mp reference loop
+      and a probed replay agree bit-for-bit per process and in
+      aggregate, per-process counters sum to the aggregate exactly, and
+      the sampler's switch markers recount the machine's switches.
 
     A failing seed is reproducible from its number alone and is
     shrunk with {!Progen.minimize} before reporting. *)

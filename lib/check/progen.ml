@@ -81,3 +81,63 @@ let rec minimize ~failing spec =
   match List.find_opt failing (shrink_candidates spec) with
   | Some smaller -> minimize ~failing smaller
   | None -> spec
+
+(* ------------------------------------------------------------------ *)
+(* Process mixes for the multiprogramming layer: a random mix is 2-4
+   random specs (with trimmed trace budgets, so a whole mp case still
+   simulates quickly) plus per-process placement flags and priorities.
+   Like specs, a mix is a pure function of its seed, and shrinking
+   works at the spec level: drop a process, or shrink one member. *)
+
+let generate_mix rng ~name =
+  let n = Rng.int_in rng ~min:2 ~max:4 in
+  List.init n (fun i ->
+      let spec = generate rng ~name:(Printf.sprintf "%s.p%d" name i) in
+      let spec =
+        {
+          spec with
+          Spec.trace_blocks_large = max 40 (spec.Spec.trace_blocks_large / 3);
+          trace_blocks_small = max 20 (spec.Spec.trace_blocks_small / 3);
+        }
+      in
+      let placed = Rng.int rng 4 > 0 (* 3 in 4 way-placed *) in
+      let priority = Rng.int_in rng ~min:0 ~max:2 in
+      { Wp_mp.Mix.pname = spec.Spec.name; spec; placed; priority })
+
+let mix_of_seed seed =
+  let mix =
+    generate_mix (Rng.create seed) ~name:(Printf.sprintf "mix%d" seed)
+  in
+  (match Wp_mp.Mix.validate mix with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg ("Progen.mix_of_seed: generated invalid mix: " ^ msg));
+  mix
+
+let mix_size mix =
+  List.fold_left
+    (fun acc (p : Wp_mp.Mix.proc) -> acc + 1 + size p.Wp_mp.Mix.spec)
+    0 mix
+
+let mix_shrink_candidates mix =
+  let drops =
+    if List.length mix <= 1 then []
+    else List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) mix) mix
+  in
+  let member_shrinks =
+    List.concat (List.mapi
+      (fun i (p : Wp_mp.Mix.proc) ->
+        List.map
+          (fun spec' ->
+            List.mapi
+              (fun j q -> if j = i then { p with Wp_mp.Mix.spec = spec' } else q)
+              mix)
+          (shrink_candidates p.Wp_mp.Mix.spec))
+      mix)
+  in
+  drops @ member_shrinks
+
+let rec minimize_mix ~failing mix =
+  match List.find_opt failing (mix_shrink_candidates mix) with
+  | Some smaller -> minimize_mix ~failing smaller
+  | None -> mix

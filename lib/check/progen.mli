@@ -33,3 +33,33 @@ val minimize :
     that still satisfies [failing], until none does.  Deterministic; the
     result still fails (assuming the input did) and is locally minimal:
     every candidate of the result passes. *)
+
+(** {2 Process mixes}
+
+    The multiprogramming analogue: a random {!Wp_mp.Mix.t} is 2-4
+    random specs with trimmed trace budgets plus per-process placement
+    flags and priorities, a pure function of its seed.  Shrinking works
+    at the spec level — drop a whole process, or shrink one member with
+    {!shrink_candidates} — so a failing mp fuzz case minimises the same
+    way a single-program case does. *)
+
+val mix_of_seed : int -> Wp_mp.Mix.t
+(** The fuzz mix for a seed; always valid under {!Wp_mp.Mix.validate}. *)
+
+val generate_mix : Wp_workloads.Rng.t -> name:string -> Wp_mp.Mix.t
+(** The generator underneath {!mix_of_seed}, on a caller-owned
+    stream. *)
+
+val mix_size : Wp_mp.Mix.t -> int
+(** Shrink metric: member {!size}s plus one per process, so dropping a
+    process strictly decreases it.  Every {!mix_shrink_candidates}
+    result is strictly smaller. *)
+
+val mix_shrink_candidates : Wp_mp.Mix.t -> Wp_mp.Mix.t list
+(** Mixes strictly smaller than the input: each one-process drop (when
+    more than one remains), then each member replaced by each of its
+    {!shrink_candidates}. *)
+
+val minimize_mix : failing:(Wp_mp.Mix.t -> bool) -> Wp_mp.Mix.t -> Wp_mp.Mix.t
+(** Greedy shrink over {!mix_shrink_candidates}; same contract as
+    {!minimize}. *)

@@ -8,6 +8,7 @@ module Pipeline = Wp_pipeline
 module Workloads = Wp_workloads
 module Sim = Wp_sim
 module Obs = Wp_obs
+module Mp = Wp_mp
 module Check = Wp_check
 module Lint = Wp_lint
 module Serve = Wp_serve

@@ -1,0 +1,64 @@
+(* The interrupt-handler kernel: a small fixed ICFG the scheduler runs
+   at every switch boundary, so the switch itself costs fetch energy
+   and I-TLB churn.  The kernel is mapped into every address space
+   (like a real OS) below the user code window, laid out by the
+   placement pass into its own reserved placement area; its fetch
+   energy and cycles are charged to the machine's system account, not
+   to any process. *)
+
+let base = 0x4000
+
+let spec =
+  {
+    Wp_workloads.Spec.name = "mp-kernel";
+    seed = 0xC0DE;
+    num_funcs = 2;
+    blocks_per_func_min = 2;
+    blocks_per_func_max = 4;
+    instrs_per_block_min = 3;
+    instrs_per_block_max = 6;
+    max_loop_depth = 1;
+    avg_loop_trips = 3;
+    hot_func_fraction = 1.0;
+    hot_call_bias = 0.5;
+    if_taken_bias = 0.5;
+    mem_ratio = 0.05;
+    mac_ratio = 0.0;
+    data_working_set_bytes = 256;
+    trace_blocks_large = 24;
+    trace_blocks_small = 24;
+  }
+
+type t = {
+  program : Wp_workloads.Codegen.t;
+  layout : Wp_layout.Binary_layout.t;
+  compiled : Wp_sim.Compiled_trace.t;
+  trace : Wp_workloads.Tracer.trace;
+  area_bytes : int;  (** the reserved placement area, page-aligned *)
+}
+
+let align_up n ~quantum = (n + quantum - 1) / quantum * quantum
+
+let prepare ~page_bytes =
+  (match Wp_workloads.Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Kernel.prepare: invalid kernel spec: " ^ msg));
+  let program = Wp_workloads.Codegen.generate spec in
+  let graph = program.Wp_workloads.Codegen.graph in
+  let profile =
+    Wp_workloads.Tracer.profile program Wp_workloads.Tracer.Small
+  in
+  let layout =
+    Wp_layout.Binary_layout.of_order graph ~base
+      (Wp_layout.Placer.place graph profile)
+  in
+  let code_size = Wp_layout.Binary_layout.code_size_bytes layout in
+  if base + code_size > Wp_sim.Simulator.code_base then
+    invalid_arg "Kernel.prepare: kernel image overlaps user code base";
+  {
+    program;
+    layout;
+    compiled = Wp_sim.Compiled_trace.make ~program ~layout;
+    trace = Wp_workloads.Tracer.trace program Wp_workloads.Tracer.Small;
+    area_bytes = align_up code_size ~quantum:page_bytes;
+  }

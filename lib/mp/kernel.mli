@@ -1,0 +1,31 @@
+(** The interrupt-handler kernel run at every switch boundary.
+
+    A small fixed ICFG — deterministic, identical for every mix —
+    mapped into every address space below the user code window
+    ({!Wp_sim.Simulator.code_base}) and laid out by the placement pass
+    into a reserved placement area of its own.  Running it at a switch
+    boundary makes the switch itself cost fetch energy, and its pages
+    naturally evict user entries from the shared I-TLB — the I-TLB
+    churn the multiprogramming experiments measure.  Kernel fetches
+    and cycles are charged to the machine's system account. *)
+
+val base : Wp_isa.Addr.t
+(** Where the kernel image lives (page-aligned, below
+    {!Wp_sim.Simulator.code_base}). *)
+
+val spec : Wp_workloads.Spec.t
+(** The fixed kernel workload specification (~100 dynamic instructions
+    per invocation). *)
+
+type t = {
+  program : Wp_workloads.Codegen.t;
+  layout : Wp_layout.Binary_layout.t;
+  compiled : Wp_sim.Compiled_trace.t;
+  trace : Wp_workloads.Tracer.trace;
+  area_bytes : int;  (** the reserved placement area, page-aligned *)
+}
+
+val prepare : page_bytes:int -> t
+(** Deterministic: every call builds the same image.
+    @raise Invalid_argument if the kernel image would overlap the user
+    code window (cannot happen with the committed spec). *)

@@ -1,0 +1,81 @@
+type coverage = All_placed | Half_placed | None_placed
+
+type proc = {
+  pname : string;
+  spec : Wp_workloads.Spec.t;
+  placed : bool;
+  priority : int;
+}
+
+type t = proc list
+
+let coverage_name = function
+  | All_placed -> "all"
+  | Half_placed -> "half"
+  | None_placed -> "none"
+
+let coverage_of_string = function
+  | "all" -> Ok All_placed
+  | "half" -> Ok Half_placed
+  | "none" -> Ok None_placed
+  | s -> Error (Printf.sprintf "unknown coverage %S (all|half|none)" s)
+
+let apply_coverage cov t =
+  List.mapi
+    (fun i p ->
+      let placed =
+        match cov with
+        | All_placed -> true
+        | None_placed -> false
+        | Half_placed -> i mod 2 = 0
+      in
+      { p with placed })
+    t
+
+let of_specs ?(coverage = All_placed) specs =
+  apply_coverage coverage
+    (List.map
+       (fun (spec : Wp_workloads.Spec.t) ->
+         { pname = spec.Wp_workloads.Spec.name; spec; placed = true; priority = 0 })
+       specs)
+
+let of_names ?coverage names =
+  let rec specs acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+        match
+          List.find_opt
+            (fun (s : Wp_workloads.Spec.t) -> s.Wp_workloads.Spec.name = name)
+            (Wp_workloads.Mibench.all @ Wp_workloads.Mibench.loops)
+        with
+        | Some spec -> specs (spec :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "unknown benchmark %S (known: %s)" name
+                 (String.concat ", "
+                    (Wp_workloads.Mibench.names
+                    @ Wp_workloads.Mibench.loop_names))))
+  in
+  Result.map (of_specs ?coverage) (specs [] names)
+
+let validate t =
+  if t = [] then Error "empty mix"
+  else
+    let rec go i = function
+      | [] -> Ok ()
+      | p :: rest -> (
+          match Wp_workloads.Spec.validate p.spec with
+          | Error msg -> Error (Printf.sprintf "process %d: %s" i msg)
+          | Ok () -> go (i + 1) rest)
+    in
+    go 0 t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i p ->
+      Format.fprintf ppf "p%d %-12s %s prio %d (%a)@," i p.pname
+        (if p.placed then "placed  " else "unplaced")
+        p.priority Wp_workloads.Spec.pp p.spec)
+    t;
+  Format.fprintf ppf "@]"

@@ -23,6 +23,7 @@ type event =
   | Retire of { cycles : int; instrs : int }
   | Resize of { area_bytes : int }
   | Flush
+  | Context_switch of { next : int }
 
 type t = event -> unit
 
@@ -76,3 +77,4 @@ let pp_event ppf = function
       Format.fprintf ppf "Retire cycles=%d instrs=%d" cycles instrs
   | Resize { area_bytes } -> Format.fprintf ppf "Resize %dB" area_bytes
   | Flush -> Format.pp_print_string ppf "Flush"
+  | Context_switch { next } -> Format.fprintf ppf "Context_switch next=%d" next

@@ -47,6 +47,9 @@ type event =
           sampler's clock *)
   | Resize of { area_bytes : int }  (** way-placement area resized *)
   | Flush
+  | Context_switch of { next : int }
+      (** the multiprogramming scheduler dispatched process [next]
+          (its index in the mix) after a context switch *)
 
 type t = event -> unit
 (** An event sink.  Must not raise. *)

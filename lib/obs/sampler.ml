@@ -113,8 +113,12 @@ let n_buckets = List.length Probe.buckets
 type marker =
   | Resize of { cycle : int; area_bytes : int }
   | Flush of { cycle : int }
+  | Switch of { cycle : int; next : int }
 
-let marker_cycle = function Resize { cycle; _ } -> cycle | Flush { cycle } -> cycle
+let marker_cycle = function
+  | Resize { cycle; _ } -> cycle
+  | Flush { cycle } -> cycle
+  | Switch { cycle; _ } -> cycle
 
 type window = {
   index : int;
@@ -264,6 +268,8 @@ let handle t (ev : Probe.event) =
     | Resize { area_bytes } ->
         t.markers <- Resize { cycle = t.cycles; area_bytes } :: t.markers
     | Flush -> t.markers <- Flush { cycle = t.cycles } :: t.markers
+    | Context_switch { next } ->
+        t.markers <- Switch { cycle = t.cycles; next } :: t.markers
 
 let probe t : Probe.t = handle t
 

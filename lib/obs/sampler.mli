@@ -54,6 +54,8 @@ end
 type marker =
   | Resize of { cycle : int; area_bytes : int }
   | Flush of { cycle : int }
+  | Switch of { cycle : int; next : int }
+      (** context switch: process [next] dispatched at [cycle] *)
 
 val marker_cycle : marker -> int
 

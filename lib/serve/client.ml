@@ -123,3 +123,10 @@ let sim t sr =
   | Ok (P.Error_reply msg) -> Error msg
   | Ok _ -> Error "unexpected reply to sim"
   | Error _ as e -> e
+
+let mp t mr =
+  match rpc t (P.Mp mr) with
+  | Ok (P.Mp_reply r) -> Ok r
+  | Ok (P.Error_reply msg) -> Error msg
+  | Ok _ -> Error "unexpected reply to mp"
+  | Error _ as e -> e

@@ -41,3 +41,6 @@ val shutdown : t -> (unit, string) result
 val sim : t -> Protocol.sim_request -> (Protocol.sim_result, string) result
 (** One simulation, synchronously; a server-side [Error_reply] is
     returned as [Error]. *)
+
+val mp : t -> Protocol.mp_request -> (Protocol.mp_result, string) result
+(** One multiprogrammed run, synchronously. *)

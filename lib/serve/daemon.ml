@@ -2,6 +2,8 @@ module Pool = Wp_sim.Sweep.Pool
 module Runner = Wp_sim.Runner
 module Simulator = Wp_sim.Simulator
 module Stats = Wp_sim.Stats
+module Mp = Wp_mp.Machine
+module Mix = Wp_mp.Mix
 module P = Protocol
 
 (* A write-once cell with both blocking and callback consumption.
@@ -77,6 +79,11 @@ type t = {
   engine : Wp_sim.Sweep.t;  (** memoised [Runner.prepare] only *)
   inflight_lock : Mutex.t;
   inflight : (string, outcome Future.t) Hashtbl.t;
+  mp_meta_lock : Mutex.t;
+  mp_meta : (string, int * int) Hashtbl.t;
+      (** key -> (switches, kernel_runs): machine-level facts the store
+          does not persist.  In-memory only — a disk hit after a
+          restart reports them as [-1]. *)
   stop_pipe_r : Unix.file_descr;
   stop_pipe_w : Unix.file_descr;
   state_lock : Mutex.t;
@@ -145,6 +152,8 @@ let create ?workers ?store_dir ~endpoint () =
           engine = Wp_sim.Sweep.create ~workers:1 ();
           inflight_lock = Mutex.create ();
           inflight = Hashtbl.create 64;
+          mp_meta_lock = Mutex.create ();
+          mp_meta = Hashtbl.create 16;
           stop_pipe_r;
           stop_pipe_w;
           state_lock = Mutex.create ();
@@ -351,6 +360,199 @@ let handle_sim t conn id (sr : P.sim_request) =
                         submit_computation t ~prep ~config ~key
                           ~verify:sr.P.verify ~registered:true fut))))
 
+(* --- multiprogrammed requests ---------------------------------------- *)
+
+(* The wire mix string, resolved to a concrete process list: MiBench
+   names, or "random:SEED" through the fuzzer's deterministic mix
+   generator.  Resolution is cheap (spec lookup / generation only);
+   program generation and tracing happen inside [Mp.run] on an
+   executor domain. *)
+let resolve_mix (mr : P.mp_request) =
+  let with_coverage mix =
+    match mr.P.mp_coverage with
+    | "mix" -> Ok mix
+    | other -> (
+        match Mix.coverage_of_string other with
+        | Ok c -> Ok (Mix.apply_coverage c mix)
+        | Error _ as e -> e)
+  in
+  let prefix = "random:" in
+  let plen = String.length prefix in
+  if
+    String.length mr.P.mp_mix > plen
+    && String.sub mr.P.mp_mix 0 plen = prefix
+  then
+    match
+      int_of_string_opt
+        (String.sub mr.P.mp_mix plen (String.length mr.P.mp_mix - plen))
+    with
+    | Some seed -> with_coverage (Wp_check.Progen.mix_of_seed seed)
+    | None ->
+        Error
+          (Printf.sprintf "bad mix %S: random: needs an integer seed"
+             mr.P.mp_mix)
+  else
+    match
+      Mix.of_names
+        (String.split_on_char ',' mr.P.mp_mix
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> ""))
+    with
+    | Ok mix -> with_coverage mix
+    | Error _ as e -> e
+
+let options_of_mp (mr : P.mp_request) =
+  {
+    Mp.quantum_cycles = mr.P.mp_quantum;
+    kernel = mr.P.mp_kernel;
+    btb_policy = (if mr.P.mp_btb_flush then Mp.Btb_flush else Mp.Btb_shared);
+    drowsy_policy =
+      (if mr.P.mp_drowsy_flush then Mp.Drowsy_flush else Mp.Drowsy_shared);
+    sched = (if mr.P.mp_priority then Mp.Priority else Mp.Round_robin);
+  }
+
+(* Content address of a multiprogrammed run: the fully resolved mix
+   (specs, placement flags, priorities), the machine configuration and
+   the scheduler options are all the run depends on.  The "mp-" prefix
+   keeps the namespace disjoint from single-process [Store.key]s, so
+   both share the store and the in-flight table. *)
+let mp_key ~mix ~(config : Wp_sim.Config.t) ~(options : Mp.options) =
+  "mp-"
+  ^ Digest.to_hex (Digest.string (Marshal.to_string (mix, config, options) []))
+
+let mp_meta_for t key =
+  Mutex.lock t.mp_meta_lock;
+  let m = Hashtbl.find_opt t.mp_meta key in
+  Mutex.unlock t.mp_meta_lock;
+  match m with Some (s, k) -> (s, k) | None -> (-1, -1)
+
+let run_mp_computation t ~mix ~config ~options ~key ~verify ~registered fut =
+  let outcome =
+    match Mp.run ~config ~options mix with
+    | r -> (
+        Atomic.incr t.computations;
+        let verified =
+          if not verify then Ok ()
+          else
+            match Mp.run ~reference_only:true ~config ~options mix with
+            | refr ->
+                if Stats.equal r.Mp.aggregate refr.Mp.aggregate then Ok ()
+                else
+                  Error
+                    (Format.asprintf
+                       "verification failed: mp fast path diverges from the \
+                        reference loop:@ %a"
+                       Stats.pp_diff
+                       (r.Mp.aggregate, refr.Mp.aggregate))
+            | exception exn ->
+                Error
+                  (Printf.sprintf "verification failed: reference run raised: %s"
+                     (Printexc.to_string exn))
+        in
+        match verified with
+        | Ok () ->
+            Mutex.lock t.mp_meta_lock;
+            Hashtbl.replace t.mp_meta key (r.Mp.switches, r.Mp.kernel_runs);
+            Mutex.unlock t.mp_meta_lock;
+            Store.put t.store key r.Mp.aggregate;
+            Ok r.Mp.aggregate
+        | Error msg -> Error msg)
+    | exception exn ->
+        Error (Printf.sprintf "computation failed: %s" (Printexc.to_string exn))
+  in
+  if registered then begin
+    Mutex.lock t.inflight_lock;
+    Hashtbl.remove t.inflight key;
+    Mutex.unlock t.inflight_lock
+  end;
+  Future.fulfill fut outcome
+
+let submit_mp t ~mix ~config ~options ~key ~verify ~registered fut =
+  let task () =
+    run_mp_computation t ~mix ~config ~options ~key ~verify ~registered fut
+  in
+  if not (Pool.Executor.submit t.exec task) then task ()
+
+let complete_mp t conn id ~key ~source ~processes outcome =
+  match outcome with
+  | Ok stats ->
+      let switches, kernel_runs = mp_meta_for t key in
+      complete conn
+        {
+          P.id;
+          reply =
+            P.Mp_reply
+              (P.mp_result_of_stats ~key ~source ~processes ~switches
+                 ~kernel_runs stats);
+        }
+  | Error msg -> complete_error t conn id msg
+
+let handle_mp t conn id (mr : P.mp_request) =
+  Atomic.incr t.sim_requests;
+  match P.config_of_mp mr with
+  | Error msg -> reply_error t conn id msg
+  | Ok config -> (
+      match resolve_mix mr with
+      | Error msg -> reply_error t conn id msg
+      | exception exn ->
+          reply_error t conn id
+            (Printf.sprintf "mix resolution failed: %s" (Printexc.to_string exn))
+      | Ok mix -> (
+          let options = options_of_mp mr in
+          let key = mp_key ~mix ~config ~options in
+          let processes = List.length mix in
+          let respond_hit stats source counter =
+            Atomic.incr counter;
+            let switches, kernel_runs = mp_meta_for t key in
+            reply conn
+              {
+                P.id;
+                reply =
+                  P.Mp_reply
+                    (P.mp_result_of_stats ~key ~source ~processes ~switches
+                       ~kernel_runs stats);
+              }
+          in
+          if mr.P.mp_no_cache then begin
+            let fut = Future.create () in
+            dispatch conn;
+            Future.on_ready fut
+              (complete_mp t conn id ~key ~source:P.Computed ~processes);
+            submit_mp t ~mix ~config ~options ~key ~verify:mr.P.mp_verify
+              ~registered:false fut
+          end
+          else
+            match Store.find t.store key with
+            | Some (stats, `Memory) -> respond_hit stats P.Memory t.hits_memory
+            | Some (stats, `Disk) -> respond_hit stats P.Disk t.hits_disk
+            | None -> (
+                Mutex.lock t.inflight_lock;
+                match Hashtbl.find_opt t.inflight key with
+                | Some fut ->
+                    Mutex.unlock t.inflight_lock;
+                    Atomic.incr t.coalesced_count;
+                    dispatch conn;
+                    Future.on_ready fut
+                      (complete_mp t conn id ~key ~source:P.Coalesced ~processes)
+                | None -> (
+                    match Store.find t.store key with
+                    | Some (stats, `Memory) ->
+                        Mutex.unlock t.inflight_lock;
+                        respond_hit stats P.Memory t.hits_memory
+                    | Some (stats, `Disk) ->
+                        Mutex.unlock t.inflight_lock;
+                        respond_hit stats P.Disk t.hits_disk
+                    | None ->
+                        let fut = Future.create () in
+                        Hashtbl.replace t.inflight key fut;
+                        Mutex.unlock t.inflight_lock;
+                        dispatch conn;
+                        Future.on_ready fut
+                          (complete_mp t conn id ~key ~source:P.Computed
+                             ~processes);
+                        submit_mp t ~mix ~config ~options ~key
+                          ~verify:mr.P.mp_verify ~registered:true fut))))
+
 let handle_line t conn line =
   Atomic.incr t.requests;
   match P.request_of_line line with
@@ -363,7 +565,8 @@ let handle_line t conn line =
       | P.Shutdown ->
           reply conn { P.id; reply = P.Shutting_down };
           stop t
-      | P.Sim sr -> handle_sim t conn id sr)
+      | P.Sim sr -> handle_sim t conn id sr
+      | P.Mp mr -> handle_mp t conn id mr)
 
 (* --- connection threads --------------------------------------------- *)
 

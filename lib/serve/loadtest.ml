@@ -5,7 +5,7 @@ type spec = {
   connections : int;
   depth : int;
   total : int;
-  mix : P.sim_request array;
+  mix : P.payload array;
 }
 
 type result = {
@@ -67,14 +67,19 @@ let drive spec next_index tally client =
         tally.latencies_ms <-
           ((Unix.gettimeofday () -. at) *. 1000.) :: tally.latencies_ms
     | None -> ());
+    let count_source = function
+      | P.Computed -> tally.w_computed <- tally.w_computed + 1
+      | P.Memory -> tally.w_memory <- tally.w_memory + 1
+      | P.Disk -> tally.w_disk <- tally.w_disk + 1
+      | P.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1
+    in
     match resp.P.reply with
     | P.Sim_reply r ->
         tally.w_ok <- tally.w_ok + 1;
-        (match r.P.source with
-        | P.Computed -> tally.w_computed <- tally.w_computed + 1
-        | P.Memory -> tally.w_memory <- tally.w_memory + 1
-        | P.Disk -> tally.w_disk <- tally.w_disk + 1
-        | P.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1)
+        count_source r.P.source
+    | P.Mp_reply r ->
+        tally.w_ok <- tally.w_ok + 1;
+        count_source r.P.mpr_source
     | P.Error_reply _ -> tally.w_errored <- tally.w_errored + 1
     | P.Pong | P.Stats_reply _ | P.Shutting_down -> tally.w_ok <- tally.w_ok + 1
   in
@@ -83,8 +88,8 @@ let drive spec next_index tally client =
     let i = Atomic.fetch_and_add next_index 1 in
     if i < spec.total then Some spec.mix.(i mod mix_len) else None
   in
-  let send_one sr =
-    match Client.send client (P.Sim sr) with
+  let send_one payload =
+    match Client.send client payload with
     | id ->
         Hashtbl.replace inflight id (Unix.gettimeofday ());
         tally.w_sent <- tally.w_sent + 1;

@@ -14,7 +14,10 @@ type spec = {
   connections : int;
   depth : int;  (** max in-flight requests per connection *)
   total : int;  (** total requests across all connections *)
-  mix : Protocol.sim_request array;  (** drawn round-robin; non-empty *)
+  mix : Protocol.payload array;
+      (** drawn round-robin; non-empty.  Typically [Sim] and [Mp]
+          requests — a multiprogrammed run is just another (heavier)
+          request class to the daemon. *)
 }
 
 type result = {

@@ -43,22 +43,75 @@ let sim_request ?(size_kb = 32) ?(ways = 32) ?(line_bytes = 32)
     ?(no_cache = false) ?(verify = false) ~benchmark ~scheme () =
   { benchmark; scheme; size_kb; ways; line_bytes; no_cache; verify }
 
-type payload = Ping | Server_stats | Shutdown | Sim of sim_request
+(* A multiprogrammed run: the mix is wire-encoded as the same compact
+   string the CLI accepts — comma-separated MiBench names, or
+   "random:SEED" for a Progen mix — so the request stays one JSON
+   line; the daemon resolves it and content-addresses the result on
+   the fully resolved (mix, machine config, scheduler options)
+   triple. *)
+type mp_request = {
+  mp_mix : string;
+  mp_coverage : string;  (** all | half | none | mix *)
+  mp_quantum : int;  (** cycles; [<= 0] = infinite *)
+  mp_kernel : bool;
+  mp_btb_flush : bool;
+  mp_drowsy_flush : bool;
+  mp_priority : bool;
+  mp_scheme : Config.scheme;
+  mp_size_kb : int;
+  mp_ways : int;
+  mp_line_bytes : int;
+  mp_no_cache : bool;
+  mp_verify : bool;
+}
+
+let mp_request ?(coverage = "mix") ?(quantum = 50_000) ?(kernel = true)
+    ?(btb_flush = false) ?(drowsy_flush = false) ?(priority = false)
+    ?(size_kb = 32) ?(ways = 32) ?(line_bytes = 32) ?(no_cache = false)
+    ?(verify = false) ~mix ~scheme () =
+  {
+    mp_mix = mix;
+    mp_coverage = coverage;
+    mp_quantum = quantum;
+    mp_kernel = kernel;
+    mp_btb_flush = btb_flush;
+    mp_drowsy_flush = drowsy_flush;
+    mp_priority = priority;
+    mp_scheme = scheme;
+    mp_size_kb = size_kb;
+    mp_ways = ways;
+    mp_line_bytes = line_bytes;
+    mp_no_cache = no_cache;
+    mp_verify = verify;
+  }
+
+type payload =
+  | Ping
+  | Server_stats
+  | Shutdown
+  | Sim of sim_request
+  | Mp of mp_request
+
 type request = { id : int; payload : payload }
 
-let config_of_sim sr =
+let config_of_geometry ~scheme ~size_kb ~ways ~line_bytes =
   match
-    Wp_cache.Geometry.make ~size_bytes:(sr.size_kb * 1024) ~assoc:sr.ways
-      ~line_bytes:sr.line_bytes
+    Wp_cache.Geometry.make ~size_bytes:(size_kb * 1024) ~assoc:ways ~line_bytes
   with
   | exception Invalid_argument msg -> Error msg
   | geometry -> (
-      let config =
-        Config.with_icache (Config.xscale sr.scheme) geometry
-      in
+      let config = Config.with_icache (Config.xscale scheme) geometry in
       match Config.validate config with
       | Ok () -> Ok config
       | Error msg -> Error msg)
+
+let config_of_sim sr =
+  config_of_geometry ~scheme:sr.scheme ~size_kb:sr.size_kb ~ways:sr.ways
+    ~line_bytes:sr.line_bytes
+
+let config_of_mp mr =
+  config_of_geometry ~scheme:mr.mp_scheme ~size_kb:mr.mp_size_kb
+    ~ways:mr.mp_ways ~line_bytes:mr.mp_line_bytes
 
 let scheme_to_string = function
   | Config.Baseline -> "baseline"
@@ -111,6 +164,38 @@ let sim_result_of_stats ~key ~source (stats : Stats.t) =
     total_energy_pj = Stats.total_energy_pj stats;
   }
 
+(* The multiprogrammed counterpart of [sim_result].  [mp_switches] and
+   [mp_kernel_runs] are machine-level facts the store does not persist
+   (it stores only the aggregate [Stats.t]); a disk hit served by a
+   daemon that never ran the mix reports them as [-1]. *)
+type mp_result = {
+  mpr_key : string;
+  mpr_source : source;
+  mpr_digest : string;
+  mpr_cycles : int;
+  mpr_retired : int;
+  mpr_processes : int;
+  mpr_switches : int;
+  mpr_kernel_runs : int;
+  mpr_icache_energy_pj : float;
+  mpr_total_energy_pj : float;
+}
+
+let mp_result_of_stats ~key ~source ~processes ~switches ~kernel_runs
+    (stats : Stats.t) =
+  {
+    mpr_key = key;
+    mpr_source = source;
+    mpr_digest = Digest.to_hex (Digest.string (Marshal.to_string stats []));
+    mpr_cycles = stats.Stats.cycles;
+    mpr_retired = stats.Stats.retired_instrs;
+    mpr_processes = processes;
+    mpr_switches = switches;
+    mpr_kernel_runs = kernel_runs;
+    mpr_icache_energy_pj = Stats.icache_energy_pj stats;
+    mpr_total_energy_pj = Stats.total_energy_pj stats;
+  }
+
 type server_stats = {
   requests : int;
   sim_requests : int;
@@ -130,6 +215,7 @@ type reply =
   | Stats_reply of server_stats
   | Shutting_down
   | Sim_reply of sim_result
+  | Mp_reply of mp_result
   | Error_reply of string
 
 type response = { id : int; reply : reply }
@@ -189,31 +275,96 @@ let request_to_json { id; payload } =
             ("no_cache", Report.Jbool sr.no_cache);
             ("verify", Report.Jbool sr.verify);
           ])
+  | Mp mr ->
+      let scheme_fields =
+        match mr.mp_scheme with
+        | Config.Way_placement { area_bytes } ->
+            [ ("area_bytes", Report.Jint area_bytes) ]
+        | Config.Filter_cache { l0_bytes } ->
+            [ ("l0_bytes", Report.Jint l0_bytes) ]
+        | Config.Baseline | Config.Way_memoization | Config.Way_prediction ->
+            []
+      in
+      Report.Jobj
+        (base
+        @ [
+            ("op", Report.Jstring "mp");
+            ("mix", Report.Jstring mr.mp_mix);
+            ("coverage", Report.Jstring mr.mp_coverage);
+            ("quantum", Report.Jint mr.mp_quantum);
+            ("kernel", Report.Jbool mr.mp_kernel);
+            ("btb_flush", Report.Jbool mr.mp_btb_flush);
+            ("drowsy_flush", Report.Jbool mr.mp_drowsy_flush);
+            ("priority", Report.Jbool mr.mp_priority);
+            ("scheme", Report.Jstring (scheme_to_string mr.mp_scheme));
+          ]
+        @ scheme_fields
+        @ [
+            ("size_kb", Report.Jint mr.mp_size_kb);
+            ("ways", Report.Jint mr.mp_ways);
+            ("line_bytes", Report.Jint mr.mp_line_bytes);
+            ("no_cache", Report.Jbool mr.mp_no_cache);
+            ("verify", Report.Jbool mr.mp_verify);
+          ])
+
+let scheme_of_json j =
+  let* scheme_name = field "scheme" Report.to_string j in
+  match scheme_name with
+  | "baseline" -> Ok Config.Baseline
+  | "wayplace" ->
+      let* area_bytes =
+        field_default "area_bytes" Report.to_int ~default:(16 * 1024) j
+      in
+      Ok (Config.Way_placement { area_bytes })
+  | "waymemo" -> Ok Config.Way_memoization
+  | "waypred" -> Ok Config.Way_prediction
+  | "filter" ->
+      let* l0_bytes = field_default "l0_bytes" Report.to_int ~default:512 j in
+      Ok (Config.Filter_cache { l0_bytes })
+  | other -> Error (Printf.sprintf "unknown scheme %S" other)
 
 let sim_of_json j =
   let* benchmark = field "benchmark" Report.to_string j in
-  let* scheme_name = field "scheme" Report.to_string j in
-  let* scheme =
-    match scheme_name with
-    | "baseline" -> Ok Config.Baseline
-    | "wayplace" ->
-        let* area_bytes =
-          field_default "area_bytes" Report.to_int ~default:(16 * 1024) j
-        in
-        Ok (Config.Way_placement { area_bytes })
-    | "waymemo" -> Ok Config.Way_memoization
-    | "waypred" -> Ok Config.Way_prediction
-    | "filter" ->
-        let* l0_bytes = field_default "l0_bytes" Report.to_int ~default:512 j in
-        Ok (Config.Filter_cache { l0_bytes })
-    | other -> Error (Printf.sprintf "unknown scheme %S" other)
-  in
+  let* scheme = scheme_of_json j in
   let* size_kb = field_default "size_kb" Report.to_int ~default:32 j in
   let* ways = field_default "ways" Report.to_int ~default:32 j in
   let* line_bytes = field_default "line_bytes" Report.to_int ~default:32 j in
   let* no_cache = field_default "no_cache" Report.to_bool ~default:false j in
   let* verify = field_default "verify" Report.to_bool ~default:false j in
   Ok { benchmark; scheme; size_kb; ways; line_bytes; no_cache; verify }
+
+let mp_of_json j =
+  let* mp_mix = field "mix" Report.to_string j in
+  let* mp_coverage = field_default "coverage" Report.to_string ~default:"mix" j in
+  let* mp_quantum = field_default "quantum" Report.to_int ~default:50_000 j in
+  let* mp_kernel = field_default "kernel" Report.to_bool ~default:true j in
+  let* mp_btb_flush = field_default "btb_flush" Report.to_bool ~default:false j in
+  let* mp_drowsy_flush =
+    field_default "drowsy_flush" Report.to_bool ~default:false j
+  in
+  let* mp_priority = field_default "priority" Report.to_bool ~default:false j in
+  let* mp_scheme = scheme_of_json j in
+  let* mp_size_kb = field_default "size_kb" Report.to_int ~default:32 j in
+  let* mp_ways = field_default "ways" Report.to_int ~default:32 j in
+  let* mp_line_bytes = field_default "line_bytes" Report.to_int ~default:32 j in
+  let* mp_no_cache = field_default "no_cache" Report.to_bool ~default:false j in
+  let* mp_verify = field_default "verify" Report.to_bool ~default:false j in
+  Ok
+    {
+      mp_mix;
+      mp_coverage;
+      mp_quantum;
+      mp_kernel;
+      mp_btb_flush;
+      mp_drowsy_flush;
+      mp_priority;
+      mp_scheme;
+      mp_size_kb;
+      mp_ways;
+      mp_line_bytes;
+      mp_no_cache;
+      mp_verify;
+    }
 
 let request_of_json j =
   match j with
@@ -228,6 +379,9 @@ let request_of_json j =
         | "sim" ->
             let* sr = sim_of_json j in
             Ok (Sim sr)
+        | "mp" ->
+            let* mr = mp_of_json j in
+            Ok (Mp mr)
         | other -> Error (Printf.sprintf "unknown op %S" other)
       in
       Ok { id; payload }
@@ -323,6 +477,51 @@ let sim_result_of_json j =
       total_energy_pj;
     }
 
+let mp_result_to_json r =
+  Report.Jobj
+    [
+      ("key", Report.Jstring r.mpr_key);
+      ("source", Report.Jstring (source_name r.mpr_source));
+      ("digest", Report.Jstring r.mpr_digest);
+      ("cycles", Report.Jint r.mpr_cycles);
+      ("retired", Report.Jint r.mpr_retired);
+      ("processes", Report.Jint r.mpr_processes);
+      ("switches", Report.Jint r.mpr_switches);
+      ("kernel_runs", Report.Jint r.mpr_kernel_runs);
+      ("icache_energy_pj", Report.Jfloat r.mpr_icache_energy_pj);
+      ("total_energy_pj", Report.Jfloat r.mpr_total_energy_pj);
+    ]
+
+let mp_result_of_json j =
+  let* mpr_key = field "key" Report.to_string j in
+  let* source_s = field "source" Report.to_string j in
+  let* mpr_source =
+    match source_of_name source_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown source %S" source_s)
+  in
+  let* mpr_digest = field "digest" Report.to_string j in
+  let* mpr_cycles = field "cycles" Report.to_int j in
+  let* mpr_retired = field "retired" Report.to_int j in
+  let* mpr_processes = field "processes" Report.to_int j in
+  let* mpr_switches = field "switches" Report.to_int j in
+  let* mpr_kernel_runs = field "kernel_runs" Report.to_int j in
+  let* mpr_icache_energy_pj = field "icache_energy_pj" Report.to_float j in
+  let* mpr_total_energy_pj = field "total_energy_pj" Report.to_float j in
+  Ok
+    {
+      mpr_key;
+      mpr_source;
+      mpr_digest;
+      mpr_cycles;
+      mpr_retired;
+      mpr_processes;
+      mpr_switches;
+      mpr_kernel_runs;
+      mpr_icache_energy_pj;
+      mpr_total_energy_pj;
+    }
+
 let response_to_json { id; reply } =
   let base = [ ("id", Report.Jint id) ] in
   match reply with
@@ -340,6 +539,13 @@ let response_to_json { id; reply } =
       Report.Jobj
         (base
         @ [ ("reply", Report.Jstring "result"); ("result", sim_result_to_json r) ])
+  | Mp_reply r ->
+      Report.Jobj
+        (base
+        @ [
+            ("reply", Report.Jstring "mp-result");
+            ("result", mp_result_to_json r);
+          ])
   | Error_reply msg ->
       Report.Jobj
         (base @ [ ("reply", Report.Jstring "error"); ("error", Report.Jstring msg) ])
@@ -361,6 +567,10 @@ let response_of_json j =
             let* r = field "result" Option.some j in
             let* r = sim_result_of_json r in
             Ok (Sim_reply r)
+        | "mp-result" ->
+            let* r = field "result" Option.some j in
+            let* r = mp_result_of_json r in
+            Ok (Mp_reply r)
         | "error" ->
             let* msg = field "error" Report.to_string j in
             Ok (Error_reply msg)

@@ -53,11 +53,55 @@ val sim_request :
 (** Defaults: the paper's 32 KB / 32-way / 32 B geometry, caching on,
     verification off. *)
 
+type mp_request = {
+  mp_mix : string;
+      (** comma-separated MiBench names, or ["random:SEED"] for a
+          {!Wp_check.Progen.mix_of_seed} mix — the daemon resolves it
+          and content-addresses the result on the fully resolved
+          (mix, config, options) triple *)
+  mp_coverage : string;
+      (** ["all"], ["half"], ["none"], or ["mix"] (keep the mix's own
+          placement flags) *)
+  mp_quantum : int;  (** time slice in cycles; [<= 0] = infinite *)
+  mp_kernel : bool;  (** run the interrupt kernel at switches *)
+  mp_btb_flush : bool;
+  mp_drowsy_flush : bool;
+  mp_priority : bool;  (** priority scheduler instead of round-robin *)
+  mp_scheme : Wp_sim.Config.scheme;
+  mp_size_kb : int;
+  mp_ways : int;
+  mp_line_bytes : int;
+  mp_no_cache : bool;
+  mp_verify : bool;
+      (** after computing, replay through the mp reference loop and
+          fail unless bit-identical *)
+}
+
+val mp_request :
+  ?coverage:string ->
+  ?quantum:int ->
+  ?kernel:bool ->
+  ?btb_flush:bool ->
+  ?drowsy_flush:bool ->
+  ?priority:bool ->
+  ?size_kb:int ->
+  ?ways:int ->
+  ?line_bytes:int ->
+  ?no_cache:bool ->
+  ?verify:bool ->
+  mix:string ->
+  scheme:Wp_sim.Config.scheme ->
+  unit ->
+  mp_request
+(** Defaults: the mix's own coverage, 50k-cycle quantum, kernel on,
+    shared BTB and drowsy state, round-robin, the paper geometry. *)
+
 type payload =
   | Ping
   | Server_stats  (** counters since startup *)
   | Shutdown  (** begin a graceful stop: drain, then exit *)
   | Sim of sim_request
+  | Mp of mp_request
 
 type request = { id : int; payload : payload }
 (** [id] is echoed verbatim in the response — requests may be
@@ -66,6 +110,9 @@ type request = { id : int; payload : payload }
 val config_of_sim : sim_request -> (Wp_sim.Config.t, string) result
 (** The {!Wp_sim.Config.t} the request describes (geometry errors and
     {!Wp_sim.Config.validate} failures reported as [Error]). *)
+
+val config_of_mp : mp_request -> (Wp_sim.Config.t, string) result
+(** Same, for the machine an mp request describes. *)
 
 val scheme_to_string : Wp_sim.Config.scheme -> string
 (** The wire name: baseline, wayplace, waymemo, waypred or filter. *)
@@ -97,6 +144,30 @@ type sim_result = {
 val sim_result_of_stats :
   key:string -> source:source -> Wp_sim.Stats.t -> sim_result
 
+type mp_result = {
+  mpr_key : string;  (** content address of (mix, config, options) *)
+  mpr_source : source;
+  mpr_digest : string;  (** MD5 hex of the marshalled aggregate stats *)
+  mpr_cycles : int;
+  mpr_retired : int;
+  mpr_processes : int;
+  mpr_switches : int;
+      (** machine-level fact the store does not persist: a disk hit
+          served by a daemon that never ran the mix reports [-1] *)
+  mpr_kernel_runs : int;  (** [-1] under the same condition *)
+  mpr_icache_energy_pj : float;
+  mpr_total_energy_pj : float;
+}
+
+val mp_result_of_stats :
+  key:string ->
+  source:source ->
+  processes:int ->
+  switches:int ->
+  kernel_runs:int ->
+  Wp_sim.Stats.t ->
+  mp_result
+
 type server_stats = {
   requests : int;  (** lines accepted (including malformed ones) *)
   sim_requests : int;
@@ -116,6 +187,7 @@ type reply =
   | Stats_reply of server_stats
   | Shutting_down
   | Sim_reply of sim_result
+  | Mp_reply of mp_result
   | Error_reply of string
       (** per-request failure: malformed request, unknown benchmark,
           invalid configuration, or a crashed computation — the

@@ -81,6 +81,10 @@ let flush t =
   Wp_cache.Cam_cache.flush t.cache;
   Wp_tlb.Tlb.flush t.tlb
 
+(* Context-switch shootdown: only the D-TLB is invalidated (no ASIDs);
+   D-cache contents are physical and survive across processes. *)
+let flush_tlb t = Wp_tlb.Tlb.flush t.tlb
+
 (* Canonical fingerprint of the data side (D-cache + D-TLB) for the
    steady-state fast-forward detector. *)
 let fingerprint t ~add =

@@ -18,6 +18,10 @@ val access : t -> Stats.t -> Wp_isa.Addr.t -> write:bool -> int
 
 val flush : t -> unit
 
+val flush_tlb : t -> unit
+(** Invalidate only the D-TLB (context-switch shootdown on an
+    ASID-less core); D-cache contents are physical and survive. *)
+
 val fingerprint : t -> add:(int -> unit) -> unit
 (** Canonical state fingerprint (D-cache + D-TLB) for the steady-state
     fast-forward detector. *)

@@ -12,8 +12,17 @@ type backend =
   | B_way_predict of Way_predict.t
   | B_filter of { filter : Filter_cache.t; l1 : Cam_cache.t; l0_energies : Cam_energy.t }
 
+(* The way-placed virtual window: [warea] bytes starting at [wbase].
+   Under single-process runs this is pinned to [code_base] and the
+   configured area; the multiprogramming layer retargets it per process
+   at context switches (the OS rewrites which pages carry the
+   way-placement TLB bit), with [warea = 0] for a process whose code is
+   not way-placed. *)
+type window = { mutable wbase : Wp_isa.Addr.t; mutable warea : int }
+
 type t = {
   backend : backend;
+  window : window;
   tlb : Wp_tlb.Tlb.t;
   geometry : Geometry.t;
   energies : Cam_energy.t;
@@ -90,6 +99,17 @@ let create ?probe (config : Config.t) ~code_base =
             l0_energies = Cam_energy.of_geometry config.energy l0;
           }
   in
+  let window =
+    {
+      wbase = code_base;
+      warea =
+        (match config.scheme with
+        | Config.Way_placement { area_bytes } -> area_bytes
+        | Config.Baseline | Config.Way_memoization | Config.Way_prediction
+        | Config.Filter_cache _ ->
+            0);
+    }
+  in
   let energies = Cam_energy.of_geometry config.energy config.icache in
   let l0_energies =
     match backend with
@@ -98,6 +118,7 @@ let create ?probe (config : Config.t) ~code_base =
   in
   {
     backend;
+    window;
     tlb =
       Wp_tlb.Tlb.create ~entries:config.itlb_entries
         ~page_bytes:config.page_bytes;
@@ -139,8 +160,8 @@ let create ?probe (config : Config.t) ~code_base =
     drowsy_wake_pj = config.energy.Params.drowsy_wake_pj;
     wp_bit_of_page =
       (match backend with
-      | B_way_placement wp ->
-          fun page -> page >= code_base && page - code_base < wp.area_bytes
+      | B_way_placement _ ->
+          fun page -> page >= window.wbase && page - window.wbase < window.warea
       | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ ->
           fun _ -> false);
     prev_addr = -1;
@@ -150,9 +171,35 @@ let create ?probe (config : Config.t) ~code_base =
 
 let way_placed_addr t addr =
   match t.backend with
-  | B_way_placement { area_bytes; _ } ->
-      addr >= t.code_base && addr - t.code_base < area_bytes
+  | B_way_placement _ ->
+      addr >= t.window.wbase && addr - t.window.wbase < t.window.warea
   | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ -> false
+
+(* Retarget the way-placed window without flushing anything: the OS
+   simply maps the incoming process's placement pages with the TLB bit
+   set.  [area_bytes = 0] marks a process with no placed code.  Callers
+   that change address spaces must flush the I-TLB themselves
+   ({!flush_tlb}) — stale entries would otherwise keep the old
+   window's bits. *)
+let set_window t ~base ~area_bytes =
+  if area_bytes < 0 then
+    invalid_arg "Fetch_engine.set_window: negative area";
+  match t.backend with
+  | B_way_placement _ ->
+      t.window.wbase <- base;
+      t.window.warea <- area_bytes
+  | B_baseline _ | B_way_memo _ | B_way_predict _ | B_filter _ -> ()
+
+(* Context-switch TLB shootdown: the modelled core has no ASIDs, so a
+   process change invalidates every virtual mapping.  Cache contents
+   are physical and deliberately survive — processes pollute each
+   other's ways.  The previous-fetch stream context is stale across an
+   address-space change and is dropped with it. *)
+let flush_tlb t =
+  Wp_tlb.Tlb.flush t.tlb;
+  t.prev_addr <- -1;
+  t.prev_set <- -1;
+  t.prev_way <- -1
 
 let charge_icache stats pj = Account.add_icache stats.Stats.account pj
 
@@ -619,6 +666,7 @@ let resize_area t ~area_bytes =
           p (Wp_obs.Probe.Resize { area_bytes });
           p Wp_obs.Probe.Flush);
       wp.area_bytes <- area_bytes;
+      t.window.warea <- area_bytes;
       Wp_tlb.Tlb.flush t.tlb;
       Cam_cache.flush wp.cache;
       Wp_tlb.Way_hint.reset wp.hint;
@@ -655,6 +703,8 @@ let fingerprint t ~now ~add =
       add 4;
       Filter_cache.fingerprint filter ~add;
       Cam_cache.fingerprint l1 ~add);
+  add t.window.wbase;
+  add t.window.warea;
   Wp_tlb.Tlb.fingerprint t.tlb ~add;
   (match t.drowsy with None -> () | Some d -> Drowsy.fingerprint d ~now ~add);
   add t.prev_addr;
@@ -676,17 +726,34 @@ let drowsy_replay_awake t a ~len ~iters =
   | None -> ()
   | Some d -> Drowsy.replay_awake d a ~len ~iters
 
+(* Multiprogramming passthroughs: the drowsy clock is the charging
+   process's fetch counter, so the scheduler re-expresses timestamps
+   ({!Drowsy.rebase}) or drops everything drowsy ({!Drowsy.sleep_all})
+   whenever the charging [Stats.t] changes. *)
+let drowsy_rebase t ~old_now ~new_now =
+  match t.drowsy with
+  | None -> ()
+  | Some d -> Drowsy.rebase d ~old_now ~new_now
+
+let drowsy_sleep_all t ~now =
+  match t.drowsy with None -> () | Some d -> Drowsy.sleep_all d ~now
+
 (* End-of-run leakage: line-ticks are counted in fetches and rescaled
    to cycles; without a drowsy policy every line leaks at the awake
-   rate for the whole run. *)
-let finalize t (stats : Stats.t) ~cycles =
+   rate for the whole run.  [now_fetches] overrides the drowsy clock
+   reading for callers that charge leakage into a [Stats.t] other than
+   the one that counted the fetches (the multiprogramming layer's
+   system account). *)
+let finalize ?now_fetches t (stats : Stats.t) ~cycles =
   if t.leakage_enabled then begin
     let lines = float_of_int (Geometry.lines t.geometry) in
     let awake_fraction =
       match t.drowsy with
       | None -> 1.0
       | Some d ->
-          let now = stats.fetches in
+          let now =
+            match now_fetches with Some n -> n | None -> stats.fetches
+          in
           if now = 0 then 1.0
           else Drowsy.awake_line_ticks d ~now /. Drowsy.total_line_ticks d ~now
     in

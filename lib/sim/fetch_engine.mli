@@ -51,6 +51,22 @@ val flush : t -> unit
 (** Cold caches, TLB and hint — required when the OS resizes the
     way-placement area mid-run (see {!Wayplace.Area}). *)
 
+val flush_tlb : t -> unit
+(** Context-switch TLB shootdown: invalidate every I-TLB entry (the
+    modelled core has no ASIDs) and drop the previous-fetch stream
+    context.  Cache contents survive — under multiprogramming,
+    processes deliberately pollute each other's ways. *)
+
+val set_window : t -> base:Wp_isa.Addr.t -> area_bytes:int -> unit
+(** Retarget the way-placed window — the [area_bytes] starting at
+    [base] whose pages carry the way-placement TLB bit — without
+    flushing anything; the multiprogramming layer calls this per
+    process at dispatch ([area_bytes = 0] for a process with no placed
+    code).  A no-op on non-way-placement configurations.  Callers
+    changing address spaces must also {!flush_tlb}: already-resident
+    TLB entries keep the bits of the window they were filled under.
+    @raise Invalid_argument if [area_bytes < 0]. *)
+
 val resize_area : t -> area_bytes:int -> unit
 (** Change the way-placement area size at run time, as the OS may
     (paper Section 4.1).  The I-cache, I-TLB and way-hint bit are
@@ -79,9 +95,21 @@ val drowsy_advance_touched : t -> since:int -> delta:int -> unit
 val drowsy_replay_awake : t -> int array -> len:int -> iters:int -> unit
 (** {!Wp_cache.Drowsy.replay_awake} on the drowsy state, if any. *)
 
-val finalize : t -> Stats.t -> cycles:int -> unit
+val drowsy_rebase : t -> old_now:int -> new_now:int -> unit
+(** {!Wp_cache.Drowsy.rebase} on the drowsy state, if any — the
+    multiprogramming layer's clock handover when the charging process
+    (whose fetch counter is the drowsy clock) changes at a context
+    switch under the shared-drowsy policy. *)
+
+val drowsy_sleep_all : t -> now:int -> unit
+(** {!Wp_cache.Drowsy.sleep_all} on the drowsy state, if any — the
+    flush-on-switch drowsy policy. *)
+
+val finalize : ?now_fetches:int -> t -> Stats.t -> cycles:int -> unit
 (** Charge end-of-run leakage energy (a no-op unless the configuration
-    enabled leakage accounting). *)
+    enabled leakage accounting).  [now_fetches] overrides the drowsy
+    clock reading (defaults to [stats.fetches]) for callers charging
+    into a [Stats.t] that did not count the fetches. *)
 
 val way_placed_addr : t -> Wp_isa.Addr.t -> bool
 (** Whether an address falls inside the configured way-placement area

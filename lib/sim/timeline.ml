@@ -20,7 +20,9 @@ let markers_field (w : Sampler.window) =
   |> List.map (function
        | Sampler.Resize { cycle; area_bytes } ->
            Printf.sprintf "resize@%d=%dB" cycle area_bytes
-       | Sampler.Flush { cycle } -> Printf.sprintf "flush@%d" cycle)
+       | Sampler.Flush { cycle } -> Printf.sprintf "flush@%d" cycle
+       | Sampler.Switch { cycle; next } ->
+           Printf.sprintf "switch@%d=p%d" cycle next)
   |> String.concat " "
 
 let csv_row (w : Sampler.window) =
@@ -112,7 +114,10 @@ let window_events (w : Sampler.window) =
         | Sampler.Resize { cycle; area_bytes } ->
             instant_event ~name:"resize" ~ts:cycle
               [ ("area_bytes", Report.Jint area_bytes) ]
-        | Sampler.Flush { cycle } -> instant_event ~name:"flush" ~ts:cycle [])
+        | Sampler.Flush { cycle } -> instant_event ~name:"flush" ~ts:cycle []
+        | Sampler.Switch { cycle; next } ->
+            instant_event ~name:"context_switch" ~ts:cycle
+              [ ("next", Report.Jint next) ])
       w.Sampler.markers
   in
   counters @ markers

@@ -211,7 +211,7 @@ let test_resize_markers_in_right_windows () =
     List.filter_map
       (function
         | Sampler.Resize { area_bytes; _ } -> Some area_bytes
-        | Sampler.Flush _ -> None)
+        | Sampler.Flush _ | Sampler.Switch _ -> None)
       all_markers
   in
   Alcotest.(check (list int)) "one resize marker per schedule entry, in order"
@@ -219,7 +219,9 @@ let test_resize_markers_in_right_windows () =
   let flushes =
     List.length
       (List.filter
-         (function Sampler.Flush _ -> true | Sampler.Resize _ -> false)
+         (function
+           | Sampler.Flush _ -> true
+           | Sampler.Resize _ | Sampler.Switch _ -> false)
          all_markers)
   in
   Alcotest.(check int) "each resize flushes" (List.length schedule) flushes;

@@ -46,6 +46,21 @@ let sample_requests =
               ~scheme:(Config.Way_placement { area_bytes = 4096 })
               ());
      }
+  :: { P.id = 3;
+       payload =
+         P.Mp
+           (P.mp_request ~mix:"crc,sha" ~coverage:"half" ~quantum:8_000
+              ~kernel:false ~btb_flush:true ~drowsy_flush:true ~priority:true
+              ~size_kb:16 ~ways:16 ~line_bytes:32 ~no_cache:true ~verify:true
+              ~scheme:(Config.Way_placement { area_bytes = 8192 })
+              ());
+     }
+  :: { P.id = 4;
+       payload = P.Mp (P.mp_request ~mix:"random:7" ~scheme:Config.Baseline ());
+     }
+  :: { P.id = 5;
+       payload = P.Mp (P.mp_request ~mix:nasty ~scheme:Config.Way_memoization ());
+     }
   :: List.mapi
        (fun i scheme ->
          { P.id = 100 + i; payload = P.Sim (P.sim_request ~benchmark:"sha" ~scheme ()) })
@@ -83,6 +98,25 @@ let sample_responses =
   @ List.mapi
       (fun i source -> { P.id = 10 + i; reply = P.Sim_reply (sim_result_sample source) })
       [ P.Computed; P.Memory; P.Disk; P.Coalesced ]
+  @ [
+      { P.id = 20;
+        reply =
+          P.Mp_reply
+            {
+              P.mpr_key = "mp-" ^ String.make 32 'b';
+              mpr_source = P.Disk;
+              mpr_digest = String.make 32 '1';
+              mpr_cycles = 987654321;
+              mpr_retired = 1000;
+              mpr_processes = 3;
+              (* a disk hit after a restart: machine-level facts lost *)
+              mpr_switches = -1;
+              mpr_kernel_runs = -1;
+              mpr_icache_energy_pj = 0.1 +. 0.2;
+              mpr_total_energy_pj = 9876.54321;
+            };
+      };
+    ]
 
 let test_request_roundtrip () =
   List.iter
@@ -563,6 +597,84 @@ let test_daemon_concurrent_clients_vs_oracle () =
         (stats.P.computations + stats.P.hits_memory + stats.P.hits_disk
        + stats.P.coalesced))
 
+(* --- the mp request class ------------------------------------------- *)
+
+let test_daemon_mp () =
+  with_daemon ~workers:2 (fun daemon endpoint ->
+      let client = ok_or_fail "connect" (Client.connect endpoint) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let wp16 = Config.Way_placement { area_bytes = 16 * 1024 } in
+          let mr =
+            P.mp_request ~mix:"crc,sha" ~coverage:"half" ~quantum:10_000
+              ~scheme:wp16 ()
+          in
+          let r1 = ok_or_fail "first mp" (Client.mp client mr) in
+          Alcotest.(check bool) "first mp computes" true
+            (r1.P.mpr_source = P.Computed);
+          Alcotest.(check int) "two processes" 2 r1.P.mpr_processes;
+          Alcotest.(check bool) "switches observed" true (r1.P.mpr_switches > 0);
+          Alcotest.(check bool) "keys live in the mp- namespace" true
+            (String.length r1.P.mpr_key > 3
+            && String.sub r1.P.mpr_key 0 3 = "mp-");
+          (* the same run locally: the aggregate is bit-identical *)
+          let mix =
+            Wayplace.Mp.Mix.apply_coverage Wayplace.Mp.Mix.Half_placed
+              (ok_or_fail "mix" (Wayplace.Mp.Mix.of_names [ "crc"; "sha" ]))
+          in
+          let config = ok_or_fail "config" (P.config_of_mp mr) in
+          let options =
+            {
+              Wayplace.Mp.Machine.default_options with
+              Wayplace.Mp.Machine.quantum_cycles = 10_000;
+            }
+          in
+          let local = Wayplace.Mp.Machine.run ~config ~options mix in
+          Alcotest.(check string) "matches the local oracle"
+            (Store.stats_digest local.Wayplace.Mp.Machine.aggregate)
+            r1.P.mpr_digest;
+          Alcotest.(check int) "switch count matches the local oracle"
+            local.Wayplace.Mp.Machine.switches r1.P.mpr_switches;
+          (* warm repeat: a memory hit with the machine facts intact *)
+          let r2 = ok_or_fail "repeat mp" (Client.mp client mr) in
+          Alcotest.(check bool) "repeat is a memory hit" true
+            (r2.P.mpr_source = P.Memory);
+          Alcotest.(check string) "same content address" r1.P.mpr_key
+            r2.P.mpr_key;
+          Alcotest.(check string) "bit-identical digest" r1.P.mpr_digest
+            r2.P.mpr_digest;
+          Alcotest.(check int) "switches preserved on the hit"
+            r1.P.mpr_switches r2.P.mpr_switches;
+          Alcotest.(check int) "one computation" 1 (Daemon.computations daemon);
+          (* verify-on-compute replays the reference loop and passes *)
+          let r3 =
+            ok_or_fail "verified mp"
+              (Client.mp client
+                 (P.mp_request ~mix:"crc,sha" ~coverage:"half" ~quantum:10_000
+                    ~no_cache:true ~verify:true ~scheme:wp16 ()))
+          in
+          Alcotest.(check string) "verified run bit-identical" r1.P.mpr_digest
+            r3.P.mpr_digest;
+          (* a random: mix resolves through the fuzz generator *)
+          let r4 =
+            ok_or_fail "random mix"
+              (Client.mp client
+                 (P.mp_request ~mix:"random:3" ~scheme:Config.Baseline ()))
+          in
+          Alcotest.(check bool) "random mix retires instructions" true
+            (r4.P.mpr_retired > 0);
+          (* unknown names are an error reply, not a dead daemon *)
+          (match
+             Client.mp client
+               (P.mp_request ~mix:"no_such,crc" ~scheme:Config.Baseline ())
+           with
+          | Ok _ -> Alcotest.fail "unknown mix accepted"
+          | Error msg ->
+              Alcotest.(check bool) "diagnostic not empty" true
+                (String.length msg > 0));
+          ok_or_fail "daemon still serving" (Client.ping client)))
+
 let test_daemon_coalesces_inflight () =
   with_daemon ~workers:1 (fun daemon endpoint ->
       let client = ok_or_fail "connect" (Client.connect endpoint) in
@@ -667,6 +779,8 @@ let () =
             test_daemon_basics;
           Alcotest.test_case "per-request error isolation" `Quick
             test_daemon_error_isolation;
+          Alcotest.test_case "mp requests memoise on the full mix" `Quick
+            test_daemon_mp;
           Alcotest.test_case "store survives a restart" `Quick
             test_daemon_persistence_across_restart;
         ] );
