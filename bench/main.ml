@@ -604,6 +604,73 @@ let mp_quantum_sweep () =
   Printf.printf "%!"
 
 (* ------------------------------------------------------------------ *)
+(* advise: the static oracle vs measured minimal ways (ROADMAP item 3).*)
+(* The advisor's interprocedural bound says how many ways the layout   *)
+(* provably needs; the measured column sweeps power-of-two areas and   *)
+(* reports the smallest that misses no more than the full cache. The   *)
+(* candidate areas are ordinary sweep jobs, so they warm in parallel   *)
+(* and are shared with fig5.                                           *)
+
+module Advise = Wayplace.Advise
+
+let advise_candidate_ways = [ 1; 2; 4; 8; 16; 32 ]
+
+let advise_jobs () =
+  grid suite (List.map (fun k -> Config.xscale (wp k)) advise_candidate_ways)
+
+let advise_table () =
+  header
+    "Static placement advisor - static minimal-ways bound vs measured\n\
+     (32KB 32-way i-cache, 1KB pages; measured = smallest power-of-two\n\
+     area whose misses match the full 32-way area)";
+  let g = geometry ~size_kb:32 ~ways:32 in
+  let energy = (Config.xscale Config.Baseline).Config.energy in
+  Printf.printf "%-12s %7s %10s %9s %9s %9s  %s\n" "benchmark" "static"
+    "area KB" "measured" "findings" "conflicts" "verdict";
+  List.iter
+    (fun name ->
+      let p = prep name in
+      let report =
+        Advise.Advisor.analyze ~benchmark:name
+          ~graph:p.Runner.program.Wayplace.Workloads.Codegen.graph
+          ~profile:p.Runner.profile_small ~trace:p.Runner.trace_large
+          ~layout:p.Runner.placed_layout ~geometry:g ~page_bytes:1024
+          ~area_bytes:(kb 16) ~energy ()
+      in
+      let s = report.Advise.Advisor.static_min_ways in
+      let full = (run name (Config.xscale (wp 32))).Stats.icache_misses in
+      let measured =
+        List.find_opt
+          (fun k ->
+            (run name (Config.xscale (wp k))).Stats.icache_misses <= full)
+          advise_candidate_ways
+      in
+      let replay = report.Advise.Advisor.replay in
+      let conflicts =
+        replay.Advise.Oracle.area_misses
+        - replay.Advise.Oracle.area_distinct_lines
+      in
+      let measured_s, verdict =
+        match measured with
+        | None -> ("-", "no candidate matches the full cache")
+        | Some m ->
+            ( string_of_int m,
+              if s >= m then "bound covers miss-parity"
+              else "transition misses above the bound" )
+      in
+      Printf.printf "%-12s %7d %10d %9s %9d %9d  %s\n" name s
+        (Advise.Oracle.area_for ~geometry:g ~page_bytes:1024 ~ways:s / 1024)
+        measured_s
+        (List.length report.Advise.Advisor.findings)
+        conflicts verdict)
+    suite;
+  Printf.printf
+    "The static bound certifies steady-state no-thrash (the windowed\n\
+     pressure law the fuzzer enforces); miss-parity with the full cache is\n\
+     a stricter target, so a larger measured column means cross-region\n\
+     transition misses, not an unsound bound.\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* CSV export: the three figure datasets, one file per figure, for     *)
 (* external plotting.                                                  *)
 
@@ -964,6 +1031,7 @@ let experiments =
     ("ext-comparators", ext_comparators_jobs, ext_comparators);
     ("ext-drowsy", ext_drowsy_jobs, ext_drowsy);
     ("mp-quantum", no_jobs, mp_quantum_sweep);
+    ("advise", advise_jobs, advise_table);
     ("csv", csv_jobs, csv);
     ("micro", no_jobs, micro);
     ("perf", no_jobs, perf);

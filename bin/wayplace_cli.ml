@@ -828,9 +828,21 @@ let lint_cmd benchmarks sizes ways line area static json_out csv_out strict =
             List.iter (fun v -> Printf.printf "    ! %s\n" v) r.ls_violations)
           statics)
       results;
-    let* () =
+    (* Findings decide the exit code even when a report file cannot be
+       written: a failed write must not mask severity 2/3 behind a
+       generic 1 (CI keys on the code).  Report the write error, keep
+       the severity, and only *raise* the code to 1 for clean runs. *)
+    let attempt_write what path = function
+      | Ok () ->
+          Printf.printf "wrote %s\n%!" path;
+          false
+      | Error msg ->
+          Format.eprintf "error: writing %s %s: %s@." what path msg;
+          true
+    in
+    let csv_failed =
       match csv_out with
-      | None -> Ok ()
+      | None -> false
       | Some path ->
           let rows =
             List.concat_map
@@ -854,27 +866,26 @@ let lint_cmd benchmarks sizes ways line area static json_out csv_out strict =
                   findings)
               results
           in
-          let* () =
-            Report.write_csv ~path
-              ~header:
-                [
-                  "benchmark"; "layout"; "geometry"; "severity"; "code";
-                  "block"; "addr"; "message";
-                ]
-              ~rows
-          in
-          Printf.printf "wrote %s\n%!" path;
-          Ok ()
+          attempt_write "CSV" path
+            (Report.write_csv ~path
+               ~header:
+                 [
+                   "benchmark"; "layout"; "geometry"; "severity"; "code";
+                   "block"; "addr"; "message";
+                 ]
+               ~rows)
     in
-    let* () =
+    let json_failed =
       match json_out with
-      | None -> Ok ()
+      | None -> false
       | Some path ->
-          let* () = Report.write_json ~path (lint_json results) in
-          Printf.printf "wrote %s\n%!" path;
-          Ok ()
+          attempt_write "JSON" path (Report.write_json ~path (lint_json results))
     in
-    let code = Lint.Finding.exit_code ~strict all_findings in
+    let code =
+      Lint.Finding.cli_exit_code ~strict
+        ~write_failed:(csv_failed || json_failed)
+        all_findings
+    in
     let code = if soundness_violations <> [] then 3 else code in
     if code = 0 then
       Printf.printf "lint: clean (%d benchmark(s), %d geometr%s)\n"
@@ -882,6 +893,218 @@ let lint_cmd benchmarks sizes ways line area static json_out csv_out strict =
         (List.length geometries)
         (if List.length geometries = 1 then "y" else "ies");
     Ok code
+  in
+  match result with
+  | Ok code -> code
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+(* --- advise: the static placement advisor --- *)
+
+module Advise = Wayplace.Advise
+
+let advise_page_arg =
+  let doc = "Way-placement page size in bytes (power of two)." in
+  Arg.(value & opt int 1024 & info [ "page" ] ~docv:"BYTES" ~doc)
+
+let advise_min_run_arg =
+  let doc =
+    "Hysteresis: schedule runs shorter than this many trace blocks are \
+     merged into their neighbour taking the larger area."
+  in
+  Arg.(value & opt int 32 & info [ "min-run" ] ~docv:"N" ~doc)
+
+let advise_json_arg =
+  let doc = "Write the full advisor report to this JSON file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let advise_csv_arg =
+  let doc = "Write the per-region table to this CSV file (RFC 4180)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let advise_schedule_arg =
+  let doc =
+    "Write the oracle resize schedule to this JSON file, in the \
+     [(trace_block_index, area_bytes)] form $(b,timeline --resize) and \
+     [run_with_resizes] consume."
+  in
+  Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"FILE" ~doc)
+
+let advise_apply_arg =
+  let doc =
+    "Re-lay the binary out with the conflict-graph improved order and \
+     report the measured energy/ED delta against the placed layout."
+  in
+  Arg.(value & flag & info [ "apply" ] ~doc)
+
+let advise_measured_arg =
+  let doc =
+    "Sweep power-of-two way allocations and report the measured minimal \
+     ways (smallest allocation matching the full-area miss count) next \
+     to the static bound."
+  in
+  Arg.(value & flag & info [ "measured" ] ~doc)
+
+let advise_cmd benchmark size_kb ways line area_kb page min_run json_out
+    csv_out schedule_out apply measured strict =
+  let ( let* ) = Result.bind in
+  let result =
+    let* spec = find_spec benchmark in
+    let* geometry =
+      match
+        Wayplace.Cache.Geometry.make ~size_bytes:(size_kb * 1024) ~assoc:ways
+          ~line_bytes:line
+      with
+      | g -> Ok g
+      | exception Invalid_argument msg -> Error msg
+    in
+    let prep = Wayplace.Sim.Runner.prepare spec in
+    let program = prep.Wayplace.Sim.Runner.program in
+    let graph = program.Wayplace.Workloads.Codegen.graph in
+    let profile = prep.Wayplace.Sim.Runner.profile_small in
+    let trace = prep.Wayplace.Sim.Runner.trace_large in
+    let layout = prep.Wayplace.Sim.Runner.placed_layout in
+    let energy =
+      (Wayplace.Sim.Config.xscale Wayplace.Sim.Config.Baseline)
+        .Wayplace.Sim.Config.energy
+    in
+    let* report =
+      match
+        Advise.Advisor.analyze ~min_run ~benchmark ~graph ~profile ~trace
+          ~layout ~geometry ~page_bytes:page ~area_bytes:(area_kb * 1024)
+          ~energy ()
+      with
+      | r -> Ok r
+      | exception Invalid_argument msg -> Error msg
+    in
+    Format.printf "%a@." Advise.Advisor.pp report;
+    let wp_config area_bytes =
+      let c =
+        Wayplace.Sim.Config.with_icache
+          (Wayplace.Sim.Config.xscale
+             (Wayplace.Sim.Config.Way_placement { area_bytes }))
+          geometry
+      in
+      { c with Wayplace.Sim.Config.page_bytes = page }
+    in
+    if measured then begin
+      let full_area =
+        Advise.Oracle.area_for ~geometry ~page_bytes:page ~ways
+      in
+      let run_area area_bytes =
+        Wayplace.Sim.Simulator.run ~config:(wp_config area_bytes) ~program
+          ~layout ~trace
+      in
+      let full = run_area full_area in
+      let module Stats = Wayplace.Sim.Stats in
+      Format.printf "--- measured minimal ways (full area: %d misses) ---@."
+        full.Stats.icache_misses;
+      let rec candidates k = if k >= ways then [ ways ] else k :: candidates (2 * k) in
+      let rows =
+        List.map
+          (fun k ->
+            let area = Advise.Oracle.area_for ~geometry ~page_bytes:page ~ways:k in
+            let s = run_area area in
+            (k, area, s))
+          (candidates 1)
+      in
+      List.iter
+        (fun (k, area, (s : Wayplace.Sim.Stats.t)) ->
+          Format.printf
+            "  ways %2d (area %5d B): %d misses, I-cache %.1f pJ@." k area
+            s.Wayplace.Sim.Stats.icache_misses
+            (Wayplace.Sim.Stats.icache_energy_pj s))
+        rows;
+      let measured_min =
+        match
+          List.find_opt
+            (fun (_, _, (s : Wayplace.Sim.Stats.t)) ->
+              s.Wayplace.Sim.Stats.icache_misses
+              <= full.Wayplace.Sim.Stats.icache_misses)
+            rows
+        with
+        | Some (k, _, _) -> k
+        | None -> ways
+      in
+      Format.printf "measured minimal ways %d, static bound %d (%s)@."
+        measured_min report.Advise.Advisor.static_min_ways
+        (if report.Advise.Advisor.static_min_ways >= measured_min then
+           "static bound covers miss-parity"
+         else
+           "miss-parity needs more ways: cross-region transition misses, \
+            which the steady-state bound does not claim to cover")
+    end;
+    if apply then begin
+      match report.Advise.Advisor.improvement with
+      | None ->
+          Format.printf
+            "apply: the placed order is already conflict-minimal under the \
+             greedy search; nothing to re-lay out@."
+      | Some imp ->
+          let improved =
+            Wayplace.Layout.Binary_layout.of_order graph
+              ~base:Wayplace.Sim.Simulator.code_base
+              imp.Advise.Advisor.order
+          in
+          let config = wp_config (area_kb * 1024) in
+          let before =
+            Wayplace.Sim.Simulator.run ~config ~program ~layout ~trace
+          in
+          let after =
+            Wayplace.Sim.Simulator.run ~config ~program ~layout:improved ~trace
+          in
+          let module Stats = Wayplace.Sim.Stats in
+          let e_before = Stats.icache_energy_pj before in
+          let e_after = Stats.icache_energy_pj after in
+          let ed =
+            Wayplace.Energy.Ed.normalised_ed
+              ~scheme_energy_pj:(Stats.total_energy_pj after)
+              ~scheme_cycles:after.Stats.cycles
+              ~baseline_energy_pj:(Stats.total_energy_pj before)
+              ~baseline_cycles:before.Stats.cycles
+          in
+          Format.printf
+            "--- apply (conflict-graph order) ---@.misses %d -> %d, I-cache \
+             %.1f -> %.1f pJ (measured delta %.1f, predicted upper bound \
+             %.1f), ED ratio %.4f@."
+            before.Stats.icache_misses after.Stats.icache_misses e_before
+            e_after (e_before -. e_after)
+            imp.Advise.Advisor.predicted_delta_pj ed
+    end;
+    let attempt_write what path = function
+      | Ok () ->
+          Printf.printf "wrote %s\n%!" path;
+          false
+      | Error msg ->
+          Format.eprintf "error: writing %s %s: %s@." what path msg;
+          true
+    in
+    let write_failed = ref false in
+    let record failed = if failed then write_failed := true in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        record
+          (attempt_write "JSON" path
+             (Report.write_json ~path (Advise.Advisor.to_json report))));
+    (match csv_out with
+    | None -> ()
+    | Some path ->
+        record
+          (attempt_write "CSV" path
+             (Report.write_csv ~path ~header:Advise.Advisor.csv_header
+                ~rows:(Advise.Advisor.csv_rows report))));
+    (match schedule_out with
+    | None -> ()
+    | Some path ->
+        record
+          (attempt_write "schedule JSON" path
+             (Report.write_json ~path
+                (Advise.Advisor.schedule_to_json
+                   report.Advise.Advisor.schedule))));
+    let code = Advise.Advisor.exit_code ~strict report in
+    Ok (if !write_failed then max code 1 else code)
   in
   match result with
   | Ok code -> code
@@ -1598,6 +1821,22 @@ let cmds =
         const lint_cmd $ sweep_benchmarks_arg $ sweep_sizes_arg
         $ sweep_ways_arg $ line_arg $ area_arg $ lint_static_arg
         $ lint_json_arg $ lint_csv_arg $ strict_arg);
+    Cmd.v
+      (Cmd.info "advise"
+         ~doc:
+           "Run the static placement advisor: interprocedural loop-nest \
+            regions with way-pressure bounds, the offline minimal-ways \
+            resize schedule (consumable by $(b,run_with_resizes)), a \
+            line-conflict verification of the placed layout (PL codes), \
+            and the static energy envelope.  $(b,--apply) measures the \
+            conflict-graph improved order; $(b,--measured) cross-checks \
+            the static minimal-ways bound against simulation.  Exits like \
+            $(b,lint): 3 on errors, 2 on warnings under $(b,--strict).")
+      Term.(
+        const advise_cmd $ benchmark_arg $ size_arg $ ways_arg $ line_arg
+        $ area_arg $ advise_page_arg $ advise_min_run_arg $ advise_json_arg
+        $ advise_csv_arg $ advise_schedule_arg $ advise_apply_arg
+        $ advise_measured_arg $ strict_arg);
     Cmd.v
       (Cmd.info "layout" ~doc:"Show the way-placement layout of a benchmark")
       Term.(const layout_cmd $ benchmark_arg $ profile_arg $ output_arg);

@@ -1,0 +1,446 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Profile = Wp_cfg.Profile
+module Layout = Wp_layout.Binary_layout
+module Chain = Wp_layout.Chain
+module Chain_builder = Wp_layout.Chain_builder
+module Geometry = Wp_cache.Geometry
+module Finding = Wp_lint.Finding
+module Report = Wp_sim.Report
+module Cam_energy = Wp_energy.Cam_energy
+module Addr = Wp_isa.Addr
+
+type improvement = {
+  order : Basic_block.id array;
+  cost_before : int;
+  cost_after : int;
+  predicted_delta_pj : float;
+}
+
+type t = {
+  benchmark : string;
+  geometry : Geometry.t;
+  page_bytes : int;
+  area_bytes : int;
+  static_min_ways : int;
+  regions : Region.t list;
+  findings : Wp_lint.Finding.t list;
+  schedule : (int * int) list;
+  envelope : Oracle.envelope;
+  replay : Oracle.area_replay;
+  improvement : improvement option;
+}
+
+(* --- findings -------------------------------------------------------- *)
+
+let region_lines geometry layout graph (r : Region.t) =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      let b = Icfg.block graph id in
+      let start = Layout.block_start layout id in
+      let last = start + Basic_block.size_bytes b - 1 in
+      let line = geometry.Geometry.line_bytes in
+      let a = ref (Geometry.line_base geometry start) in
+      while !a <= last do
+        Hashtbl.replace seen !a ();
+        a := !a + line
+      done)
+    r.Region.closure_blocks;
+  seen
+
+let pl001 ~geometry ~layout ~graph ~regions (replay : Oracle.area_replay) =
+  let region_line_sets =
+    List.map (fun r -> (r, region_lines geometry layout graph r)) regions
+  in
+  List.map
+    (fun (c : Oracle.area_conflict) ->
+      let witness =
+        List.find_opt
+          (fun ((r : Region.t), lines) ->
+            r.Region.fits
+            && List.length (List.filter (Hashtbl.mem lines) c.Oracle.lines) >= 2)
+          region_line_sets
+      in
+      let where =
+        match witness with
+        | Some (r, _) ->
+            Printf.sprintf " inside fitting region (func %d, %s, header %d)"
+              r.Region.func
+              (Region.kind_name r.Region.kind)
+              r.Region.header
+        | None -> ""
+      in
+      Finding.v ~code:"PL001"
+        ~addr:(List.hd c.Oracle.lines)
+        (Printf.sprintf
+           "%d area lines alternate in slot (set %d, way %d): %d avoidable \
+            conflict misses%s"
+           (List.length c.Oracle.lines)
+           c.Oracle.slot_set c.Oracle.slot_way c.Oracle.evictions where))
+    replay.Oracle.conflicts
+
+let pl002 ~geometry ~layout ~graph ~area_bytes ~regions =
+  let base = Layout.base layout in
+  let boundary = base + area_bytes in
+  List.filter_map
+    (fun (r : Region.t) ->
+      match r.Region.kind with
+      | Region.Body -> None
+      | Region.Loop _ ->
+          if not (r.Region.fits && r.Region.weight > 0) then None
+          else
+            let lines = region_lines geometry layout graph r in
+            let ways = Hashtbl.create 8 in
+            Hashtbl.iter
+              (fun line () ->
+                if line >= base && line < boundary then
+                  Hashtbl.replace ways (Geometry.way_of_addr geometry line) ())
+              lines;
+            let used = Hashtbl.length ways in
+            if used > r.Region.max_set_pressure then
+              Some
+                (Finding.v ~code:"PL002" ~block:r.Region.dominant
+                   (Printf.sprintf
+                      "hot loop (func %d, header %d) spans %d designated \
+                       ways but its set pressure is only %d"
+                      r.Region.func r.Region.header used
+                      r.Region.max_set_pressure))
+            else None)
+    regions
+
+let pl003 ~geometry ~page_bytes ~area_bytes ~static_min_ways =
+  let span = Geometry.way_span_bytes geometry in
+  let ways_avail =
+    min geometry.Geometry.assoc ((area_bytes + span - 1) / span)
+  in
+  if ways_avail > static_min_ways then
+    [
+      Finding.v ~code:"PL003"
+        (Printf.sprintf
+           "area of %d B covers %d ways but the static bound needs only %d \
+            (area could shrink to %d B)"
+           area_bytes ways_avail static_min_ways
+           (Oracle.area_for ~geometry ~page_bytes ~ways:static_min_ways));
+    ]
+  else []
+
+(* --- greedy conflict-graph improvement ------------------------------- *)
+
+(* Weighted slot-conflict cost of a chain concatenation: lay the chains
+   out from the base, weight each area line with the profile counts of
+   the blocks touching it, and charge every slot the weight it cannot
+   keep resident ([sum - max] over its lines).  Chain-internal order is
+   preserved, so any permutation of whole chains is admissible. *)
+let cost_of_chain_order ~graph ~profile ~geometry ~base ~area_bytes chains =
+  let boundary = base + area_bytes in
+  let line_w : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let addr = ref base in
+  Array.iter
+    (fun (c : Chain.t) ->
+      List.iter
+        (fun id ->
+          let b = Icfg.block graph id in
+          let start = !addr in
+          let size = Basic_block.size_bytes b in
+          addr := !addr + size;
+          let w = Profile.block_count profile id in
+          if w > 0 && start < boundary then begin
+            let line = geometry.Geometry.line_bytes in
+            let last = min (start + size - 1) (boundary - 1) in
+            let a = ref (Geometry.line_base geometry start) in
+            while !a <= last do
+              if !a >= base then
+                Hashtbl.replace line_w !a
+                  (w + Option.value ~default:0 (Hashtbl.find_opt line_w !a));
+              a := !a + line
+            done
+          end)
+        c.Chain.blocks)
+    chains;
+  let slots : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun line w ->
+      let key =
+        (Geometry.set_index geometry line, Geometry.way_of_addr geometry line)
+      in
+      let sum, mx =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt slots key)
+      in
+      Hashtbl.replace slots key (sum + w, max mx w))
+    line_w;
+  Hashtbl.fold (fun _ (sum, mx) acc -> acc + (sum - mx)) slots 0
+
+let improve ~graph ~profile ~geometry ~base ~area_bytes ~energy =
+  let chains =
+    Chain_builder.build graph profile
+    |> List.sort Chain.compare_by_weight
+    |> Array.of_list
+  in
+  let cost order =
+    cost_of_chain_order ~graph ~profile ~geometry ~base ~area_bytes order
+  in
+  let cost_before = cost chains in
+  let current = Array.copy chains in
+  let best = ref cost_before in
+  let budget = ref 2000 in
+  let improved_in_pass = ref true in
+  while !improved_in_pass && !budget > 0 do
+    improved_in_pass := false;
+    for i = 0 to Array.length current - 2 do
+      if !budget > 0 then begin
+        decr budget;
+        let a = current.(i) and b = current.(i + 1) in
+        current.(i) <- b;
+        current.(i + 1) <- a;
+        let c = cost current in
+        if c < !best then begin
+          best := c;
+          improved_in_pass := true
+        end
+        else begin
+          current.(i) <- a;
+          current.(i + 1) <- b
+        end
+      end
+    done
+  done;
+  if !best >= cost_before then None
+  else
+    let order =
+      Array.of_list
+        (List.concat_map
+           (fun (c : Chain.t) -> c.Chain.blocks)
+           (Array.to_list current))
+    in
+    let cam = Cam_energy.of_geometry energy geometry in
+    Some
+      {
+        order;
+        cost_before;
+        cost_after = !best;
+        predicted_delta_pj =
+          float_of_int (cost_before - !best)
+          *. (cam.Cam_energy.line_fill_pj
+             +. energy.Wp_energy.Params.memory_access_pj);
+      }
+
+(* --- the report ------------------------------------------------------ *)
+
+let analyze ?min_run ~benchmark ~graph ~profile ~trace ~layout ~geometry
+    ~page_bytes ~area_bytes ~energy () =
+  if page_bytes <= 0 || not (Addr.is_power_of_two page_bytes) then
+    invalid_arg
+      (Printf.sprintf
+         "Advisor.analyze: page size %d B is not a positive power of two"
+         page_bytes);
+  if area_bytes <= 0 || area_bytes mod page_bytes <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Advisor.analyze: area of %d B is not a positive multiple of the %d \
+          B page"
+         area_bytes page_bytes);
+  let analysis = Region.analyze ~graph ~profile ~layout ~geometry () in
+  let regions = Array.to_list (Region.regions analysis) in
+  let static_min_ways = Region.static_min_ways analysis in
+  let schedule = Oracle.schedule ?min_run ~analysis ~trace ~page_bytes () in
+  let envelope =
+    Oracle.envelope ~graph ~layout ~trace ~geometry ~energy ()
+  in
+  let replay =
+    Oracle.replay_area ~graph ~layout ~trace ~geometry ~area_bytes ()
+  in
+  let findings =
+    pl001 ~geometry ~layout ~graph ~regions replay
+    @ pl002 ~geometry ~layout ~graph ~area_bytes ~regions
+    @ pl003 ~geometry ~page_bytes ~area_bytes ~static_min_ways
+    |> List.stable_sort Finding.compare
+  in
+  let improvement =
+    improve ~graph ~profile ~geometry ~base:(Layout.base layout) ~area_bytes
+      ~energy
+  in
+  {
+    benchmark;
+    geometry;
+    page_bytes;
+    area_bytes;
+    static_min_ways;
+    regions;
+    findings;
+    schedule;
+    envelope;
+    replay;
+    improvement;
+  }
+
+let exit_code ?strict t = Finding.exit_code ?strict t.findings
+
+(* --- serialisation --------------------------------------------------- *)
+
+let opt_int = function None -> Report.Jnull | Some i -> Report.Jint i
+
+let finding_to_json (f : Finding.t) =
+  Report.Jobj
+    [
+      ("code", Report.Jstring f.Finding.code);
+      ("severity", Report.Jstring (Finding.severity_name f.Finding.severity));
+      ("block", opt_int f.Finding.block);
+      ("addr", opt_int f.Finding.addr);
+      ("message", Report.Jstring f.Finding.message);
+    ]
+
+let region_to_json (r : Region.t) =
+  Report.Jobj
+    [
+      ("func", Report.Jint r.Region.func);
+      ("header", Report.Jint r.Region.header);
+      ("kind", Report.Jstring (Region.kind_name r.Region.kind));
+      ("blocks", Report.Jint (List.length r.Region.blocks));
+      ("closure_blocks", Report.Jint (List.length r.Region.closure_blocks));
+      ("dominant", Report.Jint r.Region.dominant);
+      ("weight", Report.Jint r.Region.weight);
+      ("distinct_lines", Report.Jint r.Region.distinct_lines);
+      ("max_set_pressure", Report.Jint r.Region.max_set_pressure);
+      ("min_ways", Report.Jint r.Region.min_ways);
+      ("fits", Report.Jbool r.Region.fits);
+    ]
+
+let schedule_to_json entries =
+  Report.Jlist
+    (List.map
+       (fun (idx, area) ->
+         Report.Jobj
+           [ ("at_block", Report.Jint idx); ("area_bytes", Report.Jint area) ])
+       entries)
+
+let schedule_of_json j =
+  match Report.to_list j with
+  | None -> Error "schedule: expected a JSON array"
+  | Some entries ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest -> (
+            match
+              ( Option.bind (Report.member "at_block" e) Report.to_int,
+                Option.bind (Report.member "area_bytes" e) Report.to_int )
+            with
+            | Some idx, Some area -> go ((idx, area) :: acc) rest
+            | _ ->
+                Error "schedule: entry needs integer at_block and area_bytes")
+      in
+      go [] entries
+
+let to_json t =
+  Report.Jobj
+    [
+      ("benchmark", Report.Jstring t.benchmark);
+      ("geometry", Report.Jstring (Geometry.to_string t.geometry));
+      ("page_bytes", Report.Jint t.page_bytes);
+      ("area_bytes", Report.Jint t.area_bytes);
+      ("static_min_ways", Report.Jint t.static_min_ways);
+      ("regions", Report.Jlist (List.map region_to_json t.regions));
+      ("findings", Report.Jlist (List.map finding_to_json t.findings));
+      ("schedule", schedule_to_json t.schedule);
+      ( "envelope",
+        Report.Jobj
+          [
+            ("fetches", Report.Jint t.envelope.Oracle.env_fetches);
+            ("same_line", Report.Jint t.envelope.Oracle.env_same_line);
+            ("lo_pj", Report.Jfloat t.envelope.Oracle.env_lo_pj);
+            ("hi_pj", Report.Jfloat t.envelope.Oracle.env_hi_pj);
+          ] );
+      ( "area_replay",
+        Report.Jobj
+          [
+            ("accesses", Report.Jint t.replay.Oracle.area_accesses);
+            ("misses", Report.Jint t.replay.Oracle.area_misses);
+            ("distinct_lines", Report.Jint t.replay.Oracle.area_distinct_lines);
+            ( "conflict_misses",
+              Report.Jint
+                (t.replay.Oracle.area_misses
+                - t.replay.Oracle.area_distinct_lines) );
+          ] );
+      ( "improvement",
+        match t.improvement with
+        | None -> Report.Jnull
+        | Some imp ->
+            Report.Jobj
+              [
+                ("cost_before", Report.Jint imp.cost_before);
+                ("cost_after", Report.Jint imp.cost_after);
+                ("predicted_delta_pj", Report.Jfloat imp.predicted_delta_pj);
+                ( "order",
+                  Report.Jlist
+                    (Array.to_list
+                       (Array.map (fun b -> Report.Jint b) imp.order)) );
+              ] );
+    ]
+
+let csv_header =
+  [
+    "benchmark";
+    "func";
+    "header";
+    "kind";
+    "blocks";
+    "closure_blocks";
+    "dominant";
+    "weight";
+    "distinct_lines";
+    "max_set_pressure";
+    "min_ways";
+    "fits";
+  ]
+
+let csv_rows t =
+  List.map
+    (fun (r : Region.t) ->
+      [
+        t.benchmark;
+        string_of_int r.Region.func;
+        string_of_int r.Region.header;
+        Region.kind_name r.Region.kind;
+        string_of_int (List.length r.Region.blocks);
+        string_of_int (List.length r.Region.closure_blocks);
+        string_of_int r.Region.dominant;
+        string_of_int r.Region.weight;
+        string_of_int r.Region.distinct_lines;
+        string_of_int r.Region.max_set_pressure;
+        string_of_int r.Region.min_ways;
+        string_of_bool r.Region.fits;
+      ])
+    t.regions
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>placement advice for %s @ %s (area %d B, page %d B)@,\
+     static minimal ways: %d@,\
+     regions (%d):@,"
+    t.benchmark (Geometry.to_string t.geometry) t.area_bytes t.page_bytes
+    t.static_min_ways (List.length t.regions);
+  List.iter (fun r -> Format.fprintf ppf "  %a@," Region.pp r) t.regions;
+  Format.fprintf ppf "schedule (%d resize points):@," (List.length t.schedule);
+  List.iter
+    (fun (idx, area) ->
+      Format.fprintf ppf "  at trace block %d: area %d B@," idx area)
+    t.schedule;
+  Format.fprintf ppf
+    "energy envelope: [%.1f, %.1f] pJ over %d fetches (%d same-line)@,"
+    t.envelope.Oracle.env_lo_pj t.envelope.Oracle.env_hi_pj
+    t.envelope.Oracle.env_fetches t.envelope.Oracle.env_same_line;
+  Format.fprintf ppf
+    "area replay: %d accesses, %d misses (%d compulsory, %d conflict)@,"
+    t.replay.Oracle.area_accesses t.replay.Oracle.area_misses
+    t.replay.Oracle.area_distinct_lines
+    (t.replay.Oracle.area_misses - t.replay.Oracle.area_distinct_lines);
+  (match t.improvement with
+  | None -> Format.fprintf ppf "placement: no improvement found@,"
+  | Some imp ->
+      Format.fprintf ppf
+        "placement: conflict cost %d -> %d (predicted saving <= %.1f pJ)@,"
+        imp.cost_before imp.cost_after imp.predicted_delta_pj);
+  Format.fprintf ppf "findings (%d):@," (List.length t.findings);
+  if t.findings = [] then Format.fprintf ppf "  (none)@,"
+  else List.iter (fun f -> Format.fprintf ppf "  %a@," Finding.pp f) t.findings;
+  Format.fprintf ppf "@]"

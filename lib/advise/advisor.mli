@@ -1,0 +1,77 @@
+(** The static placement advisor: one report tying the region/pressure
+    analysis, the placement verification findings, the offline resize
+    schedule and the energy envelope together — the object the CLI
+    prints, the serve daemon memoises and the docs tabulate.
+
+    Finding codes (registered in {!Wp_lint.Finding.registry}):
+    - [PL001] (warning): two area lines competing for one
+      (set, designated way) slot alternate inside a fitting region's
+      window — an avoidable conflict the placer should have packed
+      apart; every emission is witnessed by the designated-way replay
+      ({!Oracle.replay_area}), so it reproduces as measurable conflict
+      misses in simulation (a [Check.Differ] law).
+    - [PL002] (info): a hot loop's placed lines spread over more
+      designated ways than its static set pressure needs.
+    - [PL003] (info): the configured area covers more ways than the
+      global static minimal-ways bound — the area could shrink. *)
+
+type improvement = {
+  order : Wp_cfg.Basic_block.id array;
+      (** improved whole-binary block order (chain-respecting, always
+          admissible) *)
+  cost_before : int;  (** weighted slot-conflict cost of the placed order *)
+  cost_after : int;
+  predicted_delta_pj : float;
+      (** upper-bound energy the removed conflict weight could save
+          (refill + memory access per avoided miss) *)
+}
+
+type t = {
+  benchmark : string;
+  geometry : Wp_cache.Geometry.t;
+  page_bytes : int;
+  area_bytes : int;
+  static_min_ways : int;  (** {!Region.static_min_ways} *)
+  regions : Region.t list;
+  findings : Wp_lint.Finding.t list;
+  schedule : (int * int) list;  (** {!Oracle.schedule} *)
+  envelope : Oracle.envelope;
+  replay : Oracle.area_replay;
+  improvement : improvement option;
+      (** [None] when the greedy conflict-graph search found nothing
+          strictly better *)
+}
+
+val analyze :
+  ?min_run:int ->
+  benchmark:string ->
+  graph:Wp_cfg.Icfg.t ->
+  profile:Wp_cfg.Profile.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  layout:Wp_layout.Binary_layout.t ->
+  geometry:Wp_cache.Geometry.t ->
+  page_bytes:int ->
+  area_bytes:int ->
+  energy:Wp_energy.Params.t ->
+  unit ->
+  t
+(** [layout] must be the placed (way-placement) layout the advisor
+    verifies.
+    @raise Invalid_argument if [page_bytes] is not a positive power of
+    two, [area_bytes] is not a positive multiple of it, or the profile
+    does not match the graph. *)
+
+val to_json : t -> Wp_sim.Report.json
+(** Round-trips through {!Wp_sim.Report.parse} (QCheck-pinned). *)
+
+val schedule_to_json : (int * int) list -> Wp_sim.Report.json
+val schedule_of_json : Wp_sim.Report.json -> ((int * int) list, string) result
+
+val csv_header : string list
+val csv_rows : t -> string list list
+(** One RFC-4180 row per region. *)
+
+val exit_code : ?strict:bool -> t -> int
+(** {!Wp_lint.Finding.exit_code} over the report's findings. *)
+
+val pp : Format.formatter -> t -> unit

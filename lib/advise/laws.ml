@@ -1,0 +1,95 @@
+module Config = Wp_sim.Config
+module Stats = Wp_sim.Stats
+module Simulator = Wp_sim.Simulator
+module Geometry = Wp_cache.Geometry
+
+let wp_config ~geometry ~page_bytes ~area_bytes =
+  let c =
+    Config.with_icache
+      (Config.xscale (Config.Way_placement { area_bytes }))
+      geometry
+  in
+  { c with Config.page_bytes }
+
+let check ?(where = "advise") ~geometry ~page_bytes ~area_bytes ~program
+    ~profile ~trace ~layout () =
+  let graph = program.Wp_workloads.Codegen.graph in
+  let guarded name f =
+    match f () with
+    | vs -> vs
+    | exception exn ->
+        [
+          Printf.sprintf "%s: %s raised: %s" where name (Printexc.to_string exn);
+        ]
+  in
+  let bounds =
+    guarded "region bounds" (fun () ->
+        let analysis = Region.analyze ~graph ~profile ~layout ~geometry () in
+        List.map
+          (fun v -> where ^ ": " ^ v)
+          (Oracle.check_bounds ~analysis ~graph ~layout ~trace))
+  in
+  let reproduction =
+    guarded "PL001 reproduction" (fun () ->
+        let replay =
+          Oracle.replay_area ~graph ~layout ~trace ~geometry ~area_bytes ()
+        in
+        let config = wp_config ~geometry ~page_bytes ~area_bytes in
+        let stats = Simulator.run ~config ~program ~layout ~trace in
+        (* the real run can only miss more: normal lines also evict
+           area lines, and every distinct line misses at least once *)
+        let floor =
+          replay.Oracle.area_misses + replay.Oracle.non_area_distinct_lines
+        in
+        if stats.Stats.icache_misses < floor then
+          [
+            Printf.sprintf
+              "%s: way-placement run misses %d times but the designated-way \
+               replay already demands %d (%d area misses incl. %d conflicts \
+               + %d compulsory)"
+              where stats.Stats.icache_misses floor replay.Oracle.area_misses
+              (replay.Oracle.area_misses - replay.Oracle.area_distinct_lines)
+              replay.Oracle.non_area_distinct_lines;
+          ]
+        else [])
+  in
+  let envelope =
+    guarded "schedule envelope" (fun () ->
+        let energy = (Config.xscale Config.Baseline).Config.energy in
+        let env =
+          Oracle.envelope ~graph ~layout ~trace ~geometry ~energy ()
+        in
+        let analysis = Region.analyze ~graph ~profile ~layout ~geometry () in
+        let schedule = Oracle.schedule ~analysis ~trace ~page_bytes () in
+        let initial_area, resizes =
+          match schedule with
+          | (0, area) :: rest -> (area, rest)
+          | entries -> (area_bytes, entries)
+        in
+        let inside label pj =
+          if
+            pj < env.Oracle.env_lo_pj -. 1e-6
+            || pj > env.Oracle.env_hi_pj +. 1e-6
+          then
+            [
+              Printf.sprintf
+                "%s: %s I-cache energy %.3f pJ escapes the static envelope \
+                 [%.3f, %.3f]"
+                where label pj env.Oracle.env_lo_pj env.Oracle.env_hi_pj;
+            ]
+          else []
+        in
+        let plain =
+          Simulator.run
+            ~config:(wp_config ~geometry ~page_bytes ~area_bytes)
+            ~program ~layout ~trace
+        in
+        let resized =
+          Simulator.run_with_resizes ~schedule:resizes
+            ~config:(wp_config ~geometry ~page_bytes ~area_bytes:initial_area)
+            ~program ~layout ~trace
+        in
+        inside "plain way-placement" (Stats.icache_energy_pj plain)
+        @ inside "oracle-scheduled" (Stats.icache_energy_pj resized))
+  in
+  bounds @ reproduction @ envelope

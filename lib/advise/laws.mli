@@ -1,0 +1,27 @@
+(** The advisor's corpus-wide soundness laws, packaged for
+    [Check.Differ] and the CI fuzz slice.  Three obligations per
+    (program, geometry, area):
+
+    - {e region bounds}: no concrete trace window demands more lines in
+      one set than the region's static pressure ({!Oracle.check_bounds});
+    - {e PL001 reproduction}: the designated-way replay's predicted
+      misses are a lower bound on the real way-placement run's misses —
+      every reported conflict is measurable in simulation;
+    - {e schedule envelope}: the oracle schedule replayed through
+      {!Wp_sim.Simulator.run_with_resizes} lands inside the static
+      energy envelope, as does the plain (unresized) run. *)
+
+val check :
+  ?where:string ->
+  geometry:Wp_cache.Geometry.t ->
+  page_bytes:int ->
+  area_bytes:int ->
+  program:Wp_workloads.Codegen.t ->
+  profile:Wp_cfg.Profile.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  layout:Wp_layout.Binary_layout.t ->
+  unit ->
+  string list
+(** Violation strings ([where]-prefixed, naming the offending region
+    where one exists); empty when every law holds.  Never raises: an
+    exception from a sub-check becomes a violation string. *)

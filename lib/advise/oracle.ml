@@ -1,0 +1,291 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Layout = Wp_layout.Binary_layout
+module Geometry = Wp_cache.Geometry
+module Tracer = Wp_workloads.Tracer
+module Cam_energy = Wp_energy.Cam_energy
+
+let round_up n m = (n + m - 1) / m * m
+
+let area_for ~geometry ~page_bytes ~ways =
+  if page_bytes <= 0 || not (Wp_isa.Addr.is_power_of_two page_bytes) then
+    invalid_arg
+      (Printf.sprintf
+         "Oracle.area_for: page size %d B is not a positive power of two"
+         page_bytes);
+  if ways <= 0 then
+    invalid_arg (Printf.sprintf "Oracle.area_for: %d ways is not positive" ways);
+  max page_bytes (round_up (ways * Geometry.way_span_bytes geometry) page_bytes)
+
+let schedule ?(min_run = 32) ~analysis ~trace ~page_bytes () =
+  let blocks = trace.Tracer.blocks in
+  if Array.length blocks = 0 then
+    invalid_arg "Oracle.schedule: empty trace";
+  let geometry = Region.geometry analysis in
+  let area_of_block b =
+    area_for ~geometry ~page_bytes
+      ~ways:(Region.innermost analysis b).Region.min_ways
+  in
+  (* maximal runs of equal desired area *)
+  let runs = ref [] in
+  let start = ref 0 in
+  let cur = ref (area_of_block blocks.(0)) in
+  for i = 1 to Array.length blocks - 1 do
+    let a = area_of_block blocks.(i) in
+    if a <> !cur then begin
+      runs := (!start, i - !start, !cur) :: !runs;
+      start := i;
+      cur := a
+    end
+  done;
+  runs := (!start, Array.length blocks - !start, !cur) :: !runs;
+  let runs = List.rev !runs in
+  (* hysteresis: a run too short to amortise its flush is absorbed,
+     taking the larger (conservative) area *)
+  let merged =
+    List.fold_left
+      (fun acc (start, len, area) ->
+        match acc with
+        | (pstart, plen, parea) :: rest when len < min_run ->
+            (pstart, plen + len, max parea area) :: rest
+        | _ when len < min_run && acc = [] -> [ (start, len, area) ]
+        | _ -> (start, len, area) :: acc)
+      [] runs
+    |> List.rev
+  in
+  (* drop consecutive equal areas the merge may have produced *)
+  let entries =
+    List.fold_left
+      (fun acc (start, _len, area) ->
+        match acc with
+        | (_, parea) :: _ when parea = area -> acc
+        | _ -> (start, area) :: acc)
+      [] merged
+    |> List.rev
+  in
+  entries
+
+type envelope = {
+  env_fetches : int;
+  env_same_line : int;
+  env_lo_pj : float;
+  env_hi_pj : float;
+}
+
+(* Walk every fetch of the trace with the engine's same-line elision
+   rule (the previous pc carries across blocks and restarts, exactly
+   like the fetch engine and the differ's baseline oracle). *)
+let walk_fetches ?(elision = true) ~graph ~layout ~trace ~geometry ~access () =
+  let fetches = ref 0 and same_line = ref 0 in
+  let prev = ref (-1) in
+  Array.iter
+    (fun id ->
+      let start = Layout.block_start layout id in
+      let n = Basic_block.size_instrs (Icfg.block graph id) in
+      for i = 0 to n - 1 do
+        let pc = start + (i * Wp_isa.Instr.size_bytes) in
+        incr fetches;
+        if elision && !prev >= 0 && Geometry.same_line geometry pc !prev then
+          incr same_line
+        else access pc;
+        prev := pc
+      done)
+    trace.Tracer.blocks;
+  (!fetches, !same_line)
+
+let envelope ?elision ~graph ~layout ~trace ~geometry ~energy () =
+  let fetches, same_line =
+    walk_fetches ?elision ~graph ~layout ~trace ~geometry
+      ~access:(fun _ -> ())
+      ()
+  in
+  let cam = Cam_energy.of_geometry energy geometry in
+  let accesses = float_of_int (fetches - same_line) in
+  let sl = float_of_int same_line in
+  let dw = cam.Cam_energy.data_word_pj in
+  let one = Cam_energy.tag_search cam ~ways:1 in
+  let full = Cam_energy.tag_search cam ~ways:geometry.Geometry.assoc in
+  {
+    env_fetches = fetches;
+    env_same_line = same_line;
+    env_lo_pj = (accesses *. (one +. dw)) +. (sl *. dw);
+    env_hi_pj =
+      (accesses *. (one +. full +. dw +. cam.Cam_energy.line_fill_pj))
+      +. (sl *. dw);
+  }
+
+let check_bounds ~analysis ~graph ~layout ~trace =
+  let geometry = Region.geometry analysis in
+  let regions = Region.regions analysis in
+  let n = Array.length regions in
+  let sets = Geometry.sets geometry in
+  let active = Array.make n false in
+  let window_lines = Array.init n (fun _ -> Hashtbl.create 16) in
+  let set_counts = Array.make_matrix n sets 0 in
+  let window_max = Array.make n 0 in
+  let worst = Array.make n 0 in
+  let active_list = ref [] in
+  let in_current = Array.make n false in
+  let close r =
+    worst.(r) <- max worst.(r) window_max.(r);
+    active.(r) <- false;
+    Hashtbl.reset window_lines.(r);
+    Array.fill set_counts.(r) 0 sets 0;
+    window_max.(r) <- 0
+  in
+  let block_lines = Hashtbl.create 64 in
+  let lines_of id =
+    match Hashtbl.find_opt block_lines id with
+    | Some ls -> ls
+    | None ->
+        let b = Icfg.block graph id in
+        let start = Layout.block_start layout id in
+        let last = start + Basic_block.size_bytes b - 1 in
+        let line = geometry.Geometry.line_bytes in
+        let rec collect a acc =
+          if a > last then List.rev acc
+          else collect (a + line) (a :: acc)
+        in
+        let ls = collect (Geometry.line_base geometry start) [] in
+        Hashtbl.add block_lines id ls;
+        ls
+  in
+  Array.iter
+    (fun id ->
+      let here = Region.regions_of_block analysis id in
+      List.iter (fun r -> in_current.(r) <- true) here;
+      active_list :=
+        List.filter
+          (fun r ->
+            if in_current.(r) then true
+            else begin
+              close r;
+              false
+            end)
+          !active_list;
+      List.iter
+        (fun r ->
+          if not active.(r) then begin
+            active.(r) <- true;
+            active_list := r :: !active_list
+          end;
+          List.iter
+            (fun line ->
+              if not (Hashtbl.mem window_lines.(r) line) then begin
+                Hashtbl.add window_lines.(r) line ();
+                let s = Geometry.set_index geometry line in
+                set_counts.(r).(s) <- set_counts.(r).(s) + 1;
+                if set_counts.(r).(s) > window_max.(r) then
+                  window_max.(r) <- set_counts.(r).(s)
+              end)
+            (lines_of id))
+        here;
+      List.iter (fun r -> in_current.(r) <- false) here)
+    trace.Tracer.blocks;
+  List.iter close !active_list;
+  let violations = ref [] in
+  Array.iteri
+    (fun i demanded ->
+      let r = regions.(i) in
+      if demanded > r.Region.max_set_pressure then
+        violations :=
+          Printf.sprintf
+            "region (func %d, %s, header %d): concrete windows demand %d \
+             lines in one set but the static bound is %d (min ways %d)"
+            r.Region.func
+            (Region.kind_name r.Region.kind)
+            r.Region.header demanded r.Region.max_set_pressure
+            r.Region.min_ways
+          :: !violations)
+    worst;
+  List.rev !violations
+
+type area_conflict = {
+  slot_set : int;
+  slot_way : int;
+  lines : Wp_isa.Addr.t list;
+  evictions : int;
+}
+
+type area_replay = {
+  area_accesses : int;
+  area_misses : int;
+  area_distinct_lines : int;
+  non_area_distinct_lines : int;
+  conflicts : area_conflict list;
+}
+
+let replay_area ?elision ~graph ~layout ~trace ~geometry ~area_bytes () =
+  if area_bytes <= 0 then
+    invalid_arg
+      (Printf.sprintf "Oracle.replay_area: area of %d B is not positive"
+         area_bytes);
+  let base = Layout.base layout in
+  let boundary = base + area_bytes in
+  let resident : (int * int, Wp_isa.Addr.t) Hashtbl.t = Hashtbl.create 64 in
+  let slot_lines : (int * int, (Wp_isa.Addr.t, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let slot_evictions : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let area_seen = Hashtbl.create 64 in
+  let other_seen = Hashtbl.create 64 in
+  let accesses = ref 0 and misses = ref 0 in
+  let _ =
+    walk_fetches ?elision ~graph ~layout ~trace ~geometry
+      ~access:(fun pc ->
+        let line = Geometry.line_base geometry pc in
+        if line >= base && line < boundary then begin
+          incr accesses;
+          let slot =
+            (Geometry.set_index geometry line, Geometry.way_of_addr geometry line)
+          in
+          (match Hashtbl.find_opt slot_lines slot with
+          | Some t -> Hashtbl.replace t line ()
+          | None ->
+              let t = Hashtbl.create 4 in
+              Hashtbl.replace t line ();
+              Hashtbl.replace slot_lines slot t);
+          match Hashtbl.find_opt resident slot with
+          | Some l when l = line -> ()
+          | prior ->
+              incr misses;
+              if Hashtbl.mem area_seen line then
+                (* the line was here before and got evicted: a conflict
+                   miss caused by this slot's alternation *)
+                Hashtbl.replace slot_evictions slot
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt slot_evictions slot));
+              ignore prior;
+              Hashtbl.replace area_seen line ();
+              Hashtbl.replace resident slot line
+        end
+        else Hashtbl.replace other_seen line ())
+      ()
+  in
+  let conflicts =
+    Hashtbl.fold
+      (fun slot ev acc ->
+        if ev > 0 then
+          let lines =
+            Hashtbl.fold (fun l () acc -> l :: acc)
+              (Hashtbl.find slot_lines slot)
+              []
+            |> List.sort Int.compare
+          in
+          { slot_set = fst slot; slot_way = snd slot; lines; evictions = ev }
+          :: acc
+        else acc)
+      slot_evictions []
+    |> List.sort (fun a b ->
+           let c = Int.compare b.evictions a.evictions in
+           if c <> 0 then c
+           else
+             let c = Int.compare a.slot_set b.slot_set in
+             if c <> 0 then c else Int.compare a.slot_way b.slot_way)
+  in
+  {
+    area_accesses = !accesses;
+    area_misses = !misses;
+    area_distinct_lines = Hashtbl.length area_seen;
+    non_area_distinct_lines = Hashtbl.length other_seen;
+    conflicts;
+  }

@@ -1,0 +1,106 @@
+(** The offline reconfiguration oracle and its soundness checks.
+
+    Three statically derived artefacts, all conservative against the
+    concrete probe stream (a law the differential fuzzer enforces
+    corpus-wide, {!check_bounds} / [Check.Differ]):
+
+    - a {e minimal-ways schedule}: per trace position, the way
+      allocation of the executing block's innermost region, lowered to
+      ascending [(trace_block_index, area_bytes)] resize points that
+      {!Wp_sim.Simulator.run_with_resizes} consumes — the offline
+      oracle ROADMAP item 3 compares online controllers against;
+    - an {e energy envelope} [\[lo, hi\]] bracketing the I-cache energy
+      of {e any} way-placement run of the trace (any area, any resize
+      schedule, flushes included), from the exact deterministic
+      fetch/same-line-elision counts;
+    - a {e designated-way area replay}: the way-placement area's
+      slot-conflict behaviour re-derived from first principles, whose
+      conflict misses every PL001 finding must be witnessed by. *)
+
+val area_for :
+  geometry:Wp_cache.Geometry.t -> page_bytes:int -> ways:int -> int
+(** Smallest way-placement area (positive multiple of [page_bytes])
+    covering [ways] consecutive designated ways.
+    @raise Invalid_argument if [page_bytes] is not a positive power of
+    two or [ways] is not positive. *)
+
+val schedule :
+  ?min_run:int ->
+  analysis:Region.analysis ->
+  trace:Wp_workloads.Tracer.trace ->
+  page_bytes:int ->
+  unit ->
+  (int * int) list
+(** The oracle resize schedule: ascending
+    [(trace_block_index, area_bytes)], first entry at index 0, no two
+    consecutive entries with equal areas.  Runs shorter than [min_run]
+    trace blocks (default 32) are merged into their neighbour taking
+    the larger area — hysteresis against flush-thrash, erring
+    conservative.
+    @raise Invalid_argument on an empty trace or invalid [page_bytes]. *)
+
+type envelope = {
+  env_fetches : int;
+  env_same_line : int;  (** fetches elided by the same-line fast path *)
+  env_lo_pj : float;
+  env_hi_pj : float;
+}
+
+val envelope :
+  ?elision:bool ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  geometry:Wp_cache.Geometry.t ->
+  energy:Wp_energy.Params.t ->
+  unit ->
+  envelope
+(** Fetch and same-line counts are exact (they depend only on trace,
+    layout and elision, not on cache state); [lo] assumes every access
+    is a single-way hit, [hi] a wrong-hint full re-search plus a miss
+    refill on every access. *)
+
+val check_bounds :
+  analysis:Region.analysis ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  string list
+(** The soundness law: over every maximal trace window spent inside a
+    region's closure, the per-set distinct-line demand must not exceed
+    the region's static [max_set_pressure] (hence the clamped demand
+    never exceeds [min_ways]).  Returns one violation string per
+    offending region, naming its function and header. *)
+
+type area_conflict = {
+  slot_set : int;
+  slot_way : int;
+  lines : Wp_isa.Addr.t list;  (** distinct area lines of the slot, ascending *)
+  evictions : int;  (** conflict misses the alternation caused *)
+}
+
+type area_replay = {
+  area_accesses : int;  (** non-elided accesses landing inside the area *)
+  area_misses : int;
+  area_distinct_lines : int;
+  non_area_distinct_lines : int;
+  conflicts : area_conflict list;  (** slots with [evictions > 0] *)
+}
+
+val replay_area :
+  ?elision:bool ->
+  graph:Wp_cfg.Icfg.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  trace:Wp_workloads.Tracer.trace ->
+  geometry:Wp_cache.Geometry.t ->
+  area_bytes:int ->
+  unit ->
+  area_replay
+(** Replay the trace against the area's designated-way slots alone
+    (each area line can live only in its (set, low-tag-bits way) slot,
+    exactly the way-placement fill rule), so
+    [area_misses = area_distinct_lines + conflict misses].  A real
+    way-placement run of the same trace can only miss {e more} (normal
+    lines may also evict area lines), which is the reproduction law for
+    PL001 findings.
+    @raise Invalid_argument if [area_bytes] is not positive. *)

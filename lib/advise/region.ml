@@ -1,0 +1,242 @@
+module Icfg = Wp_cfg.Icfg
+module Basic_block = Wp_cfg.Basic_block
+module Analysis = Wp_cfg.Analysis
+module Profile = Wp_cfg.Profile
+module Layout = Wp_layout.Binary_layout
+module Geometry = Wp_cache.Geometry
+
+type kind = Body | Loop of int
+
+type t = {
+  id : int;
+  func : int;
+  header : Basic_block.id;
+  kind : kind;
+  blocks : Basic_block.id list;
+  closure_blocks : Basic_block.id list;
+  dominant : Basic_block.id;
+  weight : int;
+  distinct_lines : int;
+  max_set_pressure : int;
+  min_ways : int;
+  fits : bool;
+}
+
+type analysis = {
+  regions : t array;
+  innermost_id : int array;  (* per block id *)
+  of_block : int list array;  (* region ids whose closure contains the block *)
+  geometry : Geometry.t;
+}
+
+let kind_name = function
+  | Body -> "body"
+  | Loop d -> Printf.sprintf "loop(depth %d)" d
+
+(* Distinct cache lines a block occupies under the layout. *)
+let block_lines geometry layout (b : Basic_block.t) =
+  let start = Layout.block_start layout b.Basic_block.id in
+  let last = start + Basic_block.size_bytes b - 1 in
+  let line = geometry.Geometry.line_bytes in
+  let first = Geometry.line_base geometry start in
+  let rec collect a acc = if a > last then List.rev acc else collect (a + line) (a :: acc) in
+  collect first []
+
+(* Per-function transitive callee sets.  Calls target strictly larger
+   function ids in generated code, but the closure walk handles
+   arbitrary (even recursive) call graphs with a visited set. *)
+let transitive_callees graph =
+  let nf = Icfg.num_funcs graph in
+  let direct = Array.make nf [] in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      match Icfg.call_target graph b.Basic_block.id with
+      | None -> ()
+      | Some tgt ->
+          let callee = (Icfg.block graph tgt).Basic_block.func in
+          if not (List.mem callee direct.(b.Basic_block.func)) then
+            direct.(b.Basic_block.func) <- callee :: direct.(b.Basic_block.func))
+    (Icfg.blocks graph);
+  let memo = Array.make nf None in
+  let rec closure f =
+    match memo.(f) with
+    | Some s -> s
+    | None ->
+        (* break cycles: a recursive call contributes nothing new *)
+        memo.(f) <- Some [];
+        let s =
+          List.fold_left
+            (fun acc c ->
+              List.fold_left
+                (fun acc g -> if List.mem g acc then acc else g :: acc)
+                (if List.mem c acc then acc else c :: acc)
+                (closure c))
+            [] direct.(f)
+        in
+        memo.(f) <- Some s;
+        s
+  in
+  Array.init nf closure
+
+let pressure geometry layout graph blocks =
+  let sets = Geometry.sets geometry in
+  let counts = Array.make sets 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun line ->
+          if not (Hashtbl.mem seen line) then begin
+            Hashtbl.add seen line ();
+            let s = Geometry.set_index geometry line in
+            counts.(s) <- counts.(s) + 1
+          end)
+        (block_lines geometry layout (Icfg.block graph id)))
+    blocks;
+  let distinct = Hashtbl.length seen in
+  let max_set = Array.fold_left max 0 counts in
+  (distinct, max_set)
+
+let analyze ~graph ~profile ~layout ~geometry () =
+  if Profile.num_blocks profile <> Icfg.num_blocks graph then
+    invalid_arg
+      (Printf.sprintf
+         "Region.analyze: profile covers %d blocks but the graph has %d"
+         (Profile.num_blocks profile)
+         (Icfg.num_blocks graph));
+  let assoc = geometry.Geometry.assoc in
+  let nb = Icfg.num_blocks graph in
+  let callees = transitive_callees graph in
+  let func_blocks f = (Icfg.func graph f).Wp_cfg.Func.blocks in
+  let innermost_id = Array.make nb (-1) in
+  let regions = ref [] in
+  let next_id = ref 0 in
+  let mk ~func ~header ~kind ~blocks =
+    let id = !next_id in
+    incr next_id;
+    (* closure: own blocks plus every block of transitively called
+       functions, starting from the calls made inside [blocks] *)
+    let called =
+      List.fold_left
+        (fun acc b ->
+          match Icfg.call_target graph b with
+          | None -> acc
+          | Some tgt ->
+              let c = (Icfg.block graph tgt).Basic_block.func in
+              List.fold_left
+                (fun acc g -> if List.mem g acc then acc else g :: acc)
+                (if List.mem c acc then acc else c :: acc)
+                callees.(c))
+        [] blocks
+    in
+    let closure_blocks =
+      List.sort_uniq Int.compare
+        (blocks @ List.concat_map func_blocks called)
+    in
+    let distinct_lines, max_set_pressure =
+      pressure geometry layout graph closure_blocks
+    in
+    let weight =
+      List.fold_left
+        (fun acc b -> acc + Profile.block_dynamic_instrs profile graph b)
+        0 blocks
+    in
+    let dominant =
+      List.fold_left
+        (fun best b ->
+          if Profile.block_count profile b > Profile.block_count profile best
+          then b
+          else best)
+        (List.hd blocks)
+        (List.sort Int.compare blocks)
+    in
+    let r =
+      {
+        id;
+        func;
+        header;
+        kind;
+        blocks = List.sort Int.compare blocks;
+        closure_blocks;
+        dominant;
+        weight;
+        distinct_lines;
+        max_set_pressure;
+        min_ways = max 1 (min max_set_pressure assoc);
+        fits = max_set_pressure <= assoc;
+      }
+    in
+    regions := r :: !regions;
+    r
+  in
+  for f = 0 to Icfg.num_funcs graph - 1 do
+    let fn = Icfg.func graph f in
+    let body =
+      mk ~func:f ~header:fn.Wp_cfg.Func.entry ~kind:Body
+        ~blocks:fn.Wp_cfg.Func.blocks
+    in
+    List.iter (fun b -> innermost_id.(b) <- body.id) fn.Wp_cfg.Func.blocks;
+    let loops = Analysis.natural_loops graph ~entry:fn.Wp_cfg.Func.entry in
+    let depth_of header =
+      List.length (List.filter (fun (l : Analysis.loop) -> List.mem header l.Analysis.blocks) loops)
+    in
+    (* larger loops first, so smaller (inner) loops overwrite and
+       [innermost_id] ends at the tightest enclosing loop *)
+    let by_size_desc =
+      List.sort
+        (fun (a : Analysis.loop) (b : Analysis.loop) ->
+          let c =
+            Int.compare (List.length b.Analysis.blocks) (List.length a.Analysis.blocks)
+          in
+          if c <> 0 then c else Int.compare a.Analysis.header b.Analysis.header)
+        loops
+    in
+    List.iter
+      (fun (l : Analysis.loop) ->
+        let r =
+          mk ~func:f ~header:l.Analysis.header
+            ~kind:(Loop (depth_of l.Analysis.header))
+            ~blocks:l.Analysis.blocks
+        in
+        List.iter (fun b -> innermost_id.(b) <- r.id) l.Analysis.blocks)
+      by_size_desc
+  done;
+  let regions = Array.of_list (List.rev !regions) in
+  let of_block = Array.make nb [] in
+  Array.iter
+    (fun r ->
+      List.iter (fun b -> of_block.(b) <- r.id :: of_block.(b)) r.closure_blocks)
+    regions;
+  Array.iteri (fun b rs -> of_block.(b) <- List.rev rs) of_block;
+  { regions; innermost_id; of_block; geometry }
+
+let regions a = a.regions
+let geometry a = a.geometry
+
+let innermost a b =
+  if b < 0 || b >= Array.length a.innermost_id || a.innermost_id.(b) < 0 then
+    invalid_arg (Printf.sprintf "Region.innermost: unknown block %d" b)
+  else a.regions.(a.innermost_id.(b))
+
+let regions_of_block a b =
+  if b < 0 || b >= Array.length a.of_block then
+    invalid_arg (Printf.sprintf "Region.regions_of_block: unknown block %d" b)
+  else a.of_block.(b)
+
+let static_min_ways a =
+  let weighted = Array.to_list a.regions in
+  let considered =
+    match List.filter (fun r -> r.weight > 0) weighted with
+    | [] -> weighted
+    | ws -> ws
+  in
+  List.fold_left (fun acc r -> max acc r.min_ways) 1 considered
+
+let pp ppf r =
+  Format.fprintf ppf
+    "region %d: func %d %s header %d, %d blocks (%d w/ callees), weight %d, \
+     %d lines, set pressure %d, min ways %d%s"
+    r.id r.func (kind_name r.kind) r.header (List.length r.blocks)
+    (List.length r.closure_blocks)
+    r.weight r.distinct_lines r.max_set_pressure r.min_ways
+    (if r.fits then "" else " (does not fit)")

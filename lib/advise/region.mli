@@ -1,0 +1,77 @@
+(** Interprocedural loop-nest regions with static way-pressure bounds.
+
+    The advisor decomposes the program into {e regions}: one per
+    natural loop of every function plus one whole-function body region,
+    so every block has an innermost region and a schedule derived from
+    regions is total over any trace.  Each region carries its
+    {e closure} — the blocks of every function it can transitively call
+    — because a loop that calls out still holds those callee lines in
+    its steady-state working set; bounding pressure over the closure is
+    what makes the static bound conservative against any concrete
+    execution (see {!Oracle.check_bounds}).
+
+    Pressure is measured on a concrete layout: the distinct cache lines
+    the closure occupies, bucketed by set index.  [min_ways] — the
+    busiest set's line count clamped to the associativity — is the
+    dominant-block-guided minimal cache allocation in the sense of
+    Patel & Rajawat's optimal cache size estimation. *)
+
+type kind =
+  | Body  (** whole-function region (loop depth 0) *)
+  | Loop of int  (** natural loop; payload = nesting depth, 1 = outermost *)
+
+type t = {
+  id : int;  (** dense index into {!analysis.regions} *)
+  func : int;  (** owning function id *)
+  header : Wp_cfg.Basic_block.id;
+      (** loop header, or the function entry for a [Body] region *)
+  kind : kind;
+  blocks : Wp_cfg.Basic_block.id list;  (** own (intra) blocks, sorted *)
+  closure_blocks : Wp_cfg.Basic_block.id list;
+      (** own blocks plus every block of transitively called functions;
+          sorted *)
+  dominant : Wp_cfg.Basic_block.id;
+      (** hottest own block by profile count (ties: lowest id) *)
+  weight : int;  (** sum of [exec count * static size] over own blocks *)
+  distinct_lines : int;  (** cache lines the closure occupies *)
+  max_set_pressure : int;  (** closure lines in the busiest set *)
+  min_ways : int;
+      (** [max_set_pressure] clamped to [\[1, assoc\]]: the smallest
+          way allocation under which the region's steady state cannot
+          thrash *)
+  fits : bool;  (** [max_set_pressure <= assoc] *)
+}
+
+type analysis
+
+val analyze :
+  graph:Wp_cfg.Icfg.t ->
+  profile:Wp_cfg.Profile.t ->
+  layout:Wp_layout.Binary_layout.t ->
+  geometry:Wp_cache.Geometry.t ->
+  unit ->
+  analysis
+(** @raise Invalid_argument if the profile's block count disagrees with
+    the graph. *)
+
+val regions : analysis -> t array
+(** All regions, grouped by function, [Body] region first. *)
+
+val geometry : analysis -> Wp_cache.Geometry.t
+
+val innermost : analysis -> Wp_cfg.Basic_block.id -> t
+(** The innermost region containing a block: its smallest enclosing
+    natural loop, else its function's [Body] region.
+    @raise Invalid_argument on an unknown block id. *)
+
+val regions_of_block : analysis -> Wp_cfg.Basic_block.id -> int list
+(** Ids of every region whose {e closure} contains the block. *)
+
+val static_min_ways : analysis -> int
+(** The global static minimal-ways bound: the maximum [min_ways] over
+    all regions with nonzero profile weight (all regions when the
+    profile is empty) — the smallest way-placement allocation the
+    static analysis certifies for the whole run. *)
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit

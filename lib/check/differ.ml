@@ -625,6 +625,43 @@ let check_soundness ~where ~geometry ~program ~layout ~trace =
       ]
   | r -> List.map (fun v -> where ^ ": " ^ v) r.Wp_lint.Soundness.violations
 
+(* The PR 8 kernel is one fixed image; its reserved-area contract and
+   the user layout's disjointness from it are checked once per process
+   and reused across seeds. *)
+let kernel_lazy = lazy (Wp_mp.Kernel.prepare ~page_bytes:1024)
+
+let check_reserved ~where graph user_layout =
+  match Lazy.force kernel_lazy with
+  | exception exn ->
+      [
+        Printf.sprintf "%s: kernel prepare raised: %s" where
+          (Printexc.to_string exn);
+      ]
+  | kernel ->
+      let findings =
+        Wp_lint.Contract.check_reserved kernel.Wp_mp.Kernel.program.Wp_workloads.Codegen.graph
+          kernel.Wp_mp.Kernel.layout ~kernel_base:Wp_mp.Kernel.base
+          ~kernel_area_bytes:kernel.Wp_mp.Kernel.area_bytes ~role:`Kernel
+        @ Wp_lint.Contract.check_reserved graph user_layout
+            ~kernel_base:Wp_mp.Kernel.base
+            ~kernel_area_bytes:kernel.Wp_mp.Kernel.area_bytes ~role:`User
+      in
+      List.map
+        (fun f ->
+          Printf.sprintf "%s: %s" where
+            (Format.asprintf "%a" Wp_lint.Finding.pp f))
+        findings
+
+(* The static placement advisor's laws (region bounds, PL001
+   reproduction, schedule inside the energy envelope) on the placed
+   layout.  Failure strings name the offending region so shrunk differ
+   reports stay actionable. *)
+let check_advise ~where ~geometry ~page_bytes ~area_bytes prepared =
+  Wp_advise.Laws.check ~where ~geometry ~page_bytes ~area_bytes
+    ~program:prepared.Runner.program ~profile:prepared.Runner.profile_small
+    ~trace:prepared.Runner.trace_large ~layout:prepared.Runner.placed_layout
+    ()
+
 (* ------------------------------------------------------------------ *)
 
 let check_spec ?(geometries = default_geometries) spec =
@@ -722,6 +759,12 @@ let check_spec ?(geometries = default_geometries) spec =
                         area_bytes = 2048;
                         code_base = Wp_sim.Simulator.code_base;
                       }
+                  @ check_reserved
+                      ~where:(Printf.sprintf "reserved placed @ %s" gname)
+                      graph prepared.Runner.placed_layout
+                  @ check_advise
+                      ~where:(Printf.sprintf "advise placed @ %s" gname)
+                      ~geometry ~page_bytes:1024 ~area_bytes:2048 prepared
                 else []))
            geometries)
 

@@ -35,6 +35,7 @@ module Obs = Wp_obs
 module Mp = Wp_mp
 module Check = Wp_check
 module Lint = Wp_lint
+module Advise = Wp_advise
 module Serve = Wp_serve
 module Area = Area
 module Serial = Serial

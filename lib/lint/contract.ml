@@ -100,3 +100,44 @@ let check graph layout { geometry; page_bytes; area_bytes; code_base } =
       | _ -> ())
     slots;
   List.stable_sort Finding.compare !findings
+
+(* The PR 8 multiprogramming kernel owns [kernel_base, kernel_base +
+   kernel_area_bytes): user code inside it would be torn by the kernel's
+   reserved placement-area mapping, and kernel code outside it escapes
+   the area its pass placed it for. *)
+let check_reserved graph layout ~kernel_base ~kernel_area_bytes ~role =
+  if kernel_area_bytes <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Contract.check_reserved: reserved area of %d B is not positive"
+         kernel_area_bytes);
+  let reserved_end = kernel_base + kernel_area_bytes in
+  let findings = ref [] in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let start = Layout.block_start layout b.id in
+      let stop = start + Basic_block.size_bytes b in
+      let overlaps = start < reserved_end && stop > kernel_base in
+      match role with
+      | `User ->
+          if overlaps then
+            findings :=
+              Finding.v ~code:"CT008" ~block:b.id ~addr:start
+                (Format.asprintf
+                   "user block %d [%a, %a) overlaps the reserved kernel area \
+                    [%a, %a)"
+                   b.id Addr.pp start Addr.pp stop Addr.pp kernel_base Addr.pp
+                   reserved_end)
+              :: !findings
+      | `Kernel ->
+          if not (start >= kernel_base && stop <= reserved_end) then
+            findings :=
+              Finding.v ~code:"CT009" ~block:b.id ~addr:start
+                (Format.asprintf
+                   "kernel block %d [%a, %a) escapes the reserved kernel \
+                    area [%a, %a)"
+                   b.id Addr.pp start Addr.pp stop Addr.pp kernel_base Addr.pp
+                   reserved_end)
+              :: !findings)
+    (Icfg.blocks graph);
+  List.stable_sort Finding.compare !findings

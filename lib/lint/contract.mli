@@ -19,3 +19,17 @@ type params = {
 val check :
   Wp_cfg.Icfg.t -> Wp_layout.Binary_layout.t -> params -> Finding.t list
 (** Findings sorted most severe first. *)
+
+val check_reserved :
+  Wp_cfg.Icfg.t ->
+  Wp_layout.Binary_layout.t ->
+  kernel_base:Wp_isa.Addr.t ->
+  kernel_area_bytes:int ->
+  role:[ `User | `Kernel ] ->
+  Finding.t list
+(** The multiprogramming kernel's reserved placement area: with
+    [role:`User], every block overlapping
+    [\[kernel_base, kernel_base + kernel_area_bytes)] is flagged
+    [CT008]; with [role:`Kernel], every block escaping it is flagged
+    [CT009].  Findings sorted most severe first.
+    @raise Invalid_argument if [kernel_area_bytes] is not positive. *)

@@ -39,6 +39,11 @@ let registry =
     ("CT005", Warning, "two area lines compete for the same (set, designated way) slot");
     ("CT006", Error, "layout base disagrees with the machine's code base");
     ("CT007", Error, "page size/base invalid: per-page WP TLB bit ill-defined");
+    ("CT008", Error, "user block placed inside the reserved kernel area");
+    ("CT009", Error, "kernel block placed outside the reserved kernel area");
+    ("PL001", Warning, "avoidable slot conflict witnessed in a fitting region");
+    ("PL002", Info, "placed way span exceeds a hot region's static pressure");
+    ("PL003", Info, "placement area exceeds the static minimal-ways bound");
   ]
 
 let describe code =
@@ -86,6 +91,12 @@ let exit_code ?(strict = false) fs =
   | Some Error -> 3
   | Some Warning when strict -> 2
   | _ -> 0
+
+(* A failed report write must not mask a worse severity code: exit 3
+   beats exit 1 even when the --json/--csv file could not be written. *)
+let cli_exit_code ?strict ~write_failed fs =
+  let severity = exit_code ?strict fs in
+  if write_failed then max severity 1 else severity
 
 let pp ppf f =
   let loc =

@@ -42,6 +42,11 @@ val exit_code : ?strict:bool -> t list -> int
     [strict] (default false) and a warning is present, else [0].
     Info findings never affect the exit code. *)
 
+val cli_exit_code : ?strict:bool -> write_failed:bool -> t list -> int
+(** {!exit_code} combined with a report-write outcome: a failed
+    [--json]/[--csv] write exits at least [1] but never masks a worse
+    severity code (a write failure on top of errors still exits [3]). *)
+
 val registry : (string * severity * string) list
 (** Every finding code with its severity and one-line description —
     the single source of truth for README's code table. *)

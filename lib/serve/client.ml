@@ -130,3 +130,10 @@ let mp t mr =
   | Ok (P.Error_reply msg) -> Error msg
   | Ok _ -> Error "unexpected reply to mp"
   | Error _ as e -> e
+
+let advise t ar =
+  match rpc t (P.Advise ar) with
+  | Ok (P.Advise_reply r) -> Ok r
+  | Ok (P.Error_reply msg) -> Error msg
+  | Ok _ -> Error "unexpected reply to advise"
+  | Error _ as e -> e

@@ -44,3 +44,7 @@ val sim : t -> Protocol.sim_request -> (Protocol.sim_result, string) result
 
 val mp : t -> Protocol.mp_request -> (Protocol.mp_result, string) result
 (** One multiprogrammed run, synchronously. *)
+
+val advise :
+  t -> Protocol.advise_request -> (Protocol.advise_result, string) result
+(** One static-advisor run, synchronously. *)

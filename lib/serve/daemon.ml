@@ -84,6 +84,12 @@ type t = {
       (** key -> (switches, kernel_runs): machine-level facts the store
           does not persist.  In-memory only — a disk hit after a
           restart reports them as [-1]. *)
+  advise_lock : Mutex.t;
+  advise_cache : (string, P.advise_result) Hashtbl.t;
+      (** advisor summaries are not [Stats.t], so they bypass the store
+          and live in this in-memory cache; one lock covers both the
+          cache and the advise in-flight table *)
+  advise_inflight : (string, (P.advise_result, string) result Future.t) Hashtbl.t;
   stop_pipe_r : Unix.file_descr;
   stop_pipe_w : Unix.file_descr;
   state_lock : Mutex.t;
@@ -154,6 +160,9 @@ let create ?workers ?store_dir ~endpoint () =
           inflight = Hashtbl.create 64;
           mp_meta_lock = Mutex.create ();
           mp_meta = Hashtbl.create 16;
+          advise_lock = Mutex.create ();
+          advise_cache = Hashtbl.create 16;
+          advise_inflight = Hashtbl.create 16;
           stop_pipe_r;
           stop_pipe_w;
           state_lock = Mutex.create ();
@@ -183,6 +192,9 @@ let inflight_count t =
   Mutex.lock t.inflight_lock;
   let n = Hashtbl.length t.inflight in
   Mutex.unlock t.inflight_lock;
+  Mutex.lock t.advise_lock;
+  let n = n + Hashtbl.length t.advise_inflight in
+  Mutex.unlock t.advise_lock;
   n
 
 let server_stats t =
@@ -553,6 +565,128 @@ let handle_mp t conn id (mr : P.mp_request) =
                         submit_mp t ~mix ~config ~options ~key
                           ~verify:mr.P.mp_verify ~registered:true fut))))
 
+(* --- advisor requests ------------------------------------------------ *)
+
+(* Content address of an advisor run: benchmark and the full geometry /
+   area / page tuple the analysis depends on.  "advise-" keeps the
+   namespace disjoint from sim and mp keys; the summary cache and
+   in-flight table are advise-private (the store persists only
+   [Stats.t]). *)
+let advise_key (ar : P.advise_request) =
+  "advise-"
+  ^ Digest.to_hex
+      (Digest.string
+         (Marshal.to_string
+            ( ar.P.ad_benchmark,
+              ar.P.ad_size_kb,
+              ar.P.ad_ways,
+              ar.P.ad_line_bytes,
+              ar.P.ad_area_kb,
+              ar.P.ad_page_bytes )
+            []))
+
+let run_advise_computation t ~prep ~(ar : P.advise_request) ~geometry ~key
+    ~registered fut =
+  let outcome =
+    match
+      Wp_advise.Advisor.analyze ~benchmark:ar.P.ad_benchmark
+        ~graph:prep.Runner.program.Wp_workloads.Codegen.graph
+        ~profile:prep.Runner.profile_small ~trace:prep.Runner.trace_large
+        ~layout:prep.Runner.placed_layout ~geometry
+        ~page_bytes:ar.P.ad_page_bytes
+        ~area_bytes:(ar.P.ad_area_kb * 1024)
+        ~energy:
+          (Wp_sim.Config.xscale Wp_sim.Config.Baseline).Wp_sim.Config.energy
+        ()
+    with
+    | report ->
+        Atomic.incr t.computations;
+        let result = P.advise_result_of_report ~key ~source:P.Computed report in
+        (* publish before deregistering (same invariant as the store):
+           a request missing the in-flight table afterwards must hit
+           the cache *)
+        Mutex.lock t.advise_lock;
+        Hashtbl.replace t.advise_cache key result;
+        if registered then Hashtbl.remove t.advise_inflight key;
+        Mutex.unlock t.advise_lock;
+        Ok result
+    | exception exn ->
+        if registered then begin
+          Mutex.lock t.advise_lock;
+          Hashtbl.remove t.advise_inflight key;
+          Mutex.unlock t.advise_lock
+        end;
+        Error (Printf.sprintf "computation failed: %s" (Printexc.to_string exn))
+  in
+  Future.fulfill fut outcome
+
+let submit_advise t ~prep ~ar ~geometry ~key ~registered fut =
+  let task () =
+    run_advise_computation t ~prep ~ar ~geometry ~key ~registered fut
+  in
+  if not (Pool.Executor.submit t.exec task) then task ()
+
+let complete_advise t conn id ~source outcome =
+  match outcome with
+  | Ok r ->
+      complete conn
+        { P.id; reply = P.Advise_reply { r with P.adr_source = source } }
+  | Error msg -> complete_error t conn id msg
+
+let handle_advise t conn id (ar : P.advise_request) =
+  Atomic.incr t.sim_requests;
+  match
+    Wp_cache.Geometry.make
+      ~size_bytes:(ar.P.ad_size_kb * 1024)
+      ~assoc:ar.P.ad_ways ~line_bytes:ar.P.ad_line_bytes
+  with
+  | exception Invalid_argument msg -> reply_error t conn id msg
+  | geometry -> (
+      match Wp_sim.Sweep.prepared t.engine ar.P.ad_benchmark with
+      | exception Not_found ->
+          reply_error t conn id
+            (Printf.sprintf "unknown benchmark %S" ar.P.ad_benchmark)
+      | exception exn ->
+          reply_error t conn id
+            (Printf.sprintf "prepare failed: %s" (Printexc.to_string exn))
+      | prep ->
+          let key = advise_key ar in
+          if ar.P.ad_no_cache then begin
+            let fut = Future.create () in
+            dispatch conn;
+            Future.on_ready fut (complete_advise t conn id ~source:P.Computed);
+            submit_advise t ~prep ~ar ~geometry ~key ~registered:false fut
+          end
+          else begin
+            Mutex.lock t.advise_lock;
+            match Hashtbl.find_opt t.advise_cache key with
+            | Some r ->
+                Mutex.unlock t.advise_lock;
+                Atomic.incr t.hits_memory;
+                reply conn
+                  {
+                    P.id;
+                    reply = P.Advise_reply { r with P.adr_source = P.Memory };
+                  }
+            | None -> (
+                match Hashtbl.find_opt t.advise_inflight key with
+                | Some fut ->
+                    Mutex.unlock t.advise_lock;
+                    Atomic.incr t.coalesced_count;
+                    dispatch conn;
+                    Future.on_ready fut
+                      (complete_advise t conn id ~source:P.Coalesced)
+                | None ->
+                    let fut = Future.create () in
+                    Hashtbl.replace t.advise_inflight key fut;
+                    Mutex.unlock t.advise_lock;
+                    dispatch conn;
+                    Future.on_ready fut
+                      (complete_advise t conn id ~source:P.Computed);
+                    submit_advise t ~prep ~ar ~geometry ~key ~registered:true
+                      fut)
+          end)
+
 let handle_line t conn line =
   Atomic.incr t.requests;
   match P.request_of_line line with
@@ -566,7 +700,8 @@ let handle_line t conn line =
           reply conn { P.id; reply = P.Shutting_down };
           stop t
       | P.Sim sr -> handle_sim t conn id sr
-      | P.Mp mr -> handle_mp t conn id mr)
+      | P.Mp mr -> handle_mp t conn id mr
+      | P.Advise ar -> handle_advise t conn id ar)
 
 (* --- connection threads --------------------------------------------- *)
 

@@ -80,6 +80,9 @@ let drive spec next_index tally client =
     | P.Mp_reply r ->
         tally.w_ok <- tally.w_ok + 1;
         count_source r.P.mpr_source
+    | P.Advise_reply r ->
+        tally.w_ok <- tally.w_ok + 1;
+        count_source r.P.adr_source
     | P.Error_reply _ -> tally.w_errored <- tally.w_errored + 1
     | P.Pong | P.Stats_reply _ | P.Shutting_down -> tally.w_ok <- tally.w_ok + 1
   in

@@ -85,12 +85,38 @@ let mp_request ?(coverage = "mix") ?(quantum = 50_000) ?(kernel = true)
     mp_verify = verify;
   }
 
+(* A static-advisor run: pure analysis (no simulation), so the result
+   is a compact summary the daemon memoises in memory, keyed like [mp]
+   on the fully resolved inputs. *)
+type advise_request = {
+  ad_benchmark : string;
+  ad_size_kb : int;
+  ad_ways : int;
+  ad_line_bytes : int;
+  ad_area_kb : int;
+  ad_page_bytes : int;
+  ad_no_cache : bool;
+}
+
+let advise_request ?(size_kb = 32) ?(ways = 32) ?(line_bytes = 32)
+    ?(area_kb = 16) ?(page_bytes = 1024) ?(no_cache = false) ~benchmark () =
+  {
+    ad_benchmark = benchmark;
+    ad_size_kb = size_kb;
+    ad_ways = ways;
+    ad_line_bytes = line_bytes;
+    ad_area_kb = area_kb;
+    ad_page_bytes = page_bytes;
+    ad_no_cache = no_cache;
+  }
+
 type payload =
   | Ping
   | Server_stats
   | Shutdown
   | Sim of sim_request
   | Mp of mp_request
+  | Advise of advise_request
 
 type request = { id : int; payload : payload }
 
@@ -196,6 +222,57 @@ let mp_result_of_stats ~key ~source ~processes ~switches ~kernel_runs
     mpr_total_energy_pj = Stats.total_energy_pj stats;
   }
 
+(* The advisor report boiled down to the numbers a remote caller keys
+   decisions on; the digest is the MD5 of the full marshalled report,
+   so a client can assert the daemon's analysis is bit-identical to a
+   locally computed one. *)
+type advise_result = {
+  adr_key : string;
+  adr_source : source;
+  adr_digest : string;
+  adr_static_min_ways : int;
+  adr_min_area_bytes : int;
+  adr_regions : int;
+  adr_findings : int;
+  adr_errors : int;
+  adr_warnings : int;
+  adr_schedule_points : int;
+  adr_conflict_misses : int;
+  adr_env_lo_pj : float;
+  adr_env_hi_pj : float;
+  adr_predicted_delta_pj : float;
+}
+
+let advise_result_of_report ~key ~source (r : Wp_advise.Advisor.t) =
+  {
+    adr_key = key;
+    adr_source = source;
+    adr_digest = Digest.to_hex (Digest.string (Marshal.to_string r []));
+    adr_static_min_ways = r.Wp_advise.Advisor.static_min_ways;
+    adr_min_area_bytes =
+      Wp_advise.Oracle.area_for ~geometry:r.Wp_advise.Advisor.geometry
+        ~page_bytes:r.Wp_advise.Advisor.page_bytes
+        ~ways:r.Wp_advise.Advisor.static_min_ways;
+    adr_regions = List.length r.Wp_advise.Advisor.regions;
+    adr_findings = List.length r.Wp_advise.Advisor.findings;
+    adr_errors =
+      List.length (Wp_lint.Finding.errors r.Wp_advise.Advisor.findings);
+    adr_warnings =
+      List.length (Wp_lint.Finding.warnings r.Wp_advise.Advisor.findings);
+    adr_schedule_points = List.length r.Wp_advise.Advisor.schedule;
+    adr_conflict_misses =
+      r.Wp_advise.Advisor.replay.Wp_advise.Oracle.area_misses
+      - r.Wp_advise.Advisor.replay.Wp_advise.Oracle.area_distinct_lines;
+    adr_env_lo_pj =
+      r.Wp_advise.Advisor.envelope.Wp_advise.Oracle.env_lo_pj;
+    adr_env_hi_pj =
+      r.Wp_advise.Advisor.envelope.Wp_advise.Oracle.env_hi_pj;
+    adr_predicted_delta_pj =
+      (match r.Wp_advise.Advisor.improvement with
+      | None -> 0.0
+      | Some i -> i.Wp_advise.Advisor.predicted_delta_pj);
+  }
+
 type server_stats = {
   requests : int;
   sim_requests : int;
@@ -216,6 +293,7 @@ type reply =
   | Shutting_down
   | Sim_reply of sim_result
   | Mp_reply of mp_result
+  | Advise_reply of advise_result
   | Error_reply of string
 
 type response = { id : int; reply : reply }
@@ -306,6 +384,19 @@ let request_to_json { id; payload } =
             ("no_cache", Report.Jbool mr.mp_no_cache);
             ("verify", Report.Jbool mr.mp_verify);
           ])
+  | Advise ar ->
+      Report.Jobj
+        (base
+        @ [
+            ("op", Report.Jstring "advise");
+            ("benchmark", Report.Jstring ar.ad_benchmark);
+            ("size_kb", Report.Jint ar.ad_size_kb);
+            ("ways", Report.Jint ar.ad_ways);
+            ("line_bytes", Report.Jint ar.ad_line_bytes);
+            ("area_kb", Report.Jint ar.ad_area_kb);
+            ("page_bytes", Report.Jint ar.ad_page_bytes);
+            ("no_cache", Report.Jbool ar.ad_no_cache);
+          ])
 
 let scheme_of_json j =
   let* scheme_name = field "scheme" Report.to_string j in
@@ -366,6 +457,27 @@ let mp_of_json j =
       mp_verify;
     }
 
+let advise_of_json j =
+  let* ad_benchmark = field "benchmark" Report.to_string j in
+  let* ad_size_kb = field_default "size_kb" Report.to_int ~default:32 j in
+  let* ad_ways = field_default "ways" Report.to_int ~default:32 j in
+  let* ad_line_bytes = field_default "line_bytes" Report.to_int ~default:32 j in
+  let* ad_area_kb = field_default "area_kb" Report.to_int ~default:16 j in
+  let* ad_page_bytes =
+    field_default "page_bytes" Report.to_int ~default:1024 j
+  in
+  let* ad_no_cache = field_default "no_cache" Report.to_bool ~default:false j in
+  Ok
+    {
+      ad_benchmark;
+      ad_size_kb;
+      ad_ways;
+      ad_line_bytes;
+      ad_area_kb;
+      ad_page_bytes;
+      ad_no_cache;
+    }
+
 let request_of_json j =
   match j with
   | Report.Jobj _ ->
@@ -382,6 +494,9 @@ let request_of_json j =
         | "mp" ->
             let* mr = mp_of_json j in
             Ok (Mp mr)
+        | "advise" ->
+            let* ar = advise_of_json j in
+            Ok (Advise ar)
         | other -> Error (Printf.sprintf "unknown op %S" other)
       in
       Ok { id; payload }
@@ -522,6 +637,63 @@ let mp_result_of_json j =
       mpr_total_energy_pj;
     }
 
+let advise_result_to_json r =
+  Report.Jobj
+    [
+      ("key", Report.Jstring r.adr_key);
+      ("source", Report.Jstring (source_name r.adr_source));
+      ("digest", Report.Jstring r.adr_digest);
+      ("static_min_ways", Report.Jint r.adr_static_min_ways);
+      ("min_area_bytes", Report.Jint r.adr_min_area_bytes);
+      ("regions", Report.Jint r.adr_regions);
+      ("findings", Report.Jint r.adr_findings);
+      ("errors", Report.Jint r.adr_errors);
+      ("warnings", Report.Jint r.adr_warnings);
+      ("schedule_points", Report.Jint r.adr_schedule_points);
+      ("conflict_misses", Report.Jint r.adr_conflict_misses);
+      ("env_lo_pj", Report.Jfloat r.adr_env_lo_pj);
+      ("env_hi_pj", Report.Jfloat r.adr_env_hi_pj);
+      ("predicted_delta_pj", Report.Jfloat r.adr_predicted_delta_pj);
+    ]
+
+let advise_result_of_json j =
+  let* adr_key = field "key" Report.to_string j in
+  let* source_s = field "source" Report.to_string j in
+  let* adr_source =
+    match source_of_name source_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown source %S" source_s)
+  in
+  let* adr_digest = field "digest" Report.to_string j in
+  let* adr_static_min_ways = field "static_min_ways" Report.to_int j in
+  let* adr_min_area_bytes = field "min_area_bytes" Report.to_int j in
+  let* adr_regions = field "regions" Report.to_int j in
+  let* adr_findings = field "findings" Report.to_int j in
+  let* adr_errors = field "errors" Report.to_int j in
+  let* adr_warnings = field "warnings" Report.to_int j in
+  let* adr_schedule_points = field "schedule_points" Report.to_int j in
+  let* adr_conflict_misses = field "conflict_misses" Report.to_int j in
+  let* adr_env_lo_pj = field "env_lo_pj" Report.to_float j in
+  let* adr_env_hi_pj = field "env_hi_pj" Report.to_float j in
+  let* adr_predicted_delta_pj = field "predicted_delta_pj" Report.to_float j in
+  Ok
+    {
+      adr_key;
+      adr_source;
+      adr_digest;
+      adr_static_min_ways;
+      adr_min_area_bytes;
+      adr_regions;
+      adr_findings;
+      adr_errors;
+      adr_warnings;
+      adr_schedule_points;
+      adr_conflict_misses;
+      adr_env_lo_pj;
+      adr_env_hi_pj;
+      adr_predicted_delta_pj;
+    }
+
 let response_to_json { id; reply } =
   let base = [ ("id", Report.Jint id) ] in
   match reply with
@@ -545,6 +717,13 @@ let response_to_json { id; reply } =
         @ [
             ("reply", Report.Jstring "mp-result");
             ("result", mp_result_to_json r);
+          ])
+  | Advise_reply r ->
+      Report.Jobj
+        (base
+        @ [
+            ("reply", Report.Jstring "advise-result");
+            ("result", advise_result_to_json r);
           ])
   | Error_reply msg ->
       Report.Jobj
@@ -571,6 +750,10 @@ let response_of_json j =
             let* r = field "result" Option.some j in
             let* r = mp_result_of_json r in
             Ok (Mp_reply r)
+        | "advise-result" ->
+            let* r = field "result" Option.some j in
+            let* r = advise_result_of_json r in
+            Ok (Advise_reply r)
         | "error" ->
             let* msg = field "error" Report.to_string j in
             Ok (Error_reply msg)

@@ -96,12 +96,42 @@ val mp_request :
 (** Defaults: the mix's own coverage, 50k-cycle quantum, kernel on,
     shared BTB and drowsy state, round-robin, the paper geometry. *)
 
+type advise_request = {
+  ad_benchmark : string;  (** MiBench name, {!Wp_workloads.Mibench.find} *)
+  ad_size_kb : int;
+  ad_ways : int;
+  ad_line_bytes : int;
+  ad_area_kb : int;  (** way-placement area the advisor verifies *)
+  ad_page_bytes : int;
+  ad_no_cache : bool;
+      (** bypass the in-memory result cache and coalescing: always
+          re-run the analysis (the result still replaces the cached
+          one) *)
+}
+
+val advise_request :
+  ?size_kb:int ->
+  ?ways:int ->
+  ?line_bytes:int ->
+  ?area_kb:int ->
+  ?page_bytes:int ->
+  ?no_cache:bool ->
+  benchmark:string ->
+  unit ->
+  advise_request
+(** Defaults: the paper geometry, a 16 KB area, 1 KB pages, caching
+    on. *)
+
 type payload =
   | Ping
   | Server_stats  (** counters since startup *)
   | Shutdown  (** begin a graceful stop: drain, then exit *)
   | Sim of sim_request
   | Mp of mp_request
+  | Advise of advise_request
+      (** run the static placement advisor
+          ({!Wp_advise.Advisor.analyze}) — pure analysis, no
+          simulation *)
 
 type request = { id : int; payload : payload }
 (** [id] is echoed verbatim in the response — requests may be
@@ -168,6 +198,33 @@ val mp_result_of_stats :
   Wp_sim.Stats.t ->
   mp_result
 
+type advise_result = {
+  adr_key : string;
+      (** content address of the (benchmark, geometry, area, page)
+          inputs, ["advise-"]-prefixed *)
+  adr_source : source;
+  adr_digest : string;
+      (** MD5 hex of the full marshalled {!Wp_advise.Advisor.t}, so a
+          client can assert bit-identity against a locally computed
+          report *)
+  adr_static_min_ways : int;
+  adr_min_area_bytes : int;
+      (** {!Wp_advise.Oracle.area_for} the static bound *)
+  adr_regions : int;
+  adr_findings : int;
+  adr_errors : int;
+  adr_warnings : int;
+  adr_schedule_points : int;
+  adr_conflict_misses : int;  (** witnessed by the designated-way replay *)
+  adr_env_lo_pj : float;
+  adr_env_hi_pj : float;
+  adr_predicted_delta_pj : float;
+      (** [0.0] when the greedy search found no better order *)
+}
+
+val advise_result_of_report :
+  key:string -> source:source -> Wp_advise.Advisor.t -> advise_result
+
 type server_stats = {
   requests : int;  (** lines accepted (including malformed ones) *)
   sim_requests : int;
@@ -188,6 +245,7 @@ type reply =
   | Shutting_down
   | Sim_reply of sim_result
   | Mp_reply of mp_result
+  | Advise_reply of advise_result
   | Error_reply of string
       (** per-request failure: malformed request, unknown benchmark,
           invalid configuration, or a crashed computation — the

@@ -1,0 +1,496 @@
+(* Tests for the static placement advisor: interprocedural regions and
+   way-pressure bounds, the offline minimal-ways schedule, the energy
+   envelope, the designated-way conflict replay behind PL001, report
+   serialisation round-trips, and the corpus laws on a real workload. *)
+
+module Isa = Wayplace.Isa
+module Icfg = Wayplace.Cfg.Icfg
+module Edge = Wayplace.Cfg.Edge
+module Profile = Wayplace.Cfg.Profile
+module Binary_layout = Wayplace.Layout.Binary_layout
+module Geometry = Wayplace.Cache.Geometry
+module Config = Wayplace.Sim.Config
+module Simulator = Wayplace.Sim.Simulator
+module Stats = Wayplace.Sim.Stats
+module Runner = Wayplace.Sim.Runner
+module Report = Wayplace.Sim.Report
+module Spec = Wayplace.Workloads.Spec
+module Codegen = Wayplace.Workloads.Codegen
+module Tracer = Wayplace.Workloads.Tracer
+module Mibench = Wayplace.Workloads.Mibench
+module Finding = Wayplace.Lint.Finding
+module Region = Wayplace.Advise.Region
+module Oracle = Wayplace.Advise.Oracle
+module Advisor = Wayplace.Advise.Advisor
+module Laws = Wayplace.Advise.Laws
+
+let alu = Isa.Instr.alu Isa.Opcode.Add
+let branch = Isa.Instr.branch
+let call = Isa.Instr.call
+let ret = Isa.Instr.return
+
+let dummy_spec name : Spec.t =
+  {
+    name;
+    seed = 1;
+    num_funcs = 1;
+    blocks_per_func_min = 1;
+    blocks_per_func_max = 8;
+    instrs_per_block_min = 1;
+    instrs_per_block_max = 8;
+    max_loop_depth = 1;
+    avg_loop_trips = 4;
+    hot_func_fraction = 1.0;
+    hot_call_bias = 0.5;
+    if_taken_bias = 0.5;
+    mem_ratio = 0.0;
+    mac_ratio = 0.0;
+    data_working_set_bytes = 1024;
+    trace_blocks_large = 100;
+    trace_blocks_small = 50;
+  }
+
+let program_of name graph : Codegen.t =
+  {
+    spec = dummy_spec name;
+    graph;
+    taken_prob = Array.make (Icfg.num_blocks graph) 0.5;
+    hot_funcs = Array.make (Icfg.num_funcs graph) true;
+  }
+
+(* --- the looped kernel: one function, one natural loop, one exit.
+
+     a (4 alu) -ft-> b (4 alu) -ft-> d (4 alu) -ft-> e (3 alu, branch)
+     e -taken-> a, e -ft-> f (ret)
+
+   Each block is one 16 B line in the original layout. *)
+
+let looped_kernel () =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let a = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let b = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let d = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let e = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; branch |] in
+  let f = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge bld ~src:a ~dst:b Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:b ~dst:d Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:d ~dst:e Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:e ~dst:a Edge.Taken;
+  Icfg.Builder.add_edge bld ~src:e ~dst:f Edge.Fallthrough;
+  let graph = Icfg.Builder.finish bld in
+  (graph, Wayplace.original_layout graph, (a, b, d, e, f))
+
+let looped_trace (a, b, d, e, f) : Tracer.trace =
+  {
+    blocks = [| a; b; d; e; a; b; d; e; f; a; b; d; e; f |];
+    dynamic_instrs = 50;
+    restarts = 1;
+  }
+
+let looped_profile graph (a, b, d, e, f) =
+  let p = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  List.iter (fun id -> Profile.record_block_n p id 3) [ a; b; d; e ];
+  Profile.record_block_n p f 2;
+  p
+
+(* 128 B / 4-way / 16 B: two sets, a 32 B way span. *)
+let four_way = Geometry.make ~size_bytes:128 ~assoc:4 ~line_bytes:16
+
+(* --- regions --------------------------------------------------------- *)
+
+let test_region_body_and_loop () =
+  let graph, layout, ((a, b, _, _, f) as ids) = looped_kernel () in
+  let profile = looped_profile graph ids in
+  let analysis = Region.analyze ~graph ~profile ~layout ~geometry:four_way () in
+  let regions = Region.regions analysis in
+  Alcotest.(check int) "body + one loop" 2 (Array.length regions);
+  let body = regions.(0) and loop = regions.(1) in
+  Alcotest.(check string) "body kind" "body" (Region.kind_name body.Region.kind);
+  Alcotest.(check string) "loop kind" "loop(depth 1)"
+    (Region.kind_name loop.Region.kind);
+  Alcotest.(check int) "loop header" a loop.Region.header;
+  Alcotest.(check int) "loop owns four blocks" 4
+    (List.length loop.Region.blocks);
+  (* five 16 B lines over two sets: 3 in set 0, 2 in set 1 *)
+  Alcotest.(check int) "body lines" 5 body.Region.distinct_lines;
+  Alcotest.(check int) "body pressure" 3 body.Region.max_set_pressure;
+  Alcotest.(check int) "body min ways" 3 body.Region.min_ways;
+  Alcotest.(check bool) "body fits" true body.Region.fits;
+  Alcotest.(check int) "loop lines" 4 loop.Region.distinct_lines;
+  Alcotest.(check int) "loop pressure" 2 loop.Region.max_set_pressure;
+  Alcotest.(check int) "loop min ways" 2 loop.Region.min_ways;
+  (* innermost: loop blocks map to the loop, the exit to the body *)
+  Alcotest.(check int) "b is innermost in the loop" loop.Region.id
+    (Region.innermost analysis b).Region.id;
+  Alcotest.(check int) "f is innermost in the body" body.Region.id
+    (Region.innermost analysis f).Region.id;
+  (* both min_ways are weighted, so the global bound is the body's *)
+  Alcotest.(check int) "static bound" 3 (Region.static_min_ways analysis)
+
+let test_region_interprocedural_closure () =
+  (* main's loop calls a callee: the loop's closure (and pressure) must
+     include the callee's lines. *)
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let f1 = Icfg.Builder.add_func bld ~name:"callee" in
+  let h = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; call |] in
+  let t = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; branch |] in
+  let x = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  let c0 = Icfg.Builder.add_block bld ~func:f1 [| alu; alu; alu; alu |] in
+  let c1 = Icfg.Builder.add_block bld ~func:f1 [| alu; alu; alu; ret |] in
+  Icfg.Builder.add_edge bld ~src:h ~dst:c0 Edge.Call_to;
+  Icfg.Builder.add_edge bld ~src:h ~dst:t Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:t ~dst:h Edge.Taken;
+  Icfg.Builder.add_edge bld ~src:t ~dst:x Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:c0 ~dst:c1 Edge.Fallthrough;
+  let graph = Icfg.Builder.finish bld in
+  let layout = Wayplace.original_layout graph in
+  let profile = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  List.iter (fun id -> Profile.record_block_n profile id 5) [ h; t; c0; c1 ];
+  let analysis = Region.analyze ~graph ~profile ~layout ~geometry:four_way () in
+  let loop =
+    match
+      List.find_opt
+        (fun (r : Region.t) -> r.Region.kind <> Region.Body)
+        (Array.to_list (Region.regions analysis))
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no loop region"
+  in
+  Alcotest.(check (list int)) "loop owns only main's loop blocks" [ h; t ]
+    loop.Region.blocks;
+  Alcotest.(check bool) "closure pulls in the callee" true
+    (List.mem c0 loop.Region.closure_blocks
+    && List.mem c1 loop.Region.closure_blocks);
+  (* closure lines: h, t and — since c0/c1 straddle lines after the
+     4 B exit block — three more, 3 of the 5 landing in set 0 *)
+  Alcotest.(check int) "closure pressure counts callee lines" 3
+    loop.Region.max_set_pressure;
+  (* the callee's Body region closure must NOT leak back into main *)
+  let callee_body =
+    match
+      List.find_opt
+        (fun (r : Region.t) ->
+          r.Region.kind = Region.Body && r.Region.func = f1)
+        (Array.to_list (Region.regions analysis))
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no callee body region"
+  in
+  Alcotest.(check bool) "callee closure excludes main" false
+    (List.mem h callee_body.Region.closure_blocks)
+
+let test_region_profile_mismatch () =
+  let graph, layout, _ = looped_kernel () in
+  let wrong = Profile.create ~num_blocks:2 in
+  match Region.analyze ~graph ~profile:wrong ~layout ~geometry:four_way () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- the oracle ------------------------------------------------------ *)
+
+let test_area_for () =
+  let g = Geometry.make ~size_bytes:(32 * 1024) ~assoc:32 ~line_bytes:32 in
+  (* way span is 1024 B at this geometry *)
+  Alcotest.(check int) "one way, one page" 1024
+    (Oracle.area_for ~geometry:g ~page_bytes:1024 ~ways:1);
+  Alcotest.(check int) "three ways" 3072
+    (Oracle.area_for ~geometry:g ~page_bytes:1024 ~ways:3);
+  Alcotest.(check int) "page rounding dominates" 4096
+    (Oracle.area_for ~geometry:g ~page_bytes:4096 ~ways:1);
+  (match Oracle.area_for ~geometry:g ~page_bytes:1024 ~ways:0 with
+  | _ -> Alcotest.fail "ways 0 must raise"
+  | exception Invalid_argument _ -> ());
+  match Oracle.area_for ~geometry:g ~page_bytes:1000 ~ways:1 with
+  | _ -> Alcotest.fail "non-power-of-two page must raise"
+  | exception Invalid_argument _ -> ()
+
+let check_schedule_shape ~page_bytes schedule =
+  (match schedule with
+  | (0, _) :: _ -> ()
+  | _ -> Alcotest.fail "schedule must start at trace block 0");
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | (i1, a1) :: ((i2, a2) :: _ as rest) ->
+        Alcotest.(check bool) "indices strictly ascend" true (i1 < i2);
+        Alcotest.(check bool) "no consecutive equal areas" true (a1 <> a2);
+        go rest
+  in
+  go schedule;
+  List.iter
+    (fun (_, area) ->
+      Alcotest.(check bool) "area is a positive page multiple" true
+        (area > 0 && area mod page_bytes = 0))
+    schedule
+
+let test_schedule_shape () =
+  let graph, layout, ids = looped_kernel () in
+  let profile = looped_profile graph ids in
+  let analysis = Region.analyze ~graph ~profile ~layout ~geometry:four_way () in
+  let trace = looped_trace ids in
+  let schedule = Oracle.schedule ~min_run:1 ~analysis ~trace ~page_bytes:16 () in
+  check_schedule_shape ~page_bytes:16 schedule;
+  (* hysteresis: a huge min_run collapses everything into one entry,
+     keeping the largest area seen *)
+  let merged = Oracle.schedule ~min_run:1000 ~analysis ~trace ~page_bytes:16 () in
+  (match merged with
+  | [ (0, area) ] ->
+      let max_area =
+        List.fold_left (fun acc (_, a) -> max acc a) 0 schedule
+      in
+      Alcotest.(check int) "merged run keeps the max area" max_area area
+  | _ -> Alcotest.failf "expected one merged entry, got %d" (List.length merged));
+  match Oracle.schedule ~analysis ~trace:{ trace with Tracer.blocks = [||] } ~page_bytes:16 () with
+  | _ -> Alcotest.fail "empty trace must raise"
+  | exception Invalid_argument _ -> ()
+
+let wp_config ~geometry ~page_bytes ~area_bytes =
+  let c =
+    Config.with_icache (Config.xscale (Config.Way_placement { area_bytes })) geometry
+  in
+  { c with Config.page_bytes }
+
+let baseline_energy = (Config.xscale Config.Baseline).Config.energy
+
+let test_envelope_brackets_run () =
+  let graph, layout, ids = looped_kernel () in
+  let program = program_of "looped" graph in
+  let trace = looped_trace ids in
+  let env =
+    Oracle.envelope ~graph ~layout ~trace ~geometry:four_way
+      ~energy:baseline_energy ()
+  in
+  Alcotest.(check int) "fetches are exact" 50 env.Oracle.env_fetches;
+  Alcotest.(check bool) "lo <= hi" true
+    (env.Oracle.env_lo_pj <= env.Oracle.env_hi_pj);
+  let stats =
+    Simulator.run
+      ~config:(wp_config ~geometry:four_way ~page_bytes:16 ~area_bytes:64)
+      ~program ~layout ~trace
+  in
+  let pj = Stats.icache_energy_pj stats in
+  Alcotest.(check bool) "real run inside the envelope" true
+    (pj >= env.Oracle.env_lo_pj -. 1e-6 && pj <= env.Oracle.env_hi_pj +. 1e-6)
+
+let test_check_bounds_clean () =
+  let graph, layout, ids = looped_kernel () in
+  let profile = looped_profile graph ids in
+  let analysis = Region.analyze ~graph ~profile ~layout ~geometry:four_way () in
+  Alcotest.(check (list string)) "bounds hold" []
+    (Oracle.check_bounds ~analysis ~graph ~layout ~trace:(looped_trace ids))
+
+(* --- the conflict kernel: three one-line blocks on a 2-way cache with
+   one set (32 B / 2-way / 16 B).  Designated ways of the lines at
+   base, base+16, base+32 are 0, 1, 0: the first and third block fight
+   over slot (set 0, way 0) on every loop iteration. *)
+
+let conflict_kernel () =
+  let bld = Icfg.Builder.create () in
+  let f0 = Icfg.Builder.add_func bld ~name:"main" in
+  let a = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let b = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; alu |] in
+  let c = Icfg.Builder.add_block bld ~func:f0 [| alu; alu; alu; branch |] in
+  let x = Icfg.Builder.add_block bld ~func:f0 [| ret |] in
+  Icfg.Builder.add_edge bld ~src:a ~dst:b Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:b ~dst:c Edge.Fallthrough;
+  Icfg.Builder.add_edge bld ~src:c ~dst:a Edge.Taken;
+  Icfg.Builder.add_edge bld ~src:c ~dst:x Edge.Fallthrough;
+  let graph = Icfg.Builder.finish bld in
+  (graph, Wayplace.original_layout graph, (a, b, c, x))
+
+let conflict_geometry = Geometry.make ~size_bytes:32 ~assoc:2 ~line_bytes:16
+
+let conflict_trace (a, b, c, x) : Tracer.trace =
+  {
+    blocks = [| a; b; c; a; b; c; a; b; c; x |];
+    dynamic_instrs = 37;
+    restarts = 0;
+  }
+
+let test_replay_area_conflict () =
+  let graph, layout, ids = conflict_kernel () in
+  let replay =
+    Oracle.replay_area ~graph ~layout ~trace:(conflict_trace ids)
+      ~geometry:conflict_geometry ~area_bytes:48 ()
+  in
+  Alcotest.(check int) "three distinct area lines" 3
+    replay.Oracle.area_distinct_lines;
+  Alcotest.(check bool) "conflict misses observed" true
+    (replay.Oracle.area_misses > replay.Oracle.area_distinct_lines);
+  match replay.Oracle.conflicts with
+  | [ cfl ] ->
+      Alcotest.(check int) "the contested slot is (0, 0)" 0 cfl.Oracle.slot_set;
+      Alcotest.(check int) "way 0" 0 cfl.Oracle.slot_way;
+      Alcotest.(check int) "two lines alternate" 2
+        (List.length cfl.Oracle.lines);
+      Alcotest.(check bool) "evictions counted" true (cfl.Oracle.evictions > 0)
+  | cs -> Alcotest.failf "expected one conflicted slot, got %d" (List.length cs)
+
+let conflict_report () =
+  let graph, layout, ((a, b, c, x) as ids) = conflict_kernel () in
+  let profile = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  List.iter (fun id -> Profile.record_block_n profile id 3) [ a; b; c ];
+  Profile.record_block_n profile x 1;
+  Advisor.analyze ~benchmark:"conflict" ~graph ~profile
+    ~trace:(conflict_trace ids) ~layout ~geometry:conflict_geometry
+    ~page_bytes:16 ~area_bytes:48 ~energy:baseline_energy ()
+
+let test_pl001_fires_and_reproduces () =
+  let report = conflict_report () in
+  let pl001 =
+    List.filter (fun (f : Finding.t) -> f.Finding.code = "PL001")
+      report.Advisor.findings
+  in
+  Alcotest.(check int) "one PL001" 1 (List.length pl001);
+  Alcotest.(check string) "PL001 is a warning" "warning"
+    (Finding.severity_name (List.hd pl001).Finding.severity);
+  (* the reproduction law: the real run's misses are at least the
+     replay floor *)
+  let graph, layout, ids = conflict_kernel () in
+  let stats =
+    Simulator.run
+      ~config:(wp_config ~geometry:conflict_geometry ~page_bytes:16 ~area_bytes:48)
+      ~program:(program_of "conflict" graph)
+      ~layout ~trace:(conflict_trace ids)
+  in
+  let floor =
+    report.Advisor.replay.Oracle.area_misses
+    + report.Advisor.replay.Oracle.non_area_distinct_lines
+  in
+  Alcotest.(check bool) "sim misses >= replay floor" true
+    (stats.Stats.icache_misses >= floor);
+  (* exit codes: PL001 is a warning — nonzero only under --strict *)
+  Alcotest.(check int) "lax exit" 0 (Advisor.exit_code report);
+  Alcotest.(check int) "strict exit" 2 (Advisor.exit_code ~strict:true report)
+
+let test_advisor_input_guards () =
+  let graph, layout, ids = conflict_kernel () in
+  let profile = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  let analyze ~page_bytes ~area_bytes =
+    Advisor.analyze ~benchmark:"x" ~graph ~profile ~trace:(conflict_trace ids)
+      ~layout ~geometry:conflict_geometry ~page_bytes ~area_bytes
+      ~energy:baseline_energy ()
+  in
+  (match analyze ~page_bytes:48 ~area_bytes:48 with
+  | _ -> Alcotest.fail "non-power-of-two page must raise"
+  | exception Invalid_argument _ -> ());
+  match analyze ~page_bytes:16 ~area_bytes:40 with
+  | _ -> Alcotest.fail "area not a page multiple must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- serialisation --------------------------------------------------- *)
+
+let json_eq = Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Report.json_to_string j))
+    (fun a b -> Report.json_to_string a = Report.json_to_string b)
+
+let test_report_json_roundtrip () =
+  let report = conflict_report () in
+  let j = Advisor.to_json report in
+  match Report.parse (Report.json_to_string j) with
+  | Ok j' -> Alcotest.check json_eq "parse (emit report) = report" j j'
+  | Error msg -> Alcotest.failf "report JSON unparseable: %s" msg
+
+let schedule_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"schedule json roundtrip"
+    QCheck.(list (pair (int_bound 1_000_000) (int_bound 1_000_000)))
+    (fun entries ->
+      let j = Advisor.schedule_to_json entries in
+      match Report.parse (Report.json_to_string j) with
+      | Ok j' -> Advisor.schedule_of_json j' = Ok entries
+      | Error _ -> false)
+
+let test_schedule_of_json_errors () =
+  Alcotest.(check bool) "non-array rejected" true
+    (Result.is_error (Advisor.schedule_of_json (Report.Jint 3)));
+  Alcotest.(check bool) "bad entry rejected" true
+    (Result.is_error
+       (Advisor.schedule_of_json
+          (Report.Jlist [ Report.Jobj [ ("at_block", Report.Jint 0) ] ])))
+
+let test_csv_shape_and_escaping () =
+  let graph, layout, ids = conflict_kernel () in
+  let profile = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  let report =
+    Advisor.analyze ~benchmark:"wei\"rd,name" ~graph ~profile
+      ~trace:(conflict_trace ids) ~layout ~geometry:conflict_geometry
+      ~page_bytes:16 ~area_bytes:48 ~energy:baseline_energy ()
+  in
+  let rows = Advisor.csv_rows report in
+  Alcotest.(check bool) "one row per region" true
+    (List.length rows = List.length report.Advisor.regions);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "row width matches header"
+        (List.length Advisor.csv_header)
+        (List.length row))
+    rows;
+  (* RFC 4180: the quoted field doubles embedded quotes *)
+  let line = Report.csv_line (List.hd rows) in
+  Alcotest.(check bool) "benchmark field is escaped" true
+    (String.length line >= 14 && String.sub line 0 14 = "\"wei\"\"rd,name\"")
+
+(* --- the corpus laws on a real workload ------------------------------ *)
+
+let test_laws_clean_on_crc () =
+  let prep = Runner.prepare (Mibench.find "crc") in
+  let geometry = Geometry.make ~size_bytes:1024 ~assoc:8 ~line_bytes:32 in
+  Alcotest.(check (list string)) "laws hold on crc" []
+    (Laws.check ~geometry ~page_bytes:1024 ~area_bytes:2048
+       ~program:prep.Runner.program ~profile:prep.Runner.profile_small
+       ~trace:prep.Runner.trace_large ~layout:prep.Runner.placed_layout ())
+
+let test_laws_clean_on_conflict_kernel () =
+  let graph, layout, ((a, b, c, x) as ids) = conflict_kernel () in
+  let profile = Profile.create ~num_blocks:(Icfg.num_blocks graph) in
+  List.iter (fun id -> Profile.record_block_n profile id 3) [ a; b; c ];
+  Profile.record_block_n profile x 1;
+  Alcotest.(check (list string)) "laws hold on the conflict kernel" []
+    (Laws.check ~geometry:conflict_geometry ~page_bytes:16 ~area_bytes:48
+       ~program:(program_of "conflict" graph)
+       ~profile ~trace:(conflict_trace ids) ~layout ())
+
+let () =
+  Alcotest.run "advise"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "body and loop" `Quick test_region_body_and_loop;
+          Alcotest.test_case "interprocedural closure" `Quick
+            test_region_interprocedural_closure;
+          Alcotest.test_case "profile mismatch" `Quick
+            test_region_profile_mismatch;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "area_for" `Quick test_area_for;
+          Alcotest.test_case "schedule shape" `Quick test_schedule_shape;
+          Alcotest.test_case "envelope brackets a run" `Quick
+            test_envelope_brackets_run;
+          Alcotest.test_case "bounds clean" `Quick test_check_bounds_clean;
+          Alcotest.test_case "replay conflict" `Quick test_replay_area_conflict;
+        ] );
+      ( "advisor",
+        [
+          Alcotest.test_case "PL001 fires and reproduces" `Quick
+            test_pl001_fires_and_reproduces;
+          Alcotest.test_case "input guards" `Quick test_advisor_input_guards;
+        ] );
+      ( "serialisation",
+        [
+          Alcotest.test_case "report json roundtrip" `Quick
+            test_report_json_roundtrip;
+          QCheck_alcotest.to_alcotest schedule_roundtrip_prop;
+          Alcotest.test_case "schedule json errors" `Quick
+            test_schedule_of_json_errors;
+          Alcotest.test_case "csv shape and escaping" `Quick
+            test_csv_shape_and_escaping;
+        ] );
+      ( "laws",
+        [
+          Alcotest.test_case "clean on crc" `Quick test_laws_clean_on_crc;
+          Alcotest.test_case "clean on the conflict kernel" `Quick
+            test_laws_clean_on_conflict_kernel;
+        ] );
+    ]

@@ -349,6 +349,77 @@ let test_ct_bad_page_size () =
   check_codes "page size not a power of two" [ "CT007" ]
     (Contract.check graph layout (params xscale_icache ~page:1000 ~area:2000))
 
+(* --- Reserved kernel area (CT008/CT009) --- *)
+
+let kernel_base = Wayplace.Mp.Kernel.base
+
+let test_ct_reserved_clean () =
+  let graph, layout, _ = thrash_kernel () in
+  (* user code at code_base, well above the reserved window *)
+  Alcotest.(check (list string)) "user layout clear of the kernel" []
+    (codes
+       (Contract.check_reserved graph layout ~kernel_base
+          ~kernel_area_bytes:1024 ~role:`User))
+
+let test_ct_reserved_user_overlap () =
+  (* craft a bad binary: lay the user program out on top of the
+     reserved kernel window *)
+  let graph, _, _ = thrash_kernel () in
+  let bad = Binary_layout.of_order graph ~base:kernel_base [| 0; 1; 2; 3; 4 |] in
+  let findings =
+    Contract.check_reserved graph bad ~kernel_base ~kernel_area_bytes:1024
+      ~role:`User
+  in
+  Alcotest.(check int) "every block trips CT008" 5 (count "CT008" findings);
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check string) "severity" "error"
+        (Finding.severity_name f.Finding.severity))
+    findings
+
+let test_ct_reserved_kernel_escape () =
+  (* the kernel itself placed at code_base instead of its window *)
+  let graph, layout, _ = thrash_kernel () in
+  let findings =
+    Contract.check_reserved graph layout ~kernel_base ~kernel_area_bytes:1024
+      ~role:`Kernel
+  in
+  Alcotest.(check int) "every block trips CT009" 5 (count "CT009" findings)
+
+let test_ct_reserved_kernel_clean () =
+  let kernel = Wayplace.Mp.Kernel.prepare ~page_bytes:1024 in
+  let graph = kernel.Wayplace.Mp.Kernel.program.Codegen.graph in
+  Alcotest.(check (list string)) "real kernel stays inside its window" []
+    (codes
+       (Contract.check_reserved graph kernel.Wayplace.Mp.Kernel.layout
+          ~kernel_base ~kernel_area_bytes:kernel.Wayplace.Mp.Kernel.area_bytes
+          ~role:`Kernel))
+
+let test_ct_reserved_bad_area () =
+  let graph, layout, _ = thrash_kernel () in
+  match
+    Contract.check_reserved graph layout ~kernel_base ~kernel_area_bytes:0
+      ~role:`User
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- CLI exit codes: a failed report write must not mask severity --- *)
+
+let test_cli_exit_code () =
+  let warning = Finding.v ~code:"WF006" "w" in
+  let error = Finding.v ~code:"WF003" "e" in
+  Alcotest.(check int) "clean, write ok" 0
+    (Finding.cli_exit_code ~write_failed:false []);
+  Alcotest.(check int) "clean, write failed" 1
+    (Finding.cli_exit_code ~write_failed:true []);
+  Alcotest.(check int) "strict warnings survive a failed write" 2
+    (Finding.cli_exit_code ~strict:true ~write_failed:true [ warning ]);
+  Alcotest.(check int) "errors survive a failed write" 3
+    (Finding.cli_exit_code ~write_failed:true [ error ]);
+  Alcotest.(check int) "errors, write ok" 3
+    (Finding.cli_exit_code ~write_failed:false [ warning; error ])
+
 (* --- Flow: return and restart edges --- *)
 
 let test_flow_edges () =
@@ -619,6 +690,16 @@ let () =
           Alcotest.test_case "slot competition" `Quick test_ct_slot_competition;
           Alcotest.test_case "base mismatch" `Quick test_ct_base_mismatch;
           Alcotest.test_case "bad page size" `Quick test_ct_bad_page_size;
+          Alcotest.test_case "reserved clean" `Quick test_ct_reserved_clean;
+          Alcotest.test_case "reserved user overlap" `Quick
+            test_ct_reserved_user_overlap;
+          Alcotest.test_case "reserved kernel escape" `Quick
+            test_ct_reserved_kernel_escape;
+          Alcotest.test_case "reserved kernel clean" `Quick
+            test_ct_reserved_kernel_clean;
+          Alcotest.test_case "reserved bad area" `Quick
+            test_ct_reserved_bad_area;
+          Alcotest.test_case "cli exit code" `Quick test_cli_exit_code;
         ] );
       ( "flow",
         [ Alcotest.test_case "return and restart edges" `Quick test_flow_edges ] );

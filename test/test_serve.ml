@@ -61,6 +61,13 @@ let sample_requests =
   :: { P.id = 5;
        payload = P.Mp (P.mp_request ~mix:nasty ~scheme:Config.Way_memoization ());
      }
+  :: { P.id = 6; payload = P.Advise (P.advise_request ~benchmark:nasty ()) }
+  :: { P.id = 8;
+       payload =
+         P.Advise
+           (P.advise_request ~size_kb:8 ~ways:4 ~line_bytes:16 ~area_kb:2
+              ~page_bytes:512 ~no_cache:true ~benchmark:"crc" ());
+     }
   :: List.mapi
        (fun i scheme ->
          { P.id = 100 + i; payload = P.Sim (P.sim_request ~benchmark:"sha" ~scheme ()) })
@@ -114,6 +121,26 @@ let sample_responses =
               mpr_kernel_runs = -1;
               mpr_icache_energy_pj = 0.1 +. 0.2;
               mpr_total_energy_pj = 9876.54321;
+            };
+      };
+      { P.id = 21;
+        reply =
+          P.Advise_reply
+            {
+              P.adr_key = "advise-" ^ String.make 32 'c';
+              adr_source = P.Coalesced;
+              adr_digest = String.make 32 '2';
+              adr_static_min_ways = 3;
+              adr_min_area_bytes = 3072;
+              adr_regions = 17;
+              adr_findings = 4;
+              adr_errors = 0;
+              adr_warnings = 1;
+              adr_schedule_points = 5;
+              adr_conflict_misses = 42;
+              adr_env_lo_pj = 0.1 +. 0.2;
+              adr_env_hi_pj = 98765.4321;
+              adr_predicted_delta_pj = 0.0;
             };
       };
     ]
@@ -675,6 +702,82 @@ let test_daemon_mp () =
                 (String.length msg > 0));
           ok_or_fail "daemon still serving" (Client.ping client)))
 
+(* --- the advise request class --------------------------------------- *)
+
+let test_daemon_advise () =
+  with_daemon ~workers:2 (fun daemon endpoint ->
+      let client = ok_or_fail "connect" (Client.connect endpoint) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let ar =
+            P.advise_request ~size_kb:1 ~ways:8 ~line_bytes:32 ~area_kb:2
+              ~page_bytes:1024 ~benchmark:"crc" ()
+          in
+          let r1 = ok_or_fail "first advise" (Client.advise client ar) in
+          Alcotest.(check bool) "first advise computes" true
+            (r1.P.adr_source = P.Computed);
+          Alcotest.(check bool) "keys live in the advise- namespace" true
+            (String.length r1.P.adr_key > 7
+            && String.sub r1.P.adr_key 0 7 = "advise-");
+          Alcotest.(check bool) "regions found" true (r1.P.adr_regions > 0);
+          Alcotest.(check bool) "static bound positive" true
+            (r1.P.adr_static_min_ways >= 1);
+          Alcotest.(check bool) "envelope ordered" true
+            (r1.P.adr_env_lo_pj <= r1.P.adr_env_hi_pj);
+          (* the same analysis locally: the report is bit-identical *)
+          let prep = Runner.prepare (Wayplace.Workloads.Mibench.find "crc") in
+          let geometry =
+            Wayplace.Cache.Geometry.make ~size_bytes:1024 ~assoc:8
+              ~line_bytes:32
+          in
+          let local =
+            Wayplace.Advise.Advisor.analyze ~benchmark:"crc"
+              ~graph:prep.Runner.program.Wayplace.Workloads.Codegen.graph
+              ~profile:prep.Runner.profile_small ~trace:prep.Runner.trace_large
+              ~layout:prep.Runner.placed_layout ~geometry ~page_bytes:1024
+              ~area_bytes:2048
+              ~energy:(Config.xscale Config.Baseline).Config.energy ()
+          in
+          Alcotest.(check string) "matches the local oracle"
+            (Digest.to_hex (Digest.string (Marshal.to_string local [])))
+            r1.P.adr_digest;
+          (* warm repeat: a memory hit with the same content address *)
+          let r2 = ok_or_fail "repeat advise" (Client.advise client ar) in
+          Alcotest.(check bool) "repeat is a memory hit" true
+            (r2.P.adr_source = P.Memory);
+          Alcotest.(check string) "same content address" r1.P.adr_key
+            r2.P.adr_key;
+          Alcotest.(check string) "bit-identical digest" r1.P.adr_digest
+            r2.P.adr_digest;
+          (* no_cache recomputes — deterministically the same report *)
+          let r3 =
+            ok_or_fail "no_cache advise"
+              (Client.advise client { ar with P.ad_no_cache = true })
+          in
+          Alcotest.(check bool) "no_cache recomputes" true
+            (r3.P.adr_source = P.Computed);
+          Alcotest.(check string) "recomputation bit-identical" r1.P.adr_digest
+            r3.P.adr_digest;
+          (* bad inputs are error replies, not a dead daemon *)
+          (match
+             Client.advise client (P.advise_request ~benchmark:"no_such" ())
+           with
+          | Ok _ -> Alcotest.fail "unknown benchmark accepted"
+          | Error msg ->
+              Alcotest.(check bool) "diagnostic not empty" true
+                (String.length msg > 0));
+          (match
+             Client.advise client
+               (P.advise_request ~ways:3 ~benchmark:"crc" ())
+           with
+          | Ok _ -> Alcotest.fail "non-power-of-two ways accepted"
+          | Error msg ->
+              Alcotest.(check bool) "geometry diagnostic not empty" true
+                (String.length msg > 0));
+          ignore daemon;
+          ok_or_fail "daemon still serving" (Client.ping client)))
+
 let test_daemon_coalesces_inflight () =
   with_daemon ~workers:1 (fun daemon endpoint ->
       let client = ok_or_fail "connect" (Client.connect endpoint) in
@@ -781,6 +884,8 @@ let () =
             test_daemon_error_isolation;
           Alcotest.test_case "mp requests memoise on the full mix" `Quick
             test_daemon_mp;
+          Alcotest.test_case "advise requests memoise on their inputs" `Quick
+            test_daemon_advise;
           Alcotest.test_case "store survives a restart" `Quick
             test_daemon_persistence_across_restart;
         ] );
