@@ -114,9 +114,10 @@ let run_cmd benchmark scheme area size ways line no_fastforward ff_stats
       comparison.Wayplace.Sim.Runner.norm_cycles;
     (if ff_stats then begin
        let report = Wayplace.Sim.Steady_state.create_report () in
+       let cache = Wayplace.Sim.Snapshot_cache.create () in
        ignore
          (Wayplace.Sim.Runner.run_scheme ~fastforward:(not no_fastforward)
-            ~ff_report:report prep config);
+            ~ff_report:report ~snapshot_cache:cache prep config);
        Format.printf
          "--- fast-forward ---@.regions %d, recorded iterations %d, \
           converged %d, skipped %d iterations (%d instrs)@."
@@ -124,7 +125,19 @@ let run_cmd benchmark scheme area size ways line no_fastforward ff_stats
          report.Wayplace.Sim.Steady_state.recorded_iterations
          report.Wayplace.Sim.Steady_state.converged
          report.Wayplace.Sim.Steady_state.skipped_iterations
-         report.Wayplace.Sim.Steady_state.skipped_instrs
+         report.Wayplace.Sim.Steady_state.skipped_instrs;
+       Format.printf
+         "bail-outs: gate-rejected %d, vetoed %d, cost-gated %d, \
+          budget-exhausted %d@.snapshot cache: %d hit%s, %d insert%s@."
+         report.Wayplace.Sim.Steady_state.gate_rejected
+         report.Wayplace.Sim.Steady_state.vetoed
+         report.Wayplace.Sim.Steady_state.cost_gated
+         report.Wayplace.Sim.Steady_state.budget_exhausted
+         report.Wayplace.Sim.Steady_state.cache_hits
+         (if report.Wayplace.Sim.Steady_state.cache_hits = 1 then "" else "s")
+         report.Wayplace.Sim.Steady_state.cache_inserts
+         (if report.Wayplace.Sim.Steady_state.cache_inserts = 1 then ""
+          else "s")
      end);
     if not check_ff then Ok ()
     else begin
@@ -1513,7 +1526,7 @@ let shutdown_after_arg =
   let doc = "Send a graceful shutdown request to the daemon afterwards." in
   Arg.(value & flag & info [ "shutdown-after" ] ~doc)
 
-let loadtest_mix ~benchmarks ~schemes ~area ~verify ~mp_mixes =
+let loadtest_mix ~benchmarks ~schemes ~area ~verify ~grid ~mp_mixes =
   let ( let* ) = Result.bind in
   let* benchmarks =
     match benchmarks with
@@ -1538,14 +1551,23 @@ let loadtest_mix ~benchmarks ~schemes ~area ~verify ~mp_mixes =
     |> Result.map List.rev
   in
   let sims =
-    List.concat_map
-      (fun benchmark ->
-        List.map
-          (fun scheme ->
-            Serve.Protocol.Sim
-              (Serve.Protocol.sim_request ~verify ~benchmark ~scheme ()))
-          schemes)
-      benchmarks
+    (* --grid ships the whole cross product as one batched request:
+       the daemon expands it server-side, streams per-cell replies and
+       content-addresses each cell exactly like a standalone sim *)
+    if grid then
+      [
+        Serve.Protocol.Grid
+          (Serve.Protocol.grid_request ~benchmarks ~schemes ());
+      ]
+    else
+      List.concat_map
+        (fun benchmark ->
+          List.map
+            (fun scheme ->
+              Serve.Protocol.Sim
+                (Serve.Protocol.sim_request ~verify ~benchmark ~scheme ()))
+            schemes)
+        benchmarks
   in
   (* each --mp MIX becomes one multiprogrammed request per scheme — a
      heavier request class in the same round-robin *)
@@ -1581,12 +1603,23 @@ let loadtest_mp_arg =
   in
   Arg.(value & opt_all string [] & info [ "mp" ] ~docv:"MIX" ~doc)
 
+let loadtest_grid_arg =
+  let doc =
+    "Ship the benchmark x scheme cross product as grid-batch requests (one \
+     request per grid; the daemon streams one reply per cell plus a \
+     summary) instead of individual sim requests.  Each cell is tallied as \
+     its own response, so the hit ratio still measures per-cell reuse."
+  in
+  Arg.(value & flag & info [ "grid" ] ~doc)
+
 let loadtest_cmd socket port host total connections depth benchmarks schemes
-    area verify mp_mixes json_out expect_hit shutdown_after quiet =
+    area verify grid mp_mixes json_out expect_hit shutdown_after quiet =
   let ( let* ) = Result.bind in
   let result =
     let* endpoint = endpoint_of ~socket ~port ~host in
-    let* mix = loadtest_mix ~benchmarks ~schemes ~area ~verify ~mp_mixes in
+    let* mix =
+      loadtest_mix ~benchmarks ~schemes ~area ~verify ~grid ~mp_mixes
+    in
     let spec = { Serve.Loadtest.endpoint; connections; depth; total; mix } in
     let* r = Serve.Loadtest.run spec in
     if not quiet then Format.printf "%a@." Serve.Loadtest.pp r;
@@ -1868,8 +1901,8 @@ let cmds =
         const loadtest_cmd $ socket_arg $ port_arg $ host_arg
         $ loadtest_total_arg $ loadtest_conns_arg $ loadtest_depth_arg
         $ loadtest_benchmarks_arg $ loadtest_schemes_arg $ area_arg
-        $ loadtest_verify_arg $ loadtest_mp_arg $ json_arg $ expect_hit_arg
-        $ shutdown_after_arg $ quiet_arg);
+        $ loadtest_verify_arg $ loadtest_grid_arg $ loadtest_mp_arg $ json_arg
+        $ expect_hit_arg $ shutdown_after_arg $ quiet_arg);
     Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
       Term.(const list_cmd $ const ());
   ]

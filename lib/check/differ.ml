@@ -404,16 +404,45 @@ let check_probe ~where prepared (config : Config.t) (s : Stats.t) =
       !v
 
 (* The tentpole invariant of the block-batched fast path: for every
-   cell of the grid, three replays must produce exactly equal
+   cell of the grid, the replays must produce exactly equal
    statistics — every counter and every energy bucket bit-for-bit
    ([Stats.equal]).  [fast] is the cell's own run (fast path with
    steady-state fast-forward at its default, normally on); it is
-   checked against a fast-path run with fast-forward forced off and
+   checked against a fast-forward run with the shared snapshot cache
+   attached, against a fast-path run with fast-forward forced off, and
    against the per-instruction reference loop, so a fuzz failure
-   distinguishes a fast-forward bug from a fast-path bug. *)
+   distinguishes a cache-reuse bug from a fast-forward bug from a
+   fast-path bug. *)
+
+(* One cache across the whole fuzz corpus: later seeds run against
+   entries published by earlier ones, which is exactly the cross-run
+   reuse the serve daemon and sweep engine perform.  Scoped keys make
+   cross-world hits impossible — that, too, is under test here. *)
+let fastpath_cache = lazy (Wp_sim.Snapshot_cache.create ())
+
 let check_fastpath ~where prepared (config : Config.t) (fast : Stats.t) =
   let trace = prepared.Runner.trace_large in
   let compiled = Runner.compiled_for prepared config in
+  let cached_ff =
+    match
+      Wp_sim.Simulator.run_compiled ~fastforward:true
+        ~snapshot_cache:(Lazy.force fastpath_cache) ~config ~trace compiled
+    with
+    | exception exn ->
+        [
+          Printf.sprintf "%s: fast-forward run with snapshot cache raised: %s"
+            where (Printexc.to_string exn);
+        ]
+    | cached ->
+        if Stats.equal fast cached then []
+        else
+          [
+            Printf.sprintf
+              "%s: snapshot-cache reuse diverges from plain fast-forward: %s"
+              where
+              (Format.asprintf "%a" Stats.pp_diff (fast, cached));
+          ]
+  in
   let no_ff =
     match
       Wp_sim.Simulator.run_compiled ~fastforward:false ~config ~trace compiled
@@ -450,7 +479,7 @@ let check_fastpath ~where prepared (config : Config.t) (fast : Stats.t) =
               (Format.asprintf "%a" Stats.pp_diff (fast, reference));
           ]
   in
-  no_ff @ vs_reference
+  cached_ff @ no_ff @ vs_reference
 
 (* ------------------------------------------------------------------ *)
 (* Multiprogramming checks (PR 8).  Two laws tie the mp machine to the
@@ -557,6 +586,33 @@ let check_mp_mix ~where spec (config : Config.t) =
           if fast.Mp.switches <> refr.Mp.switches then
             fail "mp fast path saw %d switches, reference %d" fast.Mp.switches
               refr.Mp.switches;
+          (* cache invariance: re-running with the corpus-wide snapshot
+             cache attached (quantum-capped skips, cross-quantum
+             re-convergence) must not move a bit, per process or in
+             aggregate, and must take every switch at the same point. *)
+          (match
+             Mp.run
+               ~snapshot_cache:(Lazy.force fastpath_cache)
+               ~config ~options mix
+           with
+          | exception exn ->
+              fail "mp snapshot-cache run raised: %s" (Printexc.to_string exn)
+          | cached ->
+              if not (Stats.equal cached.Mp.aggregate fast.Mp.aggregate) then
+                fail "snapshot cache changed the mp aggregate: %s"
+                  (Format.asprintf "%a" Stats.pp_diff
+                     (cached.Mp.aggregate, fast.Mp.aggregate));
+              List.iteri
+                (fun i (pc : Mp.process_result) ->
+                  let pf = List.nth fast.Mp.processes i in
+                  if not (Stats.equal pc.Mp.pr_stats pf.Mp.pr_stats) then
+                    fail
+                      "snapshot cache changed mp process %d (%s)" i
+                      pc.Mp.pr_name)
+                cached.Mp.processes;
+              if cached.Mp.switches <> fast.Mp.switches then
+                fail "mp snapshot-cache run saw %d switches, plain saw %d"
+                  cached.Mp.switches fast.Mp.switches);
           (* probe invariance: a probed replay (which also forces the
              reference loop) must not move a single bit, and its switch
              markers must recount the machine's switches. *)

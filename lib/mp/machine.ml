@@ -1,6 +1,8 @@
 module Config = Wp_sim.Config
 module Stats = Wp_sim.Stats
 module Simulator = Wp_sim.Simulator
+module Steady_state = Wp_sim.Steady_state
+module Snapshot_cache = Wp_sim.Snapshot_cache
 module Compiled_trace = Wp_sim.Compiled_trace
 module Fetch_engine = Wp_sim.Fetch_engine
 module Dmem = Wp_sim.Dmem
@@ -74,6 +76,7 @@ type proc_state = {
   priority : int;
   base : Wp_isa.Addr.t;
   warea : int;  (** way-placed window bytes at [base]; 0 if unplaced *)
+  token : int;  (** this process's {!Compiled_trace.token} *)
   trace_blocks : int array;
   info : Compiled_trace.block_info array;
   plan : Compiled_trace.plan;
@@ -98,6 +101,7 @@ let proc_state_of_compiled (config : Config.t) ~pname ~placed ~priority ~base
     priority;
     base;
     warea;
+    token = Compiled_trace.token compiled;
     trace_blocks = trace.Tracer.blocks;
     info = Compiled_trace.info compiled;
     plan =
@@ -150,7 +154,19 @@ let prepare_proc (config : Config.t) ~base (p : Mix.proc) =
       ~seed:spec.Wp_workloads.Spec.seed ~stats:(Stats.create ()) compiled,
     next_base )
 
-let run ?probe ?(reference_only = false) ~(config : Config.t) ~options mix =
+(* One process's fast-forward state: the resumable detector plus the
+   process-lifetime cycle/instruction accumulators its skips land in
+   (reconciled into the machine counters after every quantum). *)
+type ff_state = {
+  drv : Steady_state.driver;
+  c : int ref;  (** = [p.cycles] between quanta; runs ahead inside one *)
+  ins : int ref;  (** likewise for [p.instrs] *)
+  q_base : int ref;  (** [!c] at the current quantum's dispatch *)
+}
+
+let run ?probe ?(reference_only = false) ?fastforward
+    ?(ff_policy = Steady_state.default_policy) ?ff_report ?snapshot_cache
+    ~(config : Config.t) ~options mix =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Machine.run: " ^ msg));
@@ -352,6 +368,116 @@ let run ?probe ?(reference_only = false) ~(config : Config.t) ~options mix =
       end
     done
   in
+  (* Steady-state fast-forward on the fast path, one resumable driver
+     per user process (the kernel trace is short and replays whole —
+     not worth detecting).  Same bail-out structure as [Simulator]:
+     probes and reference runs never engage it. *)
+  let ff_enabled =
+    (not reference)
+    &&
+    match fastforward with
+    | Some b -> b
+    | None -> Simulator.default_fastforward ()
+  in
+  let ff_report_v =
+    match ff_report with Some r -> r | None -> Steady_state.create_report ()
+  in
+  let config_digest =
+    lazy (Digest.string (Marshal.to_string config []))
+  in
+  let make_ff (p : proc_state) =
+    let c = ref 0 and ins = ref 0 in
+    let q_base = ref 0 in
+    let info = p.info in
+    let blocks = p.trace_blocks in
+    let ctx =
+      {
+        Steady_state.policy = ff_policy;
+        report = ff_report_v;
+        stats = p.stats;
+        blocks;
+        n_ids = Array.length info;
+        n_instrs_of = (fun id -> info.(id).Compiled_trace.n_instrs);
+        stream_invariant =
+          (fun ~start ~period ->
+            let seq = ref 0 and stride = ref 0 and rand = ref 0 in
+            for j = start to start + period - 1 do
+              let b = info.(blocks.(j)) in
+              seq := !seq + b.Compiled_trace.seq_bytes;
+              stride := !stride + b.Compiled_trace.stride_bytes;
+              rand := !rand + b.Compiled_trace.n_random
+            done;
+            Data_stream.advance_invariant ~seq_bytes:!seq ~stride_bytes:!stride
+              ~n_random:!rand);
+        fingerprint =
+          (fun ~start ~period ~add ->
+            (* The drowsy clock is the charging process's fetch counter
+               — exactly [p.stats] for the whole quantum. *)
+            Fetch_engine.fingerprint engine ~now:p.stats.Stats.fetches ~add;
+            let period_mem = ref 0 in
+            for j = start to start + period - 1 do
+              period_mem :=
+                !period_mem + Array.length info.(blocks.(j)).Compiled_trace.mem
+            done;
+            if !period_mem > 0 then begin
+              Dmem.fingerprint dmem ~add;
+              Data_stream.fingerprint p.data ~add
+            end;
+            Btb.fingerprint btb ~add);
+        exec =
+          (fun k ->
+            c := !c + exec_block p k;
+            ins := !ins + info.(blocks.(k)).Compiled_trace.n_instrs);
+        set_awake_recorder = Fetch_engine.set_drowsy_recorder engine;
+        drowsy_advance =
+          (fun ~since ~delta ->
+            Fetch_engine.drowsy_advance_touched engine ~since ~delta);
+        drowsy_replay =
+          (fun a ~len ~iters ->
+            Fetch_engine.drowsy_replay_awake engine a ~len ~iters);
+        cycles = c;
+        instrs = ins;
+        cache = snapshot_cache;
+        cache_scope =
+          (match snapshot_cache with
+          | None -> ""
+          | Some _ ->
+              Printf.sprintf "%d/%s" p.token (Lazy.force config_digest));
+        (* A skip may never cross the quantum boundary: the reference
+           loop would have taken the timer interrupt mid-iteration, so
+           cap skips at [quantum - 1 - used] cycles and let the blocks
+           around the expiry execute one by one — switch points land on
+           exactly the reference loop's block boundaries. *)
+        cycle_headroom = Some (fun () -> quantum - 1 - (!c - !q_base));
+      }
+    in
+    { drv = Steady_state.make ctx; c; ins; q_base }
+  in
+  let ff = if ff_enabled then Array.map make_ff procs else [||] in
+  (* The fast-forward twin of [run_quantum]: the driver executes blocks
+     through [exec_block] (so the machine counters see them normally)
+     and lands skipped iterations in [c]/[ins] only — the difference
+     against [p.cycles]/[p.instrs] after the slice is exactly what the
+     skips added, reconciled here into the machine totals. *)
+  let run_quantum_ff (p : proc_state) (f : ff_state) =
+    p.dispatches <- p.dispatches + 1;
+    Steady_state.reawaken f.drv;
+    f.q_base := !(f.c);
+    let until () = !(f.c) - !(f.q_base) >= quantum in
+    Steady_state.advance f.drv ~until;
+    p.k <- Steady_state.pos f.drv;
+    let skipped_cycles = !(f.c) - p.cycles in
+    let skipped_instrs = !(f.ins) - p.instrs in
+    m_cycles := !m_cycles + skipped_cycles;
+    m_instrs := !m_instrs + skipped_instrs;
+    p.cycles <- !(f.c);
+    p.instrs <- !(f.ins);
+    if not (finished p) then incr timer_fires
+  in
+  let run_slice i =
+    if Array.length ff = 0 then run_quantum procs.(i)
+    else run_quantum_ff procs.(i) ff.(i)
+  in
   (* The interrupt handler: replay the whole kernel trace into the
      system stats.  The kernel is mapped in every address space, so no
      TLB flush surrounds it — its pages evict user entries naturally
@@ -417,7 +543,7 @@ let run ?probe ?(reference_only = false) ~(config : Config.t) ~options mix =
   dispatch !cur ~switched:false;
   let running = ref true in
   while !running do
-    run_quantum procs.(!cur);
+    run_slice !cur;
     match pick ~cur:!cur with
     | -1 -> running := false
     | next ->

@@ -83,6 +83,10 @@ val switches_per_million : result -> float
 val run :
   ?probe:Wp_obs.Probe.t ->
   ?reference_only:bool ->
+  ?fastforward:bool ->
+  ?ff_policy:Wp_sim.Steady_state.policy ->
+  ?ff_report:Wp_sim.Steady_state.report ->
+  ?snapshot_cache:Wp_sim.Snapshot_cache.t ->
   config:Wp_sim.Config.t ->
   options:options ->
   Mix.t ->
@@ -92,4 +96,15 @@ val run :
     from the shared engine, per-process and system energy, cumulative
     machine [Retire] ticks, and a [Context_switch] marker per switch —
     and forces the reference loop.
+
+    On the fast path each user process carries a resumable
+    {!Wp_sim.Steady_state} driver: hot loops fast-forward inside a
+    quantum, skips are capped so they never cross a quantum boundary
+    (context switches land on exactly the reference loop's block
+    boundaries), and with a [snapshot_cache] a loop interrupted by a
+    switch re-converges from its cached iteration instead of
+    re-recording.  [fastforward] defaults to
+    {!Wp_sim.Simulator.set_fastforward_default}'s setting; results are
+    bit-identical with fast-forward on or off, cache or no cache — the
+    mp differ asserts it over the fuzz corpus.
     @raise Invalid_argument on an invalid config or mix. *)

@@ -137,3 +137,31 @@ let advise t ar =
   | Ok (P.Error_reply msg) -> Error msg
   | Ok _ -> Error "unexpected reply to advise"
   | Error _ as e -> e
+
+(* A grid is one request with many replies: collect streamed cells
+   (invoking [on_cell] as each lands) until the terminal summary, then
+   hand back the cells re-sorted into canonical index order. *)
+let grid ?on_cell t gr =
+  match send t (P.Grid gr) with
+  | exception Sys_error msg -> Error msg
+  | id ->
+      let rec await cells =
+        match recv t with
+        | Error _ as e -> e
+        | Ok resp ->
+            if resp.P.id <> id then await cells
+            else (
+              match resp.P.reply with
+              | P.Grid_cell_reply c ->
+                  (match on_cell with Some f -> f c | None -> ());
+                  await (c :: cells)
+              | P.Grid_done s ->
+                  Ok
+                    ( List.sort
+                        (fun a b -> compare a.P.gc_index b.P.gc_index)
+                        cells,
+                      s )
+              | P.Error_reply msg -> Error msg
+              | _ -> Error "unexpected reply to grid")
+      in
+      await []

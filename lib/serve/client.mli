@@ -48,3 +48,16 @@ val mp : t -> Protocol.mp_request -> (Protocol.mp_result, string) result
 val advise :
   t -> Protocol.advise_request -> (Protocol.advise_result, string) result
 (** One static-advisor run, synchronously. *)
+
+val grid :
+  ?on_cell:(Protocol.grid_cell -> unit) ->
+  t ->
+  Protocol.grid_request ->
+  (Protocol.grid_cell list * Protocol.grid_summary, string) result
+(** One batched sweep, synchronously: send the grid, collect the
+    streamed cells ([on_cell] observes each as it lands, in completion
+    order) until the terminal summary, and return the cells re-sorted
+    into {!Protocol.grid_cells} index order.  A server-side
+    [Error_reply] for the whole grid (e.g. an empty cross product) is
+    [Error]; per-cell failures live in each cell's
+    [gc_outcome]. *)

@@ -269,7 +269,18 @@ let verify_against_reference prep config stats =
    distinct keys (plus deliberate [no_cache] runs). *)
 let run_computation t ~prep ~config ~key ~verify ~registered fut =
   let outcome =
-    match Runner.run_scheme prep config with
+    (* every computation shares the sweep engine's snapshot cache:
+       converged loop iterations recorded for one request fast-forward
+       every later request whose fingerprints coincide — most visibly
+       the cells of a grid, which differ only in configuration.  The
+       result is bit-identical either way (the cache key pins the
+       compiled trace and the full config; the differ enforces the
+       equality). *)
+    match
+      Runner.run_scheme
+        ~snapshot_cache:(Wp_sim.Sweep.snapshot_cache t.engine)
+        prep config
+    with
     | stats -> (
         Atomic.incr t.computations;
         match if verify then verify_against_reference prep config stats else Ok () with
@@ -301,6 +312,53 @@ let submit_computation t ~prep ~config ~key ~verify ~registered fut =
   let task () = run_computation t ~prep ~config ~key ~verify ~registered fut in
   if not (Pool.Executor.submit t.exec task) then task ()
 
+(* Resolve one (prepared, config) cell through the full memoisation
+   stack — store, in-flight coalescing, executor — calling [k] exactly
+   once with the source and outcome: synchronously on a store hit,
+   from an executor domain otherwise.  Shared by [Sim] requests and
+   the cells of a [Grid]. *)
+let resolve_sim t ~prep ~config ~key ~no_cache ~verify k =
+  if no_cache then begin
+    (* deliberate fresh run: no store read, no coalescing *)
+    let fut = Future.create () in
+    Future.on_ready fut (fun o -> k P.Computed o);
+    submit_computation t ~prep ~config ~key ~verify ~registered:false fut
+  end
+  else
+    let hit stats source counter =
+      Atomic.incr counter;
+      k source (Ok stats)
+    in
+    match Store.find t.store key with
+    | Some (stats, `Memory) -> hit stats P.Memory t.hits_memory
+    | Some (stats, `Disk) -> hit stats P.Disk t.hits_disk
+    | None -> (
+        Mutex.lock t.inflight_lock;
+        match Hashtbl.find_opt t.inflight key with
+        | Some fut ->
+            Mutex.unlock t.inflight_lock;
+            Atomic.incr t.coalesced_count;
+            Future.on_ready fut (fun o -> k P.Coalesced o)
+        | None -> (
+            (* recheck under the in-flight lock: a computation that
+               just completed publishes to the store before
+               deregistering, so this order can't miss both tables and
+               recompute *)
+            match Store.find t.store key with
+            | Some (stats, `Memory) ->
+                Mutex.unlock t.inflight_lock;
+                hit stats P.Memory t.hits_memory
+            | Some (stats, `Disk) ->
+                Mutex.unlock t.inflight_lock;
+                hit stats P.Disk t.hits_disk
+            | None ->
+                let fut = Future.create () in
+                Hashtbl.replace t.inflight key fut;
+                Mutex.unlock t.inflight_lock;
+                Future.on_ready fut (fun o -> k P.Computed o);
+                submit_computation t ~prep ~config ~key ~verify
+                  ~registered:true fut))
+
 let handle_sim t conn id (sr : P.sim_request) =
   Atomic.incr t.sim_requests;
   match P.config_of_sim sr with
@@ -313,64 +371,115 @@ let handle_sim t conn id (sr : P.sim_request) =
       | exception exn ->
           reply_error t conn id
             (Printf.sprintf "prepare failed: %s" (Printexc.to_string exn))
-      | prep -> (
+      | prep ->
           let layout = Runner.layout_for prep config in
           let key =
             Store.key ~program:prep.Runner.program
               ~order:(Wp_layout.Binary_layout.order layout)
               ~config
           in
-          let respond_hit stats source counter =
-            Atomic.incr counter;
-            reply conn
-              {
-                P.id;
-                reply = P.Sim_reply (P.sim_result_of_stats ~key ~source stats);
-              }
-          in
-          if sr.P.no_cache then begin
-            (* deliberate fresh run: no store read, no coalescing *)
-            let fut = Future.create () in
-            dispatch conn;
-            Future.on_ready fut
-              (complete_sim t conn id ~key ~source:P.Computed);
-            submit_computation t ~prep ~config ~key ~verify:sr.P.verify
-              ~registered:false fut
-          end
-          else
-            match Store.find t.store key with
-            | Some (stats, `Memory) -> respond_hit stats P.Memory t.hits_memory
-            | Some (stats, `Disk) -> respond_hit stats P.Disk t.hits_disk
-            | None -> (
-                Mutex.lock t.inflight_lock;
-                match Hashtbl.find_opt t.inflight key with
-                | Some fut ->
-                    Mutex.unlock t.inflight_lock;
-                    Atomic.incr t.coalesced_count;
-                    dispatch conn;
-                    Future.on_ready fut
-                      (complete_sim t conn id ~key ~source:P.Coalesced)
-                | None -> (
-                    (* recheck under the in-flight lock: a computation
-                       that just completed publishes to the store
-                       before deregistering, so this order can't miss
-                       both tables and recompute *)
-                    match Store.find t.store key with
-                    | Some (stats, `Memory) ->
-                        Mutex.unlock t.inflight_lock;
-                        respond_hit stats P.Memory t.hits_memory
-                    | Some (stats, `Disk) ->
-                        Mutex.unlock t.inflight_lock;
-                        respond_hit stats P.Disk t.hits_disk
-                    | None ->
-                        let fut = Future.create () in
-                        Hashtbl.replace t.inflight key fut;
-                        Mutex.unlock t.inflight_lock;
-                        dispatch conn;
-                        Future.on_ready fut
-                          (complete_sim t conn id ~key ~source:P.Computed);
-                        submit_computation t ~prep ~config ~key
-                          ~verify:sr.P.verify ~registered:true fut))))
+          dispatch conn;
+          resolve_sim t ~prep ~config ~key ~no_cache:sr.P.no_cache
+            ~verify:sr.P.verify (fun source outcome ->
+              complete_sim t conn id ~key ~source outcome))
+
+(* --- grid requests ---------------------------------------------------- *)
+
+(* One grid = one dispatched slot: cells stream through [reply] as
+   their computations (or store hits) land, in completion order; the
+   terminal [Grid_done] goes through [complete] and is guaranteed to
+   be enqueued after every cell (each cell's enqueue happens before
+   its countdown decrement, which happens before the final decrement).
+   Cell failures are per-cell — the rest of the grid still runs. *)
+let handle_grid t conn id (gr : P.grid_request) =
+  Atomic.incr t.sim_requests;
+  match P.grid_cells gr with
+  | [] -> reply_error t conn id "empty grid"
+  | cells ->
+      dispatch conn;
+      let n = List.length cells in
+      let remaining = Atomic.make n in
+      let computed = Atomic.make 0 in
+      let g_memory = Atomic.make 0 in
+      let g_disk = Atomic.make 0 in
+      let g_coalesced = Atomic.make 0 in
+      let g_errors = Atomic.make 0 in
+      let finish_cell () =
+        if Atomic.fetch_and_add remaining (-1) = 1 then
+          complete conn
+            {
+              P.id;
+              reply =
+                P.Grid_done
+                  {
+                    P.gs_cells = n;
+                    gs_computed = Atomic.get computed;
+                    gs_hits_memory = Atomic.get g_memory;
+                    gs_hits_disk = Atomic.get g_disk;
+                    gs_coalesced = Atomic.get g_coalesced;
+                    gs_errors = Atomic.get g_errors;
+                  };
+            }
+      in
+      let emit idx bench scheme size_kb ways outcome =
+        reply conn
+          {
+            P.id;
+            reply =
+              P.Grid_cell_reply
+                {
+                  P.gc_index = idx;
+                  gc_benchmark = bench;
+                  gc_scheme = scheme;
+                  gc_size_kb = size_kb;
+                  gc_ways = ways;
+                  gc_outcome = outcome;
+                };
+          };
+        finish_cell ()
+      in
+      let cell_error idx bench scheme size_kb ways msg =
+        Atomic.incr g_errors;
+        Atomic.incr t.errors;
+        emit idx bench scheme size_kb ways (Error msg)
+      in
+      List.iteri
+        (fun idx (bench, scheme, size_kb, ways) ->
+          match
+            P.config_of_geometry ~scheme ~size_kb ~ways
+              ~line_bytes:gr.P.g_line_bytes
+          with
+          | Error msg -> cell_error idx bench scheme size_kb ways msg
+          | Ok config -> (
+              match Wp_sim.Sweep.prepared t.engine bench with
+              | exception Not_found ->
+                  cell_error idx bench scheme size_kb ways
+                    (Printf.sprintf "unknown benchmark %S" bench)
+              | exception exn ->
+                  cell_error idx bench scheme size_kb ways
+                    (Printf.sprintf "prepare failed: %s"
+                       (Printexc.to_string exn))
+              | prep ->
+                  let layout = Runner.layout_for prep config in
+                  let key =
+                    Store.key ~program:prep.Runner.program
+                      ~order:(Wp_layout.Binary_layout.order layout)
+                      ~config
+                  in
+                  resolve_sim t ~prep ~config ~key ~no_cache:gr.P.g_no_cache
+                    ~verify:false (fun source outcome ->
+                      match outcome with
+                      | Ok stats ->
+                          (match source with
+                          | P.Computed -> Atomic.incr computed
+                          | P.Memory -> Atomic.incr g_memory
+                          | P.Disk -> Atomic.incr g_disk
+                          | P.Coalesced -> Atomic.incr g_coalesced);
+                          emit idx bench scheme size_kb ways
+                            (Ok (P.sim_result_of_stats ~key ~source stats))
+                      | Error msg ->
+                          cell_error idx bench scheme size_kb ways msg)))
+        cells
 
 (* --- multiprogrammed requests ---------------------------------------- *)
 
@@ -701,7 +810,8 @@ let handle_line t conn line =
           stop t
       | P.Sim sr -> handle_sim t conn id sr
       | P.Mp mr -> handle_mp t conn id mr
-      | P.Advise ar -> handle_advise t conn id ar)
+      | P.Advise ar -> handle_advise t conn id ar
+      | P.Grid gr -> handle_grid t conn id gr)
 
 (* --- connection threads --------------------------------------------- *)
 

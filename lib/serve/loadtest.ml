@@ -55,18 +55,26 @@ let drive spec next_index tally client =
   let inflight : (int, float) Hashtbl.t = Hashtbl.create 16 in
   let mix_len = Array.length spec.mix in
   let record resp =
-    let sent_at =
-      match Hashtbl.find_opt inflight resp.P.id with
-      | Some at ->
-          Hashtbl.remove inflight resp.P.id;
-          Some at
-      | None -> None
+    (* a grid cell is an intermediate reply: the request slot stays in
+       flight (and its latency clock running) until the terminal
+       [Grid_done] — every other reply kind settles its request *)
+    let terminal =
+      match resp.P.reply with P.Grid_cell_reply _ -> false | _ -> true
     in
-    (match sent_at with
-    | Some at ->
-        tally.latencies_ms <-
-          ((Unix.gettimeofday () -. at) *. 1000.) :: tally.latencies_ms
-    | None -> ());
+    if terminal then begin
+      let sent_at =
+        match Hashtbl.find_opt inflight resp.P.id with
+        | Some at ->
+            Hashtbl.remove inflight resp.P.id;
+            Some at
+        | None -> None
+      in
+      match sent_at with
+      | Some at ->
+          tally.latencies_ms <-
+            ((Unix.gettimeofday () -. at) *. 1000.) :: tally.latencies_ms
+      | None -> ()
+    end;
     let count_source = function
       | P.Computed -> tally.w_computed <- tally.w_computed + 1
       | P.Memory -> tally.w_memory <- tally.w_memory + 1
@@ -83,6 +91,16 @@ let drive spec next_index tally client =
     | P.Advise_reply r ->
         tally.w_ok <- tally.w_ok + 1;
         count_source r.P.adr_source
+    | P.Grid_cell_reply c -> (
+        (* cells are the unit of work a grid ships: each successful
+           one counts as an ok response with its own source, so the
+           hit ratio measures per-cell reuse *)
+        match c.P.gc_outcome with
+        | Ok r ->
+            tally.w_ok <- tally.w_ok + 1;
+            count_source r.P.source
+        | Error _ -> tally.w_errored <- tally.w_errored + 1)
+    | P.Grid_done _ -> ()
     | P.Error_reply _ -> tally.w_errored <- tally.w_errored + 1
     | P.Pong | P.Stats_reply _ | P.Shutting_down -> tally.w_ok <- tally.w_ok + 1
   in

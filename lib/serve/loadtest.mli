@@ -17,7 +17,10 @@ type spec = {
   mix : Protocol.payload array;
       (** drawn round-robin; non-empty.  Typically [Sim] and [Mp]
           requests — a multiprogrammed run is just another (heavier)
-          request class to the daemon. *)
+          request class to the daemon.  A [Grid] request occupies one
+          in-flight slot until its terminal [Grid_done], but each
+          streamed cell is tallied as its own ok/errored response with
+          its own source — the hit ratio measures per-cell reuse. *)
 }
 
 type result = {

@@ -110,6 +110,47 @@ let advise_request ?(size_kb = 32) ?(ways = 32) ?(line_bytes = 32)
     ad_no_cache = no_cache;
   }
 
+(* A whole sweep grid in one request: the cross product of benchmarks,
+   schemes and geometries, executed server-side on the sweep machinery
+   — shared prepared benchmarks (compiled traces) and the daemon-wide
+   snapshot cache — with each cell content-addressed in the store
+   exactly like a standalone [Sim] request.  Cells stream back as they
+   complete, many replies sharing the request id, terminated by a
+   [Grid_done] summary. *)
+type grid_request = {
+  g_benchmarks : string list;
+  g_schemes : Config.scheme list;
+  g_sizes_kb : int list;
+  g_ways : int list;
+  g_line_bytes : int;
+  g_no_cache : bool;
+}
+
+let grid_request ?(sizes_kb = [ 32 ]) ?(ways = [ 32 ]) ?(line_bytes = 32)
+    ?(no_cache = false) ~benchmarks ~schemes () =
+  {
+    g_benchmarks = benchmarks;
+    g_schemes = schemes;
+    g_sizes_kb = sizes_kb;
+    g_ways = ways;
+    g_line_bytes = line_bytes;
+    g_no_cache = no_cache;
+  }
+
+(* The canonical cell order — benchmark-major, then scheme, size,
+   ways — shared by the daemon (which numbers the streamed cells) and
+   any client reassembling the grid. *)
+let grid_cells gr =
+  List.concat_map
+    (fun b ->
+      List.concat_map
+        (fun s ->
+          List.concat_map
+            (fun kb -> List.map (fun w -> (b, s, kb, w)) gr.g_ways)
+            gr.g_sizes_kb)
+        gr.g_schemes)
+    gr.g_benchmarks
+
 type payload =
   | Ping
   | Server_stats
@@ -117,6 +158,7 @@ type payload =
   | Sim of sim_request
   | Mp of mp_request
   | Advise of advise_request
+  | Grid of grid_request
 
 type request = { id : int; payload : payload }
 
@@ -145,6 +187,19 @@ let scheme_to_string = function
   | Config.Way_memoization -> "waymemo"
   | Config.Way_prediction -> "waypred"
   | Config.Filter_cache _ -> "filter"
+
+(* A scheme as a standalone object — the element encoding grid scheme
+   lists use; [scheme_of_json] reads it back (it looks the "scheme"
+   discriminator and the optional parameter fields up by name). *)
+let scheme_to_json s =
+  let fields =
+    match s with
+    | Config.Way_placement { area_bytes } ->
+        [ ("area_bytes", Report.Jint area_bytes) ]
+    | Config.Filter_cache { l0_bytes } -> [ ("l0_bytes", Report.Jint l0_bytes) ]
+    | Config.Baseline | Config.Way_memoization | Config.Way_prediction -> []
+  in
+  Report.Jobj (("scheme", Report.Jstring (scheme_to_string s)) :: fields)
 
 (* --- responses ------------------------------------------------------ *)
 
@@ -273,6 +328,28 @@ let advise_result_of_report ~key ~source (r : Wp_advise.Advisor.t) =
       | Some i -> i.Wp_advise.Advisor.predicted_delta_pj);
   }
 
+(* One streamed grid cell.  The coordinates are echoed so a client
+   need not recompute [grid_cells] to know what arrived; the outcome
+   is per-cell — one bad geometry or a crashed computation fails that
+   cell, not the grid. *)
+type grid_cell = {
+  gc_index : int;
+  gc_benchmark : string;
+  gc_scheme : Config.scheme;
+  gc_size_kb : int;
+  gc_ways : int;
+  gc_outcome : (sim_result, string) result;
+}
+
+type grid_summary = {
+  gs_cells : int;
+  gs_computed : int;
+  gs_hits_memory : int;
+  gs_hits_disk : int;
+  gs_coalesced : int;
+  gs_errors : int;
+}
+
 type server_stats = {
   requests : int;
   sim_requests : int;
@@ -294,6 +371,8 @@ type reply =
   | Sim_reply of sim_result
   | Mp_reply of mp_result
   | Advise_reply of advise_result
+  | Grid_cell_reply of grid_cell
+  | Grid_done of grid_summary
   | Error_reply of string
 
 type response = { id : int; reply : reply }
@@ -319,6 +398,32 @@ let field_default name conv ~default j =
       match conv v with
       | Some x -> Ok x
       | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+(* A required, non-empty JSON array whose elements decode with [conv]
+   (itself result-valued, so scheme objects thread their own
+   errors). *)
+let field_list name conv j =
+  match Report.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match Report.to_list v with
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name)
+      | Some [] -> Error (Printf.sprintf "field %S is empty" name)
+      | Some items ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | x :: rest -> (
+                match conv x with
+                | Ok y -> go (y :: acc) rest
+                | Error _ as e -> e)
+          in
+          go [] items)
+
+let elem name conv x =
+  match conv x with
+  | Some v -> Ok v
+  | None ->
+      Error (Printf.sprintf "field %S has an element of the wrong type" name)
 
 (* --- request encoding ----------------------------------------------- *)
 
@@ -383,6 +488,21 @@ let request_to_json { id; payload } =
             ("line_bytes", Report.Jint mr.mp_line_bytes);
             ("no_cache", Report.Jbool mr.mp_no_cache);
             ("verify", Report.Jbool mr.mp_verify);
+          ])
+  | Grid gr ->
+      Report.Jobj
+        (base
+        @ [
+            ("op", Report.Jstring "grid");
+            ( "benchmarks",
+              Report.Jlist
+                (List.map (fun b -> Report.Jstring b) gr.g_benchmarks) );
+            ("schemes", Report.Jlist (List.map scheme_to_json gr.g_schemes));
+            ( "sizes_kb",
+              Report.Jlist (List.map (fun n -> Report.Jint n) gr.g_sizes_kb) );
+            ("ways", Report.Jlist (List.map (fun n -> Report.Jint n) gr.g_ways));
+            ("line_bytes", Report.Jint gr.g_line_bytes);
+            ("no_cache", Report.Jbool gr.g_no_cache);
           ])
   | Advise ar ->
       Report.Jobj
@@ -478,6 +598,17 @@ let advise_of_json j =
       ad_no_cache;
     }
 
+let grid_of_json j =
+  let* g_benchmarks =
+    field_list "benchmarks" (elem "benchmarks" Report.to_string) j
+  in
+  let* g_schemes = field_list "schemes" scheme_of_json j in
+  let* g_sizes_kb = field_list "sizes_kb" (elem "sizes_kb" Report.to_int) j in
+  let* g_ways = field_list "ways" (elem "ways" Report.to_int) j in
+  let* g_line_bytes = field_default "line_bytes" Report.to_int ~default:32 j in
+  let* g_no_cache = field_default "no_cache" Report.to_bool ~default:false j in
+  Ok { g_benchmarks; g_schemes; g_sizes_kb; g_ways; g_line_bytes; g_no_cache }
+
 let request_of_json j =
   match j with
   | Report.Jobj _ ->
@@ -497,6 +628,9 @@ let request_of_json j =
         | "advise" ->
             let* ar = advise_of_json j in
             Ok (Advise ar)
+        | "grid" ->
+            let* gr = grid_of_json j in
+            Ok (Grid gr)
         | other -> Error (Printf.sprintf "unknown op %S" other)
       in
       Ok { id; payload }
@@ -694,6 +828,66 @@ let advise_result_of_json j =
       adr_predicted_delta_pj;
     }
 
+let grid_cell_to_json c =
+  Report.Jobj
+    ([
+       ("index", Report.Jint c.gc_index);
+       ("benchmark", Report.Jstring c.gc_benchmark);
+       ("scheme", scheme_to_json c.gc_scheme);
+       ("size_kb", Report.Jint c.gc_size_kb);
+       ("ways", Report.Jint c.gc_ways);
+     ]
+    @
+    match c.gc_outcome with
+    | Ok r -> [ ("result", sim_result_to_json r) ]
+    | Error msg -> [ ("error", Report.Jstring msg) ])
+
+let grid_cell_of_json j =
+  let* gc_index = field "index" Report.to_int j in
+  let* gc_benchmark = field "benchmark" Report.to_string j in
+  let* sj = field "scheme" Option.some j in
+  let* gc_scheme = scheme_of_json sj in
+  let* gc_size_kb = field "size_kb" Report.to_int j in
+  let* gc_ways = field "ways" Report.to_int j in
+  let* gc_outcome =
+    match Report.member "error" j with
+    | Some (Report.Jstring msg) -> Ok (Error msg)
+    | Some _ -> Error "field \"error\" has the wrong type"
+    | None ->
+        let* r = field "result" Option.some j in
+        let* r = sim_result_of_json r in
+        Ok (Ok r)
+  in
+  Ok { gc_index; gc_benchmark; gc_scheme; gc_size_kb; gc_ways; gc_outcome }
+
+let grid_summary_to_json s =
+  Report.Jobj
+    [
+      ("cells", Report.Jint s.gs_cells);
+      ("computed", Report.Jint s.gs_computed);
+      ("hits_memory", Report.Jint s.gs_hits_memory);
+      ("hits_disk", Report.Jint s.gs_hits_disk);
+      ("coalesced", Report.Jint s.gs_coalesced);
+      ("errors", Report.Jint s.gs_errors);
+    ]
+
+let grid_summary_of_json j =
+  let* gs_cells = field "cells" Report.to_int j in
+  let* gs_computed = field "computed" Report.to_int j in
+  let* gs_hits_memory = field "hits_memory" Report.to_int j in
+  let* gs_hits_disk = field "hits_disk" Report.to_int j in
+  let* gs_coalesced = field "coalesced" Report.to_int j in
+  let* gs_errors = field "errors" Report.to_int j in
+  Ok
+    {
+      gs_cells;
+      gs_computed;
+      gs_hits_memory;
+      gs_hits_disk;
+      gs_coalesced;
+      gs_errors;
+    }
+
 let response_to_json { id; reply } =
   let base = [ ("id", Report.Jint id) ] in
   match reply with
@@ -725,6 +919,17 @@ let response_to_json { id; reply } =
             ("reply", Report.Jstring "advise-result");
             ("result", advise_result_to_json r);
           ])
+  | Grid_cell_reply c ->
+      Report.Jobj
+        (base
+        @ [ ("reply", Report.Jstring "grid-cell"); ("cell", grid_cell_to_json c) ])
+  | Grid_done s ->
+      Report.Jobj
+        (base
+        @ [
+            ("reply", Report.Jstring "grid-done");
+            ("summary", grid_summary_to_json s);
+          ])
   | Error_reply msg ->
       Report.Jobj
         (base @ [ ("reply", Report.Jstring "error"); ("error", Report.Jstring msg) ])
@@ -754,6 +959,14 @@ let response_of_json j =
             let* r = field "result" Option.some j in
             let* r = advise_result_of_json r in
             Ok (Advise_reply r)
+        | "grid-cell" ->
+            let* c = field "cell" Option.some j in
+            let* c = grid_cell_of_json c in
+            Ok (Grid_cell_reply c)
+        | "grid-done" ->
+            let* s = field "summary" Option.some j in
+            let* s = grid_summary_of_json s in
+            Ok (Grid_done s)
         | "error" ->
             let* msg = field "error" Report.to_string j in
             Ok (Error_reply msg)

@@ -122,6 +122,43 @@ val advise_request :
 (** Defaults: the paper geometry, a 16 KB area, 1 KB pages, caching
     on. *)
 
+type grid_request = {
+  g_benchmarks : string list;  (** MiBench names *)
+  g_schemes : Wp_sim.Config.scheme list;
+  g_sizes_kb : int list;
+  g_ways : int list;
+  g_line_bytes : int;  (** shared by every cell *)
+  g_no_cache : bool;  (** bypass the store for every cell *)
+}
+(** A whole sweep grid in one request: the cross product
+    [benchmarks x schemes x sizes_kb x ways], executed server-side on
+    the sweep machinery — shared prepared benchmarks (one compile and
+    trace per benchmark) and the daemon-wide snapshot cache
+    ({!Wp_sim.Snapshot_cache}), so converged loop iterations recorded
+    for one cell fast-forward every other cell whose fingerprints
+    coincide.  Each cell is content-addressed in the store exactly
+    like a standalone [Sim] request — a repeated grid is all store
+    hits.  Cells stream back as they complete (many replies share the
+    request id), terminated by a {!grid_summary}. *)
+
+val grid_request :
+  ?sizes_kb:int list ->
+  ?ways:int list ->
+  ?line_bytes:int ->
+  ?no_cache:bool ->
+  benchmarks:string list ->
+  schemes:Wp_sim.Config.scheme list ->
+  unit ->
+  grid_request
+(** Defaults: the paper's 32 KB / 32-way / 32 B geometry as a
+    one-point size/ways grid, caching on. *)
+
+val grid_cells :
+  grid_request -> (string * Wp_sim.Config.scheme * int * int) list
+(** The grid's cells [(benchmark, scheme, size_kb, ways)] in canonical
+    order — benchmark-major, then scheme, size, ways.  A cell's
+    position in this list is its {!grid_cell.gc_index}. *)
+
 type payload =
   | Ping
   | Server_stats  (** counters since startup *)
@@ -132,6 +169,9 @@ type payload =
       (** run the static placement advisor
           ({!Wp_advise.Advisor.analyze}) — pure analysis, no
           simulation *)
+  | Grid of grid_request
+      (** a batched sweep: one request, one streamed reply per cell
+          plus a terminal summary *)
 
 type request = { id : int; payload : payload }
 (** [id] is echoed verbatim in the response — requests may be
@@ -143,6 +183,14 @@ val config_of_sim : sim_request -> (Wp_sim.Config.t, string) result
 
 val config_of_mp : mp_request -> (Wp_sim.Config.t, string) result
 (** Same, for the machine an mp request describes. *)
+
+val config_of_geometry :
+  scheme:Wp_sim.Config.scheme ->
+  size_kb:int ->
+  ways:int ->
+  line_bytes:int ->
+  (Wp_sim.Config.t, string) result
+(** The building block under both: one grid cell's configuration. *)
 
 val scheme_to_string : Wp_sim.Config.scheme -> string
 (** The wire name: baseline, wayplace, waymemo, waypred or filter. *)
@@ -225,6 +273,32 @@ type advise_result = {
 val advise_result_of_report :
   key:string -> source:source -> Wp_advise.Advisor.t -> advise_result
 
+type grid_cell = {
+  gc_index : int;  (** position in {!grid_cells} order *)
+  gc_benchmark : string;
+  gc_scheme : Wp_sim.Config.scheme;
+  gc_size_kb : int;
+  gc_ways : int;
+  gc_outcome : (sim_result, string) result;
+      (** per-cell: one bad geometry or crashed computation fails that
+          cell, not the grid *)
+}
+(** One streamed cell of a {!grid_request}.  Cells arrive in
+    completion order, not index order — the echoed coordinates say
+    what arrived. *)
+
+type grid_summary = {
+  gs_cells : int;
+  gs_computed : int;
+  gs_hits_memory : int;
+  gs_hits_disk : int;
+  gs_coalesced : int;
+  gs_errors : int;
+}
+(** The terminal reply of a grid: how many cells there were and how
+    each was sourced.  [gs_computed + gs_hits_memory + gs_hits_disk +
+    gs_coalesced + gs_errors = gs_cells]. *)
+
 type server_stats = {
   requests : int;  (** lines accepted (including malformed ones) *)
   sim_requests : int;
@@ -246,6 +320,10 @@ type reply =
   | Sim_reply of sim_result
   | Mp_reply of mp_result
   | Advise_reply of advise_result
+  | Grid_cell_reply of grid_cell
+      (** one cell of a [Grid] request, streamed on completion; the
+          terminal {!grid_summary} always follows the last cell *)
+  | Grid_done of grid_summary
   | Error_reply of string
       (** per-request failure: malformed request, unknown benchmark,
           invalid configuration, or a crashed computation — the

@@ -24,6 +24,7 @@ type plan = plan_block array
 type t = {
   program : Wp_workloads.Codegen.t;
   layout : Wp_layout.Binary_layout.t;
+  token : int;
   starts : int array;
   bodies : Wp_isa.Instr.t array array;
   taken_succs : int array;
@@ -32,6 +33,11 @@ type t = {
   mutable plans : (int * plan) list;
       (** one entry per distinct [line_bytes] seen; tiny in practice *)
 }
+
+(* Process-unique identity per compiled trace: snapshot-cache scopes
+   key on it, so effects recorded replaying one (program, layout) can
+   only ever serve runs replaying the very same compiled trace. *)
+let next_token = Atomic.make 0
 
 let make ~(program : Wp_workloads.Codegen.t) ~layout =
   let graph = program.Wp_workloads.Codegen.graph in
@@ -96,6 +102,7 @@ let make ~(program : Wp_workloads.Codegen.t) ~layout =
   {
     program;
     layout;
+    token = Atomic.fetch_and_add next_token 1;
     starts;
     bodies;
     taken_succs;
@@ -106,6 +113,7 @@ let make ~(program : Wp_workloads.Codegen.t) ~layout =
 
 let program t = t.program
 let layout t = t.layout
+let token t = t.token
 let starts t = t.starts
 let bodies t = t.bodies
 let taken_succs t = t.taken_succs

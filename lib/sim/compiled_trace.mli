@@ -56,6 +56,14 @@ val matches :
 val program : t -> Wp_workloads.Codegen.t
 val layout : t -> Wp_layout.Binary_layout.t
 
+val token : t -> int
+(** Process-unique identity of this compiled trace, assigned at
+    {!make}.  {!Snapshot_cache} scopes embed it, so converged-iteration
+    effects recorded against one (program, layout) can only serve runs
+    replaying the same compiled trace — sharing across sweep cells and
+    serve requests happens exactly when they share the prepared
+    benchmark. *)
+
 val starts : t -> int array
 (** Block start address per block id. *)
 

@@ -45,9 +45,9 @@ let compiled_for prepared (config : Config.t) =
   | Config.Filter_cache _ ->
       prepared.compiled_original
 
-let run_scheme ?probe ?fastforward ?ff_report prepared config =
-  Simulator.run_compiled ?probe ?fastforward ?ff_report ~config
-    ~trace:prepared.trace_large
+let run_scheme ?probe ?fastforward ?ff_report ?snapshot_cache prepared config =
+  Simulator.run_compiled ?probe ?fastforward ?ff_report ?snapshot_cache
+    ~config ~trace:prepared.trace_large
     (compiled_for prepared config)
 
 let run_timeline ?(schedule = []) ?window_cycles prepared config =

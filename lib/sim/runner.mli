@@ -35,14 +35,16 @@ val run_scheme :
   ?probe:Wp_obs.Probe.t ->
   ?fastforward:bool ->
   ?ff_report:Steady_state.report ->
+  ?snapshot_cache:Snapshot_cache.t ->
   prepared ->
   Config.t ->
   Stats.t
 (** Evaluate one configuration on the prepared benchmark (picks the
     layout that matches the scheme).  [probe] observes the run's event
     stream; results are bit-identical with or without it.
-    [fastforward] / [ff_report] forward to {!Simulator.run_compiled} —
-    results are bit-identical with fast-forward on or off too. *)
+    [fastforward] / [ff_report] / [snapshot_cache] forward to
+    {!Simulator.run_compiled} — results are bit-identical with
+    fast-forward on or off, cache attached or not. *)
 
 val run_timeline :
   ?schedule:(int * int) list ->

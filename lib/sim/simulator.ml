@@ -7,6 +7,7 @@ let code_base = 0x0001_0000
    benchmarks run from many domains. *)
 let fastforward_default = Atomic.make true
 let set_fastforward_default b = Atomic.set fastforward_default b
+let default_fastforward () = Atomic.get fastforward_default
 
 (* The per-instruction reference loop: fetch, data access, retire — one
    instruction at a time through the core model.  This is the
@@ -135,7 +136,19 @@ let run_fast ~(config : Config.t) ~compiled
       for k = 0 to nblocks - 1 do
         exec_block k
       done
-  | Some (policy, report) ->
+  | Some (policy, report, cache) ->
+      (* The cache scope pins the world an entry was recorded in: the
+         compiled trace's identity and the whole configuration (energy
+         parameters and latencies are deliberately not fingerprinted —
+         they are constants of a run, so they must be constants of the
+         key).  Computed only when a cache is actually attached. *)
+      let cache_scope =
+        match cache with
+        | None -> ""
+        | Some _ ->
+            Printf.sprintf "%d/%s" (Compiled_trace.token compiled)
+              (Digest.string (Marshal.to_string config []))
+      in
       let ctx =
         {
           Steady_state.policy;
@@ -184,16 +197,28 @@ let run_fast ~(config : Config.t) ~compiled
               Fetch_engine.drowsy_replay_awake engine a ~len ~iters);
           cycles;
           instrs;
+          cache;
+          cache_scope;
+          cycle_headroom = None;
         }
       in
-      Steady_state.run ctx);
+      (* The pre-scan decides engagement up front: a patternless trace
+         replays through the same bare loop as the no-FF path, so
+         fast-forward costs it nothing. *)
+      let drv = Steady_state.make ctx in
+      if Steady_state.engaged drv then Steady_state.drive drv
+      else
+        for k = 0 to nblocks - 1 do
+          exec_block k
+        done);
   stats.Stats.cycles <- !cycles;
   Fetch_engine.finalize engine stats ~cycles:!cycles;
   stats.Stats.retired_instrs <- !instrs
 
 let run_compiled ?probe ?(schedule = []) ?(reference_only = false)
     ?fastforward ?(ff_policy = Steady_state.default_policy) ?ff_report
-    ~(config : Config.t) ~(trace : Wp_workloads.Tracer.trace) compiled =
+    ?snapshot_cache ~(config : Config.t) ~(trace : Wp_workloads.Tracer.trace)
+    compiled =
   let resize_schedule = schedule in
   (let rec ascending = function
      | (a, _) :: ((b, _) :: _ as rest) ->
@@ -226,9 +251,10 @@ let run_compiled ?probe ?(schedule = []) ?(reference_only = false)
         else
           Some
             ( ff_policy,
-              match ff_report with
+              (match ff_report with
               | Some r -> r
-              | None -> Steady_state.create_report () )
+              | None -> Steady_state.create_report ()),
+              snapshot_cache )
       in
       run_fast ~config ~compiled ~trace ~stats ~engine ~dmem ~data ~ff
   | _ ->

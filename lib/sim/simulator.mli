@@ -28,6 +28,11 @@ val set_fastforward_default : bool -> unit
     differential tests flip this; the setting is process-global and
     atomic. *)
 
+val default_fastforward : unit -> bool
+(** The current {!set_fastforward_default} setting — what a run with
+    no explicit [fastforward] argument will do.  Other engines honour
+    it too (e.g. [Mp.Machine]). *)
+
 val run_compiled :
   ?probe:Wp_obs.Probe.t ->
   ?schedule:(int * int) list ->
@@ -35,6 +40,7 @@ val run_compiled :
   ?fastforward:bool ->
   ?ff_policy:Steady_state.policy ->
   ?ff_report:Steady_state.report ->
+  ?snapshot_cache:Snapshot_cache.t ->
   config:Config.t ->
   trace:Wp_workloads.Tracer.trace ->
   Compiled_trace.t ->
@@ -48,8 +54,12 @@ val run_compiled :
     fast-forwarded ({!Steady_state}) when [fastforward] (default: the
     {!set_fastforward_default} setting) is true; the result is
     bit-identical either way.  [ff_policy] tunes the detector;
-    [ff_report], if given, accumulates what the engine skipped.  All
-    three are ignored on the reference path.
+    [ff_report], if given, accumulates what the engine skipped;
+    [snapshot_cache], if given, lets converged iterations be reused
+    across regions, runs and sweep cells (keyed on the compiled
+    trace's {!Compiled_trace.token} and the full config digest, so
+    reuse never crosses worlds).  All four are ignored on the
+    reference path.
     @raise Invalid_argument if the config is invalid or the schedule is
     not ascending. *)
 

@@ -10,13 +10,36 @@
     loop (integer counters scale as sums; order-sensitive float
     accumulators replay their recorded charge sequences in order).
 
+    {b Detection is a memoised static pre-scan}: which trace stretches
+    are periodic is a pure function of the block array, so the
+    delta-gated detector — a rolling anchor-delta over each block's
+    recurrence distance, escalating to exact O(period) segment
+    verification only when the distance holds steady — runs once over
+    the trace, off the replay path, and its region list is memoised
+    per (trace, policy).  Every scheme, repeat sample and sweep cell
+    replaying the same trace shares one scan; a patternless trace
+    yields an empty list and {!engaged} lets the caller bypass the
+    driver entirely, so detection costs such a run nothing per block.
+    The scan is a pure filter: convergence is still established
+    exclusively by fingerprint equality at run time, so a scan miss
+    costs speed, never correctness.
+
+    {b Converged iterations are reusable}: with a {!Snapshot_cache}
+    attached, every boundary snapshot is also a cache lookup, and a
+    converged region publishes its (fingerprint, pattern, effects)
+    triple.  Re-entering the same pattern in the same observable state
+    — a later region of this run, the same hot loop after an
+    [Mp.Machine] context switch, another sweep cell replaying the same
+    compiled trace under the same configuration — skips from its first
+    boundary without re-recording.
+
     Bail-out conditions: the engine exists only on the probe-less,
     schedule-less fast path (probes and resize schedules force the
     reference loop upstream); within it, a region is simply replayed
     normally when fingerprints never match (e.g. RNG-drawing data
     accesses or drowsy timers that break iteration symmetry), when the
     candidate pattern is stream-variant, or when the attempt/snapshot
-    budgets run out. *)
+    budgets run out.  {!report} counts each reason. *)
 
 type policy = {
   max_period_blocks : int;  (** longest loop body considered, in trace blocks *)
@@ -36,6 +59,19 @@ type report = {
   mutable converged : int;  (** regions that reached a converged iteration *)
   mutable skipped_iterations : int;
   mutable skipped_instrs : int;  (** dynamic instructions fast-forwarded *)
+  mutable gate_rejected : int;
+      (** scan-time gate escalations whose exact segment verification
+          failed — a stable recurrence distance that was not actually
+          periodic *)
+  mutable vetoed : int;  (** verified patterns vetoed as stream-variant *)
+  mutable cost_gated : int;
+      (** verified regions skipped as too small to repay their own
+          fingerprint (and attempts abandoned on the same grounds) *)
+  mutable budget_exhausted : int;
+      (** attempts abandoned on the attempt/snapshot budgets or
+          because the region ran out before convergence *)
+  mutable cache_hits : int;  (** regions served from the snapshot cache *)
+  mutable cache_inserts : int;  (** converged iterations published to it *)
 }
 
 val create_report : unit -> report
@@ -67,6 +103,19 @@ type ctx = {
   drowsy_replay : int array -> len:int -> iters:int -> unit;
   cycles : int ref;  (** the replay loop's cycle accumulator *)
   instrs : int ref;  (** the replay loop's retired-instruction counter *)
+  cache : Snapshot_cache.t option;
+      (** shared converged-iteration cache; [None] runs detection
+          standalone, bit-identical either way *)
+  cache_scope : string;
+      (** cache key component identifying the replayed world: the
+          compiled trace's token plus the full configuration digest.
+          Ignored when [cache] is [None] *)
+  cycle_headroom : (unit -> int) option;
+      (** when present, a skip may add at most this many cycles to
+          [cycles] — the multiprogramming scheduler's quantum bound,
+          so fast-forward never overruns a time slice and context
+          switches land on exactly the reference loop's block
+          boundaries.  [None] = unbounded (single-run replay) *)
 }
 
 val run : ctx -> unit
@@ -74,3 +123,46 @@ val run : ctx -> unit
     periodic regions.  On return every trace position has been either
     executed or skipped-with-exact-effects; [ctx.report] describes
     which. *)
+
+(** {1 Resumable driver}
+
+    The multiprogramming machine executes a trace in quantum-bounded
+    slices with context switches in between.  A {!driver} holds the
+    replay position and the precomputed region plan across those
+    slices, so fast-forward — and snapshot-cache reuse — survives
+    preemption. *)
+
+type driver
+
+val make : ctx -> driver
+(** Builds (or fetches the memoised) region plan for [ctx.blocks] and
+    folds its scan-side counts ([gate_rejected], [vetoed],
+    [cost_gated]) into [ctx.report]. *)
+
+val engaged : driver -> bool
+(** Whether the plan found any fast-forwardable region.  When [false]
+    the driver degenerates to a plain replay loop; single-run callers
+    can skip it and run their own loop at zero overhead. *)
+
+val drive : driver -> unit
+(** Run the driver to the end of the trace ([run ctx] is
+    [drive (make ctx)]). *)
+
+val pos : driver -> int
+(** The next trace position to execute (= [Array.length ctx.blocks]
+    when the trace is finished). *)
+
+val advance : driver -> until:(unit -> bool) -> unit
+(** Execute (or fast-forward) trace positions until the trace ends or
+    [until ()] holds; [until] is re-checked after every executed block
+    and after every applied skip, so a caller metering cycles stops on
+    exactly the block boundary the plain loop would have stopped on.
+    An attempt interrupted mid-recording is abandoned (recording is
+    observational, so abandonment costs speed only). *)
+
+val reawaken : driver -> unit
+(** Re-enable detection from the current position.  A region cut short
+    by [until] (or by the cycle-headroom cap) is marked settled so the
+    remainder of the current slice doesn't re-fingerprint every block;
+    the scheduler calls this when the process is dispatched again, so
+    the hot loop's next boundary can hit the snapshot cache. *)

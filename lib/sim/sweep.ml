@@ -295,6 +295,9 @@ type t = {
   tables_lock : Mutex.t;  (** guards the two hashtables (not the cells) *)
   preps : (string, Runner.prepared once) Hashtbl.t;
   results : (string, Stats.t once) Hashtbl.t;
+  snapshot_cache : Snapshot_cache.t;
+      (** converged fast-forward iterations, shared by every job this
+          engine runs (thread-safe; scoped keys keep worlds apart) *)
 }
 
 let default_workers () = Domain.recommended_domain_count ()
@@ -306,9 +309,11 @@ let create ?workers ?progress () =
     tables_lock = Mutex.create ();
     preps = Hashtbl.create 32;
     results = Hashtbl.create 512;
+    snapshot_cache = Snapshot_cache.create ();
   }
 
 let workers t = t.workers
+let snapshot_cache t = t.snapshot_cache
 
 (* The runtime representation of a Config.t is pure immutable data
    (scalars, records, variants), so marshalling is a total, stable
@@ -362,7 +367,9 @@ let prepared t name =
 
 let stats t job =
   let cell = find_or_add_cell t t.results (job_key job) in
-  once_get cell (fun () -> Runner.run_scheme (prepared t job.benchmark) job.config)
+  once_get cell (fun () ->
+      Runner.run_scheme ~snapshot_cache:t.snapshot_cache
+        (prepared t job.benchmark) job.config)
 
 let completed t =
   Mutex.lock t.tables_lock;

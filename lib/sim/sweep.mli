@@ -115,6 +115,15 @@ val default_workers : unit -> int
 
 val workers : t -> int
 
+val snapshot_cache : t -> Snapshot_cache.t
+(** The engine's shared converged-iteration cache: every job this
+    engine runs attaches it ({!Runner.run_scheme}'s [snapshot_cache]),
+    so a hot loop converged in one sweep cell fast-forwards from its
+    first boundary in every later cell replaying the same compiled
+    trace under the same configuration.  Scoped keys (trace token +
+    config digest) make cross-world reuse impossible; results stay
+    bit-identical with or without the cache. *)
+
 val config_key : Config.t -> string
 (** A stable key covering every field of the configuration (a digest
     of its runtime representation).  Two configs get the same key iff

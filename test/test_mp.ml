@@ -382,6 +382,118 @@ let test_progen_mix_runs () =
     (List.length mix)
     (List.length r.Mp.Machine.processes)
 
+(* --- snapshot cache across quanta and address spaces ----------------- *)
+
+module Snapshot_cache = Wayplace.Sim.Snapshot_cache
+module Steady_state = Wayplace.Sim.Steady_state
+module Fetch_engine = Wayplace.Sim.Fetch_engine
+
+let test_shootdown_fingerprint_misses () =
+  (* The boundary fingerprint covers the I-TLB, so an iteration
+     converged with a warm TLB can never serve the boundary right
+     after an address-space switch's shootdown: the post-flush
+     fingerprint differs, and by key construction the lookup MISSES. *)
+  let config = Config.xscale wp16 in
+  let engine = Fetch_engine.create config ~code_base:Simulator.code_base in
+  let stats = Wayplace.Sim.Stats.create () in
+  List.iter
+    (fun a -> ignore (Fetch_engine.fetch engine stats a))
+    [
+      Simulator.code_base;
+      Simulator.code_base + 4096;
+      Simulator.code_base + 8192;
+    ];
+  let fp_of () =
+    let b = Buffer.create 64 in
+    Fetch_engine.fingerprint engine ~now:stats.Wayplace.Sim.Stats.fetches
+      ~add:(fun x -> Buffer.add_string b (string_of_int x ^ ","));
+    Buffer.contents b
+  in
+  let warm = fp_of () in
+  let cache = Snapshot_cache.create () in
+  let to_words s =
+    Array.of_list
+      (List.filter_map int_of_string_opt (String.split_on_char ',' s))
+  in
+  let warm_fp = to_words warm in
+  let key fp =
+    Snapshot_cache.key ~scope:"mp-test" ~period:2 ~ids:[| 1; 2 |] ~fp
+      ~fp_len:(Array.length fp)
+  in
+  Snapshot_cache.add cache ~key:(key warm_fp)
+    {
+      Snapshot_cache.e_fp = Array.copy warm_fp;
+      e_ints = [||];
+      e_charges = [||];
+      e_lens = [||];
+      e_awake = [||];
+      e_fetches = 0;
+      e_cycles = 1;
+      e_instrs = 1;
+    };
+  Alcotest.(check bool)
+    "warm fingerprint hits its own entry" true
+    (Snapshot_cache.find cache ~key:(key warm_fp) ~fp:warm_fp
+       ~fp_len:(Array.length warm_fp)
+    <> None);
+  Fetch_engine.flush_tlb engine;
+  let cold = fp_of () in
+  Alcotest.(check bool) "shootdown changes the fingerprint" false
+    (String.equal warm cold);
+  let cold_fp = to_words cold in
+  Alcotest.(check bool)
+    "post-shootdown boundary misses" true
+    (Snapshot_cache.find cache ~key:(key cold_fp) ~fp:cold_fp
+       ~fp_len:(Array.length cold_fp)
+    = None)
+
+let test_snapshot_cache_mp_identity () =
+  (* One cache shared across every quantum of a time-sliced mix (and
+     across whole runs, as the sweep and the daemon share it): results
+     must stay bit-identical to the cache-less machine, cold and
+     warm. *)
+  let config = Config.xscale wp16 in
+  let options = quantum 3_000 in
+  let plain = Mp.Machine.run ~config ~options (trio ()) in
+  let cache = Snapshot_cache.create () in
+  let report = Steady_state.create_report () in
+  let cached =
+    Mp.Machine.run ~snapshot_cache:cache ~ff_report:report ~config ~options
+      (trio ())
+  in
+  check_same_result "mp with snapshot cache" plain cached;
+  Alcotest.(check bool)
+    "converged regions published" true
+    (report.Steady_state.cache_inserts > 0);
+  let report2 = Steady_state.create_report () in
+  let warm =
+    Mp.Machine.run ~snapshot_cache:cache ~ff_report:report2 ~config ~options
+      (trio ())
+  in
+  check_same_result "mp over a warm cache" plain warm;
+  Alcotest.(check bool)
+    "warm re-run hits" true
+    (report2.Steady_state.cache_hits > 0)
+
+let test_snapshot_cache_reentry_hits () =
+  (* A single process re-dispatched by the timer keeps its address
+     space — no shootdown — so a hot loop crossing the quantum
+     boundary re-enters in the exact converged state and hits the
+     entry published in an earlier quantum. *)
+  let config = Config.xscale wp16 in
+  let options = quantum 3_000 in
+  let mix = Mp.Mix.of_specs [ Mibench.find "crc_loop" ] in
+  let plain = Mp.Machine.run ~config ~options mix in
+  let cache = Snapshot_cache.create () in
+  let report = Steady_state.create_report () in
+  let cached =
+    Mp.Machine.run ~snapshot_cache:cache ~ff_report:report ~config ~options mix
+  in
+  check_same_result "single-process sliced loop" plain cached;
+  Alcotest.(check bool)
+    "cross-quantum re-entry hits" true
+    (report.Steady_state.cache_hits > 0)
+
 let () =
   Alcotest.run "mp"
     [
@@ -412,6 +524,15 @@ let () =
             test_probe_leaves_result_identical;
           Alcotest.test_case "switch on a window boundary" `Quick
             test_switch_on_window_boundary;
+        ] );
+      ( "snapshot-cache",
+        [
+          Alcotest.test_case "TLB shootdown forces a miss" `Quick
+            test_shootdown_fingerprint_misses;
+          Alcotest.test_case "bit-identity, cold and warm" `Quick
+            test_snapshot_cache_mp_identity;
+          Alcotest.test_case "cross-quantum re-entry hits" `Quick
+            test_snapshot_cache_reentry_hits;
         ] );
       ( "mix",
         [

@@ -68,6 +68,22 @@ let sample_requests =
            (P.advise_request ~size_kb:8 ~ways:4 ~line_bytes:16 ~area_kb:2
               ~page_bytes:512 ~no_cache:true ~benchmark:"crc" ());
      }
+  :: { P.id = 9;
+       payload =
+         P.Grid
+           (P.grid_request ~sizes_kb:[ 8; 16 ] ~ways:[ 4; 32 ] ~line_bytes:16
+              ~no_cache:true
+              ~benchmarks:[ "crc"; nasty ]
+              ~schemes:
+                [ Config.Baseline; Config.Way_placement { area_bytes = 4096 } ]
+              ());
+     }
+  :: { P.id = 10;
+       payload =
+         P.Grid
+           (P.grid_request ~benchmarks:[ "sha" ]
+              ~schemes:[ Config.Way_memoization ] ());
+     }
   :: List.mapi
        (fun i scheme ->
          { P.id = 100 + i; payload = P.Sim (P.sim_request ~benchmark:"sha" ~scheme ()) })
@@ -143,6 +159,42 @@ let sample_responses =
               adr_predicted_delta_pj = 0.0;
             };
       };
+      { P.id = 30;
+        reply =
+          P.Grid_cell_reply
+            {
+              P.gc_index = 0;
+              gc_benchmark = "crc";
+              gc_scheme = Config.Way_placement { area_bytes = 4096 };
+              gc_size_kb = 8;
+              gc_ways = 4;
+              gc_outcome = Ok (sim_result_sample P.Computed);
+            };
+      };
+      { P.id = 31;
+        reply =
+          P.Grid_cell_reply
+            {
+              P.gc_index = 3;
+              gc_benchmark = nasty;
+              gc_scheme = Config.Filter_cache { l0_bytes = 512 };
+              gc_size_kb = 32;
+              gc_ways = 32;
+              gc_outcome = Error nasty;
+            };
+      };
+      { P.id = 32;
+        reply =
+          P.Grid_done
+            {
+              P.gs_cells = 8;
+              gs_computed = 4;
+              gs_hits_memory = 2;
+              gs_hits_disk = 1;
+              gs_coalesced = 1;
+              gs_errors = 0;
+            };
+      };
     ]
 
 let test_request_roundtrip () =
@@ -194,6 +246,14 @@ let test_request_decode_errors () =
     "{\"id\":1,\"op\":\"sim\",\"benchmark\":\"crc\",\"scheme\":\"quantum\"}";
   expect_decode_error "duplicate keys"
     "{\"id\":1,\"id\":2,\"op\":\"ping\"}";
+  expect_decode_error "grid without benchmarks"
+    "{\"id\":1,\"op\":\"grid\",\"schemes\":[{\"scheme\":\"baseline\"}]}";
+  expect_decode_error "grid with empty benchmarks"
+    "{\"id\":1,\"op\":\"grid\",\"benchmarks\":[],\"schemes\":[{\"scheme\":\"baseline\"}]}";
+  expect_decode_error "grid with mistyped benchmark"
+    "{\"id\":1,\"op\":\"grid\",\"benchmarks\":[7],\"schemes\":[{\"scheme\":\"baseline\"}]}";
+  expect_decode_error "grid with unknown scheme"
+    "{\"id\":1,\"op\":\"grid\",\"benchmarks\":[\"crc\"],\"schemes\":[{\"scheme\":\"quantum\"}]}";
   (* wrong-type errors name the field *)
   (match P.request_of_line "{\"id\":1,\"op\":\"sim\",\"benchmark\":7}" with
   | Ok _ -> Alcotest.fail "wrong-type benchmark accepted"
@@ -229,6 +289,29 @@ let test_config_of_sim () =
   with
   | Ok _ -> Alcotest.fail "non-power-of-two ways accepted"
   | Error _ -> ()
+
+let test_grid_cells_order () =
+  (* The canonical cell order is benchmark-major, then scheme, size,
+     ways: the order clients see gc_index in, and the order any two
+     runs of the same grid agree on. *)
+  let gr =
+    P.grid_request ~sizes_kb:[ 8; 16 ] ~ways:[ 4; 32 ]
+      ~benchmarks:[ "a"; "b" ]
+      ~schemes:[ Config.Baseline; Config.Way_memoization ]
+      ()
+  in
+  let cells = P.grid_cells gr in
+  Alcotest.(check int) "full cross product" 16 (List.length cells);
+  Alcotest.(check bool) "first cell" true
+    (List.nth cells 0 = ("a", Config.Baseline, 8, 4));
+  Alcotest.(check bool) "ways varies fastest" true
+    (List.nth cells 1 = ("a", Config.Baseline, 8, 32));
+  Alcotest.(check bool) "then size" true
+    (List.nth cells 2 = ("a", Config.Baseline, 16, 4));
+  Alcotest.(check bool) "then scheme" true
+    (List.nth cells 4 = ("a", Config.Way_memoization, 8, 4));
+  Alcotest.(check bool) "benchmark slowest" true
+    (List.nth cells 8 = ("b", Config.Baseline, 8, 4))
 
 (* --- store ----------------------------------------------------------- *)
 
@@ -815,6 +898,143 @@ let test_daemon_coalesces_inflight () =
           Alcotest.(check int) "burst coalesced onto one computation" 1
             (Daemon.computations daemon)))
 
+let test_daemon_grid () =
+  with_daemon ~workers:2 (fun daemon endpoint ->
+      let client = ok_or_fail "connect" (Client.connect endpoint) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let gr =
+            P.grid_request ~benchmarks:[ "crc"; "sha" ]
+              ~schemes:
+                [
+                  Config.Baseline;
+                  Config.Way_placement { area_bytes = 16 * 1024 };
+                ]
+              ()
+          in
+          let streamed = ref 0 in
+          let cells, summary =
+            ok_or_fail "grid"
+              (Client.grid ~on_cell:(fun _ -> incr streamed) client gr)
+          in
+          Alcotest.(check int) "full cross product served" 4
+            (List.length cells);
+          Alcotest.(check int) "every cell streamed" 4 !streamed;
+          Alcotest.(check int) "summary counts the cells" 4 summary.P.gs_cells;
+          Alcotest.(check int) "sources partition the cells" 4
+            (summary.P.gs_computed + summary.P.gs_hits_memory
+           + summary.P.gs_hits_disk + summary.P.gs_coalesced
+           + summary.P.gs_errors);
+          Alcotest.(check int) "no errors" 0 summary.P.gs_errors;
+          (* cells come back in canonical grid order with their
+             coordinates echoed *)
+          let expected = P.grid_cells gr in
+          List.iteri
+            (fun i c ->
+              let b, s, kb, w = List.nth expected i in
+              Alcotest.(check int) "index" i c.P.gc_index;
+              Alcotest.(check string) "benchmark" b c.P.gc_benchmark;
+              Alcotest.(check bool) "scheme" true (s = c.P.gc_scheme);
+              Alcotest.(check int) "size" kb c.P.gc_size_kb;
+              Alcotest.(check int) "ways" w c.P.gc_ways)
+            cells;
+          (* every cell's stats match the sequential oracle *)
+          List.iter
+            (fun c ->
+              match c.P.gc_outcome with
+              | Error e ->
+                  Alcotest.failf "%s cell errored: %s" c.P.gc_benchmark e
+              | Ok r ->
+                  Alcotest.(check string)
+                    (c.P.gc_benchmark ^ " matches oracle")
+                    (oracle_digest c.P.gc_benchmark c.P.gc_scheme)
+                    r.P.digest)
+            cells;
+          (* the same grid again: every cell is a store hit, nothing
+             recomputes *)
+          let computed_before = Daemon.computations daemon in
+          let _, warm = ok_or_fail "warm grid" (Client.grid client gr) in
+          Alcotest.(check int) "warm grid: all cells memory hits" 4
+            warm.P.gs_hits_memory;
+          Alcotest.(check int) "warm grid computes nothing" 0
+            warm.P.gs_computed;
+          Alcotest.(check int) "no new computations" computed_before
+            (Daemon.computations daemon);
+          (* grids and standalone sims share the content address *)
+          let r =
+            ok_or_fail "sim after grid"
+              (Client.sim client
+                 (P.sim_request ~benchmark:"crc" ~scheme:Config.Baseline ()))
+          in
+          Alcotest.(check bool) "standalone sim hits the grid's entry" true
+            (r.P.source = P.Memory);
+          (* a bad cell fails alone; the rest of the grid still lands *)
+          let mixed =
+            P.grid_request
+              ~benchmarks:[ "crc"; "no_such_benchmark" ]
+              ~schemes:[ Config.Baseline ] ()
+          in
+          let cells2, s3 = ok_or_fail "mixed grid" (Client.grid client mixed) in
+          Alcotest.(check int) "one cell errored" 1 s3.P.gs_errors;
+          (match cells2 with
+          | [ good; bad ] ->
+              (match good.P.gc_outcome with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "good cell errored: %s" e);
+              (match bad.P.gc_outcome with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.fail "unknown benchmark produced a result")
+          | _ -> Alcotest.fail "expected exactly two cells");
+          (* an empty cross product is a whole-request error *)
+          let empty =
+            {
+              P.g_benchmarks = [ "crc" ];
+              g_schemes = [];
+              g_sizes_kb = [ 32 ];
+              g_ways = [ 32 ];
+              g_line_bytes = 32;
+              g_no_cache = false;
+            }
+          in
+          match Client.grid client empty with
+          | Ok _ -> Alcotest.fail "empty grid accepted"
+          | Error msg ->
+              Alcotest.(check bool) "diagnostic not empty" true
+                (String.length msg > 0)))
+
+let test_loadtest_grid_warm () =
+  (* The load tester counts each streamed cell as its own response
+     with its own source, so a warm grid measures per-cell reuse: the
+     hit ratio over an all-hits run must be ~1.0. *)
+  with_daemon ~workers:2 (fun _daemon endpoint ->
+      let gr =
+        P.grid_request ~benchmarks:[ "crc" ]
+          ~schemes:[ Config.Baseline; Config.Way_memoization ]
+          ()
+      in
+      let client = ok_or_fail "connect" (Client.connect endpoint) in
+      ignore (ok_or_fail "prewarm" (Client.grid client gr));
+      Client.close client;
+      let res =
+        ok_or_fail "loadtest"
+          (Wayplace.Serve.Loadtest.run
+             {
+               Wayplace.Serve.Loadtest.endpoint;
+               connections = 2;
+               depth = 2;
+               total = 6;
+               mix = [| P.Grid gr |];
+             })
+      in
+      let open Wayplace.Serve.Loadtest in
+      Alcotest.(check int) "six grids sent" 6 res.sent;
+      Alcotest.(check int) "every cell ok" 12 res.ok;
+      Alcotest.(check int) "nothing errored" 0 res.errored;
+      Alcotest.(check bool)
+        (Printf.sprintf "warm hit ratio %.3f >= 0.99" res.hit_ratio)
+        true (res.hit_ratio >= 0.99))
+
 let test_daemon_shutdown_mid_burst () =
   with_daemon ~workers:2 (fun daemon endpoint ->
       let client = ok_or_fail "connect" (Client.connect endpoint) in
@@ -862,6 +1082,8 @@ let () =
             test_request_decode_errors;
           Alcotest.test_case "config_of_sim validates geometry" `Quick
             test_config_of_sim;
+          Alcotest.test_case "grid cells in canonical order" `Quick
+            test_grid_cells_order;
         ] );
       ( "store",
         [
@@ -888,6 +1110,10 @@ let () =
             test_daemon_advise;
           Alcotest.test_case "store survives a restart" `Quick
             test_daemon_persistence_across_restart;
+          Alcotest.test_case "grid batch: stream, share, memoise" `Quick
+            test_daemon_grid;
+          Alcotest.test_case "loadtest counts grid cells" `Quick
+            test_loadtest_grid_warm;
         ] );
       ( "stress",
         [

@@ -34,7 +34,7 @@ type fake = {
 
 let fake_ctx ?(policy = Steady_state.default_policy)
     ?(variant = fun ~start:_ ~period:_ -> true) ?(state_converges = true)
-    trace =
+    ?cache ?(scope = "fake") ?headroom trace =
   let f =
     {
       trace;
@@ -76,6 +76,9 @@ let fake_ctx ?(policy = Steady_state.default_policy)
       drowsy_replay = (fun _ ~len:_ ~iters:_ -> ());
       cycles = f.cycles;
       instrs = f.instrs;
+      cache;
+      cache_scope = scope;
+      cycle_headroom = headroom;
     }
   in
   (f, ctx, report)
@@ -205,6 +208,172 @@ let test_snapshot_budget () =
   Steady_state.run ctx;
   check_totals "no budget" f;
   Alcotest.(check int) "no attempts" 0 report.Steady_state.regions
+
+(* --- snapshot cache: bounded reuse across regions and runs -------- *)
+
+module Snapshot_cache = Wayplace.Sim.Snapshot_cache
+
+let dummy_entry fp =
+  {
+    Snapshot_cache.e_fp = Array.copy fp;
+    e_ints = [| 1; 2 |];
+    e_charges = [| [| 1.0 |] |];
+    e_lens = [| 1 |];
+    e_awake = [||];
+    e_fetches = 1;
+    e_cycles = 10;
+    e_instrs = 10;
+  }
+
+let test_cache_eviction () =
+  let c = Snapshot_cache.create ~capacity:2 () in
+  let fp = [| 7; 42 |] in
+  let key i =
+    Snapshot_cache.key ~scope:(string_of_int i) ~period:2 ~ids:[| 3; 5 |] ~fp
+      ~fp_len:2
+  in
+  Snapshot_cache.add c ~key:(key 0) (dummy_entry fp);
+  Snapshot_cache.add c ~key:(key 1) (dummy_entry fp);
+  (* touch key 0 so key 1 is the LRU victim of the next insert *)
+  Alcotest.(check bool)
+    "key 0 resident" true
+    (Snapshot_cache.find c ~key:(key 0) ~fp ~fp_len:2 <> None);
+  Snapshot_cache.add c ~key:(key 2) (dummy_entry fp);
+  let k = Snapshot_cache.counters c in
+  Alcotest.(check int) "size stays at capacity" 2 k.Snapshot_cache.entries;
+  Alcotest.(check int) "one eviction" 1 k.Snapshot_cache.evictions;
+  Alcotest.(check bool)
+    "LRU key 1 evicted" true
+    (Snapshot_cache.find c ~key:(key 1) ~fp ~fp_len:2 = None);
+  Alcotest.(check bool)
+    "recently used key 0 survives" true
+    (Snapshot_cache.find c ~key:(key 0) ~fp ~fp_len:2 <> None);
+  Alcotest.(check bool)
+    "fresh key 2 resident" true
+    (Snapshot_cache.find c ~key:(key 2) ~fp ~fp_len:2 <> None)
+
+let test_cache_fp_word_check () =
+  (* Same key, different live fingerprint words: the word-for-word
+     re-verification must refuse the hit even though the digest
+     matched at insert time. *)
+  let c = Snapshot_cache.create () in
+  let fp = [| 7; 42 |] in
+  let key =
+    Snapshot_cache.key ~scope:"s" ~period:2 ~ids:[| 3; 5 |] ~fp ~fp_len:2
+  in
+  Snapshot_cache.add c ~key (dummy_entry fp);
+  Alcotest.(check bool)
+    "exact words hit" true
+    (Snapshot_cache.find c ~key ~fp ~fp_len:2 <> None);
+  Alcotest.(check bool)
+    "altered words miss" true
+    (Snapshot_cache.find c ~key ~fp:[| 7; 43 |] ~fp_len:2 = None)
+
+(* Two disjoint dynamic regions of the same loop: the second region's
+   first boundary must hit the entry the first region converged,
+   skipping its recording phase entirely.  The body has period 1 so
+   the phase at which the delta gate fires (which depends on the
+   preceding stretch) cannot change the canonical pattern slice or
+   the boundary state — reuse is only keyed on what the machine can
+   observe. *)
+let two_regions iters =
+  Array.concat
+    [
+      [| 9; 8 |];
+      Array.make iters 4;
+      [| 7; 6 |];
+      Array.make iters 4;
+      [| 1; 2 |];
+    ]
+
+let test_cache_cross_region () =
+  let trace = two_regions 40 in
+  let cache = Snapshot_cache.create () in
+  let f, ctx, report = fake_ctx ~policy:eager ~cache trace in
+  Steady_state.run ctx;
+  check_totals "cross-region" f;
+  Alcotest.(check bool)
+    "first region inserts" true
+    (report.Steady_state.cache_inserts >= 1);
+  Alcotest.(check bool)
+    "second region hits" true
+    (report.Steady_state.cache_hits >= 1);
+  (* A second run over the same trace with the warm cache must hit in
+     both regions and never insert again, with identical totals. *)
+  let f2, ctx2, report2 = fake_ctx ~policy:eager ~cache trace in
+  Steady_state.run ctx2;
+  check_totals "warm re-run" f2;
+  Alcotest.(check int) "warm run inserts nothing" 0
+    report2.Steady_state.cache_inserts;
+  Alcotest.(check bool)
+    "warm run hits everywhere" true
+    (report2.Steady_state.cache_hits >= 2)
+
+let test_cache_scope_isolation () =
+  (* The same pattern under a different scope (different compiled
+     trace or config) must never reuse the entry: reuse is only legal
+     where the fingerprints provably coincide, and the scope pins
+     that. *)
+  let trace = looped 40 in
+  let cache = Snapshot_cache.create () in
+  let _, ctx_a, report_a = fake_ctx ~policy:eager ~cache ~scope:"conf-A" trace in
+  Steady_state.run ctx_a;
+  Alcotest.(check bool)
+    "scope A inserts" true
+    (report_a.Steady_state.cache_inserts >= 1);
+  let f_b, ctx_b, report_b =
+    fake_ctx ~policy:eager ~cache ~scope:"conf-B" trace
+  in
+  Steady_state.run ctx_b;
+  check_totals "scope B" f_b;
+  Alcotest.(check int) "scope B sees no A entries" 0
+    report_b.Steady_state.cache_hits;
+  Alcotest.(check bool)
+    "scope B inserts its own" true
+    (report_b.Steady_state.cache_inserts >= 1);
+  (* Re-entering scope A reuses A's entry, untouched by B's. *)
+  let f_a2, ctx_a2, report_a2 =
+    fake_ctx ~policy:eager ~cache ~scope:"conf-A" trace
+  in
+  Steady_state.run ctx_a2;
+  check_totals "scope A re-entry" f_a2;
+  Alcotest.(check bool)
+    "scope A re-entry hits" true
+    (report_a2.Steady_state.cache_hits >= 1)
+
+(* The reuse law, fuzzed: over random concatenations of loopy and
+   patternless stretches, a run with a cold cache, a run with a warm
+   cache, and a run with no cache at all account for exactly the same
+   instruction / cycle / fetch totals as a plain replay. *)
+let prop_cached_reuse_equiv =
+  QCheck.Test.make ~name:"cached reuse = plain fast-forward" ~count:60
+    QCheck.(
+      pair (int_range 0 5)
+        (small_list (pair (int_range 0 20) (int_range 1 6))))
+    (fun (salt, segments) ->
+      let trace =
+        Array.concat
+          (List.concat_map
+             (fun (iters, body_len) ->
+               let body =
+                 Array.init body_len (fun i -> 1 + ((salt + i) mod 7))
+               in
+               [| salt mod 11; (salt + 5) mod 11 |]
+               :: List.init iters (fun _ -> body))
+             segments)
+      in
+      let expect = trace_sum trace in
+      let totals f = (!(f.instrs), !(f.cycles), f.stats.Stats.fetches) in
+      let run ?cache () =
+        let f, ctx, _ = fake_ctx ~policy:eager ?cache trace in
+        Steady_state.run ctx;
+        totals f
+      in
+      let plain = run () in
+      let cache = Snapshot_cache.create () in
+      let cold = run ~cache () in
+      let warm = run ~cache () in
+      plain = (expect, expect, expect) && cold = plain && warm = plain)
 
 (* --- fingerprint collision resistance ---------------------------- *)
 
@@ -369,6 +538,42 @@ let test_loop_schemes () =
         (report.Steady_state.skipped_instrs > 0))
     schemes
 
+let test_cached_loop_schemes () =
+  (* One snapshot cache shared across every scheme (the sweep / daemon
+     sharing pattern): each cached run must stay bit-identical to the
+     plain fast path even as entries from the other schemes accumulate
+     (within-run cross-region hits are fine; a cross-scheme hit would
+     break the bit-identity check), and a same-config re-run must
+     hit. *)
+  let prep = prepare loop_kernel in
+  let cache = Snapshot_cache.create () in
+  List.iter
+    (fun s ->
+      let config = Config.xscale s in
+      let name = Config.scheme_name s in
+      let report = Steady_state.create_report () in
+      let cached =
+        Runner.run_scheme ~fastforward:true ~ff_report:report
+          ~snapshot_cache:cache prep config
+      in
+      let plain = Runner.run_scheme ~fastforward:false prep config in
+      if not (Stats.equal cached plain) then
+        Alcotest.failf "%s: cached fast-forward diverges:@ %a" name
+          Stats.pp_diff (cached, plain);
+      let report2 = Steady_state.create_report () in
+      let warm =
+        Runner.run_scheme ~fastforward:true ~ff_report:report2
+          ~snapshot_cache:cache prep config
+      in
+      if not (Stats.equal warm plain) then
+        Alcotest.failf "%s: warm cached run diverges:@ %a" name Stats.pp_diff
+          (warm, plain);
+      Alcotest.(check bool)
+        (name ^ ": same-config re-run hits")
+        true
+        (report2.Steady_state.cache_hits > 0))
+    schemes
+
 let test_memheavy_vetoed () =
   let report = check_three_way memheavy_kernel (Config.xscale Config.Baseline) in
   Alcotest.(check int) "stream-variant loops skip nothing" 0
@@ -439,6 +644,17 @@ let () =
           Alcotest.test_case "non-periodic trace" `Quick test_non_periodic;
           Alcotest.test_case "snapshot budget" `Quick test_snapshot_budget;
         ] );
+      ( "snapshot-cache",
+        [
+          Alcotest.test_case "bounded LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "fingerprint word re-check" `Quick
+            test_cache_fp_word_check;
+          Alcotest.test_case "cross-region reuse" `Quick
+            test_cache_cross_region;
+          Alcotest.test_case "scope isolation" `Quick
+            test_cache_scope_isolation;
+          QCheck_alcotest.to_alcotest prop_cached_reuse_equiv;
+        ] );
       ( "fingerprints",
         [
           Alcotest.test_case "cam residency" `Quick
@@ -451,6 +667,8 @@ let () =
         [
           Alcotest.test_case "loop kernel, all schemes" `Quick
             test_loop_schemes;
+          Alcotest.test_case "shared cache, all schemes" `Quick
+            test_cached_loop_schemes;
           Alcotest.test_case "mem-heavy loop vetoed" `Quick
             test_memheavy_vetoed;
           Alcotest.test_case "drowsy crossing iterations" `Quick
